@@ -1,0 +1,24 @@
+# SMORE reproduction — common workflows.
+
+.PHONY: install test bench results full clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Regenerate every table/figure artifact under results/.
+results: bench
+
+# Larger offline runs (slower; see EXPERIMENTS.md).
+full:
+	python -m repro.experiments table1 --full
+	python -m repro.experiments table2 --full
+	python -m repro.experiments table3 --full
+
+clean:
+	rm -rf .cache .benchmarks results

@@ -1,0 +1,66 @@
+"""Shared machinery for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures at the
+``fast`` run profile (scaled-down instances, CPU-sized networks, trained
+policies cached under ``.cache/pretrained``), times it once via
+pytest-benchmark's pedantic mode, writes the rendered text artefact to
+``results/`` and asserts the coarse shape the paper reports.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+The ``--full`` scale can be reproduced offline with
+``python -m repro.experiments table1 --full`` etc.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.baselines import MSAConfig
+from repro.experiments import ExperimentRunner, RunProfile
+from repro.experiments.pretrained import PretrainSpec
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: Benchmark profile: small enough that the whole suite finishes in
+#: minutes, large enough that the paper's orderings are visible.
+BENCH_PRETRAIN = PretrainSpec(
+    num_train=12, num_val=2, imitation_iterations=40, rl_iterations=20,
+    imitation_lr=3e-3, rl_lr=5e-4,
+    d_model=16, num_heads=2, num_layers=1, conv_channels=2,
+    task_density=0.15,
+)
+
+BENCH_PROFILE = RunProfile(
+    name="bench",
+    num_test_instances=2,
+    task_density=0.15,
+    msa=MSAConfig(num_starts=1, iterations_per_round=60,
+                  patience_rounds=2, time_limit=15.0),
+    pretrain=BENCH_PRETRAIN,
+)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """Session-wide runner; trained policies cache across benchmarks."""
+    return ExperimentRunner(profile=BENCH_PROFILE, seed=100)
+
+
+def write_artifact(results_dir: Path, name: str, text: str) -> None:
+    path = results_dir / name
+    path.write_text(text + "\n")
+
+
+def objectives_by_method(results: list) -> dict[str, float]:
+    return {r.method: r.objective_mean for r in results}

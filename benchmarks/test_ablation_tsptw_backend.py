@@ -1,0 +1,94 @@
+"""Design ablation (beyond the paper): TSPTW backend choice.
+
+SMORE's candidate initialisation calls its route planner |W| x |S| times;
+the paper uses a pre-trained RL solver, this repo defaults to the
+insertion heuristic.  This bench compares the backends on the same
+instances: solution quality (coverage) and planner speed, plus the exact
+DP's optimality gap measurement for the heuristic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_instances
+from repro.smore import RatioSelectionRule, SMORESolver
+from repro.tsptw import (
+    ExactDPSolver,
+    GPNSolver,
+    InsertionSolver,
+    make_default_gpn,
+)
+
+from .conftest import write_artifact
+
+
+def test_backend_quality(benchmark, runner, results_dir):
+    # One instance: the GPN decodes every task per planner call, which is
+    # the expensive path this ablation is measuring.
+    instances = runner.test_instances("delivery")[:1]
+    spec = runner.profile
+
+    region = instances[0].coverage.grid.region
+    gpn = GPNSolver(make_default_gpn(region, 240.0, d_model=16, seed=0),
+                    repair=True)
+    backends = {
+        "insertion": InsertionSolver(),
+        "gpn+repair": gpn,
+    }
+
+    def run():
+        scores = {}
+        for name, planner in backends.items():
+            solver = SMORESolver(planner, RatioSelectionRule(),
+                                 name=f"SMORE[{name}]")
+            solutions = [solver.solve(inst) for inst in instances]
+            scores[name] = {
+                "objective": float(np.mean([s.objective for s in solutions])),
+                "time": float(np.mean([s.wall_time for s in solutions])),
+            }
+        return scores
+
+    scores = benchmark.pedantic(run, iterations=1, rounds=1)
+    lines = ["Ablation — TSPTW backend inside SMORE", "=" * 44]
+    for name, row in scores.items():
+        lines.append(f"  {name:<12} phi={row['objective']:.3f} "
+                     f"time={row['time']:.2f}s")
+    text = "\n".join(lines)
+    write_artifact(results_dir, "ablation_tsptw_backend.txt", text)
+    print("\n" + text)
+
+    for name, row in scores.items():
+        assert row["objective"] > 0, name
+
+
+def test_insertion_optimality_gap(benchmark, results_dir):
+    """Measure the insertion heuristic's rtt gap to the exact DP."""
+    from repro.datasets import InstanceOptions
+
+    instances = generate_instances(
+        "delivery", 3, seed=7, options=InstanceOptions(task_density=0.02))
+    exact = ExactDPSolver()
+    insertion = InsertionSolver()
+
+    def run():
+        gaps = []
+        for instance in instances:
+            for worker in instance.workers:
+                sensing = list(instance.sensing_tasks[:2])
+                if worker.num_travel_tasks + len(sensing) > exact.max_tasks:
+                    continue
+                opt = exact.plan(worker, sensing)
+                heur = insertion.plan(worker, sensing)
+                if opt.feasible and heur.feasible:
+                    gaps.append(heur.route_travel_time
+                                / opt.route_travel_time - 1.0)
+        return gaps
+
+    gaps = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert gaps, "no feasible comparisons collected"
+    mean_gap = float(np.mean(gaps))
+    text = (f"Insertion heuristic optimality gap over {len(gaps)} plans: "
+            f"mean={mean_gap:.4%} max={max(gaps):.4%}")
+    write_artifact(results_dir, "ablation_insertion_gap.txt", text)
+    print("\n" + text)
+    assert mean_gap < 0.10  # within 10% of optimal on average

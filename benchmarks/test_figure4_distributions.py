@@ -1,0 +1,48 @@
+"""Figure 4 — dataset distributions (travel tasks per trip, workers per
+instance) for all three dataset families."""
+
+import numpy as np
+
+from repro.datasets import generate_instances, summarize_dataset
+
+from .conftest import write_artifact
+
+DATASETS = ("delivery", "tourism", "lade")
+
+
+def test_figure4(benchmark, runner, results_dir):
+    def run():
+        summaries = {}
+        for dataset in DATASETS:
+            instances = generate_instances(
+                dataset, 30, seed=runner.seed,
+                options=runner.profile.options())
+            summaries[dataset] = summarize_dataset(instances)
+        return summaries
+
+    summaries = benchmark.pedantic(run, iterations=1, rounds=1)
+
+    lines = ["Figure 4 — Data Distributions", "=" * 40]
+    for dataset, summary in summaries.items():
+        lines.append(f"\n[{dataset}]")
+        for panel, dist in summary.items():
+            lines.append(f"  {panel}: mean={dist.mean:.2f} "
+                         f"std={dist.std:.2f} min={dist.min:g} "
+                         f"max={dist.max:g}")
+            for label, count in dist.rows():
+                lines.append(f"    {label:<16} {'#' * int(count)}")
+    text = "\n".join(lines)
+    write_artifact(results_dir, "figure4.txt", text)
+    print("\n" + text)
+
+    for dataset, summary in summaries.items():
+        travel = summary["travel_tasks"]
+        workers = summary["workers"]
+        # Figure 4 shapes: right-skewed travel-task counts (mean below the
+        # midpoint of the range) and bounded worker counts per instance.
+        assert travel.min >= 0
+        assert travel.mean < (travel.min + travel.max) / 2 + 1.0, dataset
+        assert workers.min >= 1, dataset
+        # Tourists make fewer stops than couriers.
+    assert (summaries["tourism"]["travel_tasks"].mean
+            <= summaries["delivery"]["travel_tasks"].mean + 1.0)

@@ -1,0 +1,40 @@
+"""Figure 5 — ablation study of SMORE's main designs.
+
+Trains the three ablated variants per dataset (at benchmark scale) and
+compares them to full SMORE; asserts the paper's headline: full SMORE
+tops each ablated variant on average across datasets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figure5_ablation, render_figure5
+
+from .conftest import write_artifact
+
+DATASETS = ("delivery", "tourism", "lade")
+
+
+def test_figure5(benchmark, runner, results_dir):
+    def run():
+        return figure5_ablation(runner, datasets=DATASETS)
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    text = render_figure5(results)
+    write_artifact(results_dir, "figure5.txt", text)
+    print("\n" + text)
+
+    by_variant: dict[str, list[float]] = {}
+    for rows in results.values():
+        for result in rows:
+            by_variant.setdefault(result.method, []).append(
+                result.objective_mean)
+    means = {variant: float(np.mean(vals))
+             for variant, vals in by_variant.items()}
+
+    # Full SMORE is the best variant on average (paper Figure 5); allow a
+    # small tolerance for the single-run noise of the benchmark profile.
+    for variant, mean in means.items():
+        if variant == "SMORE":
+            continue
+        assert means["SMORE"] >= 0.97 * mean, (variant, means)

@@ -1,0 +1,46 @@
+"""Figure 6 — case study: original routes vs SMORE re-planning.
+
+Renders the four text heatmaps and asserts the paper's observation: the
+no-re-planning scenario leaves data skewed over the region while SMORE
+covers it much better (higher coverage, more cells touched).
+"""
+
+import numpy as np
+
+from repro.experiments import render_case_study, run_case_study
+from repro.experiments.pretrained import get_trained_policy
+
+from .conftest import write_artifact
+
+
+import pytest
+
+
+@pytest.mark.parametrize("dataset", ("delivery", "tourism"))
+def test_figure6(benchmark, runner, results_dir, dataset):
+    instance = runner.test_instances(dataset)[0]
+    policy = get_trained_policy(dataset, spec=runner.profile.pretrain,
+                                cache_dir=runner.cache_dir)
+
+    def run():
+        return run_case_study(instance, policy)
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    text = render_case_study(result)
+    write_artifact(results_dir, f"figure6_{dataset}.txt", text)
+    print("\n" + text)
+
+    # Vector-graphic versions of Figures 6a-6d.
+    from repro.experiments.svg import render_solution_svg
+
+    write_artifact(results_dir, f"figure6_{dataset}_baseline.svg",
+                   render_solution_svg(result.baseline))
+    write_artifact(results_dir, f"figure6_{dataset}_smore.svg",
+                   render_solution_svg(result.smore))
+
+    assert result.smore_phi > result.baseline_phi
+    maps = result.heatmaps()
+    smore_cells = int((maps["smore_completion"] > 0).sum())
+    baseline_cells = int((maps["baseline_completion"] > 0).sum())
+    assert smore_cells > baseline_cells  # much wider spatial spread
+    assert result.smore.validate() == []

@@ -1,0 +1,33 @@
+"""Table II — effect of the budget (200 / 300 / 400).
+
+Regenerates the budget sweep per dataset; asserts the paper's trend that
+the objective grows with the budget and SMORE leads RN everywhere.
+"""
+
+import pytest
+
+from repro.experiments import render_grid, table2_budget
+
+from .conftest import objectives_by_method, write_artifact
+
+DATASETS = ("delivery", "tourism", "lade")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_table2(benchmark, runner, results_dir, dataset):
+    def run():
+        return table2_budget(runner, datasets=(dataset,))
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    text = render_grid("Table II — Effect of Budget", results)
+    write_artifact(results_dir, f"table2_{dataset}.txt", text)
+    print("\n" + text)
+
+    cells = results[dataset]
+    smore_by_budget = [objectives_by_method(cells[label])["SMORE"]
+                       for label in ("Budget=200", "Budget=300", "Budget=400")]
+    # Objective increases with budget (allowing sampling noise headroom).
+    assert smore_by_budget[2] > smore_by_budget[0]
+    for setting, cell in cells.items():
+        objectives = objectives_by_method(cell)
+        assert objectives["SMORE"] > objectives["RN"], setting

@@ -1,0 +1,47 @@
+"""Table III — effect of the weight alpha in the data coverage.
+
+Regenerates the alpha sweep (0.2 / 0.5 / 0.8).  Asserts the paper's
+crossover: cost-priority greedy (TCPG) wins over value-priority greedy
+(TVPG) when quantity dominates (alpha = 0.2), and the ordering flips when
+balance dominates (alpha = 0.8).
+"""
+
+import pytest
+
+from repro.experiments import render_grid, table3_alpha
+
+from .conftest import objectives_by_method, write_artifact
+
+DATASETS = ("delivery", "tourism", "lade")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_table3(benchmark, runner, results_dir, dataset):
+    def run():
+        return table3_alpha(runner, datasets=(dataset,))
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    text = render_grid("Table III — Effect of Weight in Data Coverage",
+                       results)
+    write_artifact(results_dir, f"table3_{dataset}.txt", text)
+    print("\n" + text)
+
+    cells = results[dataset]
+    for setting, cell in cells.items():
+        objectives = objectives_by_method(cell)
+        assert objectives["SMORE"] > objectives["RN"], setting
+
+
+def test_table3_greedy_crossover(benchmark, runner, results_dir):
+    """The TVPG/TCPG crossover of the paper, checked on Delivery."""
+
+    def run():
+        return table3_alpha(runner, datasets=("delivery",),
+                            methods=("TVPG", "TCPG"))
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    cells = results["delivery"]
+    low = objectives_by_method(cells["alpha=0.2"])
+    high = objectives_by_method(cells["alpha=0.8"])
+    assert low["TCPG"] > low["TVPG"]    # quantity regime: cost-greedy wins
+    assert high["TVPG"] > high["TCPG"]  # balance regime: value-greedy wins

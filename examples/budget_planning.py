@@ -1,0 +1,52 @@
+"""Budget planning: how much should a sensing campaign pay?
+
+A city operator wants to know the coverage-per-budget curve before
+committing funds (the question behind the paper's Table II).  This script
+sweeps the budget on a LaDe-style last-mile scenario, solves each point
+with SMORE's ratio policy, and prints the marginal coverage per extra unit
+of budget — showing the diminishing returns the paper observes ("as the
+data continues to be collected, the increase of the data coverage becomes
+slow").
+
+Run:  python examples/budget_planning.py
+"""
+
+import numpy as np
+
+from repro.datasets import InstanceOptions, generate_instances
+from repro.smore import RatioSelectionRule, SMORESolver
+from repro.tsptw import InsertionSolver
+
+BUDGETS = (100.0, 200.0, 300.0, 400.0, 500.0)
+NUM_INSTANCES = 2
+
+
+def main() -> None:
+    solver_factory = lambda: SMORESolver(  # noqa: E731
+        InsertionSolver(), RatioSelectionRule(), name="SMORE")
+
+    print(f"{'budget':>7} {'phi':>7} {'tasks':>6} {'spent':>7} "
+          f"{'phi/100-budget':>15}")
+    previous_phi = 0.0
+    previous_budget = 0.0
+    for budget in BUDGETS:
+        options = InstanceOptions(budget=budget, task_density=0.15)
+        instances = generate_instances("lade", NUM_INSTANCES, seed=100,
+                                       options=options)
+        solutions = [solver_factory().solve(inst) for inst in instances]
+        for solution in solutions:
+            assert solution.is_valid(), solution.validate()
+        phi = float(np.mean([s.objective for s in solutions]))
+        tasks = float(np.mean([s.num_completed for s in solutions]))
+        spent = float(np.mean([s.total_incentive for s in solutions]))
+        marginal = (phi - previous_phi) / (budget - previous_budget) * 100.0
+        print(f"{budget:>7.0f} {phi:>7.3f} {tasks:>6.1f} {spent:>7.1f} "
+              f"{marginal:>15.3f}")
+        previous_phi, previous_budget = phi, budget
+
+    print("\nMarginal coverage per budget unit falls as the budget grows —")
+    print("the hierarchical entropy objective saturates (paper, Table II).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "SMORE: Urban Sensing for Multi-Destination Workers via Deep "
+        "Reinforcement Learning (ICDE 2024) - full reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23"],
+    extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

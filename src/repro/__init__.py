@@ -1,0 +1,31 @@
+"""SMORE reproduction: Urban Sensing for Multi-Destination Workers via
+Deep Reinforcement Learning (ICDE 2024).
+
+Subpackages
+-----------
+``repro.nn``
+    From-scratch numpy neural-network library (autograd, attention, Adam).
+``repro.core``
+    USMDW problem domain: entities, routes, coverage objective, instances.
+``repro.tsptw``
+    Working-route planners: exact DP, insertion heuristic, RL-based GPN.
+``repro.smore``
+    The paper's contribution: candidate initialisation, the selection MDP,
+    TASNet, and REINFORCE training.
+``repro.baselines``
+    RN, TVPG, TCPG, MSA, MSAGI and JDRL comparison methods.
+``repro.datasets``
+    Seeded synthetic Delivery / Tourism / LaDe generators.
+``repro.experiments``
+    Harness regenerating every table and figure of the paper.
+"""
+
+from . import nn  # noqa: F401  (import order: nn has no repro deps)
+from . import core, tsptw  # noqa: F401
+from . import baselines, datasets, smore  # noqa: F401
+from . import experiments  # noqa: F401
+
+__version__ = "1.0.0"
+
+__all__ = ["nn", "core", "tsptw", "smore", "baselines", "datasets",
+           "experiments", "__version__"]

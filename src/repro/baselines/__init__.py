@@ -1,0 +1,20 @@
+"""``repro.baselines`` — the comparison methods of Section V-B.
+
+RN (random), TVPG / TCPG (greedy by task value / task cost), MSA / MSAGI
+(multi-start simulated annealing, cold and greedy-initialised) and JDRL
+(adapted multi-agent RL dispatcher).
+"""
+
+from .base import RouteBuilder
+from .exact import ExactUSMDWSolver
+from .greedy import TCPGSolver, TVPGSolver
+from .jdrl import JDRLSolver
+from .msa import MSAConfig, MSAGISolver, MSASolver
+from .random_insert import RandomSolver
+
+__all__ = [
+    "RouteBuilder",
+    "RandomSolver", "TVPGSolver", "TCPGSolver", "ExactUSMDWSolver",
+    "MSAConfig", "MSASolver", "MSAGISolver",
+    "JDRLSolver",
+]

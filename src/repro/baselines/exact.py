@@ -1,0 +1,182 @@
+"""Exact USMDW solver by branch-and-bound (small instances only).
+
+USMDW is NP-hard (paper Lemma 1); no polynomial exact solver exists.  For
+*small* instances, however, optimal solutions are computable and provide
+the ground truth that lets the reproduction measure the optimality gap of
+SMORE and the baselines — an evaluation the paper itself could not run at
+its scale.
+
+The search branches over sensing tasks in order; each task is either left
+unassigned or assigned to one worker.  A partial assignment is pruned when
+the worker's route (planned optimally by the exact TSPTW DP) becomes
+infeasible, when the budget is exceeded, or when an optimistic bound on
+the best reachable coverage cannot beat the incumbent:
+
+    phi_bound = alpha * E_max + (1 - alpha) * log2(assigned + remaining)
+
+with ``E_max`` the mean of per-histogram entropy capacities — admissible
+because entropy can never exceed ``log2(min(bins, count))``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+from ..core.coverage import CoverageState, spatial_pyramid
+from ..core.entities import SensingTask
+from ..core.incentive import IncentiveModel
+from ..core.instance import USMDWInstance
+from ..core.route import WorkingRoute
+from ..core.solution import Solution
+from ..tsptw.exact import ExactDPSolver
+
+__all__ = ["ExactUSMDWSolver"]
+
+
+def _coverage_upper_bound(state: CoverageState, remaining: int) -> float:
+    """Admissible upper bound on phi after adding up to ``remaining`` tasks."""
+    model = state.model
+    total_max = state.total + remaining
+    if total_max == 0:
+        return 0.0
+    levels = spatial_pyramid(model.grid)
+    capacities = [math.log2(min(g.num_cells, total_max)) if total_max > 1 else 0.0
+                  for g in levels]
+    capacities.append(math.log2(min(model.num_slots, total_max))
+                      if total_max > 1 else 0.0)
+    e_max = sum(capacities) / len(capacities)
+    return model.alpha * e_max + (1 - model.alpha) * math.log2(total_max)
+
+
+@dataclass
+class _SearchState:
+    assigned: dict[int, list[SensingTask]]
+    incentives: dict[int, float]
+    budget_rest: float
+
+
+class ExactUSMDWSolver:
+    """Optimal USMDW solver for instances with a handful of tasks.
+
+    Parameters
+    ----------
+    max_tasks / max_workers:
+        Hard limits; larger instances raise ``ValueError`` (the search is
+        ``O((|W|+1)^|S|)`` with a TSPTW DP at every node).
+    time_limit:
+        Wall-clock cap in seconds; on expiry the incumbent (best found so
+        far) is returned with ``optimal=False`` recorded on the solution's
+        solver name.
+    """
+
+    name = "EXACT"
+
+    def __init__(self, max_tasks: int = 8, max_workers: int = 3,
+                 time_limit: float = 60.0):
+        self.max_tasks = max_tasks
+        self.max_workers = max_workers
+        self.time_limit = time_limit
+
+    # ------------------------------------------------------------------ #
+    def solve(self, instance: USMDWInstance) -> Solution:
+        if instance.num_sensing_tasks > self.max_tasks:
+            raise ValueError(
+                f"ExactUSMDWSolver limited to {self.max_tasks} sensing tasks, "
+                f"got {instance.num_sensing_tasks}")
+        if instance.num_workers > self.max_workers:
+            raise ValueError(
+                f"ExactUSMDWSolver limited to {self.max_workers} workers, "
+                f"got {instance.num_workers}")
+
+        start = time.perf_counter()
+        deadline = start + self.time_limit
+        planner = ExactDPSolver(speed=instance.speed)
+        incentive_model = IncentiveModel(
+            mu=instance.mu,
+            base_rtt_fn=lambda w: planner.base_route(w).route_travel_time)
+
+        tasks = list(instance.sensing_tasks)
+        workers = list(instance.workers)
+
+        best_phi = -1.0
+        best_assignment: dict[int, list[SensingTask]] = {}
+        best_incentives: dict[int, float] = {}
+        timed_out = False
+
+        coverage = instance.coverage.new_state()
+        state = _SearchState(
+            assigned={w.worker_id: [] for w in workers},
+            incentives={w.worker_id: 0.0 for w in workers},
+            budget_rest=instance.budget,
+        )
+
+        def consider_incumbent():
+            nonlocal best_phi, best_assignment, best_incentives
+            phi = coverage.phi()
+            if phi > best_phi:
+                best_phi = phi
+                best_assignment = {w: list(ts) for w, ts in state.assigned.items()}
+                best_incentives = dict(state.incentives)
+
+        def search(index: int):
+            nonlocal timed_out
+            if timed_out or time.perf_counter() > deadline:
+                timed_out = True
+                return
+            remaining = len(tasks) - index
+            if (_coverage_upper_bound(coverage, remaining)
+                    <= best_phi + 1e-12):
+                return
+            if index == len(tasks):
+                consider_incumbent()
+                return
+
+            task = tasks[index]
+            # Branch 1..|W|: assign to each worker in turn.
+            for worker in workers:
+                worker_id = worker.worker_id
+                new_set = state.assigned[worker_id] + [task]
+                result = planner.plan(worker, new_set)
+                if not result.feasible:
+                    continue
+                new_incentive = incentive_model.incentive(
+                    worker, result.route_travel_time)
+                delta = new_incentive - state.incentives[worker_id]
+                # The true constraint is sum(in) <= B (Equation 3b); note
+                # SMORE's pseudocode uses the strict "delta < B_rest",
+                # which the exact solver must not inherit.
+                if delta > state.budget_rest + 1e-12:
+                    continue
+                state.assigned[worker_id].append(task)
+                old_incentive = state.incentives[worker_id]
+                state.incentives[worker_id] = new_incentive
+                state.budget_rest -= delta
+                coverage.add(task)
+                search(index + 1)
+                coverage.remove(task)
+                state.budget_rest += delta
+                state.incentives[worker_id] = old_incentive
+                state.assigned[worker_id].pop()
+
+            # Branch 0: leave the task unassigned.
+            search(index + 1)
+
+        search(0)
+        consider_incumbent()  # covers the all-unassigned base case
+
+        # Materialise optimal routes for the best assignment.
+        routes: dict[int, WorkingRoute] = {}
+        incentives: dict[int, float] = {}
+        for worker in workers:
+            chosen = best_assignment.get(worker.worker_id, [])
+            if not chosen:
+                continue
+            result = planner.plan(worker, chosen)
+            routes[worker.worker_id] = result.route
+            incentives[worker.worker_id] = best_incentives[worker.worker_id]
+
+        name = self.name if not timed_out else f"{self.name} (time-capped)"
+        return Solution(instance, routes, incentives, solver_name=name,
+                        wall_time=time.perf_counter() - start)

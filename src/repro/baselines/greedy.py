@@ -1,0 +1,78 @@
+"""TVPG and TCPG — the greedy baselines (paper Section V-B).
+
+Both start from Nearest Neighbour initial routes and iteratively insert one
+sensing task at a time at its best feasible position:
+
+* **TVPG** (task *value* priority): pick the insertion with the maximum
+  coverage gain; break ties toward the lower incentive cost.
+* **TCPG** (task *cost* priority): pick the insertion with the minimum
+  incentive cost; break ties toward the higher coverage gain.
+
+Worker choice follows [8]: at each iteration the worker whose best
+insertable task contributes the most (respectively costs the least) is the
+one selected.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..core.instance import USMDWInstance
+from ..core.solution import Solution
+from .base import RouteBuilder
+
+__all__ = ["TVPGSolver", "TCPGSolver"]
+
+_EPS = 1e-12
+
+
+class _GreedyBase:
+    """Common loop; subclasses define the priority key (smaller = better)."""
+
+    name = "greedy"
+
+    def _key(self, gain: float, delta: float) -> tuple[float, float]:
+        raise NotImplementedError
+
+    def solve(self, instance: USMDWInstance) -> Solution:
+        start = time.perf_counter()
+        builder = RouteBuilder(instance)
+
+        while True:
+            best = None
+            best_key = None
+            for worker in instance.workers:
+                worker_id = worker.worker_id
+                for task in builder.unassigned_tasks():
+                    found = builder.feasible_insertion(worker_id, task)
+                    if found is None:
+                        continue
+                    position, rtt_after, delta = found
+                    gain = builder.coverage.gain(task)
+                    key = self._key(gain, delta)
+                    if best_key is None or key < best_key:
+                        best_key = key
+                        best = (worker_id, task, position, rtt_after, delta)
+            if best is None:
+                break
+            builder.apply(*best)
+
+        return builder.to_solution(self.name, time.perf_counter() - start)
+
+
+class TVPGSolver(_GreedyBase):
+    """Task value priority greedy."""
+
+    name = "TVPG"
+
+    def _key(self, gain: float, delta: float) -> tuple[float, float]:
+        return (-gain, delta)
+
+
+class TCPGSolver(_GreedyBase):
+    """Task cost priority greedy."""
+
+    name = "TCPG"
+
+    def _key(self, gain: float, delta: float) -> tuple[float, float]:
+        return (delta, -gain)

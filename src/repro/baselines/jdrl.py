@@ -1,0 +1,157 @@
+"""JDRL — adapted multi-agent RL dispatcher (paper Section V-B).
+
+JDRL [23] is a MARL framework for ride-hailing order dispatching; the paper
+adapts it by "beginning to assign sensing tasks under the prerequisite that
+all travel tasks can be completed".  Our reimplementation keeps that shape:
+
+* each worker is an independent agent holding its NN travel-task route;
+* agents act in turn; an agent scores its feasible sensing tasks with a
+  shared learned value network over local features (coverage gain,
+  incentive cost, detour, window slack) and inserts the best one;
+* the value network is pre-trained with a regression-to-realised-return
+  target on sampled instances (:meth:`JDRLSolver.pretrain`), mirroring the
+  centralised-critic training of the original system.
+
+JDRL has no budget awareness beyond per-step affordability and no
+multi-destination-specific planning — the two deficiencies the paper blames
+for it trailing SMORE.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from .. import nn
+from ..core.entities import SensingTask
+from ..core.instance import USMDWInstance
+from ..core.solution import Solution
+from .base import RouteBuilder
+
+__all__ = ["JDRLSolver"]
+
+_NUM_FEATURES = 5
+
+
+def _candidate_features(builder: RouteBuilder, worker_id: int,
+                        task: SensingTask, gain: float, delta: float,
+                        rtt_after: float) -> np.ndarray:
+    instance = builder.instance
+    span = instance.coverage.time_span
+    slack = (task.tw_end - task.tw_start) / span
+    detour = (rtt_after - builder.route_rtt[worker_id]) / span
+    budget_frac = builder.budget_rest / max(instance.budget, 1e-9)
+    return np.array([gain, delta / max(instance.budget, 1e-9),
+                     detour, slack, budget_frac])
+
+
+class JDRLSolver:
+    """The adapted JDRL baseline."""
+
+    name = "JDRL"
+
+    def __init__(self, seed: int = 0, epsilon: float = 0.0,
+                 value_net: nn.MLP | None = None):
+        self.seed = seed
+        self.epsilon = epsilon
+        rng = np.random.default_rng(seed)
+        self.value_net = value_net or nn.MLP([_NUM_FEATURES, 16, 1], rng=rng)
+
+    # ------------------------------------------------------------------ #
+    def _score(self, features: np.ndarray) -> float:
+        with nn.no_grad():
+            out = self.value_net(nn.Tensor(features.reshape(1, -1)))
+        return float(out.data.reshape(-1)[0])
+
+    def solve(self, instance: USMDWInstance) -> Solution:
+        start = time.perf_counter()
+        rng = np.random.default_rng(self.seed)
+        builder = RouteBuilder(instance)
+        worker_ids = [w.worker_id for w in instance.workers]
+
+        active = True
+        while active:
+            active = False
+            for worker_id in worker_ids:
+                best = None
+                best_score = -np.inf
+                for task in builder.unassigned_tasks():
+                    found = builder.feasible_insertion(worker_id, task)
+                    if found is None:
+                        continue
+                    position, rtt_after, delta = found
+                    gain = builder.coverage.gain(task)
+                    features = _candidate_features(
+                        builder, worker_id, task, gain, delta, rtt_after)
+                    score = self._score(features)
+                    if self.epsilon and rng.random() < self.epsilon:
+                        score = rng.random()
+                    if score > best_score:
+                        best_score = score
+                        best = (worker_id, task, position, rtt_after, delta)
+                if best is not None:
+                    builder.apply(*best)
+                    active = True
+
+        return builder.to_solution(self.name, time.perf_counter() - start)
+
+    # ------------------------------------------------------------------ #
+    def pretrain(self, instances, iterations: int = 30, lr: float = 1e-2,
+                 seed: int | None = None) -> list[float]:
+        """Regress the value net onto realised per-step returns.
+
+        Rolls out epsilon-greedy episodes, recording (features, realised
+        coverage-gain) pairs, then fits the shared value network — the
+        centralised-critic flavour of the original JDRL.  Returns the loss
+        history.
+        """
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        optimizer = nn.Adam(self.value_net.parameters(), lr=lr)
+        losses: list[float] = []
+        for iteration in range(iterations):
+            instance = instances[int(rng.integers(0, len(instances)))]
+            features_batch, targets = self._collect_episode(instance, rng)
+            if not features_batch:
+                continue
+            x = nn.Tensor(np.stack(features_batch))
+            y = nn.Tensor(np.asarray(targets).reshape(-1, 1))
+            pred = self.value_net(x)
+            loss = ((pred - y) ** 2.0).mean()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        return losses
+
+    def _collect_episode(self, instance: USMDWInstance,
+                         rng: np.random.Generator):
+        builder = RouteBuilder(instance)
+        worker_ids = [w.worker_id for w in instance.workers]
+        features_batch: list[np.ndarray] = []
+        targets: list[float] = []
+        active = True
+        while active:
+            active = False
+            for worker_id in worker_ids:
+                options = []
+                for task in builder.unassigned_tasks():
+                    found = builder.feasible_insertion(worker_id, task)
+                    if found is None:
+                        continue
+                    position, rtt_after, delta = found
+                    gain = builder.coverage.gain(task)
+                    features = _candidate_features(
+                        builder, worker_id, task, gain, delta, rtt_after)
+                    options.append(
+                        (features, gain, (worker_id, task, position,
+                                          rtt_after, delta)))
+                if not options:
+                    continue
+                pick = options[int(rng.integers(0, len(options)))]
+                features, gain, action = pick
+                features_batch.append(features)
+                targets.append(gain)
+                builder.apply(*action)
+                active = True
+        return features_batch, targets

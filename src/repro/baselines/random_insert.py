@@ -1,0 +1,54 @@
+"""RN — the random baseline (paper Section V-B).
+
+Starting from each worker's Nearest Neighbour route, repeatedly pick a
+random worker, a random sensing task, and a random insertion position; keep
+the insertion when it is feasible and affordable.  The loop ends when the
+budget is (effectively) used up — detected as a run of consecutive failed
+random attempts, since pure rejection sampling has no other terminal test.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.instance import USMDWInstance
+from ..core.solution import Solution
+from .base import RouteBuilder
+
+__all__ = ["RandomSolver"]
+
+
+class RandomSolver:
+    """The RN baseline."""
+
+    name = "RN"
+
+    def __init__(self, seed: int = 0, max_failures: int = 300):
+        self.seed = seed
+        self.max_failures = max_failures
+
+    def solve(self, instance: USMDWInstance) -> Solution:
+        start = time.perf_counter()
+        rng = np.random.default_rng(self.seed)
+        builder = RouteBuilder(instance)
+        worker_ids = [w.worker_id for w in instance.workers]
+
+        failures = 0
+        while failures < self.max_failures:
+            tasks = builder.unassigned_tasks()
+            if not tasks or builder.budget_rest <= 0:
+                break
+            worker_id = worker_ids[int(rng.integers(0, len(worker_ids)))]
+            task = tasks[int(rng.integers(0, len(tasks)))]
+            position = int(rng.integers(0, len(builder.routes[worker_id]) + 1))
+            attempt = builder.insertion_at(worker_id, task, position)
+            if attempt is None:
+                failures += 1
+                continue
+            rtt_after, delta = attempt
+            builder.apply(worker_id, task, position, rtt_after, delta)
+            failures = 0
+
+        return builder.to_solution(self.name, time.perf_counter() - start)

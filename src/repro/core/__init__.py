@@ -1,0 +1,32 @@
+"""``repro.core`` — USMDW problem domain.
+
+Entities (workers, travel tasks, sensing tasks), geometry, working routes,
+the hierarchical entropy-based coverage objective, incentives, and problem
+instances, all following Section II of the paper.
+"""
+
+from .coverage import CoverageModel, CoverageState, spatial_pyramid
+from .entities import SensingTask, TravelTask, Worker
+from .errors import (
+    BudgetExceededError,
+    InfeasibleRouteError,
+    InvalidInstanceError,
+    ReproError,
+)
+from .geometry import DEFAULT_SPEED, Grid, Location, Region, euclidean, travel_time
+from .incentive import IncentiveModel
+from .instance import USMDWInstance, make_sensing_grid_tasks
+from .route import RouteStop, RouteTiming, WorkingRoute, simulate_route
+from .solution import Solution
+
+__all__ = [
+    "Solution",
+    "Location", "Region", "Grid", "euclidean", "travel_time", "DEFAULT_SPEED",
+    "TravelTask", "SensingTask", "Worker",
+    "WorkingRoute", "RouteStop", "RouteTiming", "simulate_route",
+    "CoverageModel", "CoverageState", "spatial_pyramid",
+    "IncentiveModel",
+    "USMDWInstance", "make_sensing_grid_tasks",
+    "ReproError", "InvalidInstanceError", "InfeasibleRouteError",
+    "BudgetExceededError",
+]

@@ -1,0 +1,128 @@
+"""Domain entities of USMDW (paper Section II, Definitions 1-3).
+
+* :class:`TravelTask` — a mandatory intermediate stop of a worker
+  (Definition 1): a location plus the service time to complete it.
+* :class:`SensingTask` — an urban sensing task (Definition 3): a location,
+  an availability time window ``[tw_s, tw_e]`` and a sensing duration; a
+  worker's sensing period must fall fully inside the window.
+* :class:`Worker` — a multi-destination worker (Definition 2): origin,
+  final destination, feasible departure/arrival times, and the set of
+  mandatory travel tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .geometry import Location
+
+__all__ = ["TravelTask", "SensingTask", "Worker"]
+
+
+@dataclass(frozen=True, slots=True)
+class TravelTask:
+    """A mandatory travel task ``d = <l, tau>`` (Definition 1).
+
+    Attributes
+    ----------
+    task_id:
+        Unique identifier within an instance.
+    location:
+        Where the task is performed (``d.l``).
+    service_time:
+        Minutes required to complete the task (``d.tau``), e.g. 10 for a
+        courier delivery, 20 for a tourist POI visit.
+    """
+
+    task_id: int
+    location: Location
+    service_time: float
+
+    def __post_init__(self):
+        if self.service_time < 0:
+            raise ValueError(f"service_time must be >= 0, got {self.service_time}")
+
+
+@dataclass(frozen=True, slots=True)
+class SensingTask:
+    """An urban sensing task ``s = <l, tw_s, tw_e, tau>`` (Definition 3).
+
+    A worker arriving at time ``t`` can complete the task iff
+    ``tw_s <= t`` (after waiting if early, waiting counts toward the route
+    travel time) and ``t + tau <= tw_e``; equivalently the sensing period
+    must fall fully inside the window.
+    """
+
+    task_id: int
+    location: Location
+    tw_start: float
+    tw_end: float
+    service_time: float
+
+    def __post_init__(self):
+        if self.service_time < 0:
+            raise ValueError(f"service_time must be >= 0, got {self.service_time}")
+        if self.tw_end - self.tw_start < self.service_time:
+            raise ValueError(
+                f"time window [{self.tw_start}, {self.tw_end}] shorter than "
+                f"service time {self.service_time}")
+
+    @property
+    def latest_start(self) -> float:
+        """Latest arrival time at which the task can still be completed."""
+        return self.tw_end - self.service_time
+
+    def can_start_at(self, t: float) -> bool:
+        """Whether sensing started at time ``t`` finishes inside the window."""
+        return self.tw_start <= t <= self.latest_start
+
+    def earliest_completion(self, arrival: float) -> float | None:
+        """Completion time if the worker arrives at ``arrival``; None if too late.
+
+        Arriving before ``tw_start`` incurs waiting (Definition 5).
+        """
+        start = max(arrival, self.tw_start)
+        if start > self.latest_start:
+            return None
+        return start + self.service_time
+
+
+@dataclass(frozen=True, slots=True)
+class Worker:
+    """A multi-destination worker (Definition 2).
+
+    ``w = <l_s, l_e, t_s_min, t_e_max, D>``: origin, final destination,
+    earliest feasible departure, latest feasible arrival, and the set of
+    mandatory travel tasks to complete en route.
+    """
+
+    worker_id: int
+    origin: Location
+    destination: Location
+    earliest_departure: float
+    latest_arrival: float
+    travel_tasks: tuple[TravelTask, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        if self.latest_arrival < self.earliest_departure:
+            raise ValueError(
+                f"latest_arrival {self.latest_arrival} before "
+                f"earliest_departure {self.earliest_departure}")
+        # Normalise to tuple so workers are hashable.
+        if not isinstance(self.travel_tasks, tuple):
+            object.__setattr__(self, "travel_tasks", tuple(self.travel_tasks))
+
+    @property
+    def time_budget(self) -> float:
+        """Maximum route travel time: ``t_e_max - t_s_min``."""
+        return self.latest_arrival - self.earliest_departure
+
+    @property
+    def num_travel_tasks(self) -> int:
+        return len(self.travel_tasks)
+
+    def all_locations(self) -> list[Location]:
+        """Origin, travel-task locations and destination, in storage order."""
+        return ([self.origin]
+                + [task.location for task in self.travel_tasks]
+                + [self.destination])

@@ -1,0 +1,22 @@
+"""Exception hierarchy for the SMORE reproduction."""
+
+__all__ = [
+    "ReproError", "InvalidInstanceError", "InfeasibleRouteError",
+    "BudgetExceededError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class InvalidInstanceError(ReproError):
+    """A USMDW problem instance violates a structural constraint."""
+
+
+class InfeasibleRouteError(ReproError):
+    """No feasible working route exists for a requested task set."""
+
+
+class BudgetExceededError(ReproError):
+    """An assignment would exceed the remaining sensing budget."""

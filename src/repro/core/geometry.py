@@ -1,0 +1,126 @@
+"""Spatial primitives: locations, regions, uniform grids, and travel time.
+
+The paper assumes workers move at constant speed in free space, so travel
+time is proportional to Euclidean distance (Section II-A, Definition 5).
+Distances are in meters, times in minutes throughout the library.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Location", "Region", "Grid", "euclidean", "travel_time",
+           "DEFAULT_SPEED"]
+
+#: Worker movement speed from the paper's experimental setup (Section V-B):
+#: 60 meters per minute.
+DEFAULT_SPEED = 60.0
+
+
+@dataclass(frozen=True, slots=True)
+class Location:
+    """A point in the plane, coordinates in meters."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Location") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def travel_time_to(self, other: "Location", speed: float = DEFAULT_SPEED) -> float:
+        """Minutes to reach ``other`` at constant ``speed`` (m/min)."""
+        return self.distance_to(other) / speed
+
+    def as_array(self) -> np.ndarray:
+        return np.array([self.x, self.y])
+
+
+def euclidean(a: Location, b: Location) -> float:
+    """Euclidean distance between two locations, in meters."""
+    return a.distance_to(b)
+
+
+def travel_time(a: Location, b: Location, speed: float = DEFAULT_SPEED) -> float:
+    """Travel time between two locations in minutes at ``speed`` m/min."""
+    return a.travel_time_to(b, speed=speed)
+
+
+@dataclass(frozen=True, slots=True)
+class Region:
+    """An axis-aligned rectangular region of interest, origin at (0, 0)."""
+
+    width: float
+    height: float
+
+    def contains(self, location: Location) -> bool:
+        return 0.0 <= location.x <= self.width and 0.0 <= location.y <= self.height
+
+    def clamp(self, location: Location) -> Location:
+        return Location(
+            min(max(location.x, 0.0), self.width),
+            min(max(location.y, 0.0), self.height),
+        )
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+
+@dataclass(frozen=True, slots=True)
+class Grid:
+    """A uniform ``nx x ny`` partition of a :class:`Region`.
+
+    Cell indices are ``(i, j)`` with ``i`` along x in ``[0, nx)`` and ``j``
+    along y in ``[0, ny)``.  The paper partitions Delivery into 10x12 and
+    Tourism/LaDe into 10x10 grids (Section V-B).
+    """
+
+    region: Region
+    nx: int
+    ny: int
+
+    def __post_init__(self):
+        if self.nx <= 0 or self.ny <= 0:
+            raise ValueError(f"grid dimensions must be positive, got {self.nx}x{self.ny}")
+
+    @property
+    def num_cells(self) -> int:
+        return self.nx * self.ny
+
+    @property
+    def cell_width(self) -> float:
+        return self.region.width / self.nx
+
+    @property
+    def cell_height(self) -> float:
+        return self.region.height / self.ny
+
+    def cell_of(self, location: Location) -> tuple[int, int]:
+        """Return the ``(i, j)`` cell containing ``location`` (clamped)."""
+        i = min(int(location.x / self.cell_width), self.nx - 1)
+        j = min(int(location.y / self.cell_height), self.ny - 1)
+        return max(i, 0), max(j, 0)
+
+    def cell_index(self, location: Location) -> int:
+        """Flat row-major index of the cell containing ``location``."""
+        i, j = self.cell_of(location)
+        return i * self.ny + j
+
+    def cell_center(self, i: int, j: int) -> Location:
+        """Center of cell ``(i, j)``."""
+        if not (0 <= i < self.nx and 0 <= j < self.ny):
+            raise IndexError(f"cell ({i}, {j}) outside {self.nx}x{self.ny} grid")
+        return Location((i + 0.5) * self.cell_width, (j + 0.5) * self.cell_height)
+
+    def all_cells(self) -> list[tuple[int, int]]:
+        return [(i, j) for i in range(self.nx) for j in range(self.ny)]
+
+    def coarsen(self, factor: int = 2) -> "Grid":
+        """Return a grid with both dimensions divided by ``factor`` (min 1).
+
+        Used to build the spatial pyramid for the hierarchical entropy.
+        """
+        return Grid(self.region, max(1, self.nx // factor), max(1, self.ny // factor))

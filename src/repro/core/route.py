@@ -1,0 +1,148 @@
+"""Working routes and their simulation (paper Definition 5).
+
+A :class:`WorkingRoute` is the traveling sequence of a worker:
+``origin -> ta_1 -> ... -> ta_k -> destination`` where each ``ta_i`` is a
+travel task or an assigned sensing task.  :func:`simulate_route` replays the
+route forward in time — travel at constant speed, wait for sensing windows,
+service each task — producing per-stop arrival/start/finish times, the
+route travel time ``rtt`` and feasibility with respect to both the task
+time windows and the worker's latest-arrival constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .entities import SensingTask, TravelTask, Worker
+from .geometry import DEFAULT_SPEED, travel_time
+
+__all__ = ["RouteStop", "RouteTiming", "WorkingRoute", "simulate_route"]
+
+Task = TravelTask | SensingTask
+
+
+@dataclass(frozen=True, slots=True)
+class RouteStop:
+    """Timing record for one task visit along a route."""
+
+    task: Task
+    arrival: float
+    service_start: float
+    finish: float
+
+    @property
+    def waiting_time(self) -> float:
+        return self.service_start - self.arrival
+
+
+@dataclass(frozen=True, slots=True)
+class RouteTiming:
+    """Result of simulating a route forward in time."""
+
+    stops: tuple[RouteStop, ...]
+    departure: float
+    arrival_at_destination: float
+    feasible: bool
+    violated_at: int | None = None  # index of first violating stop, if any
+
+    @property
+    def route_travel_time(self) -> float:
+        """``rtt`` of Definition 5: elapsed time origin -> destination."""
+        return self.arrival_at_destination - self.departure
+
+    @property
+    def total_waiting_time(self) -> float:
+        return sum(stop.waiting_time for stop in self.stops)
+
+    @property
+    def total_service_time(self) -> float:
+        return sum(stop.finish - stop.service_start for stop in self.stops)
+
+
+@dataclass(frozen=True)
+class WorkingRoute:
+    """A worker's route: the ordered tasks between origin and destination."""
+
+    worker: Worker
+    tasks: tuple[Task, ...] = field(default_factory=tuple)
+    speed: float = DEFAULT_SPEED
+
+    def __post_init__(self):
+        if not isinstance(self.tasks, tuple):
+            object.__setattr__(self, "tasks", tuple(self.tasks))
+
+    @property
+    def sensing_tasks(self) -> tuple[SensingTask, ...]:
+        return tuple(t for t in self.tasks if isinstance(t, SensingTask))
+
+    @property
+    def travel_tasks(self) -> tuple[TravelTask, ...]:
+        return tuple(t for t in self.tasks if isinstance(t, TravelTask))
+
+    def covers_all_travel_tasks(self) -> bool:
+        """Whether every mandatory travel task of the worker appears."""
+        present = {t.task_id for t in self.travel_tasks}
+        return all(d.task_id in present for d in self.worker.travel_tasks)
+
+    def simulate(self) -> RouteTiming:
+        return simulate_route(self.worker, self.tasks, speed=self.speed)
+
+    @property
+    def route_travel_time(self) -> float:
+        return self.simulate().route_travel_time
+
+    @property
+    def feasible(self) -> bool:
+        timing = self.simulate()
+        return timing.feasible and self.covers_all_travel_tasks()
+
+    def with_task_inserted(self, task: Task, position: int) -> "WorkingRoute":
+        """Return a new route with ``task`` inserted before index ``position``."""
+        tasks = self.tasks[:position] + (task,) + self.tasks[position:]
+        return WorkingRoute(self.worker, tasks, speed=self.speed)
+
+    def without_task(self, task: Task) -> "WorkingRoute":
+        tasks = tuple(t for t in self.tasks if t is not task)
+        return WorkingRoute(self.worker, tasks, speed=self.speed)
+
+
+def simulate_route(worker: Worker, tasks: tuple[Task, ...] | list[Task],
+                   speed: float = DEFAULT_SPEED,
+                   departure: float | None = None) -> RouteTiming:
+    """Replay ``tasks`` in order, starting from the worker's origin.
+
+    The worker departs at ``departure`` (default: ``earliest_departure``),
+    travels at constant ``speed``, waits when arriving before a sensing
+    window opens, and services each task.  The route is infeasible when a
+    sensing task cannot start inside its window or the final arrival
+    exceeds ``worker.latest_arrival``; simulation still completes so the
+    caller can inspect where the violation occurred.
+    """
+    clock = worker.earliest_departure if departure is None else departure
+    start = clock
+    position = worker.origin
+    stops: list[RouteStop] = []
+    feasible = True
+    violated_at: int | None = None
+
+    for index, task in enumerate(tasks):
+        clock += travel_time(position, task.location, speed=speed)
+        arrival = clock
+        if isinstance(task, SensingTask):
+            service_start = max(arrival, task.tw_start)
+            if service_start > task.latest_start and feasible:
+                feasible = False
+                violated_at = index
+        else:
+            service_start = arrival
+        finish = service_start + task.service_time
+        stops.append(RouteStop(task, arrival, service_start, finish))
+        clock = finish
+        position = task.location
+
+    clock += travel_time(position, worker.destination, speed=speed)
+    if clock > worker.latest_arrival + 1e-9 and feasible:
+        feasible = False
+        violated_at = len(tasks)
+
+    return RouteTiming(tuple(stops), start, clock, feasible, violated_at)

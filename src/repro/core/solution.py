@@ -1,0 +1,142 @@
+"""Solution container shared by SMORE and all baseline solvers.
+
+A solution to a USMDW instance is a set of working routes — one per
+recruited worker — plus the bookkeeping the evaluation needs: the set of
+completed sensing tasks, the objective value, the budget spent, and the
+wall-clock time the solver took.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .coverage import CoverageModel
+from .entities import SensingTask, Worker
+from .incentive import IncentiveModel
+from .instance import USMDWInstance
+from .route import WorkingRoute
+
+__all__ = ["Solution"]
+
+
+@dataclass
+class Solution:
+    """The output of an assignment solver on one instance."""
+
+    instance: USMDWInstance
+    routes: dict[int, WorkingRoute] = field(default_factory=dict)
+    incentives: dict[int, float] = field(default_factory=dict)
+    solver_name: str = "unknown"
+    wall_time: float = 0.0
+
+    @property
+    def completed_tasks(self) -> list[SensingTask]:
+        tasks: list[SensingTask] = []
+        for route in self.routes.values():
+            tasks.extend(route.sensing_tasks)
+        return tasks
+
+    @property
+    def num_completed(self) -> int:
+        return len(self.completed_tasks)
+
+    @property
+    def objective(self) -> float:
+        """Hierarchical entropy-based data coverage phi(S')."""
+        return self.instance.coverage.phi(self.completed_tasks)
+
+    @property
+    def total_incentive(self) -> float:
+        return sum(self.incentives.values())
+
+    @property
+    def budget_remaining(self) -> float:
+        return self.instance.budget - self.total_incentive
+
+    # ------------------------------------------------------------------ #
+    def validate(self, incentive_model: IncentiveModel | None = None,
+                 atol: float = 1e-6) -> list[str]:
+        """Check every USMDW constraint; return a list of violations.
+
+        Verified: (1) each route is time-feasible and covers the worker's
+        mandatory travel tasks, (2) no sensing task is completed twice,
+        (3) total incentive fits the budget, and — when an incentive model
+        is supplied — (4) the recorded incentives match Definition 6.
+        """
+        problems: list[str] = []
+        seen: set[int] = set()
+        for worker_id, route in self.routes.items():
+            worker = self.instance.worker(worker_id)
+            if route.worker.worker_id != worker_id:
+                problems.append(f"route stored under wrong worker {worker_id}")
+            timing = route.simulate()
+            if not timing.feasible:
+                problems.append(f"worker {worker_id}: route violates time constraints")
+            if not route.covers_all_travel_tasks():
+                problems.append(f"worker {worker_id}: mandatory travel tasks missing")
+            if timing.arrival_at_destination > worker.latest_arrival + atol:
+                problems.append(f"worker {worker_id}: arrives after latest_arrival")
+            for task in route.sensing_tasks:
+                if task.task_id in seen:
+                    problems.append(
+                        f"sensing task {task.task_id} completed by multiple workers")
+                seen.add(task.task_id)
+        if self.total_incentive > self.instance.budget + atol:
+            problems.append(
+                f"budget exceeded: {self.total_incentive} > {self.instance.budget}")
+        if incentive_model is not None:
+            for worker_id, route in self.routes.items():
+                expected = incentive_model.incentive(
+                    self.instance.worker(worker_id), route.route_travel_time)
+                recorded = self.incentives.get(worker_id, 0.0)
+                if not math.isclose(expected, recorded, abs_tol=1e-4):
+                    problems.append(
+                        f"worker {worker_id}: incentive {recorded} != "
+                        f"expected {expected}")
+        return problems
+
+    def is_valid(self, incentive_model: IncentiveModel | None = None) -> bool:
+        return not self.validate(incentive_model)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable export: per-worker routes with stop timings.
+
+        Intended for downstream consumers (dispatch apps, dashboards) that
+        need the planned schedules without the library's object model.
+        """
+        workers = {}
+        for worker_id, route in self.routes.items():
+            timing = route.simulate()
+            workers[str(worker_id)] = {
+                "incentive": self.incentives.get(worker_id, 0.0),
+                "departure": timing.departure,
+                "arrival": timing.arrival_at_destination,
+                "stops": [
+                    {
+                        "task_id": stop.task.task_id,
+                        "kind": ("sensing" if isinstance(stop.task, SensingTask)
+                                 else "travel"),
+                        "x": stop.task.location.x,
+                        "y": stop.task.location.y,
+                        "arrival": stop.arrival,
+                        "service_start": stop.service_start,
+                        "finish": stop.finish,
+                    }
+                    for stop in timing.stops
+                ],
+            }
+        return {
+            "solver": self.solver_name,
+            "objective": self.objective,
+            "completed_tasks": sorted(t.task_id for t in self.completed_tasks),
+            "total_incentive": self.total_incentive,
+            "budget": self.instance.budget,
+            "wall_time": self.wall_time,
+            "workers": workers,
+        }
+
+    def summary(self) -> str:
+        return (f"{self.solver_name}: phi={self.objective:.3f} "
+                f"|S'|={self.num_completed} spent={self.total_incentive:.1f}"
+                f"/{self.instance.budget:g} time={self.wall_time:.2f}s")

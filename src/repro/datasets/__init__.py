@@ -1,0 +1,46 @@
+"""``repro.datasets`` — the three dataset families of the paper.
+
+Synthetic, seeded generators calibrated to the paper's Delivery (JD
+Logistics), Tourism (Flickr) and LaDe (Cainiao) datasets — see DESIGN.md
+for the substitution rationale.
+"""
+
+from .delivery import DELIVERY_SPEC, delivery_generator
+from .distributions import (
+    DistributionSummary,
+    summarize_dataset,
+    travel_task_histogram,
+    worker_count_histogram,
+)
+from .instances import (
+    DATASET_NAMES,
+    InstanceOptions,
+    generate_instance,
+    generate_instances,
+    generator_for,
+    train_val_test_split,
+)
+from .lade import LADE_SPEC, LADE_STATIONS, lade_generator
+from .synthetic import DatasetSpec, WorkerGenerator, clustered_points, uniform_point
+from .tourism import TOURISM_POIS, TOURISM_SPEC, tourism_generator
+from .trajectories import (
+    StayPoint,
+    Trajectory,
+    TrajectoryPoint,
+    detect_stay_points,
+    synthesize_trip,
+    worker_from_trajectory,
+)
+
+__all__ = [
+    "DatasetSpec", "WorkerGenerator", "uniform_point", "clustered_points",
+    "DELIVERY_SPEC", "delivery_generator",
+    "TOURISM_SPEC", "TOURISM_POIS", "tourism_generator",
+    "LADE_SPEC", "LADE_STATIONS", "lade_generator",
+    "InstanceOptions", "generate_instance", "generate_instances",
+    "generator_for", "train_val_test_split", "DATASET_NAMES",
+    "DistributionSummary", "travel_task_histogram", "worker_count_histogram",
+    "summarize_dataset",
+    "Trajectory", "TrajectoryPoint", "StayPoint", "synthesize_trip",
+    "detect_stay_points", "worker_from_trajectory",
+]

@@ -1,0 +1,80 @@
+"""Dataset distribution statistics (paper Figure 4).
+
+Figure 4 shows, per dataset, the distribution of the number of travel
+tasks per trip and the number of workers per instance.  These helpers
+compute the same histograms over generated instances so the benchmark
+harness can print Figure 4's series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.instance import USMDWInstance
+
+__all__ = ["DistributionSummary", "travel_task_histogram",
+           "worker_count_histogram", "summarize_dataset"]
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Histogram plus moments for one Figure-4 panel."""
+
+    name: str
+    values: np.ndarray
+    bin_edges: np.ndarray
+    counts: np.ndarray
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.values))
+
+    @property
+    def min(self) -> float:
+        return float(np.min(self.values))
+
+    @property
+    def max(self) -> float:
+        return float(np.max(self.values))
+
+    def rows(self) -> list[tuple[str, float]]:
+        """(bin label, count) pairs for text rendering."""
+        return [
+            (f"[{self.bin_edges[i]:g}, {self.bin_edges[i + 1]:g})", float(c))
+            for i, c in enumerate(self.counts)
+        ]
+
+
+def _histogram(name: str, values: list[float], bins: int) -> DistributionSummary:
+    arr = np.asarray(values, dtype=np.float64)
+    counts, edges = np.histogram(arr, bins=bins)
+    return DistributionSummary(name, arr, edges, counts)
+
+
+def travel_task_histogram(instances: list[USMDWInstance],
+                          bins: int = 10) -> DistributionSummary:
+    """Distribution of travel tasks per worker (Figure 4, top row)."""
+    values = [float(w.num_travel_tasks)
+              for inst in instances for w in inst.workers]
+    return _histogram("travel_tasks_per_worker", values, bins)
+
+
+def worker_count_histogram(instances: list[USMDWInstance],
+                           bins: int = 10) -> DistributionSummary:
+    """Distribution of workers per instance (Figure 4, bottom row)."""
+    values = [float(inst.num_workers) for inst in instances]
+    return _histogram("workers_per_instance", values, bins)
+
+
+def summarize_dataset(instances: list[USMDWInstance]) -> dict[str, DistributionSummary]:
+    """Both Figure-4 panels for one dataset."""
+    return {
+        "travel_tasks": travel_task_histogram(instances),
+        "workers": worker_count_histogram(instances),
+    }

@@ -1,0 +1,61 @@
+"""The "Tourism" dataset family (Flickr check-ins, Melbourne).
+
+Paper setup: geo-tagged photo sequences over an 8 km x 8 km region,
+10 x 10 grid, 6-hour sensing span, 20-minute POI stays.  Tourists visit a
+handful of attractions drawn from a fixed set of hot spots (check-in data
+concentrates on landmarks), starting and ending anywhere (hotels).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.geometry import Location, Region
+from .synthetic import DatasetSpec, WorkerGenerator, uniform_point
+
+__all__ = ["TOURISM_SPEC", "tourism_generator", "TOURISM_POIS"]
+
+TOURISM_SPEC = DatasetSpec(
+    name="tourism",
+    region=Region(8000.0, 8000.0),
+    grid_nx=10,
+    grid_ny=10,
+    time_span=360.0,
+    travel_service_time=20.0,
+    workers_per_instance=(4, 8),
+    travel_tasks_per_worker=(2, 6),
+    speed=60.0,
+)
+
+
+def _fixed_pois(num: int = 18, seed: int = 20240101) -> list[Location]:
+    """A reproducible set of attraction hot spots inside the region."""
+    rng = np.random.default_rng(seed)
+    return [uniform_point(rng, TOURISM_SPEC.region) for _ in range(num)]
+
+
+TOURISM_POIS: list[Location] = _fixed_pois()
+
+_POI_JITTER = 80.0  # check-ins scatter around the attraction itself
+
+
+def _tourism_locations(rng: np.random.Generator, region: Region,
+                       count: int) -> list[Location]:
+    chosen = rng.choice(len(TOURISM_POIS), size=min(count, len(TOURISM_POIS)),
+                        replace=False)
+    points = []
+    for idx in chosen:
+        poi = TOURISM_POIS[int(idx)]
+        points.append(region.clamp(Location(
+            rng.normal(poi.x, _POI_JITTER), rng.normal(poi.y, _POI_JITTER))))
+    return points
+
+
+def _tourism_endpoints(rng: np.random.Generator, region: Region,
+                       _locations) -> tuple[Location, Location]:
+    return uniform_point(rng, region), uniform_point(rng, region)
+
+
+def tourism_generator() -> WorkerGenerator:
+    """Worker generator calibrated to the Tourism dataset."""
+    return WorkerGenerator(TOURISM_SPEC, _tourism_locations, _tourism_endpoints)

@@ -1,0 +1,205 @@
+"""Trajectory substrate: trip logs and stay-point extraction.
+
+The paper's datasets are *trajectory* data — courier GPS traces (Delivery,
+LaDe) and geo-tagged photo sequences (Tourism) — from which the
+multi-destination worker objects are derived.  This module reproduces that
+pipeline stage:
+
+* :func:`synthesize_trip` renders a worker's route as a sampled,
+  noise-perturbed trip log (the forward model);
+* :func:`detect_stay_points` recovers the visited locations with the
+  classic stay-point detection of Li et al. (2008): a maximal run of
+  consecutive points within ``radius`` of its anchor lasting at least
+  ``min_duration`` becomes one stay;
+* :func:`worker_from_trajectory` turns a trip log into a
+  :class:`~repro.core.entities.Worker` — endpoints from the first/last
+  samples, travel tasks from the interior stay points, time bounds from
+  the timestamps.
+
+Round-tripping a worker through synthesize -> detect -> rebuild recovers
+the original stop structure (see ``tests/datasets/test_trajectories.py``),
+which validates both directions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.entities import TravelTask, Worker
+from ..core.geometry import DEFAULT_SPEED, Location
+from ..core.route import simulate_route
+
+__all__ = ["TrajectoryPoint", "Trajectory", "StayPoint", "synthesize_trip",
+           "detect_stay_points", "worker_from_trajectory"]
+
+
+@dataclass(frozen=True, slots=True)
+class TrajectoryPoint:
+    """One timestamped sample of a trip log (minutes, meters)."""
+
+    t: float
+    x: float
+    y: float
+
+    @property
+    def location(self) -> Location:
+        return Location(self.x, self.y)
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """A time-ordered trip log."""
+
+    points: tuple[TrajectoryPoint, ...]
+
+    def __post_init__(self):
+        if not isinstance(self.points, tuple):
+            object.__setattr__(self, "points", tuple(self.points))
+        times = [p.t for p in self.points]
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise ValueError("trajectory timestamps must be non-decreasing")
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def duration(self) -> float:
+        if not self.points:
+            return 0.0
+        return self.points[-1].t - self.points[0].t
+
+
+@dataclass(frozen=True, slots=True)
+class StayPoint:
+    """A detected stop: mean location plus the stay interval."""
+
+    location: Location
+    arrival: float
+    departure: float
+
+    @property
+    def duration(self) -> float:
+        return self.departure - self.arrival
+
+
+def synthesize_trip(worker: Worker, sample_period: float = 1.0,
+                    noise_std: float = 0.0,
+                    speed: float = DEFAULT_SPEED,
+                    rng: np.random.Generator | None = None) -> Trajectory:
+    """Render the worker's own route as a sampled trip log.
+
+    The worker departs at ``earliest_departure``, travels the base route
+    through their travel tasks at constant ``speed``, and dwells at each
+    stop for its service time.  Positions are sampled every
+    ``sample_period`` minutes with optional Gaussian GPS noise.
+    """
+    timing = simulate_route(worker, list(worker.travel_tasks), speed=speed)
+    # Build a piecewise-linear position function from the stop timings.
+    knots: list[tuple[float, Location]] = [(timing.departure, worker.origin)]
+    for stop in timing.stops:
+        knots.append((stop.arrival, stop.task.location))
+        knots.append((stop.finish, stop.task.location))
+    knots.append((timing.arrival_at_destination, worker.destination))
+
+    rng = rng or np.random.default_rng()
+    points: list[TrajectoryPoint] = []
+    t = timing.departure
+    end = timing.arrival_at_destination
+    while t <= end + 1e-9:
+        x, y = _interpolate(knots, min(t, end))
+        if noise_std > 0:
+            x += rng.normal(0.0, noise_std)
+            y += rng.normal(0.0, noise_std)
+        points.append(TrajectoryPoint(min(t, end), x, y))
+        t += sample_period
+    if points[-1].t < end - 1e-9:
+        x, y = _interpolate(knots, end)
+        points.append(TrajectoryPoint(end, x, y))
+    return Trajectory(tuple(points))
+
+
+def _interpolate(knots: list[tuple[float, Location]], t: float) -> tuple[float, float]:
+    if t <= knots[0][0]:
+        return knots[0][1].x, knots[0][1].y
+    for (t0, a), (t1, b) in zip(knots, knots[1:]):
+        if t0 <= t <= t1:
+            if t1 - t0 <= 1e-12:
+                return b.x, b.y
+            frac = (t - t0) / (t1 - t0)
+            return a.x + frac * (b.x - a.x), a.y + frac * (b.y - a.y)
+    return knots[-1][1].x, knots[-1][1].y
+
+
+def detect_stay_points(trajectory: Trajectory, radius: float = 50.0,
+                       min_duration: float = 5.0) -> list[StayPoint]:
+    """Stay-point detection after Li et al. (2008).
+
+    Scans the trip log for maximal runs of consecutive points that all lie
+    within ``radius`` of the run's first point and span at least
+    ``min_duration`` minutes; each such run yields one stay point at the
+    run's centroid.
+    """
+    points = trajectory.points
+    stays: list[StayPoint] = []
+    i = 0
+    n = len(points)
+    while i < n:
+        anchor = points[i]
+        j = i + 1
+        while j < n and math.hypot(points[j].x - anchor.x,
+                                   points[j].y - anchor.y) <= radius:
+            j += 1
+        span = points[j - 1].t - anchor.t
+        if span >= min_duration:
+            xs = [p.x for p in points[i:j]]
+            ys = [p.y for p in points[i:j]]
+            stays.append(StayPoint(
+                Location(float(np.mean(xs)), float(np.mean(ys))),
+                anchor.t, points[j - 1].t))
+            i = j
+        else:
+            i += 1
+    return stays
+
+
+def worker_from_trajectory(trajectory: Trajectory, worker_id: int,
+                           radius: float = 50.0, min_duration: float = 5.0,
+                           service_time: float | None = None,
+                           slack: float = 1.0) -> Worker:
+    """Derive a multi-destination worker from a trip log.
+
+    The first and last samples become origin and destination; interior
+    stay points become mandatory travel tasks (service time defaults to
+    each stay's observed duration); the observed trip times, inflated by
+    ``slack``, become the worker's feasibility window.
+    """
+    if len(trajectory) < 2:
+        raise ValueError("trajectory needs at least two samples")
+    points = trajectory.points
+    stays = detect_stay_points(trajectory, radius=radius,
+                               min_duration=min_duration)
+
+    # Drop stays that are the endpoints themselves (long dwell at the
+    # depot before departure / after arrival).
+    def near(a: Location, b: Location) -> bool:
+        return a.distance_to(b) <= radius
+
+    origin = points[0].location
+    destination = points[-1].location
+    interior = [s for s in stays
+                if not near(s.location, origin) and not near(s.location, destination)]
+
+    travel_tasks = tuple(
+        TravelTask(worker_id * 1000 + k, stay.location,
+                   service_time if service_time is not None else stay.duration)
+        for k, stay in enumerate(interior)
+    )
+    departure = points[0].t
+    arrival = points[-1].t
+    latest = departure + (arrival - departure) * max(slack, 1.0)
+    return Worker(worker_id, origin, destination, departure, latest,
+                  travel_tasks)

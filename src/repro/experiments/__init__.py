@@ -1,0 +1,45 @@
+"""``repro.experiments`` — the paper's evaluation harness.
+
+Regenerates every table and figure of Section V: Tables I-III (time-window,
+budget and alpha sweeps over all methods and datasets), Figure 4 (dataset
+distributions), Figure 5 (ablation) and Figure 6 (case study).  Run from
+the command line with ``python -m repro.experiments <table1|table2|table3|
+figure4|figure5|figure6>``.
+"""
+
+from .ablation import ABLATION_VARIANTS, figure5_ablation, render_figure5
+from .analysis import SolutionReport, WorkerReport, analyze_solution, spatial_gini
+from .case_study import (
+    CaseStudyResult,
+    opportunistic_solution,
+    render_case_study,
+    run_case_study,
+)
+from .metrics import ExperimentCell, MethodResult, aggregate
+from .pretrained import DEFAULT_CACHE_DIR, PretrainSpec, get_trained_policy, train_policy
+from .reporting import render_grid, render_table, results_to_json
+from .svg import render_instance_svg, render_solution_svg
+from .runner import FAST_PROFILE, FULL_PROFILE, METHOD_ORDER, ExperimentRunner, RunProfile
+from .tables import (
+    TABLE1_WINDOWS,
+    TABLE2_BUDGETS,
+    TABLE3_ALPHAS,
+    table1_time_window,
+    table2_budget,
+    table3_alpha,
+)
+
+__all__ = [
+    "ExperimentRunner", "RunProfile", "FAST_PROFILE", "FULL_PROFILE",
+    "METHOD_ORDER",
+    "MethodResult", "ExperimentCell", "aggregate",
+    "PretrainSpec", "get_trained_policy", "train_policy", "DEFAULT_CACHE_DIR",
+    "table1_time_window", "table2_budget", "table3_alpha",
+    "TABLE1_WINDOWS", "TABLE2_BUDGETS", "TABLE3_ALPHAS",
+    "figure5_ablation", "render_figure5", "ABLATION_VARIANTS",
+    "run_case_study", "render_case_study", "CaseStudyResult",
+    "opportunistic_solution",
+    "render_table", "render_grid", "results_to_json",
+    "render_instance_svg", "render_solution_svg",
+    "analyze_solution", "spatial_gini", "SolutionReport", "WorkerReport",
+]

@@ -1,0 +1,128 @@
+"""Post-hoc analytics of USMDW solutions.
+
+The objective value alone hides *how* a solution spends its budget.  These
+helpers break a :class:`~repro.core.solution.Solution` down the way a
+sensing-platform operator would want to read it: per-worker workload and
+detour, budget efficiency, and the spatial equity of the collected data
+(Gini coefficient over grid cells — 0 is perfectly even, 1 is maximally
+skewed, complementing the entropy in the objective).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.solution import Solution
+from ..tsptw.insertion import InsertionSolver
+
+__all__ = ["WorkerReport", "SolutionReport", "analyze_solution",
+           "spatial_gini"]
+
+
+@dataclass(frozen=True)
+class WorkerReport:
+    """One recruited worker's contribution."""
+
+    worker_id: int
+    sensing_tasks: int
+    incentive: float
+    route_travel_time: float
+    base_travel_time: float
+    waiting_time: float
+
+    @property
+    def detour_ratio(self) -> float:
+        """Actual route time over the worker's own optimal route time."""
+        if self.base_travel_time <= 0:
+            return 1.0
+        return self.route_travel_time / self.base_travel_time
+
+    @property
+    def incentive_per_task(self) -> float:
+        if self.sensing_tasks == 0:
+            return 0.0
+        return self.incentive / self.sensing_tasks
+
+
+@dataclass(frozen=True)
+class SolutionReport:
+    """Operator-facing summary of one solution."""
+
+    objective: float
+    num_completed: int
+    total_incentive: float
+    budget_utilisation: float
+    workers: tuple[WorkerReport, ...]
+    gini: float
+    cells_covered: int
+    cells_total: int
+
+    @property
+    def coverage_fraction(self) -> float:
+        return self.cells_covered / max(self.cells_total, 1)
+
+    def render(self) -> str:
+        lines = [
+            f"objective {self.objective:.3f} | tasks {self.num_completed} | "
+            f"budget {self.budget_utilisation:.0%} used",
+            f"spatial spread: {self.cells_covered}/{self.cells_total} cells, "
+            f"Gini {self.gini:.3f}",
+        ]
+        for w in self.workers:
+            lines.append(
+                f"  worker {w.worker_id}: {w.sensing_tasks} tasks, "
+                f"incentive {w.incentive:.1f} "
+                f"({w.incentive_per_task:.1f}/task), "
+                f"detour x{w.detour_ratio:.2f}, "
+                f"waiting {w.waiting_time:.0f}m")
+        return "\n".join(lines)
+
+
+def spatial_gini(solution: Solution) -> float:
+    """Gini coefficient of completed-task counts over grid cells."""
+    grid = solution.instance.coverage.grid
+    counts = np.zeros(grid.num_cells)
+    for task in solution.completed_tasks:
+        counts[grid.cell_index(task.location)] += 1
+    if counts.sum() == 0:
+        return 0.0
+    sorted_counts = np.sort(counts)
+    n = len(sorted_counts)
+    cumulative = np.cumsum(sorted_counts)
+    # Standard Gini over the (discrete) Lorenz curve.
+    return float((n + 1 - 2 * (cumulative / cumulative[-1]).sum()) / n)
+
+
+def analyze_solution(solution: Solution) -> SolutionReport:
+    """Build the full operator report for a solution."""
+    instance = solution.instance
+    planner = InsertionSolver(speed=instance.speed)
+    workers = []
+    for worker_id, route in sorted(solution.routes.items()):
+        worker = instance.worker(worker_id)
+        timing = route.simulate()
+        base = planner.base_route(worker).route_travel_time
+        workers.append(WorkerReport(
+            worker_id=worker_id,
+            sensing_tasks=len(route.sensing_tasks),
+            incentive=solution.incentives.get(worker_id, 0.0),
+            route_travel_time=timing.route_travel_time,
+            base_travel_time=base,
+            waiting_time=timing.total_waiting_time,
+        ))
+
+    grid = instance.coverage.grid
+    covered = {grid.cell_index(t.location) for t in solution.completed_tasks}
+    budget = max(instance.budget, 1e-9)
+    return SolutionReport(
+        objective=solution.objective,
+        num_completed=solution.num_completed,
+        total_incentive=solution.total_incentive,
+        budget_utilisation=solution.total_incentive / budget,
+        workers=tuple(workers),
+        gini=spatial_gini(solution),
+        cells_covered=len(covered),
+        cells_total=grid.num_cells,
+    )

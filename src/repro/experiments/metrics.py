@@ -1,0 +1,66 @@
+"""Aggregation of solver runs into the rows the paper's tables report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.solution import Solution
+
+__all__ = ["MethodResult", "ExperimentCell", "aggregate"]
+
+
+@dataclass(frozen=True)
+class MethodResult:
+    """One (method, setting) cell: mean objective and wall time."""
+
+    method: str
+    objective_mean: float
+    objective_std: float
+    wall_time_mean: float
+    num_instances: int
+    num_completed_mean: float
+    incentive_mean: float
+
+    def format_objective(self) -> str:
+        return f"{self.objective_mean:.3f}"
+
+    def format_time(self) -> str:
+        seconds = self.wall_time_mean
+        if seconds < 60:
+            return f"{seconds:.2f} (s)"
+        if seconds < 3600:
+            return f"{seconds / 60:.1f} (m)"
+        return f"{seconds / 3600:.1f} (h)"
+
+
+@dataclass
+class ExperimentCell:
+    """All solutions of one method under one setting."""
+
+    method: str
+    solutions: list[Solution] = field(default_factory=list)
+
+    def result(self) -> MethodResult:
+        objectives = [s.objective for s in self.solutions]
+        times = [s.wall_time for s in self.solutions]
+        completed = [s.num_completed for s in self.solutions]
+        incentives = [s.total_incentive for s in self.solutions]
+        return MethodResult(
+            method=self.method,
+            objective_mean=float(np.mean(objectives)) if objectives else 0.0,
+            objective_std=float(np.std(objectives)) if objectives else 0.0,
+            wall_time_mean=float(np.mean(times)) if times else 0.0,
+            num_instances=len(self.solutions),
+            num_completed_mean=float(np.mean(completed)) if completed else 0.0,
+            incentive_mean=float(np.mean(incentives)) if incentives else 0.0,
+        )
+
+
+def aggregate(solutions_by_method: dict[str, list[Solution]]) -> list[MethodResult]:
+    """Aggregate per-method solution lists, preserving insertion order."""
+    return [
+        ExperimentCell(method, solutions).result()
+        for method, solutions in solutions_by_method.items()
+    ]

@@ -1,0 +1,140 @@
+"""Plain-text and JSON rendering of the paper-style result tables."""
+
+from __future__ import annotations
+
+import json
+
+from .metrics import MethodResult
+
+__all__ = ["render_table", "render_grid", "results_to_json",
+           "results_to_latex"]
+
+
+def results_to_latex(title: str,
+                     results: dict[str, dict[str, list[MethodResult]]]) -> str:
+    """LaTeX tabular in the paper's layout (Obj./Time sub-columns).
+
+    One tabular per dataset, booktabs-style rules, best objective per
+    column in bold — ready to paste next to the paper's tables.
+    """
+    blocks: list[str] = []
+    for dataset, settings in results.items():
+        columns = list(settings)
+        methods: list[str] = []
+        for cell in settings.values():
+            for result in cell:
+                if result.method not in methods:
+                    methods.append(result.method)
+        best = {column: max(r.objective_mean for r in settings[column])
+                for column in columns}
+
+        spec = "l" + "rr" * len(columns)
+        header = " & ".join(
+            f"\\multicolumn{{2}}{{c}}{{{column}}}" for column in columns)
+        subheader = " & ".join(["Obj. & Time"] * len(columns))
+        lines = [
+            f"% {title} — {dataset}",
+            f"\\begin{{tabular}}{{{spec}}}",
+            "\\toprule",
+            f"Method & {header} \\\\",
+            f" & {subheader} \\\\",
+            "\\midrule",
+        ]
+        for method in methods:
+            cells = []
+            for column in columns:
+                match = [r for r in settings[column] if r.method == method]
+                if not match:
+                    cells.extend(["--", "--"])
+                    continue
+                objective = match[0].format_objective()
+                if match[0].objective_mean >= best[column] - 1e-9:
+                    objective = f"\\textbf{{{objective}}}"
+                cells.extend([objective, match[0].format_time()])
+            lines.append(f"{method} & " + " & ".join(cells) + " \\\\")
+        lines.extend(["\\bottomrule", "\\end{tabular}"])
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
+
+
+def results_to_json(results: dict[str, dict[str, list[MethodResult]]]) -> str:
+    """Machine-readable dump of nested experiment results.
+
+    Structure: ``{dataset: {setting: {method: {objective, objective_std,
+    wall_time, instances, completed, incentive}}}}``.
+    """
+    payload: dict = {}
+    for dataset, settings in results.items():
+        payload[dataset] = {}
+        for setting, cell in settings.items():
+            payload[dataset][setting] = {
+                r.method: {
+                    "objective": r.objective_mean,
+                    "objective_std": r.objective_std,
+                    "wall_time": r.wall_time_mean,
+                    "instances": r.num_instances,
+                    "completed": r.num_completed_mean,
+                    "incentive": r.incentive_mean,
+                }
+                for r in cell
+            }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_table(title: str, columns: list[str],
+                 rows: dict[str, list[tuple[str, str]]]) -> str:
+    """Render a paper-style table.
+
+    ``rows`` maps method -> list of (objective, time) string pairs, one
+    pair per column; column headers get Obj./Time sub-columns, as in
+    Tables I-III.
+    """
+    header_cells = ["Method"]
+    for column in columns:
+        header_cells.extend([f"{column} Obj.", f"{column} Time"])
+    table_rows = [header_cells]
+    for method, cells in rows.items():
+        row = [method]
+        for objective, wall_time in cells:
+            row.extend([objective, wall_time])
+        table_rows.append(row)
+
+    widths = [max(len(row[i]) for row in table_rows)
+              for i in range(len(header_cells))]
+    lines = [title, "=" * len(title)]
+    for index, row in enumerate(table_rows):
+        line = "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        lines.append(line.rstrip())
+        if index == 0:
+            lines.append("-" * len(line))
+    return "\n".join(lines)
+
+
+def render_grid(title: str,
+                results: dict[str, dict[str, list[MethodResult]]]) -> str:
+    """Render one table per dataset from nested results.
+
+    ``results[dataset][setting_label]`` is the method-result list for that
+    cell.
+    """
+    blocks = []
+    for dataset, settings in results.items():
+        columns = list(settings)
+        methods: list[str] = []
+        for cell in settings.values():
+            for result in cell:
+                if result.method not in methods:
+                    methods.append(result.method)
+        rows = {}
+        for method in methods:
+            cells = []
+            for column in columns:
+                match = [r for r in settings[column] if r.method == method]
+                if match:
+                    cells.append((match[0].format_objective(),
+                                  match[0].format_time()))
+                else:
+                    cells.append(("-", "-"))
+            rows[method] = cells
+        blocks.append(render_table(f"{title} — {dataset}", columns, rows))
+    return "\n\n".join(blocks)

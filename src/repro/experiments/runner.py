@@ -1,0 +1,124 @@
+"""Experiment runner: solver grid over datasets and settings.
+
+Reproduces the evaluation protocol of Section V: for each dataset and each
+setting (sensing-task time window, budget, alpha), run every method on the
+same test instances and report mean objective and wall time.
+
+Scale is controlled by :class:`RunProfile`: the ``fast`` profile keeps
+pytest-benchmark runs in seconds; ``paper`` approaches the paper's scale
+(full task grid, paper MSA schedule) for offline runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from ..baselines import (
+    JDRLSolver,
+    MSAConfig,
+    MSAGISolver,
+    MSASolver,
+    RandomSolver,
+    TCPGSolver,
+    TVPGSolver,
+)
+from ..core.solution import Solution
+from ..datasets import InstanceOptions, generate_instances
+from ..smore import SMORESolver
+from ..tsptw import InsertionSolver
+from .metrics import MethodResult, aggregate
+from .pretrained import PretrainSpec, get_trained_policy
+
+__all__ = ["RunProfile", "FAST_PROFILE", "FULL_PROFILE", "ExperimentRunner",
+           "METHOD_ORDER"]
+
+#: Row order used by every table, matching the paper.
+METHOD_ORDER = ("RN", "TVPG", "TCPG", "MSA", "MSAGI", "JDRL", "SMORE")
+
+
+@dataclass(frozen=True)
+class RunProfile:
+    """How big each experiment run is."""
+
+    name: str
+    num_test_instances: int
+    task_density: float
+    msa: MSAConfig
+    pretrain: PretrainSpec
+    methods: tuple[str, ...] = METHOD_ORDER
+
+    def options(self, **overrides) -> InstanceOptions:
+        base = InstanceOptions(task_density=self.task_density)
+        return replace(base, **overrides)
+
+
+FAST_PROFILE = RunProfile(
+    name="fast",
+    num_test_instances=2,
+    task_density=0.15,
+    msa=MSAConfig(num_starts=1, iterations_per_round=80,
+                  patience_rounds=2, time_limit=20.0),
+    pretrain=PretrainSpec(),
+)
+
+FULL_PROFILE = RunProfile(
+    name="full",
+    num_test_instances=5,
+    task_density=0.3,
+    msa=MSAConfig(num_starts=2, iterations_per_round=400,
+                  patience_rounds=3, time_limit=120.0),
+    pretrain=PretrainSpec(num_train=20, imitation_iterations=40,
+                          rl_iterations=30, task_density=0.3),
+)
+
+
+class ExperimentRunner:
+    """Runs the method grid of the paper's tables."""
+
+    def __init__(self, profile: RunProfile = FAST_PROFILE, seed: int = 100,
+                 cache_dir=None):
+        self.profile = profile
+        self.seed = seed
+        self.cache_dir = cache_dir
+        self._policies: dict[str, object] = {}
+
+    # ------------------------------------------------------------------ #
+    def _smore_solver(self, dataset: str) -> SMORESolver:
+        if dataset not in self._policies:
+            self._policies[dataset] = get_trained_policy(
+                dataset, spec=self.profile.pretrain, cache_dir=self.cache_dir)
+        return SMORESolver(InsertionSolver(), self._policies[dataset],
+                           name="SMORE")
+
+    def _make_solver(self, method: str, dataset: str):
+        factories: dict[str, Callable[[], object]] = {
+            "RN": lambda: RandomSolver(seed=self.seed),
+            "TVPG": TVPGSolver,
+            "TCPG": TCPGSolver,
+            "MSA": lambda: MSASolver(self.profile.msa, seed=self.seed),
+            "MSAGI": lambda: MSAGISolver(self.profile.msa, seed=self.seed),
+            "JDRL": lambda: JDRLSolver(seed=self.seed),
+            "SMORE": lambda: self._smore_solver(dataset),
+        }
+        try:
+            return factories[method]()
+        except KeyError:
+            raise KeyError(f"unknown method {method!r}")
+
+    # ------------------------------------------------------------------ #
+    def test_instances(self, dataset: str, **option_overrides):
+        options = self.profile.options(**option_overrides)
+        return generate_instances(dataset, self.profile.num_test_instances,
+                                  seed=self.seed, options=options)
+
+    def run_setting(self, dataset: str, methods: tuple[str, ...] | None = None,
+                    **option_overrides) -> list[MethodResult]:
+        """Run all methods on one (dataset, setting) cell."""
+        methods = methods or self.profile.methods
+        instances = self.test_instances(dataset, **option_overrides)
+        solutions: dict[str, list[Solution]] = {}
+        for method in methods:
+            solver = self._make_solver(method, dataset)
+            solutions[method] = [solver.solve(inst) for inst in instances]
+        return aggregate(solutions)

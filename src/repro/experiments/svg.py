@@ -1,0 +1,148 @@
+"""Dependency-free SVG rendering of instances and solutions.
+
+The paper's Figure 6 shows worker routes and sensing-completion heatmaps
+on the city map.  The benchmark harness renders those as text; this module
+produces proper vector graphics (plain SVG strings, no plotting library)
+for reports and dashboards::
+
+    from repro.experiments.svg import render_solution_svg
+    svg = render_solution_svg(solution)
+    open("plan.svg", "w").write(svg)
+
+Layers drawn: the grid, sensing tasks (grey = open, green = completed),
+worker routes as colored polylines with origin/destination markers, and
+mandatory travel-task stops.
+"""
+
+from __future__ import annotations
+
+from ..core.instance import USMDWInstance
+from ..core.route import WorkingRoute
+from ..core.solution import Solution
+
+__all__ = ["render_instance_svg", "render_solution_svg"]
+
+_ROUTE_COLORS = ("#3366cc", "#dc3912", "#ff9900", "#109618", "#990099",
+                 "#0099c6", "#dd4477", "#66aa00", "#b82e2e", "#316395")
+
+_MARGIN = 20.0
+
+
+class _Canvas:
+    """Minimal SVG document builder with y-axis flip (map convention)."""
+
+    def __init__(self, width: float, height: float, scale: float):
+        self.scale = scale
+        self.width = width * scale + 2 * _MARGIN
+        self.height = height * scale + 2 * _MARGIN
+        self._world_height = height
+        self.elements: list[str] = []
+
+    def to_xy(self, x: float, y: float) -> tuple[float, float]:
+        return (_MARGIN + x * self.scale,
+                _MARGIN + (self._world_height - y) * self.scale)
+
+    def rect(self, x: float, y: float, w: float, h: float, **attrs) -> None:
+        px, py = self.to_xy(x, y + h)
+        self.elements.append(
+            f'<rect x="{px:.1f}" y="{py:.1f}" width="{w * self.scale:.1f}" '
+            f'height="{h * self.scale:.1f}" {_fmt(attrs)}/>')
+
+    def circle(self, x: float, y: float, r: float, **attrs) -> None:
+        px, py = self.to_xy(x, y)
+        self.elements.append(
+            f'<circle cx="{px:.1f}" cy="{py:.1f}" r="{r:.1f}" {_fmt(attrs)}/>')
+
+    def polyline(self, points: list[tuple[float, float]], **attrs) -> None:
+        coords = " ".join(
+            "{:.1f},{:.1f}".format(*self.to_xy(x, y)) for x, y in points)
+        self.elements.append(f'<polyline points="{coords}" {_fmt(attrs)}/>')
+
+    def text(self, x: float, y: float, content: str, **attrs) -> None:
+        px, py = self.to_xy(x, y)
+        self.elements.append(
+            f'<text x="{px:.1f}" y="{py:.1f}" {_fmt(attrs)}>{content}</text>')
+
+    def render(self) -> str:
+        body = "\n  ".join(self.elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width:.0f}" height="{self.height:.0f}" '
+            f'viewBox="0 0 {self.width:.0f} {self.height:.0f}">\n'
+            f'  <rect width="100%" height="100%" fill="white"/>\n'
+            f'  {body}\n</svg>\n')
+
+
+def _fmt(attrs: dict) -> str:
+    return " ".join(f'{k.replace("_", "-")}="{v}"' for k, v in attrs.items())
+
+
+def _draw_grid(canvas: _Canvas, instance: USMDWInstance) -> None:
+    grid = instance.coverage.grid
+    for i in range(grid.nx):
+        for j in range(grid.ny):
+            canvas.rect(i * grid.cell_width, j * grid.cell_height,
+                        grid.cell_width, grid.cell_height,
+                        fill="none", stroke="#dddddd", stroke_width=0.5)
+
+
+def _draw_tasks(canvas: _Canvas, instance: USMDWInstance,
+                completed_ids: set[int]) -> None:
+    for task in instance.sensing_tasks:
+        done = task.task_id in completed_ids
+        canvas.circle(task.location.x, task.location.y,
+                      4.0 if done else 2.0,
+                      fill="#2ca02c" if done else "#bbbbbb",
+                      fill_opacity="0.9" if done else "0.6")
+
+
+def _draw_route(canvas: _Canvas, route: WorkingRoute, color: str) -> None:
+    worker = route.worker
+    points = ([(worker.origin.x, worker.origin.y)]
+              + [(t.location.x, t.location.y) for t in route.tasks]
+              + [(worker.destination.x, worker.destination.y)])
+    canvas.polyline(points, fill="none", stroke=color, stroke_width=1.5,
+                    stroke_opacity="0.85")
+    canvas.circle(worker.origin.x, worker.origin.y, 5.0,
+                  fill=color, stroke="black", stroke_width=0.8)
+    canvas.rect(worker.destination.x - 4 / canvas.scale,
+                worker.destination.y - 4 / canvas.scale,
+                8 / canvas.scale, 8 / canvas.scale,
+                fill=color, stroke="black", stroke_width=0.8)
+    for task in route.travel_tasks:
+        canvas.circle(task.location.x, task.location.y, 3.0,
+                      fill="white", stroke=color, stroke_width=1.2)
+
+
+def render_instance_svg(instance: USMDWInstance, scale: float = 0.25) -> str:
+    """SVG of the raw instance: grid, sensing tasks, worker trips."""
+    region = instance.coverage.grid.region
+    canvas = _Canvas(region.width, region.height, scale)
+    _draw_grid(canvas, instance)
+    _draw_tasks(canvas, instance, set())
+    for index, worker in enumerate(instance.workers):
+        color = _ROUTE_COLORS[index % len(_ROUTE_COLORS)]
+        route = WorkingRoute(worker, worker.travel_tasks, speed=instance.speed)
+        _draw_route(canvas, route, color)
+    canvas.text(5 / scale, region.height - 5 / scale, instance.name,
+                font_size="12", fill="#333333")
+    return canvas.render()
+
+
+def render_solution_svg(solution: Solution, scale: float = 0.25) -> str:
+    """SVG of a solved instance: completed tasks and re-planned routes."""
+    instance = solution.instance
+    region = instance.coverage.grid.region
+    canvas = _Canvas(region.width, region.height, scale)
+    _draw_grid(canvas, instance)
+    completed = {t.task_id for t in solution.completed_tasks}
+    _draw_tasks(canvas, instance, completed)
+    for index, (worker_id, route) in enumerate(sorted(solution.routes.items())):
+        color = _ROUTE_COLORS[index % len(_ROUTE_COLORS)]
+        _draw_route(canvas, route, color)
+    label = (f"{solution.solver_name}: phi={solution.objective:.3f} "
+             f"tasks={solution.num_completed} "
+             f"spent={solution.total_incentive:.0f}/{instance.budget:g}")
+    canvas.text(5 / scale, region.height - 5 / scale, label,
+                font_size="12", fill="#333333")
+    return canvas.render()

@@ -1,0 +1,180 @@
+"""Attention modules: multi-head attention and Transformer encoder blocks.
+
+These follow the architecture used throughout the paper: the worker and
+sensing-task encoders of TASNet are "Transformer-like encoders composed of a
+multi-head attention layer and a node-wise feed-forward layer" (Section
+IV-C), and the pointer decoders use single-head attention with tanh logit
+clipping (Equations 5-7).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from . import ops
+from .layers import LayerNorm, Linear, Module
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "scaled_dot_product_attention", "MultiHeadAttention",
+    "TransformerEncoderLayer", "TransformerEncoder", "PointerAttention",
+]
+
+_NEG_INF = -1e9
+
+
+def scaled_dot_product_attention(q: Tensor, k: Tensor, v: Tensor,
+                                 mask: np.ndarray | None = None) -> Tensor:
+    """Attention(Q, K, V) = softmax(Q K^T / sqrt(d)) V.
+
+    ``mask`` is a boolean array broadcastable to the score shape with True
+    marking *disallowed* positions.
+    """
+    d_k = q.shape[-1]
+    scores = ops.matmul(q, ops.transpose(k, _swap_last_two(k.ndim)))
+    scores = ops.mul(scores, 1.0 / math.sqrt(d_k))
+    if mask is not None:
+        scores = ops.masked_fill(scores, mask, _NEG_INF)
+    weights = ops.softmax(scores, axis=-1)
+    return ops.matmul(weights, v)
+
+
+def _swap_last_two(ndim: int) -> tuple[int, ...]:
+    axes = list(range(ndim))
+    axes[-1], axes[-2] = axes[-2], axes[-1]
+    return tuple(axes)
+
+
+class MultiHeadAttention(Module):
+    """Multi-head attention over sets.
+
+    Accepts un-batched inputs of shape ``(n, d_model)`` (the iterative
+    selection loop deals with one problem instance at a time) or batched
+    inputs of shape ``(B, n, d_model)``; heads are carried as an internal
+    axis in both cases.
+    """
+
+    def __init__(self, d_model: int, num_heads: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if d_model % num_heads != 0:
+            raise ValueError(f"d_model={d_model} not divisible by num_heads={num_heads}")
+        rng = rng or np.random.default_rng()
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.d_head = d_model // num_heads
+        self.w_q = Linear(d_model, d_model, bias=False, rng=rng)
+        self.w_k = Linear(d_model, d_model, bias=False, rng=rng)
+        self.w_v = Linear(d_model, d_model, bias=False, rng=rng)
+        self.w_o = Linear(d_model, d_model, bias=False, rng=rng)
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        if x.ndim == 2:
+            n = x.shape[0]
+            x = ops.reshape(x, (n, self.num_heads, self.d_head))
+            return ops.transpose(x, (1, 0, 2))        # (H, n, dh)
+        batch, n = x.shape[0], x.shape[1]
+        x = ops.reshape(x, (batch, n, self.num_heads, self.d_head))
+        return ops.transpose(x, (0, 2, 1, 3))          # (B, H, n, dh)
+
+    def forward(self, query, key=None, value=None,
+                mask: np.ndarray | None = None) -> Tensor:
+        query = as_tensor(query)
+        key = query if key is None else as_tensor(key)
+        value = key if value is None else as_tensor(value)
+        batched = query.ndim == 3
+
+        q = self._split_heads(self.w_q(query))
+        k = self._split_heads(self.w_k(key))
+        v = self._split_heads(self.w_v(value))
+
+        attended = scaled_dot_product_attention(q, k, v, mask=mask)
+        if batched:
+            attended = ops.transpose(attended, (0, 2, 1, 3))
+            attended = ops.reshape(
+                attended, (query.shape[0], query.shape[1], self.d_model))
+        else:
+            attended = ops.transpose(attended, (1, 0, 2))
+            attended = ops.reshape(attended, (query.shape[0], self.d_model))
+        return self.w_o(attended)
+
+
+class TransformerEncoderLayer(Module):
+    """MHA + node-wise feed-forward, each with residual + LayerNorm."""
+
+    def __init__(self, d_model: int, num_heads: int, d_ff: int | None = None,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        d_ff = d_ff or 4 * d_model
+        self.attention = MultiHeadAttention(d_model, num_heads, rng=rng)
+        self.norm1 = LayerNorm(d_model)
+        self.norm2 = LayerNorm(d_model)
+        self.ff1 = Linear(d_model, d_ff, rng=rng)
+        self.ff2 = Linear(d_ff, d_model, rng=rng)
+
+    def forward(self, x, mask: np.ndarray | None = None) -> Tensor:
+        x = as_tensor(x)
+        attended = self.attention(x, mask=mask)
+        x = self.norm1(ops.add(x, attended))
+        hidden = ops.relu(self.ff1(x))
+        x = self.norm2(ops.add(x, self.ff2(hidden)))
+        return x
+
+
+class TransformerEncoder(Module):
+    """Stack of encoder layers (the paper uses 3 layers, 8 heads)."""
+
+    def __init__(self, d_model: int, num_heads: int, num_layers: int,
+                 d_ff: int | None = None, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.layers = [
+            TransformerEncoderLayer(d_model, num_heads, d_ff=d_ff, rng=rng)
+            for _ in range(num_layers)
+        ]
+
+    def forward(self, x, mask: np.ndarray | None = None) -> Tensor:
+        x = as_tensor(x)
+        for layer in self.layers:
+            x = layer(x, mask=mask)
+        return x
+
+
+class PointerAttention(Module):
+    """Single-head pointer scoring with tanh clipping (Equations 5-6).
+
+    Computes ``u_j = C * tanh(q^T k_j / sqrt(d))`` per candidate ``j`` with
+    ``-inf`` on masked candidates.  The caller applies softmax (possibly
+    after the soft-mask modulation of Equation 11).
+    """
+
+    def __init__(self, d_query: int, d_key_in: int, d_key: int | None = None,
+                 clip: float = 10.0, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        d_key = d_key or d_key_in
+        self.clip = clip
+        self.d_key = d_key
+        self.w_q = Linear(d_query, d_key, bias=False, rng=rng)
+        self.w_k = Linear(d_key_in, d_key, bias=False, rng=rng)
+
+    def forward(self, query, keys, mask: np.ndarray | None = None) -> Tensor:
+        """Return clipped logits, shape ``(n,)``.
+
+        ``query`` has shape ``(d_query,)``; ``keys`` has shape
+        ``(n, d_key_in)``; ``mask`` is a boolean ``(n,)`` with True marking
+        disallowed candidates.
+        """
+        query = as_tensor(query)
+        keys = as_tensor(keys)
+        q = self.w_q(query)                    # (d_key,)
+        k = self.w_k(keys)                     # (n, d_key)
+        scores = ops.matmul(k, q)              # (n,)
+        scores = ops.mul(scores, 1.0 / math.sqrt(self.d_key))
+        logits = ops.clip_tanh(scores, self.clip)
+        if mask is not None:
+            logits = ops.masked_fill(logits, mask, _NEG_INF)
+        return logits

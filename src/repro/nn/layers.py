@@ -1,0 +1,291 @@
+"""Neural-network modules built on the autograd engine.
+
+Provides the layer types the paper's models need: ``Linear`` and ``MLP`` for
+projections and critics, ``LayerNorm`` for Transformer blocks, ``Conv2D`` for
+the worker travel-information grid encoder (TASNet, Section IV-C), and the
+``Module`` base class with recursive parameter collection and state dicts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init, ops
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "Module", "Parameter", "Linear", "Embedding", "MLP", "LayerNorm",
+    "Conv2D", "Sequential", "ReLU", "Tanh",
+]
+
+
+class Parameter(Tensor):
+    """A tensor registered as a learnable parameter of a Module."""
+
+    def __init__(self, data, name: str | None = None):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for layers and models.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; :meth:`parameters` and :meth:`state_dict` discover them
+    recursively, in deterministic (sorted attribute name) order so that
+    serialisation round-trips are stable.
+    """
+
+    def __init__(self):
+        self.training = True
+
+    # -- discovery ------------------------------------------------------ #
+    def named_parameters(self, prefix: str = ""):
+        """Yield ``(name, Parameter)`` pairs, depth-first."""
+        for attr in sorted(vars(self)):
+            value = getattr(self, attr)
+            full = f"{prefix}{attr}"
+            if isinstance(value, Parameter):
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{full}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Parameter):
+                        yield f"{full}.{i}", item
+                    elif isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{full}.{i}.")
+
+    def parameters(self) -> list[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def modules(self):
+        """Yield this module and all descendants."""
+        yield self
+        for attr in sorted(vars(self)):
+            value = getattr(self, attr)
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    # -- train / eval mode --------------------------------------------- #
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    # -- gradient helpers ------------------------------------------------ #
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # -- (de)serialisation ------------------------------------------------ #
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: expected {param.data.shape}, got {value.shape}"
+                )
+            param.data = value.copy()
+
+    # -- call protocol ---------------------------------------------------- #
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b`` over the last axis."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.uniform_attention(rng, (in_features, out_features)))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x) -> Tensor:
+        x = as_tensor(x)
+        out = ops.matmul(x, self.weight)
+        if self.bias is not None:
+            out = ops.add(out, self.bias)
+        return out
+
+
+class Embedding(Module):
+    """Lookup table of learnable vectors, ``indices -> (..., dim)``.
+
+    Useful for categorical node attributes (e.g. grid-cell ids); backward
+    scatters gradients into the selected rows only.
+    """
+
+    def __init__(self, num_embeddings: int, dim: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Parameter(rng.normal(0.0, 1.0, size=(num_embeddings, dim)))
+
+    def forward(self, indices) -> Tensor:
+        idx = np.asarray(indices, dtype=np.intp)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.num_embeddings):
+            raise IndexError(
+                f"embedding index out of range [0, {self.num_embeddings})")
+        return ops.gather_rows(self.weight, idx)
+
+
+class ReLU(Module):
+    """Elementwise rectified linear activation module."""
+
+    def forward(self, x) -> Tensor:
+        return ops.relu(x)
+
+
+class Tanh(Module):
+    """Elementwise hyperbolic-tangent activation module."""
+
+    def forward(self, x) -> Tensor:
+        return ops.tanh(x)
+
+
+class Sequential(Module):
+    """Compose modules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.steps = list(modules)
+
+    def forward(self, x) -> Tensor:
+        for step in self.steps:
+            x = step(x)
+        return x
+
+
+class MLP(Module):
+    """Multi-layer perceptron with ReLU hidden activations."""
+
+    def __init__(self, sizes: list[int], rng: np.random.Generator | None = None,
+                 output_activation: Module | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        if len(sizes) < 2:
+            raise ValueError("MLP needs at least input and output sizes")
+        layers: list[Module] = []
+        for i in range(len(sizes) - 1):
+            layers.append(Linear(sizes[i], sizes[i + 1], rng=rng))
+            if i < len(sizes) - 2:
+                layers.append(ReLU())
+        if output_activation is not None:
+            layers.append(output_activation)
+        self.net = Sequential(*layers)
+
+    def forward(self, x) -> Tensor:
+        return self.net(x)
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last axis."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim))
+        self.beta = Parameter(np.zeros(dim))
+
+    def forward(self, x) -> Tensor:
+        x = as_tensor(x)
+        mu = ops.mean(x, axis=-1, keepdims=True)
+        centered = ops.sub(x, mu)
+        var = ops.mean(ops.mul(centered, centered), axis=-1, keepdims=True)
+        std = ops.sqrt(ops.add(var, self.eps))
+        normed = ops.div(centered, std)
+        return ops.add(ops.mul(normed, self.gamma), self.beta)
+
+
+class Conv2D(Module):
+    """2-D convolution (stride 1, zero padding) via im2col.
+
+    Used by TASNet's worker encoder to summarise the worker's travel
+    information matrix (origin / destination / travel-task occupancy grid).
+    Input shape ``(batch, in_channels, H, W)``.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int = 3,
+                 padding: int = 1, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(init.uniform_attention(rng, (fan_in, out_channels)))
+        self.bias = Parameter(np.zeros(out_channels))
+
+    def _im2col(self, x: np.ndarray) -> tuple[np.ndarray, int, int]:
+        batch, channels, height, width = x.shape
+        k, p = self.kernel_size, self.padding
+        padded = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p)))
+        out_h = height + 2 * p - k + 1
+        out_w = width + 2 * p - k + 1
+        cols = np.empty((batch, out_h, out_w, channels * k * k))
+        col_idx = 0
+        for c in range(channels):
+            for di in range(k):
+                for dj in range(k):
+                    cols[:, :, :, col_idx] = padded[:, c, di:di + out_h, dj:dj + out_w]
+                    col_idx += 1
+        return cols, out_h, out_w
+
+    def forward(self, x) -> Tensor:
+        x = as_tensor(x)
+        batch, channels, height, width = x.shape
+        if channels != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} input channels, got {channels}")
+        cols_np, out_h, out_w = self._im2col(x.data)
+        k, p = self.kernel_size, self.padding
+
+        # Wrap im2col as a differentiable op: backward scatters gradient
+        # columns back into the padded input positions.
+        def backward(grad):
+            grad_padded = np.zeros(
+                (batch, channels, height + 2 * p, width + 2 * p))
+            col_idx = 0
+            for c in range(channels):
+                for di in range(k):
+                    for dj in range(k):
+                        grad_padded[:, c, di:di + out_h, dj:dj + out_w] += grad[:, :, :, col_idx]
+                        col_idx += 1
+            if p:
+                return (grad_padded[:, :, p:-p, p:-p],)
+            return (grad_padded,)
+
+        cols = Tensor._make(cols_np, (x,), backward)
+        out = ops.matmul(cols, self.weight)  # (batch, out_h, out_w, out_channels)
+        out = ops.add(out, self.bias)
+        return ops.transpose(out, (0, 3, 1, 2))

@@ -1,0 +1,434 @@
+"""Differentiable operations on :class:`repro.nn.tensor.Tensor`.
+
+Every function here computes a forward result with numpy and registers a
+backward closure returning one gradient per parent.  Gradients through
+broadcast operands are reduced with :func:`~repro.nn.tensor.unbroadcast`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor, unbroadcast
+
+__all__ = [
+    "add", "sub", "mul", "div", "neg", "power", "matmul", "exp", "log",
+    "sqrt", "tanh", "sigmoid", "relu", "sum", "mean", "max", "reshape",
+    "transpose", "concat", "stack", "getitem", "softmax", "log_softmax",
+    "clip_tanh", "where", "dropout", "gather_rows", "masked_fill", "abs",
+]
+
+
+# --------------------------------------------------------------------- #
+# Arithmetic
+# --------------------------------------------------------------------- #
+def add(a, b) -> Tensor:
+    """Elementwise ``a + b`` with broadcasting."""
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data + b.data
+
+    def backward(grad):
+        return unbroadcast(grad, a.shape), unbroadcast(grad, b.shape)
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def sub(a, b) -> Tensor:
+    """Elementwise ``a - b`` with broadcasting."""
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data - b.data
+
+    def backward(grad):
+        return unbroadcast(grad, a.shape), unbroadcast(-grad, b.shape)
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def mul(a, b) -> Tensor:
+    """Elementwise ``a * b`` with broadcasting."""
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data * b.data
+
+    def backward(grad):
+        return (
+            unbroadcast(grad * b.data, a.shape),
+            unbroadcast(grad * a.data, b.shape),
+        )
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def div(a, b) -> Tensor:
+    """Elementwise ``a / b`` with broadcasting."""
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data / b.data
+
+    def backward(grad):
+        return (
+            unbroadcast(grad / b.data, a.shape),
+            unbroadcast(-grad * a.data / (b.data ** 2), b.shape),
+        )
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def neg(a) -> Tensor:
+    """Elementwise negation ``-a``."""
+    a = as_tensor(a)
+
+    def backward(grad):
+        return (-grad,)
+
+    return Tensor._make(-a.data, (a,), backward)
+
+
+def power(a, exponent: float) -> Tensor:
+    """Elementwise ``a ** exponent`` for a constant exponent."""
+    a = as_tensor(a)
+    exponent = float(exponent)
+    out_data = a.data ** exponent
+
+    def backward(grad):
+        return (grad * exponent * a.data ** (exponent - 1.0),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def abs(a) -> Tensor:  # noqa: A001 - mirrors numpy naming
+    """Elementwise absolute value (sign subgradient)."""
+    a = as_tensor(a)
+    out_data = np.abs(a.data)
+
+    def backward(grad):
+        return (grad * np.sign(a.data),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def matmul(a, b) -> Tensor:
+    """Matrix product supporting batched operands (numpy @ semantics)."""
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = a.data @ b.data
+
+    def backward(grad):
+        a_data, b_data = a.data, b.data
+        if a_data.ndim == 1 and b_data.ndim == 1:
+            grad_a = grad * b_data
+            grad_b = grad * a_data
+        elif a_data.ndim == 1:
+            # (k,) @ (..., k, n) -> (..., n)
+            grad_a = (grad[..., None, :] * b_data).sum(axis=-1)
+            grad_a = unbroadcast(grad_a, a_data.shape)
+            grad_b = unbroadcast(a_data[..., :, None] * grad[..., None, :], b_data.shape)
+        elif b_data.ndim == 1:
+            # (..., m, k) @ (k,) -> (..., m)
+            grad_a = unbroadcast(grad[..., :, None] * b_data, a_data.shape)
+            grad_b = (a_data * grad[..., :, None]).reshape(-1, a_data.shape[-1]).sum(axis=0)
+        else:
+            grad_a = unbroadcast(grad @ np.swapaxes(b_data, -1, -2), a_data.shape)
+            grad_b = unbroadcast(np.swapaxes(a_data, -1, -2) @ grad, b_data.shape)
+        return grad_a, grad_b
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+# --------------------------------------------------------------------- #
+# Elementwise nonlinearities
+# --------------------------------------------------------------------- #
+def exp(a) -> Tensor:
+    """Elementwise exponential."""
+    a = as_tensor(a)
+    out_data = np.exp(a.data)
+
+    def backward(grad):
+        return (grad * out_data,)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def log(a) -> Tensor:
+    """Elementwise natural logarithm."""
+    a = as_tensor(a)
+    out_data = np.log(a.data)
+
+    def backward(grad):
+        return (grad / a.data,)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def sqrt(a) -> Tensor:
+    """Elementwise square root."""
+    a = as_tensor(a)
+    out_data = np.sqrt(a.data)
+
+    def backward(grad):
+        return (grad * 0.5 / out_data,)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def tanh(a) -> Tensor:
+    """Elementwise hyperbolic tangent."""
+    a = as_tensor(a)
+    out_data = np.tanh(a.data)
+
+    def backward(grad):
+        return (grad * (1.0 - out_data ** 2),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def sigmoid(a) -> Tensor:
+    """Elementwise logistic sigmoid."""
+    a = as_tensor(a)
+    out_data = 1.0 / (1.0 + np.exp(-a.data))
+
+    def backward(grad):
+        return (grad * out_data * (1.0 - out_data),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def relu(a) -> Tensor:
+    """Elementwise rectified linear unit ``max(a, 0)``."""
+    a = as_tensor(a)
+    out_data = np.maximum(a.data, 0.0)
+
+    def backward(grad):
+        return (grad * (a.data > 0.0),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+# --------------------------------------------------------------------- #
+# Reductions
+# --------------------------------------------------------------------- #
+def sum(a, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    """Sum over ``axis`` (all elements when None)."""
+    a = as_tensor(a)
+    out_data = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(grad):
+        grad_arr = np.asarray(grad)
+        if axis is not None and not keepdims:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            for ax in sorted(ax % a.data.ndim for ax in axes):
+                grad_arr = np.expand_dims(grad_arr, ax)
+        return (np.broadcast_to(grad_arr, a.shape).copy(),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def mean(a, axis=None, keepdims: bool = False) -> Tensor:
+    """Mean over ``axis`` (all elements when None)."""
+    a = as_tensor(a)
+    out_data = a.data.mean(axis=axis, keepdims=keepdims)
+    if axis is None:
+        count = a.data.size
+    else:
+        axes = axis if isinstance(axis, tuple) else (axis,)
+        count = int(np.prod([a.data.shape[ax] for ax in axes]))
+
+    def backward(grad):
+        grad_arr = np.asarray(grad) / count
+        if axis is not None and not keepdims:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            for ax in sorted(ax % a.data.ndim for ax in axes):
+                grad_arr = np.expand_dims(grad_arr, ax)
+        return (np.broadcast_to(grad_arr, a.shape).copy(),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def max(a, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    """Maximum over ``axis``; ties share the gradient equally."""
+    a = as_tensor(a)
+    out_data = a.data.max(axis=axis, keepdims=keepdims)
+
+    def backward(grad):
+        grad_arr = np.asarray(grad)
+        out_expanded = out_data
+        if axis is not None and not keepdims:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            for ax in sorted(ax % a.data.ndim for ax in axes):
+                grad_arr = np.expand_dims(grad_arr, ax)
+                out_expanded = np.expand_dims(out_expanded, ax)
+        mask = (a.data == out_expanded).astype(np.float64)
+        # Split gradient equally among ties, matching subgradient convention.
+        mask /= mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+        return (mask * grad_arr,)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+# --------------------------------------------------------------------- #
+# Shape manipulation
+# --------------------------------------------------------------------- #
+def reshape(a, shape) -> Tensor:
+    """View ``a`` with a new shape."""
+    a = as_tensor(a)
+    original_shape = a.shape
+    out_data = a.data.reshape(shape)
+
+    def backward(grad):
+        return (grad.reshape(original_shape),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def transpose(a, axes=None) -> Tensor:
+    """Permute axes (reverse them when ``axes`` is None)."""
+    a = as_tensor(a)
+    out_data = a.data.transpose(axes)
+    if axes is None:
+        inverse = None
+    else:
+        inverse = np.argsort(axes)
+
+    def backward(grad):
+        return (grad.transpose(inverse),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def concat(tensors, axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    split_points = np.cumsum(sizes)[:-1]
+
+    def backward(grad):
+        return tuple(np.split(grad, split_points, axis=axis))
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def stack(tensors, axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad):
+        moved = np.moveaxis(grad, axis, 0)
+        return tuple(moved[i] for i in range(len(tensors)))
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def getitem(a, index) -> Tensor:
+    """Differentiable indexing/slicing ``a[index]``."""
+    a = as_tensor(a)
+    out_data = a.data[index]
+
+    def backward(grad):
+        full = np.zeros_like(a.data)
+        np.add.at(full, index, grad)
+        return (full,)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def gather_rows(a, indices) -> Tensor:
+    """Select rows ``a[indices]`` along axis 0 (differentiable embedding lookup)."""
+    a = as_tensor(a)
+    idx = np.asarray(indices, dtype=np.intp)
+    out_data = a.data[idx]
+
+    def backward(grad):
+        full = np.zeros_like(a.data)
+        np.add.at(full, idx, grad)
+        return (full,)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+# --------------------------------------------------------------------- #
+# Softmax family and masking
+# --------------------------------------------------------------------- #
+def softmax(a, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    a = as_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    out_data = exps / exps.sum(axis=axis, keepdims=True)
+
+    def backward(grad):
+        dot = (grad * out_data).sum(axis=axis, keepdims=True)
+        return (out_data * (grad - dot),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def log_softmax(a, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    a = as_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_norm
+    soft = np.exp(out_data)
+
+    def backward(grad):
+        return (grad - soft * grad.sum(axis=axis, keepdims=True),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def clip_tanh(a, clip: float) -> Tensor:
+    """``clip * tanh(a)`` — the logit clipping of Bello et al. / Kool et al."""
+    a = as_tensor(a)
+    t = np.tanh(a.data)
+    out_data = clip * t
+
+    def backward(grad):
+        return (grad * clip * (1.0 - t ** 2),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def masked_fill(a, mask, value: float) -> Tensor:
+    """Replace entries where ``mask`` is True with ``value`` (no grad there).
+
+    The mask is copied: callers may mutate their mask arrays between the
+    forward pass and ``backward()`` (the pointer decoders update their
+    ``visited`` mask in place every step).
+    """
+    a = as_tensor(a)
+    mask_arr = np.array(mask, dtype=bool, copy=True)
+    out_data = np.where(mask_arr, value, a.data)
+
+    def backward(grad):
+        return (np.where(mask_arr, 0.0, grad),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def where(condition, a, b) -> Tensor:
+    """Elementwise select: ``a`` where condition else ``b``."""
+    cond = np.array(condition, dtype=bool, copy=True)  # guard vs mutation
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = np.where(cond, a.data, b.data)
+
+    def backward(grad):
+        return (
+            unbroadcast(np.where(cond, grad, 0.0), a.shape),
+            unbroadcast(np.where(cond, 0.0, grad), b.shape),
+        )
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def dropout(a, rate: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout; identity when not training or rate == 0."""
+    a = as_tensor(a)
+    if not training or rate <= 0.0:
+        return a
+    keep = 1.0 - rate
+    mask = (rng.random(a.shape) < keep) / keep
+    out_data = a.data * mask
+
+    def backward(grad):
+        return (grad * mask,)
+
+    return Tensor._make(out_data, (a,), backward)

@@ -1,0 +1,110 @@
+"""Gradient-descent optimizers.
+
+The paper trains all models with Adam (initial learning rate 1e-4,
+Section V-B); SGD is provided for tests and ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm"]
+
+
+def clip_grad_norm(parameters: list[Tensor], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm.  Standard stabiliser for REINFORCE.
+    """
+    grads = [p.grad for p in parameters if p.grad is not None]
+    if not grads:
+        return 0.0
+    total = float(np.sqrt(sum(float((g ** 2).sum()) for g in grads)))
+    if total > max_norm > 0.0:
+        scale = max_norm / (total + 1e-12)
+        for g in grads:
+            g *= scale
+    return total
+
+
+class Optimizer:
+    """Base optimizer holding a parameter list."""
+
+    def __init__(self, parameters: list[Tensor]):
+        self.parameters = list(parameters)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: list[Tensor], lr: float = 1e-2, momentum: float = 0.0):
+        super().__init__(parameters)
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += param.grad
+                param.data -= self.lr * velocity
+            else:
+                param.data -= self.lr * param.grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2014) with bias correction."""
+
+    def __init__(self, parameters: list[Tensor], lr: float = 1e-4,
+                 betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8):
+        super().__init__(parameters)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1 ** self._step_count
+        bias2 = 1.0 - self.beta2 ** self._step_count
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    # -- checkpointing --------------------------------------------------- #
+    def state_dict(self) -> dict:
+        """Moment estimates and step count, for training checkpoints."""
+        return {
+            "step_count": self._step_count,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if len(state["m"]) != len(self._m):
+            raise ValueError("optimizer state does not match parameter list")
+        self._step_count = int(state["step_count"])
+        self._m = [np.array(m, dtype=np.float64) for m in state["m"]]
+        self._v = [np.array(v, dtype=np.float64) for v in state["v"]]

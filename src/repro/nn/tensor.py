@@ -1,0 +1,294 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This module is the foundation of the ``repro.nn`` neural-network substrate.
+The paper trains its policy networks (the TSPTW solver of Ma et al. and
+TASNet) with PyTorch; since PyTorch is unavailable in this environment, we
+implement the minimal but complete autograd engine the models need.
+
+A :class:`Tensor` wraps a ``numpy.ndarray`` and records the operations that
+produced it.  Calling :meth:`Tensor.backward` on a scalar output walks the
+recorded graph in reverse topological order and accumulates gradients into
+every tensor created with ``requires_grad=True``.
+
+Broadcasting is fully supported: gradients flowing into a broadcast operand
+are summed over the broadcast axes (see :func:`unbroadcast`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Tensor", "as_tensor", "unbroadcast", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables graph recording.
+
+    Used during greedy decoding / evaluation, where building the autograd
+    graph would waste time and memory::
+
+        with no_grad():
+            action = policy.act(state)
+    """
+
+    def __enter__(self):
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+        return False
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record the autograd graph."""
+    return _GRAD_ENABLED
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so its shape matches the pre-broadcast ``shape``.
+
+    numpy broadcasting aligns trailing dimensions; every axis that was
+    expanded during the forward pass must be summed over in the backward
+    pass so the gradient has the operand's original shape.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes added by broadcasting.
+    extra_dims = grad.ndim - len(shape)
+    if extra_dims > 0:
+        grad = grad.sum(axis=tuple(range(extra_dims)))
+    # Sum over axes that were size-1 in the original shape.
+    axes = tuple(i for i, size in enumerate(shape) if size == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor with reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; converted to ``float64`` ndarray unless already
+        a float ndarray.
+    requires_grad:
+        If True, gradients are accumulated into ``self.grad`` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(self, data, requires_grad: bool = False, name: str | None = None):
+        if isinstance(data, Tensor):
+            data = data.data
+        arr = np.asarray(data, dtype=np.float64)
+        self.data = arr
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._backward = None  # type: ignore[assignment]
+        self._parents: tuple[Tensor, ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({self.data!r}{grad_flag})"
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a Python float."""
+        return float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying ndarray (no copy)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    # ------------------------------------------------------------------ #
+    # Graph construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _make(data: np.ndarray, parents: tuple["Tensor", ...], backward) -> "Tensor":
+        """Create a graph node whose ``backward`` closure propagates grads."""
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to None."""
+        self.grad = None
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to 1 for scalar tensors; non-scalar roots must
+        supply an explicit output gradient.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("backward() without gradient only supported for scalars")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+
+        # Topological order via iterative DFS (recursion would overflow on
+        # long decoding trajectories).
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward is None:
+                node._accumulate(node_grad)
+                continue
+            parent_grads = node._backward(node_grad)
+            for parent, pgrad in zip(node._parents, parent_grads):
+                if pgrad is None or not parent.requires_grad:
+                    continue
+                if parent._backward is None and not parent._parents:
+                    parent._accumulate(pgrad)
+                else:
+                    existing = grads.get(id(parent))
+                    grads[id(parent)] = pgrad if existing is None else existing + pgrad
+
+    # ------------------------------------------------------------------ #
+    # Operators (implemented in ops.py, attached at import time)
+    # ------------------------------------------------------------------ #
+    def __add__(self, other):
+        from . import ops
+
+        return ops.add(self, other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        from . import ops
+
+        return ops.sub(self, other)
+
+    def __rsub__(self, other):
+        from . import ops
+
+        return ops.sub(other, self)
+
+    def __mul__(self, other):
+        from . import ops
+
+        return ops.mul(self, other)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        from . import ops
+
+        return ops.div(self, other)
+
+    def __rtruediv__(self, other):
+        from . import ops
+
+        return ops.div(other, self)
+
+    def __neg__(self):
+        from . import ops
+
+        return ops.neg(self)
+
+    def __pow__(self, exponent):
+        from . import ops
+
+        return ops.power(self, exponent)
+
+    def __matmul__(self, other):
+        from . import ops
+
+        return ops.matmul(self, other)
+
+    def __getitem__(self, index):
+        from . import ops
+
+        return ops.getitem(self, index)
+
+    # Convenience methods mirroring the functional API.
+    def sum(self, axis=None, keepdims: bool = False):
+        from . import ops
+
+        return ops.sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False):
+        from . import ops
+
+        return ops.mean(self, axis=axis, keepdims=keepdims)
+
+    def reshape(self, *shape):
+        from . import ops
+
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return ops.reshape(self, shape)
+
+    def transpose(self, axes=None):
+        from . import ops
+
+        return ops.transpose(self, axes)
+
+    @property
+    def T(self):
+        return self.transpose()
+
+
+def as_tensor(value, requires_grad: bool = False) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` (no copy if already one)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, requires_grad=requires_grad)

@@ -1,0 +1,183 @@
+"""Candidate assignment table ``C`` (Algorithm 1, step 1 and lines 15-23).
+
+``C[w][s]`` holds, for every *feasible* sensing-task/worker pair, the
+working route the TSPTW solver found after assigning ``s`` to ``w`` on top
+of the worker's current assignment, and the additional incentive that
+assignment would cost.  A pair is feasible iff such a route respects the
+worker's time constraint and the additional incentive fits the remaining
+budget (Section III-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..core.entities import SensingTask, Worker
+from ..core.incentive import IncentiveModel
+from ..core.route import WorkingRoute
+from ..tsptw.base import RoutePlanner
+
+__all__ = ["CandidateEntry", "CandidateTable"]
+
+
+@dataclass(frozen=True)
+class CandidateEntry:
+    """Value stored in C: the route after assignment and its marginal cost."""
+
+    route: WorkingRoute
+    route_travel_time: float
+    delta_incentive: float
+
+
+class CandidateTable:
+    """Feasible sensing-task/worker assignment pairs, updated iteratively."""
+
+    def __init__(self, planner: RoutePlanner, incentives: IncentiveModel):
+        self.planner = planner
+        self.incentives = incentives
+        self._table: dict[int, dict[int, CandidateEntry]] = {}
+        self.planner_calls = 0
+
+    # ------------------------------------------------------------------ #
+    def initialize(self, workers: Sequence[Worker],
+                   sensing_tasks: Sequence[SensingTask],
+                   budget_rest: float) -> None:
+        """Algorithm 1 lines 4-9: try every (worker, task) pair.
+
+        Each worker's base route (travel tasks only) is planned once; every
+        sensing task is then checked by insertion into it when the planner
+        supports incremental insertion, or by a full re-plan otherwise.
+        """
+        self._table = {w.worker_id: {} for w in workers}
+        plan_many = getattr(self.planner, "plan_many", None)
+        for worker in workers:
+            base = self.planner.base_route(worker)
+            self.incentives.set_base_rtt(worker, base.route_travel_time)
+            row = self._table[worker.worker_id]
+            if not base.feasible:
+                continue  # the worker cannot even complete their own trip
+            base_tasks = base.route.tasks if base.route is not None else ()
+            if plan_many is not None and not hasattr(
+                    self.planner, "plan_with_insertion"):
+                # Batched path (RL backends): one encoder pass per worker.
+                results = plan_many(worker, [[task] for task in sensing_tasks])
+                self.planner_calls += len(sensing_tasks)
+                for task, result in zip(sensing_tasks, results):
+                    entry = self._entry_from_result(worker, result, 0.0,
+                                                    budget_rest)
+                    if entry is not None:
+                        row[task.task_id] = entry
+                continue
+            for task in sensing_tasks:
+                entry = self._try_assignment(worker, [task], 0.0, budget_rest,
+                                             base_tasks=base_tasks)
+                if entry is not None:
+                    row[task.task_id] = entry
+
+    def _entry_from_result(self, worker: Worker, result,
+                           current_incentive: float,
+                           budget_rest: float) -> CandidateEntry | None:
+        if not result.feasible:
+            return None
+        rtt = result.route_travel_time
+        delta = self.incentives.incentive(worker, rtt) - current_incentive
+        if delta >= budget_rest:
+            return None
+        return CandidateEntry(result.route, rtt, delta)
+
+    def _try_assignment(self, worker: Worker,
+                        tasks_after: Sequence[SensingTask],
+                        current_incentive: float,
+                        budget_rest: float,
+                        base_tasks: Sequence | None = None) -> CandidateEntry | None:
+        self.planner_calls += 1
+        insert_fn = getattr(self.planner, "plan_with_insertion", None)
+        if base_tasks is not None and insert_fn is not None:
+            result = insert_fn(worker, base_tasks, tasks_after[-1])
+        else:
+            result = self.planner.plan(worker, tasks_after)
+        if not result.feasible:
+            return None
+        rtt = result.route_travel_time
+        delta = self.incentives.incentive(worker, rtt) - current_incentive
+        if delta >= budget_rest:
+            return None
+        return CandidateEntry(result.route, rtt, delta)
+
+    # ------------------------------------------------------------------ #
+    def remove_task(self, task_id: int) -> None:
+        """Line 16: drop a completed task from every worker's candidates."""
+        for row in self._table.values():
+            row.pop(task_id, None)
+
+    def recompute_worker(self, worker: Worker,
+                         assigned: Sequence[SensingTask],
+                         available: Iterable[SensingTask],
+                         current_incentive: float,
+                         budget_rest: float,
+                         current_route_tasks: Sequence | None = None) -> None:
+        """Lines 17-23: refresh the selected worker's candidate row.
+
+        ``current_route_tasks`` — the worker's committed route order — lets
+        incremental planners check each candidate by single insertion.
+        """
+        row = {}
+        plan_many = getattr(self.planner, "plan_many", None)
+        if plan_many is not None and not hasattr(
+                self.planner, "plan_with_insertion"):
+            available = list(available)
+            sets = [list(assigned) + [task] for task in available]
+            results = plan_many(worker, sets)
+            self.planner_calls += len(sets)
+            for task, result in zip(available, results):
+                entry = self._entry_from_result(worker, result,
+                                                current_incentive, budget_rest)
+                if entry is not None:
+                    row[task.task_id] = entry
+            self._table[worker.worker_id] = row
+            return
+        for task in available:
+            entry = self._try_assignment(
+                worker, list(assigned) + [task], current_incentive, budget_rest,
+                base_tasks=current_route_tasks)
+            if entry is not None:
+                row[task.task_id] = entry
+        self._table[worker.worker_id] = row
+
+    def prune_over_budget(self, budget_rest: float) -> None:
+        """Drop entries whose marginal cost no longer fits the budget.
+
+        Needed after *any* selection: spending budget on worker A can make
+        a previously feasible pair of worker B unaffordable.
+        """
+        for row in self._table.values():
+            for task_id in [t for t, e in row.items() if e.delta_incentive >= budget_rest]:
+                del row[task_id]
+
+    # ------------------------------------------------------------------ #
+    def get(self, worker_id: int, task_id: int) -> CandidateEntry | None:
+        return self._table.get(worker_id, {}).get(task_id)
+
+    def worker_candidates(self, worker_id: int) -> dict[int, CandidateEntry]:
+        return self._table.get(worker_id, {})
+
+    def workers_with_candidates(self) -> list[int]:
+        return [w for w, row in self._table.items() if row]
+
+    def candidate_task_ids(self) -> set[int]:
+        ids: set[int] = set()
+        for row in self._table.values():
+            ids.update(row)
+        return ids
+
+    @property
+    def empty(self) -> bool:
+        return all(not row for row in self._table.values())
+
+    def num_pairs(self) -> int:
+        return sum(len(row) for row in self._table.values())
+
+    def __contains__(self, pair: tuple[int, int]) -> bool:
+        worker_id, task_id = pair
+        return task_id in self._table.get(worker_id, {})

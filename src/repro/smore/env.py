@@ -1,0 +1,102 @@
+"""The iterative-selection MDP (paper Section IV-A).
+
+States are :class:`~repro.smore.state.SelectionState`; an action assigns
+sensing task ``s_j`` to worker ``w_i``; the transition replays Algorithm 1
+lines 12-23 (budget update, assignment update, candidate refresh); the
+reward is the coverage gain ``r_t = phi(S'_{t+1}) - phi(S'_t)``.
+
+Both SMORE inference (greedy policy) and TASNet training (sampled policy)
+run episodes through this environment, which guarantees the learned policy
+is optimised on exactly the dynamics the solver executes.
+"""
+
+from __future__ import annotations
+
+from ..core.incentive import IncentiveModel
+from ..core.instance import USMDWInstance
+from ..tsptw.base import RoutePlanner
+from .candidates import CandidateTable
+from .state import AssignmentState, SelectionState
+
+__all__ = ["SelectionEnv"]
+
+
+class SelectionEnv:
+    """Environment wrapping one USMDW instance.
+
+    Parameters
+    ----------
+    instance:
+        The problem to solve.
+    planner:
+        TSPTW backend used for feasibility checks and route updates.
+    """
+
+    def __init__(self, instance: USMDWInstance, planner: RoutePlanner):
+        self.instance = instance
+        self.planner = planner
+        self.incentives = IncentiveModel(mu=instance.mu)
+        self.state: SelectionState | None = None
+
+    # ------------------------------------------------------------------ #
+    def reset(self) -> SelectionState:
+        """Step 1 of SMORE: candidate assignment initialisation."""
+        table = CandidateTable(self.planner, self.incentives)
+        table.initialize(self.instance.workers, self.instance.sensing_tasks,
+                         self.instance.budget)
+        self.state = SelectionState(
+            candidates=table,
+            assignments=AssignmentState(self.instance.workers),
+            workers=self.instance.workers,
+            budget_rest=self.instance.budget,
+            coverage=self.instance.coverage.new_state(),
+        )
+        return self.state
+
+    # ------------------------------------------------------------------ #
+    def step(self, worker_id: int, task_id: int) -> tuple[SelectionState, float, bool]:
+        """Apply action ``(w*, s*)``; return (state, reward, done).
+
+        Raises ``KeyError`` when the pair is not a current candidate —
+        actions must come from ``state.candidates``.
+        """
+        state = self._require_state()
+        entry = state.candidates.get(worker_id, task_id)
+        if entry is None:
+            raise KeyError(
+                f"(worker {worker_id}, task {task_id}) is not a feasible candidate")
+        task = self.instance.sensing_task(task_id)
+        worker = self.instance.worker(worker_id)
+
+        phi_before = state.coverage.phi()
+
+        # Lines 12-14: budget, M, S'.
+        state.budget_rest -= entry.delta_incentive
+        state.assignments.apply(worker_id, task, entry)
+        state.selected.append(task)
+        state.coverage.add(task)
+        state.step_count += 1
+
+        # Lines 15-16: the task is no longer available to anyone.
+        state.candidates.remove_task(task_id)
+        # Spending budget may strand other workers' candidates.
+        state.candidates.prune_over_budget(state.budget_rest)
+
+        # Lines 17-23: refresh the selected worker's row.
+        selected_ids = {t.task_id for t in state.selected}
+        available = [s for s in self.instance.sensing_tasks
+                     if s.task_id not in selected_ids]
+        slot = state.assignments[worker_id]
+        current_tasks = slot.route.tasks if slot.route is not None else None
+        state.candidates.recompute_worker(
+            worker, slot.assigned, available, slot.incentive, state.budget_rest,
+            current_route_tasks=current_tasks)
+
+        reward = state.coverage.phi() - phi_before
+        return state, reward, state.done
+
+    # ------------------------------------------------------------------ #
+    def _require_state(self) -> SelectionState:
+        if self.state is None:
+            raise RuntimeError("call reset() before step()")
+        return self.state

@@ -1,0 +1,47 @@
+"""Heuristic signals for the task decoder (paper Section IV-E).
+
+For each candidate sensing task the decoder receives two auxiliary signals:
+the coverage gain ``delta_phi`` and the incentive cost ``delta_in``.  Their
+ratio — the *coverage-incentive ratio* ``beta = delta_phi / delta_in`` —
+drives the soft mask (Equations 9-10) that modulates the pointer logits
+(Equation 11), steering exploration toward tasks that buy more coverage per
+unit of budget without hard-forbidding any candidate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["coverage_incentive_ratio", "soft_mask", "SOFT_MASK_EPS"]
+
+SOFT_MASK_EPS = 1e-6
+
+
+def coverage_incentive_ratio(delta_phi: np.ndarray,
+                             delta_in: np.ndarray) -> np.ndarray:
+    """``beta_i = delta_phi_i / delta_in_i`` with a guarded denominator.
+
+    A zero-cost assignment (the task sits exactly on the worker's current
+    route) is maximally attractive; we guard the division so it yields a
+    large finite ratio instead of inf.
+    """
+    safe_cost = np.maximum(np.asarray(delta_in, dtype=np.float64), SOFT_MASK_EPS)
+    return np.asarray(delta_phi, dtype=np.float64) / safe_cost
+
+
+def soft_mask(delta_phi: np.ndarray, delta_in: np.ndarray,
+              lam: float = 0.5, eps: float = SOFT_MASK_EPS) -> np.ndarray:
+    """The soft mask ``f`` of Equations 9-10.
+
+    ``beta`` is min-max normalised across the current candidates, and
+    ``f_i = exp(-lam^2 / (eps + beta_hat_i^2))`` lies in (0, 1]: near 1 for
+    the best ratio, near 0 for the worst.  With a single candidate (or all
+    ratios equal) the mask degenerates to all-ones — there is nothing to
+    discriminate.
+    """
+    beta = coverage_incentive_ratio(delta_phi, delta_in)
+    spread = beta.max() - beta.min()
+    if beta.size <= 1 or spread <= 0:
+        return np.ones_like(beta)
+    beta_hat = (beta - beta.min()) / spread
+    return np.exp(-(lam ** 2) / (eps + beta_hat ** 2))

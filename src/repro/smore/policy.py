@@ -1,0 +1,269 @@
+"""Policy wrappers that drive TASNet over the selection MDP.
+
+:class:`TASNetPolicy` featurises a :class:`~repro.smore.state.SelectionState`
+and runs the two-stage decision (worker then task); the static worker and
+sensing-task embeddings are computed once per episode and reused across
+steps — gradients still flow through every use during training.
+
+:class:`FlatSelectionPolicy` implements the "w/o TASNet" ablation of
+Figure 5: a single-stage pointer that scores all feasible (worker, task)
+pairs at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from ..core.instance import USMDWInstance
+from .state import SelectionState
+from .tasnet import TASNet, TASNetConfig
+
+__all__ = ["ActionRecord", "TASNetPolicy", "FlatSelectionNet",
+           "FlatSelectionPolicy", "worker_travel_grid", "sensing_task_features"]
+
+
+def worker_travel_grid(instance: USMDWInstance, worker) -> np.ndarray:
+    """Travel-information matrix of Section IV-C (normalised to [0, 1]).
+
+    Grid cells get 1 / 2 / 3 for origin / destination / travel tasks;
+    travel tasks overwrite endpoints on collision, matching the paper's
+    priority ordering of the assignment statement.
+    """
+    grid = instance.coverage.grid
+    matrix = np.zeros((grid.nx, grid.ny))
+    oi, oj = grid.cell_of(worker.origin)
+    matrix[oi, oj] = 1.0
+    di, dj = grid.cell_of(worker.destination)
+    matrix[di, dj] = 2.0
+    for task in worker.travel_tasks:
+        ti, tj = grid.cell_of(task.location)
+        matrix[ti, tj] = 3.0
+    return matrix / 3.0
+
+
+def sensing_task_features(instance: USMDWInstance) -> np.ndarray:
+    """Per-task (x, y, tw_start, tw_end), normalised by region / time span."""
+    region = instance.coverage.grid.region
+    span = instance.coverage.time_span
+    rows = [
+        [task.location.x / region.width, task.location.y / region.height,
+         task.tw_start / span, task.tw_end / span]
+        for task in instance.sensing_tasks
+    ]
+    return np.asarray(rows).reshape(len(instance.sensing_tasks), 4)
+
+
+@dataclass
+class ActionRecord:
+    """One decision: the pair picked and its log-probability tensor."""
+
+    worker_id: int
+    task_id: int
+    log_prob: nn.Tensor
+
+
+def _choose(log_probs: nn.Tensor, greedy: bool,
+            rng: np.random.Generator | None) -> int:
+    probs = np.exp(log_probs.data)
+    if greedy:
+        return int(np.argmax(probs))
+    probs = probs / probs.sum()
+    return int((rng or np.random.default_rng()).choice(len(probs), p=probs))
+
+
+class TASNetPolicy:
+    """Featurisation + two-stage decoding for one episode at a time."""
+
+    def __init__(self, net: TASNet):
+        self.net = net
+        self._instance: USMDWInstance | None = None
+        self._worker_emb: nn.Tensor | None = None
+        self._task_emb: nn.Tensor | None = None
+        self._task_mean: nn.Tensor | None = None
+        self._worker_ids: list[int] = []
+        self._task_index: dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    def begin_episode(self, instance: USMDWInstance) -> None:
+        """Encode the static parts of the state (workers, sensing tasks)."""
+        self._instance = instance
+        grids = np.stack([worker_travel_grid(instance, w) for w in instance.workers])
+        self._worker_emb = self.net.worker_encoder(grids)
+        self._task_emb = self.net.task_encoder(sensing_task_features(instance))
+        self._task_mean = nn.ops.mean(self._task_emb, axis=0)
+        self._worker_ids = [w.worker_id for w in instance.workers]
+        self._task_index = {s.task_id: i for i, s in enumerate(instance.sensing_tasks)}
+
+    def _require_episode(self) -> USMDWInstance:
+        if self._instance is None:
+            raise RuntimeError("call begin_episode(instance) first")
+        return self._instance
+
+    # ------------------------------------------------------------------ #
+    def _assigned_embedding_mean(self, assigned) -> nn.Tensor:
+        d = self.net.config.d_model
+        if not assigned:
+            return nn.Tensor(np.zeros(d))
+        indices = np.array([self._task_index[t.task_id] for t in assigned])
+        return nn.ops.mean(nn.ops.gather_rows(self._task_emb, indices), axis=0)
+
+    def _worker_state_embeddings(self, state: SelectionState) -> nn.Tensor:
+        rows = []
+        for idx, worker_id in enumerate(self._worker_ids):
+            assigned = state.assignments[worker_id].assigned
+            mean_assigned = self._assigned_embedding_mean(assigned)
+            rows.append(nn.ops.concat([mean_assigned, self._worker_emb[idx]]))
+        return nn.ops.stack(rows)
+
+    # ------------------------------------------------------------------ #
+    def _worker_stage(self, state: SelectionState,
+                      budget_norm: float) -> tuple[nn.Tensor, nn.Tensor]:
+        """Stage 1 forward pass: (log-probs over workers, h_g)."""
+        worker_states = self._worker_state_embeddings(state)
+        feasible = set(state.feasible_worker_ids())
+        mask = np.array([w not in feasible for w in self._worker_ids])
+        if mask.all():
+            raise RuntimeError("no worker has feasible candidates")
+        return self.net.worker_selection(worker_states, budget_norm, mask)
+
+    def _task_stage(self, state: SelectionState, worker_id: int,
+                    worker_idx: int, budget_norm: float,
+                    h_g: nn.Tensor) -> tuple[nn.Tensor, list[int]]:
+        """Stage 2 forward pass for one worker: (log-probs, task id order)."""
+        instance = self._require_episode()
+        candidates = state.candidates.worker_candidates(worker_id)
+        task_ids = sorted(candidates)
+        delta_in = np.array([candidates[t].delta_incentive for t in task_ids])
+        delta_phi = np.array([
+            state.coverage.gain(instance.sensing_task(t)) for t in task_ids])
+        cand_indices = np.array([self._task_index[t] for t in task_ids])
+        candidate_emb = nn.ops.gather_rows(self._task_emb, cand_indices)
+        assigned = state.assignments[worker_id].assigned
+        assigned_emb = None
+        if assigned:
+            idx = np.array([self._task_index[t.task_id] for t in assigned])
+            assigned_emb = nn.ops.gather_rows(self._task_emb, idx)
+        task_logp = self.net.task_selection(
+            self._worker_emb[worker_idx], assigned_emb, budget_norm, h_g,
+            self._task_mean, candidate_emb, delta_phi, delta_in)
+        return task_logp, task_ids
+
+    def act(self, state: SelectionState, greedy: bool = True,
+            rng: np.random.Generator | None = None) -> ActionRecord:
+        """Run both selection stages on the current state."""
+        instance = self._require_episode()
+        budget_norm = state.budget_rest / max(instance.budget, 1e-9)
+
+        worker_logp, h_g = self._worker_stage(state, budget_norm)
+        worker_idx = _choose(worker_logp, greedy, rng)
+        worker_id = self._worker_ids[worker_idx]
+
+        task_logp, task_ids = self._task_stage(
+            state, worker_id, worker_idx, budget_norm, h_g)
+        task_idx = _choose(task_logp, greedy, rng)
+
+        log_prob = worker_logp[worker_idx] + task_logp[task_idx]
+        return ActionRecord(worker_id, task_ids[task_idx], log_prob)
+
+    def log_prob_of(self, state: SelectionState, worker_id: int,
+                    task_id: int) -> nn.Tensor:
+        """Log-probability the policy assigns to a given (worker, task) pair.
+
+        Used by imitation pretraining to evaluate teacher actions.
+        """
+        instance = self._require_episode()
+        budget_norm = state.budget_rest / max(instance.budget, 1e-9)
+        worker_logp, h_g = self._worker_stage(state, budget_norm)
+        worker_idx = self._worker_ids.index(worker_id)
+        task_logp, task_ids = self._task_stage(
+            state, worker_id, worker_idx, budget_norm, h_g)
+        task_idx = task_ids.index(task_id)
+        return worker_logp[worker_idx] + task_logp[task_idx]
+
+    # ------------------------------------------------------------------ #
+    def parameters(self):
+        return self.net.parameters()
+
+
+class FlatSelectionNet(nn.Module):
+    """Single-stage scorer for the "w/o TASNet" ablation.
+
+    Every feasible (worker, task) pair is embedded as ``[w_j; s_i]`` and
+    scored by one pointer over the flat candidate list — the strategy
+    Section IV-B argues is hard to learn because of the |W| x |S| action
+    space and which, per the ablation's definition, has neither the
+    two-stage decomposition nor TASNet's heuristic-signal fusion.
+    """
+
+    def __init__(self, config: TASNetConfig, grid_nx: int, grid_ny: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        from .tasnet import SensingTaskEncoder, WorkerEncoder
+
+        rng = rng or np.random.default_rng()
+        self.config = config
+        d = config.d_model
+        self.worker_encoder = WorkerEncoder(config, grid_nx, grid_ny, rng)
+        self.task_encoder = SensingTaskEncoder(config, rng)
+        self.budget_fc = nn.Linear(1, d, rng=rng)
+        self.pointer = nn.PointerAttention(d, 2 * d, d_key=d,
+                                           clip=config.clip, rng=rng)
+
+
+class FlatSelectionPolicy:
+    """Episode driver for :class:`FlatSelectionNet`."""
+
+    def __init__(self, net: FlatSelectionNet):
+        self.net = net
+        self._instance: USMDWInstance | None = None
+        self._worker_emb: nn.Tensor | None = None
+        self._task_emb: nn.Tensor | None = None
+        self._worker_pos: dict[int, int] = {}
+        self._task_index: dict[int, int] = {}
+
+    def begin_episode(self, instance: USMDWInstance) -> None:
+        self._instance = instance
+        grids = np.stack([worker_travel_grid(instance, w) for w in instance.workers])
+        self._worker_emb = self.net.worker_encoder(grids)
+        self._task_emb = self.net.task_encoder(sensing_task_features(instance))
+        self._worker_pos = {w.worker_id: i for i, w in enumerate(instance.workers)}
+        self._task_index = {s.task_id: i for i, s in enumerate(instance.sensing_tasks)}
+
+    def _pair_log_probs(self, state: SelectionState
+                        ) -> tuple[nn.Tensor, list[tuple[int, int]]]:
+        instance = self._instance
+        if instance is None:
+            raise RuntimeError("call begin_episode(instance) first")
+        budget_norm = state.budget_rest / max(instance.budget, 1e-9)
+
+        pairs: list[tuple[int, int]] = []
+        key_rows = []
+        for worker_id in state.candidates.workers_with_candidates():
+            w_idx = self._worker_pos[worker_id]
+            for task_id in sorted(
+                    state.candidates.worker_candidates(worker_id)):
+                t_idx = self._task_index[task_id]
+                key_rows.append(nn.ops.concat(
+                    [self._worker_emb[w_idx], self._task_emb[t_idx]]))
+                pairs.append((worker_id, task_id))
+        keys = nn.ops.stack(key_rows)
+        query = self.net.budget_fc(nn.Tensor(np.array([budget_norm])))
+        return nn.ops.log_softmax(self.net.pointer(query, keys)), pairs
+
+    def act(self, state: SelectionState, greedy: bool = True,
+            rng: np.random.Generator | None = None) -> ActionRecord:
+        log_probs, pairs = self._pair_log_probs(state)
+        choice = _choose(log_probs, greedy, rng)
+        worker_id, task_id = pairs[choice]
+        return ActionRecord(worker_id, task_id, log_probs[choice])
+
+    def log_prob_of(self, state: SelectionState, worker_id: int,
+                    task_id: int) -> nn.Tensor:
+        log_probs, pairs = self._pair_log_probs(state)
+        return log_probs[pairs.index((worker_id, task_id))]
+
+    def parameters(self):
+        return self.net.parameters()

@@ -1,0 +1,209 @@
+"""TASNet — the Two-stage Assignment Selection Network (paper Section IV).
+
+The policy network behind SMORE's iterative selection.  Three modules,
+mirroring Figure 3:
+
+1. **Worker & sensing-task representation** (Section IV-C) — each worker's
+   travel information is rasterised onto the region grid (1 = origin,
+   2 = destination, 3 = travel task), passed through a convolution + FC,
+   then a Transformer encoder fuses information across workers.  Sensing
+   tasks (location + time window) go through their own Transformer encoder
+   to capture spatio-temporal closeness.
+2. **Worker selection** (Section IV-D) — a group state encoder pools
+   worker state embeddings (worker embedding concatenated with the mean of
+   the worker's assigned-task embeddings) through multi-head attention and
+   appends the remaining budget; a pointer decoder with a dot-product
+   glimpse then scores each worker, masking workers with no feasible
+   candidates.
+3. **Sensing task selection** (Section IV-E) — an individual state encoder
+   combines the selected worker's enhanced embedding with global context
+   (budget, group embedding, mean sensing-task embedding); the
+   heuristic-enhanced task decoder appends ``delta_phi`` / ``delta_in`` to
+   each candidate key and modulates the pointer logits with the
+   coverage-incentive soft mask (Equations 9-11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from .heuristics import soft_mask
+
+__all__ = ["TASNetConfig", "WorkerEncoder", "SensingTaskEncoder",
+           "WorkerSelection", "TaskSelection", "TASNet"]
+
+
+@dataclass(frozen=True)
+class TASNetConfig:
+    """Architecture and soft-mask hyper-parameters.
+
+    The paper uses 3 encoder layers with 8 heads and lambda = 0.5; the
+    defaults here are CPU-sized but configurable up to the paper's scale.
+    """
+
+    d_model: int = 32
+    num_heads: int = 4
+    num_layers: int = 2
+    conv_channels: int = 4
+    clip: float = 10.0
+    lam: float = 0.5
+    #: Disable for the "w/o Soft Mask" ablation (Figure 5).
+    use_soft_mask: bool = True
+    #: Disable to drop delta_phi/delta_in from the pointer keys — an
+    #: extension ablation isolating the decoder's *data fusion* from the
+    #: soft mask (both are part of the heuristic enhancement of IV-E).
+    use_heuristic_fusion: bool = True
+
+    def __post_init__(self):
+        if self.d_model % self.num_heads:
+            raise ValueError("d_model must be divisible by num_heads")
+
+
+class WorkerEncoder(nn.Module):
+    """Travel-information grid -> conv + FC -> cross-worker Transformer."""
+
+    def __init__(self, config: TASNetConfig, grid_nx: int, grid_ny: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        d = config.d_model
+        self.grid_nx = grid_nx
+        self.grid_ny = grid_ny
+        self.conv = nn.Conv2D(1, config.conv_channels, kernel_size=3,
+                              padding=1, rng=rng)
+        self.fc = nn.Linear(config.conv_channels * grid_nx * grid_ny, d, rng=rng)
+        self.encoder = nn.TransformerEncoder(d, config.num_heads,
+                                             config.num_layers, rng=rng)
+
+    def forward(self, worker_grids: np.ndarray) -> nn.Tensor:
+        """``worker_grids``: (n_workers, nx, ny) travel-information matrices."""
+        n = worker_grids.shape[0]
+        x = nn.Tensor(worker_grids.reshape(n, 1, self.grid_nx, self.grid_ny))
+        spatial = nn.ops.relu(self.conv(x))
+        flat = nn.ops.reshape(spatial, (n, -1))
+        per_worker = self.fc(flat)
+        return self.encoder(per_worker)
+
+
+class SensingTaskEncoder(nn.Module):
+    """(x, y, tw_s, tw_e) -> linear embed -> Transformer over all tasks."""
+
+    NUM_FEATURES = 4
+
+    def __init__(self, config: TASNetConfig, rng: np.random.Generator):
+        super().__init__()
+        d = config.d_model
+        self.embed = nn.Linear(self.NUM_FEATURES, d, rng=rng)
+        self.encoder = nn.TransformerEncoder(d, config.num_heads,
+                                             config.num_layers, rng=rng)
+
+    def forward(self, task_features: np.ndarray) -> nn.Tensor:
+        return self.encoder(self.embed(nn.Tensor(task_features)))
+
+
+class WorkerSelection(nn.Module):
+    """Group state encoder + worker decoder (Section IV-D)."""
+
+    def __init__(self, config: TASNetConfig, rng: np.random.Generator):
+        super().__init__()
+        d = config.d_model
+        self.group_mha = nn.MultiHeadAttention(2 * d, config.num_heads, rng=rng)
+        self.budget_fc = nn.Linear(1, d, rng=rng)
+        self.glimpse_q = nn.Linear(3 * d, 2 * d, bias=False, rng=rng)
+        self.pointer = nn.PointerAttention(2 * d, 2 * d, clip=config.clip, rng=rng)
+
+    def forward(self, worker_state_emb: nn.Tensor, budget_norm: float,
+                mask: np.ndarray) -> tuple[nn.Tensor, nn.Tensor]:
+        """Return (log-probs over workers, group worker embedding h_g).
+
+        ``worker_state_emb``: (n_w, 2d) tensors  w~_j = [mean assigned; w_j].
+        ``mask``: True for workers with no feasible candidate.
+        """
+        # Group state: h_g = MeanPool(MHA({w~})), h_c = [h_g; FC(B)].
+        h_g = nn.ops.mean(self.group_mha(worker_state_emb), axis=0)
+        budget_emb = self.budget_fc(nn.Tensor(np.array([budget_norm])))
+        h_c = nn.ops.concat([h_g, budget_emb])
+
+        # Glimpse: dot-product attention from h_c over worker states,
+        # masked so unselectable workers contribute nothing.
+        q = self.glimpse_q(h_c)                                     # (2d,)
+        scores = nn.ops.matmul(worker_state_emb, q)                 # (n_w,)
+        scores = nn.ops.mul(scores, 1.0 / np.sqrt(q.shape[0]))
+        scores = nn.ops.masked_fill(scores, mask, -1e9)
+        attn = nn.ops.softmax(scores)
+        h_c_prime = nn.ops.matmul(attn, worker_state_emb)           # (2d,)
+
+        logits = self.pointer(h_c_prime, worker_state_emb, mask=mask)
+        return nn.ops.log_softmax(logits), h_g
+
+
+class TaskSelection(nn.Module):
+    """Individual state encoder + heuristic-enhanced task decoder (IV-E)."""
+
+    def __init__(self, config: TASNetConfig, rng: np.random.Generator):
+        super().__init__()
+        d = config.d_model
+        self.lam = config.lam
+        self.use_soft_mask = config.use_soft_mask
+        self.use_heuristic_fusion = config.use_heuristic_fusion
+        self.assigned_attn = nn.MultiHeadAttention(d, config.num_heads, rng=rng)
+        self.budget_fc = nn.Linear(1, d, rng=rng)
+        # h_w = [a_j; w_j; FC(B); h_g; s_mean] -> 2d + d + 2d + d = 6d.
+        key_in = d + 2 if config.use_heuristic_fusion else d
+        self.pointer = nn.PointerAttention(6 * d, key_in, d_key=d,
+                                           clip=config.clip, rng=rng)
+
+    def forward(self, worker_emb: nn.Tensor, assigned_emb: nn.Tensor | None,
+                budget_norm: float, h_g: nn.Tensor, task_mean: nn.Tensor,
+                candidate_emb: nn.Tensor, delta_phi: np.ndarray,
+                delta_in: np.ndarray) -> nn.Tensor:
+        """Return log-probs over the selected worker's candidate tasks.
+
+        ``candidate_emb``: (m, d) embeddings of feasible tasks for the
+        worker; ``delta_phi`` / ``delta_in``: the heuristic signals (m,).
+        """
+        d = worker_emb.shape[0]
+        if assigned_emb is not None and assigned_emb.shape[0] > 0:
+            attended = self.assigned_attn(assigned_emb)
+            a_j = nn.ops.mean(attended, axis=0)
+        else:
+            a_j = nn.Tensor(np.zeros(d))
+        budget_emb = self.budget_fc(nn.Tensor(np.array([budget_norm])))
+        h_w = nn.ops.concat([a_j, worker_emb, budget_emb, h_g, task_mean])
+
+        # Heuristic signals join the pointer keys (data fusion)...
+        if self.use_heuristic_fusion:
+            signals = nn.Tensor(np.stack([delta_phi, delta_in], axis=1))
+            keys = nn.ops.concat([candidate_emb, signals], axis=1)
+        else:
+            keys = candidate_emb
+        logits = self.pointer(h_w, keys)
+
+        # ...and modulate the logits through the soft mask (Equation 11).
+        if self.use_soft_mask:
+            mask_values = soft_mask(delta_phi, delta_in, lam=self.lam)
+            logits = nn.ops.mul(logits, nn.Tensor(mask_values))
+        return nn.ops.log_softmax(logits)
+
+
+class TASNet(nn.Module):
+    """The full two-stage policy network."""
+
+    def __init__(self, config: TASNetConfig, grid_nx: int, grid_ny: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.config = config
+        self.worker_encoder = WorkerEncoder(config, grid_nx, grid_ny, rng)
+        self.task_encoder = SensingTaskEncoder(config, rng)
+        self.worker_selection = WorkerSelection(config, rng)
+        self.task_selection = TaskSelection(config, rng)
+
+    # The policy wrapper (repro.smore.policy) drives these submodules —
+    # encoding is done once per episode, selection once per step — so
+    # TASNet itself exposes no monolithic forward().
+    def forward(self, *args, **kwargs):  # pragma: no cover
+        raise NotImplementedError(
+            "drive TASNet through repro.smore.policy.TASNetPolicy")

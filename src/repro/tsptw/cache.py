@@ -1,0 +1,72 @@
+"""Memoising planner wrapper.
+
+SMORE's candidate-update loop re-plans the same (worker, task-set) pairs —
+notably the base routes used by the incentive model and the current
+assigned-set route after each rejection.  :class:`CachedPlanner` memoises on
+``(worker_id, frozenset of sensing task ids)``, which is sound because
+entities are immutable within an instance.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.entities import SensingTask, Worker
+from .base import RoutePlanner, RouteResult
+
+__all__ = ["CachedPlanner"]
+
+
+class CachedPlanner:
+    """Wrap any :class:`RoutePlanner` with an unbounded memo table."""
+
+    def __init__(self, planner: RoutePlanner):
+        self.planner = planner
+        self.speed = planner.speed
+        self._cache: dict[tuple[int, frozenset[int]], RouteResult] = {}
+        self._insert_cache: dict[tuple, RouteResult] = {}
+        self.hits = 0
+        self.misses = 0
+        # Only exposed when the wrapped backend supports it, so callers
+        # that feature-detect incremental insertion behave identically
+        # with and without the cache.
+        if not hasattr(planner, "plan_with_insertion"):
+            self.plan_with_insertion = None  # type: ignore[assignment]
+
+    def plan_with_insertion(self, worker: Worker, base_tasks,
+                            new_task) -> RouteResult:
+        """Memoised single-task insertion (delegates to the backend)."""
+        key = (worker.worker_id, tuple(t.task_id for t in base_tasks),
+               new_task.task_id)
+        cached = self._insert_cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        result = self.planner.plan_with_insertion(worker, base_tasks, new_task)
+        self._insert_cache[key] = result
+        return result
+
+    def plan(self, worker: Worker,
+             sensing_tasks: Sequence[SensingTask]) -> RouteResult:
+        key = (worker.worker_id, frozenset(s.task_id for s in sensing_tasks))
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        result = self.planner.plan(worker, sensing_tasks)
+        self._cache[key] = result
+        return result
+
+    def base_route(self, worker: Worker) -> RouteResult:
+        return self.plan(worker, [])
+
+    def clear(self) -> None:
+        self._cache.clear()
+        self._insert_cache.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._cache)

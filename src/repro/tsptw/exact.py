@@ -1,0 +1,122 @@
+"""Exact TSPTW via Held-Karp bitmask dynamic programming.
+
+Optimal makespan (= route travel time, since departure is fixed at the
+worker's earliest feasible time) over all task orderings.  State is
+``(visited_mask, last_task)`` with value = earliest completion time at
+``last_task``; earlier completion is a valid dominance criterion because
+waiting only ever delays and all windows look forward in time.
+
+Exponential in the task count — used for small instances, as ground truth
+for the heuristic/RL solvers' optimality-gap tests, and inside unit tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.entities import SensingTask, Worker
+from ..core.geometry import DEFAULT_SPEED, travel_time
+from ..core.route import WorkingRoute
+from .base import PlannerBase, RouteResult, combined_tasks
+
+__all__ = ["ExactDPSolver"]
+
+_INF = float("inf")
+
+
+class ExactDPSolver(PlannerBase):
+    """Optimal TSPTW solver for small task sets.
+
+    Parameters
+    ----------
+    speed:
+        Worker movement speed in meters/minute.
+    max_tasks:
+        Safety limit; planning more tasks than this raises ``ValueError``
+        (the DP table has ``2^n * n`` states).
+    """
+
+    def __init__(self, speed: float = DEFAULT_SPEED, max_tasks: int = 16):
+        self.speed = speed
+        self.max_tasks = max_tasks
+
+    def plan(self, worker: Worker,
+             sensing_tasks: Sequence[SensingTask]) -> RouteResult:
+        tasks = combined_tasks(worker, sensing_tasks)
+        n = len(tasks)
+        if n > self.max_tasks:
+            raise ValueError(
+                f"ExactDPSolver limited to {self.max_tasks} tasks, got {n}")
+        if n == 0:
+            return RouteResult.from_route(WorkingRoute(worker, (), speed=self.speed))
+
+        depart = worker.earliest_departure
+        latest = worker.latest_arrival
+
+        # Completion time of task j when arriving at time t, or None.
+        def complete(j: int, arrival: float) -> float | None:
+            task = tasks[j]
+            if isinstance(task, SensingTask):
+                return task.earliest_completion(arrival)
+            return arrival + task.service_time
+
+        # dp[mask][j] = earliest completion time at j having visited mask.
+        size = 1 << n
+        dp = [[_INF] * n for _ in range(size)]
+        parent: list[list[int]] = [[-1] * n for _ in range(size)]
+
+        for j in range(n):
+            arrival = depart + travel_time(worker.origin, tasks[j].location,
+                                           speed=self.speed)
+            finish = complete(j, arrival)
+            if finish is not None and finish <= latest:
+                dp[1 << j][j] = finish
+
+        for mask in range(size):
+            for j in range(n):
+                if not mask & (1 << j) or dp[mask][j] == _INF:
+                    continue
+                t_j = dp[mask][j]
+                for k in range(n):
+                    if mask & (1 << k):
+                        continue
+                    arrival = t_j + travel_time(tasks[j].location,
+                                                tasks[k].location,
+                                                speed=self.speed)
+                    finish = complete(k, arrival)
+                    if finish is None or finish > latest:
+                        continue
+                    new_mask = mask | (1 << k)
+                    if finish < dp[new_mask][k]:
+                        dp[new_mask][k] = finish
+                        parent[new_mask][k] = j
+
+        full = size - 1
+        best_arrival = _INF
+        best_last = -1
+        for j in range(n):
+            if dp[full][j] == _INF:
+                continue
+            arrival = dp[full][j] + travel_time(tasks[j].location,
+                                                worker.destination,
+                                                speed=self.speed)
+            if arrival < best_arrival:
+                best_arrival = arrival
+                best_last = j
+
+        if best_last < 0 or best_arrival > latest + 1e-9:
+            return RouteResult.infeasible()
+
+        # Reconstruct the optimal order.
+        order: list[int] = []
+        mask, j = full, best_last
+        while j >= 0:
+            order.append(j)
+            prev = parent[mask][j]
+            mask &= ~(1 << j)
+            j = prev
+        order.reverse()
+
+        route = WorkingRoute(worker, tuple(tasks[i] for i in order),
+                             speed=self.speed)
+        return RouteResult.from_route(route)

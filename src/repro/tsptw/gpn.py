@@ -1,0 +1,373 @@
+"""Graph pointer network for TSPTW (after Ma et al. [16]).
+
+The paper pre-trains a hierarchical-RL TSPTW solver and calls it for every
+feasibility check.  This module implements the policy network: a
+Transformer encoder over task nodes and a pointer decoder that selects the
+next node step by step.  Following the paper's adaptation, the decoder
+query carries both the origin and the final destination embedding (the
+original method has a single depot).
+
+Node features (normalised to [0, 1] by the scale config):
+``(x, y, tw_start, tw_end, service_time, is_travel_task)``.
+
+:class:`HierarchicalGPN` composes a *lower* model, trained to satisfy time
+windows, with an *upper* model that consumes the lower policy's output as
+an extra feature and is trained on the combined reward (window satisfaction
+minus a route-length penalty) — the two-level scheme of [16].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .. import nn
+from ..core.entities import SensingTask, TravelTask, Worker
+from ..core.geometry import DEFAULT_SPEED, travel_time
+from ..core.route import WorkingRoute
+from .base import PlannerBase, RouteResult, combined_tasks
+from .insertion import InsertionSolver
+
+__all__ = ["GPNScale", "GPNModel", "HierarchicalGPN", "GPNSolver", "DecodeResult"]
+
+Task = TravelTask | SensingTask
+
+_NODE_FEATURES = 6
+
+
+@dataclass(frozen=True)
+class GPNScale:
+    """Normalisation constants for node features."""
+
+    space: float      # meters; divides coordinates
+    time: float       # minutes; divides all times
+
+    def node_features(self, worker: Worker, tasks: Sequence[Task]) -> np.ndarray:
+        rows = []
+        for task in tasks:
+            if isinstance(task, SensingTask):
+                tw_s, tw_e, is_travel = task.tw_start, task.tw_end, 0.0
+            else:
+                tw_s, tw_e = worker.earliest_departure, worker.latest_arrival
+                is_travel = 1.0
+            rows.append([
+                task.location.x / self.space,
+                task.location.y / self.space,
+                tw_s / self.time,
+                tw_e / self.time,
+                task.service_time / self.time,
+                is_travel,
+            ])
+        return np.asarray(rows, dtype=np.float64).reshape(len(tasks), _NODE_FEATURES)
+
+    def endpoint_features(self, worker: Worker) -> np.ndarray:
+        """Features of origin and destination: position + time bounds."""
+        return np.array([
+            [worker.origin.x / self.space, worker.origin.y / self.space,
+             worker.earliest_departure / self.time],
+            [worker.destination.x / self.space, worker.destination.y / self.space,
+             worker.latest_arrival / self.time],
+        ])
+
+
+@dataclass
+class DecodeResult:
+    """A decoded visiting order with its log-probability."""
+
+    order: list[int]
+    log_prob: nn.Tensor
+    route: WorkingRoute
+    timing: object  # RouteTiming
+
+    @property
+    def satisfied(self) -> int:
+        """Number of sensing tasks whose window was met."""
+        count = 0
+        for stop in self.timing.stops:
+            task = stop.task
+            if isinstance(task, SensingTask):
+                if task.can_start_at(stop.service_start):
+                    count += 1
+            else:
+                count += 1
+        return count
+
+
+class GPNModel(nn.Module):
+    """Encoder + pointer decoder over task nodes.
+
+    ``extra_key_features`` lets the upper model receive the lower policy's
+    per-node probability as an additional pointer-key input.
+    """
+
+    def __init__(self, d_model: int = 32, num_heads: int = 4, num_layers: int = 2,
+                 extra_key_features: int = 0,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.d_model = d_model
+        self.embed = nn.Linear(_NODE_FEATURES, d_model, rng=rng)
+        self.encoder = nn.TransformerEncoder(d_model, num_heads, num_layers, rng=rng)
+        self.endpoint_embed = nn.Linear(3, d_model, rng=rng)
+        # Query context: origin emb + destination emb + current node emb
+        # + (current time, remaining budget).
+        self.query_proj = nn.Linear(3 * d_model + 2, d_model, rng=rng)
+        self.pointer = nn.PointerAttention(
+            d_model, d_model + extra_key_features, clip=10.0, rng=rng)
+        self.extra_key_features = extra_key_features
+
+    def encode(self, features: np.ndarray) -> nn.Tensor:
+        return self.encoder(self.embed(nn.Tensor(features)))
+
+    def pointer_logits(self, node_emb: nn.Tensor, origin_emb: nn.Tensor,
+                       dest_emb: nn.Tensor, current_emb: nn.Tensor,
+                       time_features: np.ndarray,
+                       visited_mask: np.ndarray,
+                       extra_keys: np.ndarray | None = None) -> nn.Tensor:
+        context = nn.ops.concat(
+            [origin_emb, dest_emb, current_emb, nn.Tensor(time_features)])
+        query = self.query_proj(context)
+        keys = node_emb
+        if self.extra_key_features:
+            if extra_keys is None:
+                raise ValueError("model expects extra key features")
+            keys = nn.ops.concat([node_emb, nn.Tensor(extra_keys)], axis=1)
+        return self.pointer(query, keys, mask=visited_mask)
+
+
+class HierarchicalGPN(nn.Module):
+    """Lower (window-satisfaction) + upper (length-aware) pointer models."""
+
+    def __init__(self, scale: GPNScale, d_model: int = 32, num_heads: int = 4,
+                 num_layers: int = 2, speed: float = DEFAULT_SPEED,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.scale = scale
+        self.speed = speed
+        self.lower = GPNModel(d_model, num_heads, num_layers, rng=rng)
+        self.upper = GPNModel(d_model, num_heads, num_layers,
+                              extra_key_features=1, rng=rng)
+
+    # ------------------------------------------------------------------ #
+    def _decode(self, model: GPNModel, worker: Worker, tasks: list[Task],
+                greedy: bool, rng: np.random.Generator | None,
+                lower_probs_fn=None) -> DecodeResult:
+        n = len(tasks)
+        features = self.scale.node_features(worker, tasks)
+        node_emb = model.encode(features)
+        endpoints = model.endpoint_embed(
+            nn.Tensor(self.scale.endpoint_features(worker)))
+        origin_emb, dest_emb = endpoints[0], endpoints[1]
+
+        visited = np.zeros(n, dtype=bool)
+        order: list[int] = []
+        log_prob_terms = []
+        clock = worker.earliest_departure
+        position = worker.origin
+        current_emb = origin_emb
+        budget = max(worker.time_budget, 1e-9)
+
+        for _ in range(n):
+            time_features = np.array([
+                clock / self.scale.time,
+                max(0.0, worker.latest_arrival - clock) / budget,
+            ])
+            extra = None
+            if model.extra_key_features:
+                extra = lower_probs_fn(visited, clock, position, current_emb)
+            logits = model.pointer_logits(
+                node_emb, origin_emb, dest_emb, current_emb,
+                time_features, visited, extra_keys=extra)
+            log_probs = nn.ops.log_softmax(logits)
+            probs = np.exp(log_probs.data)
+            if greedy:
+                choice = int(np.argmax(probs))
+            else:
+                choice = int((rng or np.random.default_rng()).choice(n, p=probs / probs.sum()))
+            log_prob_terms.append(log_probs[choice])
+            order.append(choice)
+            visited[choice] = True
+
+            task = tasks[choice]
+            clock += travel_time(position, task.location, speed=self.speed)
+            if isinstance(task, SensingTask):
+                clock = max(clock, task.tw_start)
+            clock += task.service_time
+            position = task.location
+            current_emb = node_emb[choice]
+
+        route = WorkingRoute(worker, tuple(tasks[i] for i in order),
+                             speed=self.speed)
+        timing = route.simulate()
+        total_log_prob = log_prob_terms[0]
+        for term in log_prob_terms[1:]:
+            total_log_prob = total_log_prob + term
+        return DecodeResult(order, total_log_prob, route, timing)
+
+    def decode_lower(self, worker: Worker, tasks: list[Task], greedy: bool = True,
+                     rng: np.random.Generator | None = None) -> DecodeResult:
+        return self._decode(self.lower, worker, tasks, greedy, rng)
+
+    def decode_upper(self, worker: Worker, tasks: list[Task], greedy: bool = True,
+                     rng: np.random.Generator | None = None) -> DecodeResult:
+        """Decode with the upper model, feeding it the lower policy's probs."""
+        n = len(tasks)
+        features = self.scale.node_features(worker, tasks)
+        with nn.no_grad():
+            lower_emb = self.lower.encode(features)
+            lower_endpoints = self.lower.endpoint_embed(
+                nn.Tensor(self.scale.endpoint_features(worker)))
+        budget = max(worker.time_budget, 1e-9)
+
+        def lower_probs_fn(visited, clock, position, _current_emb):
+            # Lower policy's suggestion at the equivalent decoding state.
+            with nn.no_grad():
+                time_features = np.array([
+                    clock / self.scale.time,
+                    max(0.0, worker.latest_arrival - clock) / budget,
+                ])
+                if not np.any(~visited):
+                    return np.zeros((n, 1))
+                # Current embedding for the lower model: last visited node,
+                # or origin at the first step.
+                visited_idx = np.flatnonzero(visited)
+                current = (lower_emb[int(visited_idx[-1])]
+                           if visited_idx.size else lower_endpoints[0])
+                logits = self.lower.pointer_logits(
+                    lower_emb, lower_endpoints[0], lower_endpoints[1],
+                    current, time_features, visited)
+                probs = np.exp(nn.ops.log_softmax(logits).data)
+            return probs.reshape(n, 1)
+
+        return self._decode(self.upper, worker, tasks, greedy, rng,
+                            lower_probs_fn=lower_probs_fn)
+
+
+class GPNSolver(PlannerBase):
+    """RoutePlanner backed by a (pre-)trained :class:`HierarchicalGPN`.
+
+    Decoding is greedy at inference, as in the paper.  Because the learned
+    policy can mis-order windows, the solver may declare a feasible set
+    infeasible (the paper's "false alarm"); with ``repair=True`` an
+    insertion-solver fallback repairs such routes — our implementation of
+    the paper's future-work note on absorbing approximation error.
+    """
+
+    def __init__(self, model: HierarchicalGPN, repair: bool = False,
+                 use_upper: bool = True):
+        self.model = model
+        self.speed = model.speed
+        self.repair = repair
+        self.use_upper = use_upper
+        self._fallback = InsertionSolver(speed=model.speed)
+
+    def plan(self, worker: Worker,
+             sensing_tasks: Sequence[SensingTask]) -> RouteResult:
+        tasks = combined_tasks(worker, sensing_tasks)
+        if not tasks:
+            return RouteResult.from_route(WorkingRoute(worker, (), speed=self.speed))
+        with nn.no_grad():
+            if self.use_upper:
+                decoded = self.model.decode_upper(worker, tasks, greedy=True)
+            else:
+                decoded = self.model.decode_lower(worker, tasks, greedy=True)
+        result = RouteResult.from_route(decoded.route)
+        if not result.feasible and self.repair:
+            return self._fallback.plan(worker, sensing_tasks)
+        return result
+
+    def plan_many(self, worker: Worker,
+                  candidate_sets: Sequence[Sequence[SensingTask]]
+                  ) -> list[RouteResult]:
+        """Plan several task sets for one worker, sharing the encoder pass.
+
+        Implements the paper's complexity-analysis note that the candidate
+        loops "can be implemented in parallel by batching the data and then
+        passing through the pre-trained TSPTW solver": the union of all
+        sensing tasks is encoded once, and each candidate set is decoded
+        against a gathered slice of those embeddings.
+
+        Two documented approximations versus per-set :meth:`plan` calls:
+        node embeddings attend over the union rather than each subset, and
+        the upper model's lower-policy feature is zeroed.  Routes may
+        therefore differ slightly from ``plan``'s; feasibility and rtt are
+        always re-verified by exact simulation.
+        """
+        # Deduplicate tasks by id across the candidate sets.
+        union: dict[int, SensingTask] = {}
+        for candidate_set in candidate_sets:
+            for task in candidate_set:
+                union[task.task_id] = task
+        union_tasks = combined_tasks(worker, list(union.values()))
+        task_position = {
+            (isinstance(task, SensingTask), task.task_id): i
+            for i, task in enumerate(union_tasks)
+        }
+
+        with nn.no_grad():
+            features = self.model.scale.node_features(worker, union_tasks)
+            node_emb = (self.model.upper if self.use_upper
+                        else self.model.lower).encode(features)
+
+        results = []
+        for candidate_set in candidate_sets:
+            tasks = combined_tasks(worker, candidate_set)
+            indices = np.array([
+                task_position[(isinstance(t, SensingTask), t.task_id)]
+                for t in tasks
+            ])
+            with nn.no_grad():
+                decoded = self._decode_with_embeddings(worker, tasks,
+                                                       node_emb, indices)
+            result = RouteResult.from_route(decoded.route)
+            if not result.feasible and self.repair:
+                result = self._fallback.plan(worker, candidate_set)
+            results.append(result)
+        return results
+
+    def _decode_with_embeddings(self, worker: Worker, tasks: list[Task],
+                                union_emb: nn.Tensor,
+                                indices: np.ndarray) -> DecodeResult:
+        """Greedy decode reusing pre-computed node embeddings."""
+        model = self.model.upper if self.use_upper else self.model.lower
+        n = len(tasks)
+        node_emb = nn.ops.gather_rows(union_emb, indices)
+        endpoints = model.endpoint_embed(
+            nn.Tensor(self.model.scale.endpoint_features(worker)))
+        origin_emb, dest_emb = endpoints[0], endpoints[1]
+
+        visited = np.zeros(n, dtype=bool)
+        order: list[int] = []
+        clock = worker.earliest_departure
+        position = worker.origin
+        current_emb = origin_emb
+        budget = max(worker.time_budget, 1e-9)
+        from ..core.geometry import travel_time as tt
+
+        for _ in range(n):
+            time_features = np.array([
+                clock / self.model.scale.time,
+                max(0.0, worker.latest_arrival - clock) / budget,
+            ])
+            extra = (np.zeros((n, 1)) if model.extra_key_features else None)
+            logits = model.pointer_logits(
+                node_emb, origin_emb, dest_emb, current_emb,
+                time_features, visited, extra_keys=extra)
+            choice = int(np.argmax(logits.data))
+            order.append(choice)
+            visited[choice] = True
+            task = tasks[choice]
+            clock += tt(position, task.location, speed=self.speed)
+            if isinstance(task, SensingTask):
+                clock = max(clock, task.tw_start)
+            clock += task.service_time
+            position = task.location
+            current_emb = node_emb[choice]
+
+        route = WorkingRoute(worker, tuple(tasks[i] for i in order),
+                             speed=self.speed)
+        timing = route.simulate()
+        return DecodeResult(order, nn.Tensor(0.0), route, timing)

@@ -1,0 +1,46 @@
+"""Nearest Neighbour route construction.
+
+The paper's RN / TVPG / TCPG baselines all start from a working route built
+with the Nearest Neighbour algorithm — "we always select the nearest
+location as the next location" (Section V-B).  The construction ignores
+time windows while choosing; the resulting route may therefore be
+infeasible, which the caller must check via the returned timing.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.entities import SensingTask, Worker
+from ..core.geometry import DEFAULT_SPEED, euclidean
+from ..core.route import WorkingRoute
+from .base import PlannerBase, RouteResult, combined_tasks
+
+__all__ = ["NearestNeighborSolver", "nearest_neighbor_order"]
+
+
+def nearest_neighbor_order(worker: Worker, tasks: list) -> list:
+    """Order ``tasks`` greedily by distance starting from the origin."""
+    remaining = list(tasks)
+    ordered = []
+    position = worker.origin
+    while remaining:
+        nearest = min(remaining, key=lambda t: euclidean(position, t.location))
+        remaining.remove(nearest)
+        ordered.append(nearest)
+        position = nearest.location
+    return ordered
+
+
+class NearestNeighborSolver(PlannerBase):
+    """Constructs a route by repeatedly visiting the closest unvisited task."""
+
+    def __init__(self, speed: float = DEFAULT_SPEED):
+        self.speed = speed
+
+    def plan(self, worker: Worker,
+             sensing_tasks: Sequence[SensingTask]) -> RouteResult:
+        tasks = combined_tasks(worker, sensing_tasks)
+        ordered = nearest_neighbor_order(worker, tasks)
+        route = WorkingRoute(worker, tuple(ordered), speed=self.speed)
+        return RouteResult.from_route(route)

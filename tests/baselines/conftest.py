@@ -1,0 +1,35 @@
+"""Shared fixture: a small instance all baselines can solve quickly."""
+
+import pytest
+
+from repro.core import (
+    CoverageModel,
+    Grid,
+    Location,
+    Region,
+    SensingTask,
+    TravelTask,
+    USMDWInstance,
+    Worker,
+)
+
+
+@pytest.fixture
+def instance():
+    region = Region(800, 800)
+    grid = Grid(region, 4, 4)
+    coverage = CoverageModel(grid, time_span=240.0, slot_minutes=60.0, alpha=0.5)
+    workers = (
+        Worker(1, Location(50, 50), Location(750, 50), 0.0, 150.0,
+               (TravelTask(10, Location(400, 50), 10.0),)),
+        Worker(2, Location(50, 750), Location(750, 750), 0.0, 150.0,
+               (TravelTask(20, Location(400, 750), 10.0),)),
+    )
+    tasks = tuple(
+        SensingTask(100 + k, Location(100 + 110 * k, 120 + 90 * (k % 3)),
+                    60.0 * (k % 4), 60.0 * (k % 4) + 60.0, 5.0)
+        for k in range(6)
+    )
+    return USMDWInstance(workers=workers, sensing_tasks=tasks,
+                         budget=120.0, mu=1.0, coverage=coverage,
+                         name="baseline-test")

@@ -1,0 +1,117 @@
+"""Tests for the exact branch-and-bound USMDW solver."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ExactUSMDWSolver, TCPGSolver, TVPGSolver
+from repro.core import (
+    CoverageModel,
+    Grid,
+    Location,
+    Region,
+    SensingTask,
+    TravelTask,
+    USMDWInstance,
+    Worker,
+)
+from repro.smore import RatioSelectionRule, SMORESolver
+from repro.tsptw import InsertionSolver
+
+
+def tiny_instance(seed=0, num_tasks=4, num_workers=2, budget=80.0):
+    rng = np.random.default_rng(seed)
+    grid = Grid(Region(1000, 1000), 4, 4)
+    coverage = CoverageModel(grid, 240.0, 60.0)
+
+    workers = []
+    for i in range(num_workers):
+        origin = Location(rng.uniform(0, 1000), rng.uniform(0, 1000))
+        dest = Location(rng.uniform(0, 1000), rng.uniform(0, 1000))
+        travel = (TravelTask(i * 10, Location(rng.uniform(0, 1000),
+                                              rng.uniform(0, 1000)), 10.0),)
+        workers.append(Worker(i + 1, origin, dest, 0.0, 200.0, travel))
+
+    tasks = []
+    for k in range(num_tasks):
+        slot = int(rng.integers(0, 4))
+        tasks.append(SensingTask(
+            100 + k, Location(rng.uniform(0, 1000), rng.uniform(0, 1000)),
+            slot * 60.0, slot * 60.0 + 60.0, 5.0))
+    return USMDWInstance(workers=tuple(workers), sensing_tasks=tuple(tasks),
+                         budget=budget, mu=1.0, coverage=coverage)
+
+
+class TestExactSolver:
+    def test_solution_valid(self):
+        instance = tiny_instance()
+        solution = ExactUSMDWSolver().solve(instance)
+        assert solution.validate() == []
+
+    def test_rejects_large_instances(self):
+        instance = tiny_instance(num_tasks=4)
+        with pytest.raises(ValueError):
+            ExactUSMDWSolver(max_tasks=3).solve(instance)
+        with pytest.raises(ValueError):
+            ExactUSMDWSolver(max_workers=1).solve(instance)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_dominates_all_heuristics(self, seed):
+        instance = tiny_instance(seed=seed)
+        optimal = ExactUSMDWSolver().solve(instance).objective
+        for solver in (TVPGSolver(), TCPGSolver(),
+                       SMORESolver(InsertionSolver(), RatioSelectionRule())):
+            heuristic = solver.solve(instance).objective
+            assert optimal >= heuristic - 1e-9, (seed, solver)
+
+    def test_matches_brute_force_on_micro_instance(self):
+        """Cross-check against exhaustive enumeration without pruning."""
+        from itertools import product
+
+        from repro.core import IncentiveModel
+        from repro.tsptw import ExactDPSolver
+
+        instance = tiny_instance(seed=5, num_tasks=3, num_workers=2)
+        planner = ExactDPSolver()
+        incentives = IncentiveModel(
+            mu=1.0, base_rtt_fn=lambda w: planner.base_route(w).route_travel_time)
+        best = 0.0
+        worker_ids = [w.worker_id for w in instance.workers]
+        for labels in product([0] + worker_ids,
+                              repeat=instance.num_sensing_tasks):
+            per_worker = {w: [] for w in worker_ids}
+            for task, label in zip(instance.sensing_tasks, labels):
+                if label:
+                    per_worker[label].append(task)
+            total_cost = 0.0
+            feasible = True
+            completed = []
+            for worker in instance.workers:
+                chosen = per_worker[worker.worker_id]
+                if not chosen:
+                    continue
+                result = planner.plan(worker, chosen)
+                if not result.feasible:
+                    feasible = False
+                    break
+                total_cost += incentives.incentive(
+                    worker, result.route_travel_time)
+                completed.extend(chosen)
+            if not feasible or total_cost > instance.budget:
+                continue
+            best = max(best, instance.coverage.phi(completed))
+
+        solution = ExactUSMDWSolver().solve(instance)
+        assert solution.objective == pytest.approx(best, abs=1e-9)
+
+    def test_zero_budget_yields_empty_or_free(self):
+        instance = tiny_instance(budget=0.0)
+        solution = ExactUSMDWSolver().solve(instance)
+        assert solution.total_incentive == 0.0
+        assert solution.validate() == []
+
+    def test_time_limit_returns_incumbent(self):
+        instance = tiny_instance(num_tasks=6, num_workers=3, budget=150.0)
+        solution = ExactUSMDWSolver(time_limit=0.0).solve(instance)
+        # Capped immediately: still a valid (possibly empty) solution.
+        assert solution.validate() == []
+        assert "time-capped" in solution.solver_name

@@ -1,0 +1,117 @@
+"""Behavioural tests for all baseline solvers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    JDRLSolver,
+    MSAConfig,
+    MSAGISolver,
+    MSASolver,
+    RandomSolver,
+    TCPGSolver,
+    TVPGSolver,
+)
+
+FAST_MSA = MSAConfig(num_starts=1, iterations_per_round=40,
+                     patience_rounds=1, time_limit=10.0)
+
+ALL_SOLVERS = [
+    ("RN", lambda: RandomSolver(seed=1)),
+    ("TVPG", TVPGSolver),
+    ("TCPG", TCPGSolver),
+    ("MSA", lambda: MSASolver(FAST_MSA, seed=2)),
+    ("MSAGI", lambda: MSAGISolver(FAST_MSA, seed=2)),
+    ("JDRL", lambda: JDRLSolver(seed=3)),
+]
+
+
+@pytest.mark.parametrize("name,factory", ALL_SOLVERS)
+class TestAllSolvers:
+    def test_solution_valid(self, name, factory, instance):
+        solution = factory().solve(instance)
+        assert solution.validate() == [], name
+
+    def test_budget_respected(self, name, factory, instance):
+        solution = factory().solve(instance)
+        assert solution.total_incentive <= instance.budget + 1e-6
+
+    def test_solver_name(self, name, factory, instance):
+        solution = factory().solve(instance)
+        assert solution.solver_name == name
+
+    def test_wall_time_positive(self, name, factory, instance):
+        assert factory().solve(instance).wall_time > 0.0
+
+
+class TestRandomSolver:
+    def test_deterministic_given_seed(self, instance):
+        a = RandomSolver(seed=7).solve(instance)
+        b = RandomSolver(seed=7).solve(instance)
+        assert a.objective == pytest.approx(b.objective)
+
+    def test_different_seeds_differ(self, instance):
+        objectives = {round(RandomSolver(seed=s).solve(instance).objective, 6)
+                      for s in range(6)}
+        assert len(objectives) > 1
+
+    def test_terminates_on_max_failures(self, instance):
+        solver = RandomSolver(seed=0, max_failures=5)
+        solution = solver.solve(instance)  # must not hang
+        assert solution is not None
+
+
+class TestGreedySolvers:
+    def test_tvpg_selects_max_gain_first(self, instance):
+        solution = TVPGSolver().solve(instance)
+        assert solution.num_completed >= 1
+
+    def test_tcpg_no_worse_count_than_tvpg(self, instance):
+        # Cost-first fills at least as many tasks on a budget-bound instance.
+        tvpg = TVPGSolver().solve(instance)
+        tcpg = TCPGSolver().solve(instance)
+        assert tcpg.num_completed >= tvpg.num_completed - 1
+
+    def test_greedy_beats_random(self, instance):
+        greedy = TVPGSolver().solve(instance).objective
+        rand = np.mean([RandomSolver(seed=s).solve(instance).objective
+                        for s in range(3)])
+        assert greedy >= rand - 1e-9
+
+
+class TestMSA:
+    def test_msagi_at_least_greedy(self, instance):
+        # Greedy-initialised annealing never returns below its start.
+        greedy = TVPGSolver().solve(instance).objective
+        msagi = MSAGISolver(FAST_MSA, seed=2).solve(instance).objective
+        assert msagi >= greedy - 1e-6
+
+    def test_deterministic_given_seed(self, instance):
+        a = MSASolver(FAST_MSA, seed=5).solve(instance)
+        b = MSASolver(FAST_MSA, seed=5).solve(instance)
+        assert a.objective == pytest.approx(b.objective)
+
+    def test_respects_time_limit(self, instance):
+        config = MSAConfig(num_starts=3, iterations_per_round=10_000,
+                           patience_rounds=100, time_limit=1.0)
+        solution = MSASolver(config, seed=0).solve(instance)
+        assert solution.wall_time < 5.0
+
+
+class TestJDRL:
+    def test_pretrain_reduces_loss(self, instance):
+        solver = JDRLSolver(seed=0)
+        losses = solver.pretrain([instance], iterations=20, lr=3e-2)
+        assert len(losses) > 0
+        assert np.mean(losses[-4:]) <= np.mean(losses[:4]) + 1e-6
+
+    def test_pretrained_solver_still_valid(self, instance):
+        solver = JDRLSolver(seed=0)
+        solver.pretrain([instance], iterations=5)
+        assert solver.solve(instance).validate() == []
+
+    def test_epsilon_randomises(self, instance):
+        greedy = JDRLSolver(seed=0, epsilon=0.0).solve(instance).objective
+        noisy = {round(JDRLSolver(seed=s, epsilon=0.9).solve(instance).objective, 6)
+                 for s in range(4)}
+        assert len(noisy) > 1 or greedy in noisy

@@ -1,0 +1,261 @@
+"""Tests for the hierarchical entropy-based data coverage (Definition 4)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CoverageModel,
+    Grid,
+    Location,
+    Region,
+    SensingTask,
+    spatial_pyramid,
+)
+
+
+@pytest.fixture
+def model():
+    grid = Grid(Region(2000, 2400), 10, 12)
+    return CoverageModel(grid, time_span=240.0, slot_minutes=30.0, alpha=0.5)
+
+
+def task_at(task_id: int, x: float, y: float, slot: int = 0,
+            slot_minutes: float = 30.0) -> SensingTask:
+    return SensingTask(task_id, Location(x, y), slot * slot_minutes,
+                       (slot + 1) * slot_minutes, 5.0)
+
+
+class TestSpatialPyramid:
+    def test_levels_halve(self):
+        grid = Grid(Region(100, 100), 8, 8)
+        levels = spatial_pyramid(grid)
+        dims = [(g.nx, g.ny) for g in levels]
+        assert dims == [(8, 8), (4, 4), (2, 2)]
+
+    def test_root_excluded(self):
+        grid = Grid(Region(100, 100), 4, 4)
+        dims = [(g.nx, g.ny) for g in spatial_pyramid(grid)]
+        assert (1, 1) not in dims
+
+    def test_degenerate_grid_kept(self):
+        grid = Grid(Region(100, 100), 1, 1)
+        assert [(g.nx, g.ny) for g in spatial_pyramid(grid)] == [(1, 1)]
+
+    def test_non_square(self):
+        grid = Grid(Region(2000, 2400), 10, 12)
+        dims = [(g.nx, g.ny) for g in spatial_pyramid(grid)]
+        assert dims[0] == (10, 12)
+        assert dims[-1][0] > 1 or dims[-1][1] > 1
+
+
+class TestCoverageModel:
+    def test_num_slots(self, model):
+        assert model.num_slots == 8
+
+    def test_slot_of(self, model):
+        assert model.slot_of(task_at(1, 0, 0, slot=0)) == 0
+        assert model.slot_of(task_at(1, 0, 0, slot=7)) == 7
+
+    def test_invalid_alpha(self):
+        grid = Grid(Region(100, 100), 2, 2)
+        with pytest.raises(ValueError):
+            CoverageModel(grid, 240.0, 30.0, alpha=1.5)
+
+    def test_invalid_slot_minutes(self):
+        grid = Grid(Region(100, 100), 2, 2)
+        with pytest.raises(ValueError):
+            CoverageModel(grid, 240.0, 0.0)
+
+    def test_invalid_time_span(self):
+        grid = Grid(Region(100, 100), 2, 2)
+        with pytest.raises(ValueError):
+            CoverageModel(grid, -5.0, 30.0)
+
+
+class TestPhi:
+    def test_empty_is_zero(self, model):
+        assert model.phi([]) == 0.0
+
+    def test_single_task_is_zero(self, model):
+        # log2(1) = 0 and one task has zero entropy.
+        assert model.phi([task_at(1, 100, 100)]) == pytest.approx(0.0)
+
+    def test_phi_monotone_in_count_for_spread_tasks(self, model):
+        tasks = [task_at(i, 100 + 200 * (i % 10), 100 + 200 * (i // 10),
+                         slot=i % 8) for i in range(30)]
+        values = [model.phi(tasks[:n]) for n in range(1, 31)]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_balanced_beats_clustered(self, model):
+        # Same count: spread across the region vs piled in one cell.
+        spread = [task_at(i, 100 + 200 * (i % 10), 100 + 200 * (i // 10),
+                          slot=i % 8) for i in range(20)]
+        clustered = [task_at(i, 100, 100, slot=i % 8) for i in range(20)]
+        assert model.phi(spread) > model.phi(clustered)
+
+    def test_temporal_spread_alone_insufficient(self, model):
+        # Tasks in one cell across all slots must still score low on
+        # balance: spatial skew cannot hide behind temporal spread.
+        one_cell = [task_at(i, 100, 100, slot=i % 8) for i in range(16)]
+        two_cells_one_slot = [
+            task_at(i, 100 + 200 * (i % 8), 100, slot=0) for i in range(16)]
+        state = model.new_state()
+        for t in one_cell:
+            state.add(t)
+        assert state.spatial_entropies()[0] == pytest.approx(0.0)
+        assert state.temporal_entropy() == pytest.approx(3.0)
+
+    def test_alpha_zero_counts_only(self):
+        grid = Grid(Region(100, 100), 2, 2)
+        model = CoverageModel(grid, 60.0, 30.0, alpha=0.0)
+        clustered = [task_at(i, 10, 10, slot_minutes=30.0) for i in range(8)]
+        assert model.phi(clustered) == pytest.approx(math.log2(8))
+
+    def test_alpha_one_entropy_only(self):
+        grid = Grid(Region(100, 100), 2, 2)
+        model = CoverageModel(grid, 60.0, 30.0, alpha=1.0)
+        clustered = [task_at(i, 10, 10) for i in range(8)]
+        assert model.phi(clustered) == pytest.approx(0.0)
+
+
+class TestLevelWeighting:
+    def _state(self, scheme, tasks):
+        grid = Grid(Region(2000, 2400), 10, 12)
+        model = CoverageModel(grid, 240.0, 30.0, alpha=0.5,
+                              level_weighting=scheme)
+        state = model.new_state()
+        for t in tasks:
+            state.add(t)
+        return state
+
+    def test_invalid_scheme_rejected(self):
+        grid = Grid(Region(100, 100), 2, 2)
+        with pytest.raises(ValueError):
+            CoverageModel(grid, 240.0, 30.0, level_weighting="magic")
+
+    def test_weights_normalised(self):
+        for scheme in ("mean", "capacity", "finest"):
+            state = self._state(scheme, [])
+            assert sum(state._weights) == pytest.approx(1.0)
+
+    def test_mean_matches_plain_average(self):
+        tasks = [task_at(i, 150 * i + 50, 100, slot=i % 8) for i in range(8)]
+        state = self._state("mean", tasks)
+        terms = state.spatial_entropies() + [state.temporal_entropy()]
+        assert state.entropy() == pytest.approx(sum(terms) / len(terms))
+
+    def test_capacity_emphasises_fine_level(self):
+        # Clustered in one cell: fine entropy 0, coarse saturates late;
+        # the capacity weighting (heavier on fine levels) scores lower.
+        clustered = [task_at(i, 100, 100, slot=i % 8) for i in range(16)]
+        mean_e = self._state("mean", clustered).entropy()
+        cap_e = self._state("capacity", clustered).entropy()
+        assert cap_e < mean_e
+
+    def test_finest_ignores_coarse_levels(self):
+        tasks = [task_at(i, 150 * i + 50, 100, slot=i % 8) for i in range(8)]
+        state = self._state("finest", tasks)
+        fine = state.spatial_entropies()[0]
+        temporal = state.temporal_entropy()
+        assert state.entropy() == pytest.approx((fine + temporal) / 2)
+
+    def test_all_schemes_rank_balanced_above_clustered(self):
+        spread = [task_at(i, 100 + 200 * (i % 10), 100 + 200 * (i // 10),
+                          slot=i % 8) for i in range(20)]
+        clustered = [task_at(i, 100, 100, slot=i % 8) for i in range(20)]
+        for scheme in ("mean", "capacity", "finest"):
+            high = self._state(scheme, spread).phi()
+            low = self._state(scheme, clustered).phi()
+            assert high > low, scheme
+
+
+class TestCoverageState:
+    def test_add_remove_roundtrip(self, model):
+        state = model.new_state()
+        tasks = [task_at(i, 150 * i + 50, 100, slot=i % 8) for i in range(8)]
+        for t in tasks:
+            state.add(t)
+        phi_full = state.phi()
+        extra = task_at(99, 1900, 2300, slot=3)
+        state.add(extra)
+        state.remove(extra)
+        assert state.phi() == pytest.approx(phi_full)
+        assert state.total == 8
+
+    def test_remove_unknown_raises(self, model):
+        state = model.new_state()
+        with pytest.raises(KeyError):
+            state.remove(task_at(1, 100, 100))
+
+    def test_gain_matches_batch_difference(self, model):
+        state = model.new_state()
+        existing = [task_at(i, 100 + 200 * i, 100, slot=i % 8) for i in range(6)]
+        for t in existing:
+            state.add(t)
+        candidate = task_at(50, 1500, 1900, slot=2)
+        expected = model.phi(existing + [candidate]) - model.phi(existing)
+        assert state.gain(candidate) == pytest.approx(expected)
+
+    def test_gain_does_not_mutate(self, model):
+        state = model.new_state()
+        state.add(task_at(1, 100, 100))
+        before = state.phi()
+        state.gain(task_at(2, 500, 900))
+        assert state.phi() == pytest.approx(before)
+        assert state.total == 1
+
+    def test_copy_is_independent(self, model):
+        state = model.new_state()
+        state.add(task_at(1, 100, 100))
+        clone = state.copy()
+        clone.add(task_at(2, 500, 500))
+        assert state.total == 1
+        assert clone.total == 2
+
+    def test_entropy_of_uniform_distribution_max(self):
+        grid = Grid(Region(100, 100), 2, 2)
+        model = CoverageModel(grid, 60.0, 30.0)
+        state = model.new_state()
+        # One task per cell, split over both slots evenly: entropy of the
+        # 2x2 level = 2 bits, temporal = 1 bit.
+        k = 0
+        for i in range(2):
+            for j in range(2):
+                for slot in range(2):
+                    state.add(SensingTask(k, Location(25 + 50 * i, 25 + 50 * j),
+                                          slot * 30.0, (slot + 1) * 30.0, 5.0))
+                    k += 1
+        assert state.spatial_entropies()[0] == pytest.approx(2.0)
+        assert state.temporal_entropy() == pytest.approx(1.0)
+        assert state.entropy() == pytest.approx((2.0 + 1.0) / 2)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(st.floats(0, 1999), st.floats(0, 2399),
+                              st.integers(0, 7)), min_size=1, max_size=40))
+    def test_incremental_matches_batch(self, coords):
+        grid = Grid(Region(2000, 2400), 10, 12)
+        model = CoverageModel(grid, 240.0, 30.0, alpha=0.5)
+        tasks = [task_at(i, x, y, slot=s) for i, (x, y, s) in enumerate(coords)]
+        state = model.new_state()
+        for t in tasks:
+            state.add(t)
+        assert state.phi() == pytest.approx(model.phi(tasks))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(st.floats(0, 1999), st.floats(0, 2399),
+                              st.integers(0, 7)), min_size=2, max_size=30))
+    def test_gain_always_consistent(self, coords):
+        grid = Grid(Region(2000, 2400), 10, 12)
+        model = CoverageModel(grid, 240.0, 30.0, alpha=0.5)
+        tasks = [task_at(i, x, y, slot=s) for i, (x, y, s) in enumerate(coords)]
+        state = model.new_state()
+        for t in tasks[:-1]:
+            state.add(t)
+        gain = state.gain(tasks[-1])
+        state.add(tasks[-1])
+        assert state.phi() == pytest.approx(model.phi(tasks))
+        assert gain == pytest.approx(model.phi(tasks) - model.phi(tasks[:-1]))

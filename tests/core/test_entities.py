@@ -1,0 +1,100 @@
+"""Tests for TravelTask, SensingTask and Worker (paper Definitions 1-3)."""
+
+import pytest
+
+from repro.core import Location, SensingTask, TravelTask, Worker
+
+
+class TestTravelTask:
+    def test_construction(self):
+        task = TravelTask(1, Location(10, 20), 10.0)
+        assert task.task_id == 1
+        assert task.service_time == 10.0
+
+    def test_negative_service_time_rejected(self):
+        with pytest.raises(ValueError):
+            TravelTask(1, Location(0, 0), -1.0)
+
+    def test_hashable(self):
+        task = TravelTask(1, Location(0, 0), 5.0)
+        assert task in {task}
+
+
+class TestSensingTask:
+    def test_construction(self):
+        task = SensingTask(1, Location(0, 0), 30.0, 60.0, 5.0)
+        assert task.tw_start == 30.0
+        assert task.latest_start == 55.0
+
+    def test_window_shorter_than_service_rejected(self):
+        with pytest.raises(ValueError):
+            SensingTask(1, Location(0, 0), 0.0, 4.0, 5.0)
+
+    def test_negative_service_rejected(self):
+        with pytest.raises(ValueError):
+            SensingTask(1, Location(0, 0), 0.0, 30.0, -1.0)
+
+    def test_can_start_at_window_boundaries(self):
+        task = SensingTask(1, Location(0, 0), 30.0, 60.0, 5.0)
+        assert task.can_start_at(30.0)
+        assert task.can_start_at(55.0)
+        assert not task.can_start_at(55.1)
+        assert not task.can_start_at(29.9)
+
+    def test_earliest_completion_waits(self):
+        task = SensingTask(1, Location(0, 0), 30.0, 60.0, 5.0)
+        # Arrive early: wait until tw_start, then sense.
+        assert task.earliest_completion(10.0) == pytest.approx(35.0)
+
+    def test_earliest_completion_on_time(self):
+        task = SensingTask(1, Location(0, 0), 30.0, 60.0, 5.0)
+        assert task.earliest_completion(40.0) == pytest.approx(45.0)
+
+    def test_earliest_completion_too_late(self):
+        task = SensingTask(1, Location(0, 0), 30.0, 60.0, 5.0)
+        assert task.earliest_completion(56.0) is None
+
+    def test_sensing_period_must_fit_window(self):
+        # Definition 3: t + tau <= tw_e, i.e. arrival at exactly
+        # tw_e - tau still works, any later does not.
+        task = SensingTask(1, Location(0, 0), 0.0, 30.0, 10.0)
+        assert task.earliest_completion(20.0) == pytest.approx(30.0)
+        assert task.earliest_completion(20.1) is None
+
+
+class TestWorker:
+    def make_worker(self, **kwargs):
+        defaults = dict(
+            worker_id=1, origin=Location(0, 0), destination=Location(100, 0),
+            earliest_departure=0.0, latest_arrival=100.0,
+            travel_tasks=(TravelTask(10, Location(50, 0), 10.0),))
+        defaults.update(kwargs)
+        return Worker(**defaults)
+
+    def test_time_budget(self):
+        worker = self.make_worker(earliest_departure=30.0, latest_arrival=90.0)
+        assert worker.time_budget == pytest.approx(60.0)
+
+    def test_invalid_time_order_rejected(self):
+        with pytest.raises(ValueError):
+            self.make_worker(earliest_departure=100.0, latest_arrival=50.0)
+
+    def test_travel_tasks_normalised_to_tuple(self):
+        worker = self.make_worker(
+            travel_tasks=[TravelTask(10, Location(1, 1), 5.0)])
+        assert isinstance(worker.travel_tasks, tuple)
+
+    def test_num_travel_tasks(self):
+        assert self.make_worker().num_travel_tasks == 1
+
+    def test_all_locations_order(self):
+        worker = self.make_worker()
+        locations = worker.all_locations()
+        assert locations[0] == worker.origin
+        assert locations[-1] == worker.destination
+        assert len(locations) == 3
+
+    def test_worker_with_no_travel_tasks(self):
+        worker = self.make_worker(travel_tasks=())
+        assert worker.num_travel_tasks == 0
+        assert len(worker.all_locations()) == 2

@@ -1,0 +1,86 @@
+"""Tests for the error hierarchy and the Solution JSON export."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    BudgetExceededError,
+    CoverageModel,
+    Grid,
+    InfeasibleRouteError,
+    InvalidInstanceError,
+    Location,
+    Region,
+    ReproError,
+    SensingTask,
+    Solution,
+    TravelTask,
+    USMDWInstance,
+    Worker,
+    WorkingRoute,
+)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (InvalidInstanceError, InfeasibleRouteError,
+                    BudgetExceededError):
+            assert issubclass(exc, ReproError)
+
+    def test_repro_error_is_exception(self):
+        assert issubclass(ReproError, Exception)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise InvalidInstanceError("bad instance")
+
+
+@pytest.fixture
+def instance():
+    grid = Grid(Region(1000, 1000), 4, 4)
+    coverage = CoverageModel(grid, 240.0, 60.0)
+    worker = Worker(1, Location(0, 0), Location(900, 0), 0.0, 240.0,
+                    (TravelTask(10, Location(400, 0), 10.0),))
+    task = SensingTask(100, Location(600, 0), 0.0, 120.0, 5.0)
+    return USMDWInstance(workers=(worker,), sensing_tasks=(task,),
+                         budget=100.0, mu=1.0, coverage=coverage)
+
+
+class TestSolutionExport:
+    def _solution(self, instance):
+        worker = instance.worker(1)
+        task = instance.sensing_task(100)
+        route = WorkingRoute(worker, (worker.travel_tasks[0], task))
+        return Solution(instance, routes={1: route}, incentives={1: 7.5},
+                        solver_name="export-test", wall_time=0.25)
+
+    def test_serialisable(self, instance):
+        payload = self._solution(instance).to_dict()
+        json.dumps(payload)  # must not raise
+
+    def test_top_level_fields(self, instance):
+        payload = self._solution(instance).to_dict()
+        assert payload["solver"] == "export-test"
+        assert payload["completed_tasks"] == [100]
+        assert payload["total_incentive"] == 7.5
+        assert payload["budget"] == 100.0
+
+    def test_stops_are_ordered_and_typed(self, instance):
+        payload = self._solution(instance).to_dict()
+        stops = payload["workers"]["1"]["stops"]
+        assert [s["kind"] for s in stops] == ["travel", "sensing"]
+        assert stops[0]["finish"] <= stops[1]["arrival"] + 1e-9
+
+    def test_timings_consistent_with_simulation(self, instance):
+        solution = self._solution(instance)
+        payload = solution.to_dict()
+        timing = solution.routes[1].simulate()
+        assert payload["workers"]["1"]["arrival"] == pytest.approx(
+            timing.arrival_at_destination)
+
+    def test_empty_solution(self, instance):
+        payload = Solution(instance, solver_name="empty").to_dict()
+        assert payload["workers"] == {}
+        assert payload["completed_tasks"] == []
+        assert payload["objective"] == 0.0

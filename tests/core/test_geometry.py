@@ -1,0 +1,128 @@
+"""Tests for spatial primitives: locations, regions, grids, travel time."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import DEFAULT_SPEED, Grid, Location, Region, euclidean, travel_time
+
+
+class TestLocation:
+    def test_distance_is_euclidean(self):
+        assert Location(0, 0).distance_to(Location(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_symmetric(self):
+        a, b = Location(1, 2), Location(7, -3)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    def test_travel_time_uses_speed(self):
+        t = Location(0, 0).travel_time_to(Location(120, 0), speed=60.0)
+        assert t == pytest.approx(2.0)
+
+    def test_default_speed_is_papers(self):
+        assert DEFAULT_SPEED == 60.0
+        assert travel_time(Location(0, 0), Location(60, 0)) == pytest.approx(1.0)
+
+    def test_as_array(self):
+        arr = Location(1.5, 2.5).as_array()
+        assert arr.tolist() == [1.5, 2.5]
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Location(0, 0).x = 5
+
+    @given(st.floats(-1e4, 1e4), st.floats(-1e4, 1e4),
+           st.floats(-1e4, 1e4), st.floats(-1e4, 1e4))
+    def test_triangle_inequality(self, x1, y1, x2, y2):
+        a, b, origin = Location(x1, y1), Location(x2, y2), Location(0, 0)
+        assert euclidean(a, b) <= euclidean(a, origin) + euclidean(origin, b) + 1e-6
+
+
+class TestRegion:
+    def test_contains_inside(self):
+        region = Region(100, 200)
+        assert region.contains(Location(50, 150))
+
+    def test_contains_boundary(self):
+        region = Region(100, 200)
+        assert region.contains(Location(0, 0))
+        assert region.contains(Location(100, 200))
+
+    def test_not_contains_outside(self):
+        region = Region(100, 200)
+        assert not region.contains(Location(-1, 50))
+        assert not region.contains(Location(50, 201))
+
+    def test_clamp(self):
+        region = Region(100, 100)
+        clamped = region.clamp(Location(-10, 150))
+        assert clamped == Location(0, 100)
+
+    def test_clamp_noop_inside(self):
+        region = Region(100, 100)
+        assert region.clamp(Location(40, 60)) == Location(40, 60)
+
+    def test_area(self):
+        assert Region(10, 20).area == 200
+
+
+class TestGrid:
+    @pytest.fixture
+    def grid(self):
+        return Grid(Region(2000, 2400), 10, 12)
+
+    def test_num_cells(self, grid):
+        assert grid.num_cells == 120
+
+    def test_cell_sizes(self, grid):
+        assert grid.cell_width == pytest.approx(200.0)
+        assert grid.cell_height == pytest.approx(200.0)
+
+    def test_cell_of_origin(self, grid):
+        assert grid.cell_of(Location(0, 0)) == (0, 0)
+
+    def test_cell_of_far_corner_clamped(self, grid):
+        assert grid.cell_of(Location(2000, 2400)) == (9, 11)
+
+    def test_cell_of_interior(self, grid):
+        assert grid.cell_of(Location(450, 450)) == (2, 2)
+
+    def test_cell_index_row_major(self, grid):
+        assert grid.cell_index(Location(0, 0)) == 0
+        assert grid.cell_index(Location(250, 50)) == 12  # cell (1, 0)
+
+    def test_cell_center_roundtrip(self, grid):
+        for i, j in [(0, 0), (5, 7), (9, 11)]:
+            center = grid.cell_center(i, j)
+            assert grid.cell_of(center) == (i, j)
+
+    def test_cell_center_out_of_range(self, grid):
+        with pytest.raises(IndexError):
+            grid.cell_center(10, 0)
+
+    def test_all_cells_complete(self, grid):
+        cells = grid.all_cells()
+        assert len(cells) == 120
+        assert len(set(cells)) == 120
+
+    def test_coarsen_halves(self, grid):
+        coarse = grid.coarsen()
+        assert (coarse.nx, coarse.ny) == (5, 6)
+
+    def test_coarsen_floor_at_one(self):
+        grid = Grid(Region(100, 100), 1, 1)
+        coarse = grid.coarsen()
+        assert (coarse.nx, coarse.ny) == (1, 1)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Grid(Region(10, 10), 0, 5)
+
+    @given(st.floats(0, 2000), st.floats(0, 2400))
+    def test_cell_of_always_valid(self, x, y):
+        grid = Grid(Region(2000, 2400), 10, 12)
+        i, j = grid.cell_of(Location(x, y))
+        assert 0 <= i < 10
+        assert 0 <= j < 12

@@ -1,0 +1,53 @@
+"""Tests for the incentive model (paper Definition 6)."""
+
+import pytest
+
+from repro.core import IncentiveModel, Location, Worker
+
+
+@pytest.fixture
+def worker():
+    return Worker(1, Location(0, 0), Location(600, 0), 0.0, 120.0, ())
+
+
+class TestIncentiveModel:
+    def test_incentive_proportional_to_extra_time(self, worker):
+        model = IncentiveModel(mu=2.0)
+        model.set_base_rtt(worker, 10.0)
+        assert model.incentive(worker, 25.0) == pytest.approx(30.0)
+
+    def test_zero_extra_time_zero_incentive(self, worker):
+        model = IncentiveModel(mu=1.0)
+        model.set_base_rtt(worker, 10.0)
+        assert model.incentive(worker, 10.0) == 0.0
+
+    def test_never_negative(self, worker):
+        # Approximate base solvers can make rtt < base; clamp at zero.
+        model = IncentiveModel(mu=1.0)
+        model.set_base_rtt(worker, 10.0)
+        assert model.incentive(worker, 9.0) == 0.0
+
+    def test_base_rtt_fn_called_once(self, worker):
+        calls = []
+
+        def base_fn(w):
+            calls.append(w.worker_id)
+            return 10.0
+
+        model = IncentiveModel(mu=1.0, base_rtt_fn=base_fn)
+        model.incentive(worker, 20.0)
+        model.incentive(worker, 30.0)
+        assert calls == [1]
+
+    def test_missing_base_raises(self, worker):
+        model = IncentiveModel(mu=1.0)
+        with pytest.raises(ValueError):
+            model.base_rtt(worker)
+
+    def test_set_base_overrides_fn(self, worker):
+        model = IncentiveModel(mu=1.0, base_rtt_fn=lambda w: 999.0)
+        model.set_base_rtt(worker, 10.0)
+        assert model.base_rtt(worker) == 10.0
+
+    def test_mu_default_matches_paper(self):
+        assert IncentiveModel().mu == 1.0

@@ -1,0 +1,137 @@
+"""Tests for USMDW instances and sensing-task grid construction."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CoverageModel,
+    Grid,
+    InvalidInstanceError,
+    Location,
+    Region,
+    SensingTask,
+    USMDWInstance,
+    Worker,
+    make_sensing_grid_tasks,
+)
+
+
+@pytest.fixture
+def grid():
+    return Grid(Region(2000, 2400), 10, 12)
+
+
+@pytest.fixture
+def coverage(grid):
+    return CoverageModel(grid, 240.0, 30.0, alpha=0.5)
+
+
+def make_instance(coverage, workers=None, tasks=None, **kwargs):
+    workers = workers if workers is not None else (
+        Worker(1, Location(0, 0), Location(100, 100), 0.0, 240.0, ()),)
+    tasks = tasks if tasks is not None else (
+        SensingTask(1, Location(500, 500), 0.0, 30.0, 5.0),)
+    defaults = dict(budget=300.0, mu=1.0, coverage=coverage)
+    defaults.update(kwargs)
+    return USMDWInstance(workers=workers, sensing_tasks=tasks, **defaults)
+
+
+class TestMakeSensingGridTasks:
+    def test_full_grid(self, grid):
+        tasks = make_sensing_grid_tasks(grid, 240.0, 30.0)
+        assert len(tasks) == 120 * 8
+
+    def test_task_windows_tile_time_span(self, grid):
+        tasks = make_sensing_grid_tasks(grid, 240.0, 60.0)
+        starts = {t.tw_start for t in tasks}
+        assert starts == {0.0, 60.0, 120.0, 180.0}
+        assert all(t.tw_end - t.tw_start == 60.0 for t in tasks)
+
+    def test_tasks_at_cell_centers(self, grid):
+        tasks = make_sensing_grid_tasks(grid, 240.0, 240.0)
+        cells = {grid.cell_of(t.location) for t in tasks}
+        assert len(cells) == 120
+
+    def test_density_subsamples(self, grid):
+        rng = np.random.default_rng(0)
+        tasks = make_sensing_grid_tasks(grid, 240.0, 30.0, density=0.25, rng=rng)
+        assert len(tasks) == round(120 * 8 * 0.25)
+
+    def test_density_deterministic_with_seed(self, grid):
+        a = make_sensing_grid_tasks(grid, 240.0, 30.0, density=0.25,
+                                    rng=np.random.default_rng(7))
+        b = make_sensing_grid_tasks(grid, 240.0, 30.0, density=0.25,
+                                    rng=np.random.default_rng(7))
+        assert [t.location for t in a] == [t.location for t in b]
+
+    def test_invalid_density(self, grid):
+        with pytest.raises(ValueError):
+            make_sensing_grid_tasks(grid, 240.0, 30.0, density=0.0)
+
+    def test_unique_ids_with_offset(self, grid):
+        tasks = make_sensing_grid_tasks(grid, 240.0, 120.0, start_id=1000)
+        ids = [t.task_id for t in tasks]
+        assert min(ids) == 1000
+        assert len(set(ids)) == len(ids)
+
+    def test_window_shorter_than_service_skipped(self, grid):
+        # service time longer than the window -> no valid tasks.
+        tasks = make_sensing_grid_tasks(grid, 240.0, 30.0, service_time=31.0)
+        assert tasks == []
+
+
+class TestUSMDWInstance:
+    def test_basic_construction(self, coverage):
+        instance = make_instance(coverage)
+        assert instance.num_workers == 1
+        assert instance.num_sensing_tasks == 1
+
+    def test_lookup_by_id(self, coverage):
+        instance = make_instance(coverage)
+        assert instance.worker(1).worker_id == 1
+        assert instance.sensing_task(1).task_id == 1
+
+    def test_duplicate_worker_ids_rejected(self, coverage):
+        workers = (Worker(1, Location(0, 0), Location(1, 1), 0, 240, ()),
+                   Worker(1, Location(2, 2), Location(3, 3), 0, 240, ()))
+        with pytest.raises(InvalidInstanceError):
+            make_instance(coverage, workers=workers)
+
+    def test_duplicate_task_ids_rejected(self, coverage):
+        tasks = (SensingTask(1, Location(10, 10), 0, 30, 5),
+                 SensingTask(1, Location(20, 20), 0, 30, 5))
+        with pytest.raises(InvalidInstanceError):
+            make_instance(coverage, tasks=tasks)
+
+    def test_negative_budget_rejected(self, coverage):
+        with pytest.raises(InvalidInstanceError):
+            make_instance(coverage, budget=-1.0)
+
+    def test_nonpositive_mu_rejected(self, coverage):
+        with pytest.raises(InvalidInstanceError):
+            make_instance(coverage, mu=0.0)
+
+    def test_nonpositive_speed_rejected(self, coverage):
+        with pytest.raises(InvalidInstanceError):
+            make_instance(coverage, speed=0.0)
+
+    def test_task_outside_region_rejected(self, coverage):
+        tasks = (SensingTask(1, Location(5000, 5000), 0, 30, 5),)
+        with pytest.raises(InvalidInstanceError):
+            make_instance(coverage, tasks=tasks)
+
+    def test_task_window_beyond_span_rejected(self, coverage):
+        tasks = (SensingTask(1, Location(10, 10), 230, 260, 5),)
+        with pytest.raises(InvalidInstanceError):
+            make_instance(coverage, tasks=tasks)
+
+    def test_describe_mentions_sizes(self, coverage):
+        text = make_instance(coverage).describe()
+        assert "|W|=1" in text
+        assert "|S|=1" in text
+
+    def test_workers_normalised_to_tuple(self, coverage):
+        instance = make_instance(
+            coverage,
+            workers=[Worker(1, Location(0, 0), Location(1, 1), 0, 240, ())])
+        assert isinstance(instance.workers, tuple)

@@ -1,0 +1,141 @@
+"""Property-based tests on core routing invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Location,
+    SensingTask,
+    TravelTask,
+    Worker,
+    simulate_route,
+    travel_time,
+)
+
+SPEED = 60.0
+
+
+def build_case(seed: int, num_tasks: int):
+    rng = np.random.default_rng(seed)
+
+    def loc():
+        return Location(float(rng.uniform(0, 2000)), float(rng.uniform(0, 2400)))
+
+    tasks = []
+    for k in range(num_tasks):
+        if rng.random() < 0.5:
+            tasks.append(TravelTask(k, loc(), float(rng.uniform(0, 15))))
+        else:
+            tw_start = float(rng.uniform(0, 180))
+            tw_len = float(rng.uniform(10, 120))
+            tasks.append(SensingTask(k, loc(), tw_start, tw_start + tw_len,
+                                     min(5.0, tw_len)))
+    worker = Worker(0, loc(), loc(), 0.0, float(rng.uniform(60, 400)), ())
+    return worker, tasks
+
+
+class TestSimulationInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(1, 6))
+    def test_rtt_at_least_direct_time(self, seed, n):
+        worker, tasks = build_case(seed, n)
+        timing = simulate_route(worker, tasks, speed=SPEED)
+        direct = travel_time(worker.origin, worker.destination, speed=SPEED)
+        assert timing.route_travel_time >= direct - 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(2, 6))
+    def test_removing_task_never_lengthens_route(self, seed, n):
+        worker, tasks = build_case(seed, n)
+        full = simulate_route(worker, tasks, speed=SPEED)
+        for drop in range(n):
+            reduced = simulate_route(
+                worker, tasks[:drop] + tasks[drop + 1:], speed=SPEED)
+            assert (reduced.arrival_at_destination
+                    <= full.arrival_at_destination + 1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(2, 6))
+    def test_removing_task_preserves_feasibility(self, seed, n):
+        # Earlier arrivals can only help: waiting absorbs them, windows
+        # that were met stay met.
+        worker, tasks = build_case(seed, n)
+        full = simulate_route(worker, tasks, speed=SPEED)
+        if not full.feasible:
+            return
+        for drop in range(n):
+            reduced = simulate_route(
+                worker, tasks[:drop] + tasks[drop + 1:], speed=SPEED)
+            assert reduced.feasible
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(1, 6))
+    def test_rtt_decomposition(self, seed, n):
+        """Equation 1: rtt = travel + waiting + service, exactly."""
+        worker, tasks = build_case(seed, n)
+        timing = simulate_route(worker, tasks, speed=SPEED)
+        locations = ([worker.origin] + [t.location for t in tasks]
+                     + [worker.destination])
+        travel = sum(travel_time(a, b, speed=SPEED)
+                     for a, b in zip(locations, locations[1:]))
+        expected = (travel + timing.total_waiting_time
+                    + timing.total_service_time)
+        assert timing.route_travel_time == pytest.approx(expected)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(1, 5),
+           st.floats(0.0, 100.0))
+    def test_later_departure_never_earlier_arrival(self, seed, n, delay):
+        worker, tasks = build_case(seed, n)
+        base = simulate_route(worker, tasks, speed=SPEED)
+        delayed = simulate_route(worker, tasks, speed=SPEED,
+                                 departure=worker.earliest_departure + delay)
+        assert (delayed.arrival_at_destination
+                >= base.arrival_at_destination - 1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(1, 6))
+    def test_stops_are_causally_ordered(self, seed, n):
+        worker, tasks = build_case(seed, n)
+        timing = simulate_route(worker, tasks, speed=SPEED)
+        clock = timing.departure
+        for stop in timing.stops:
+            assert stop.arrival >= clock - 1e-9
+            assert stop.service_start >= stop.arrival - 1e-9
+            assert stop.finish >= stop.service_start - 1e-9
+            clock = stop.finish
+
+
+class TestInsertionInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(0, 4))
+    def test_insertion_result_contains_new_task(self, seed, n):
+        from repro.tsptw import cheapest_insertion_position
+
+        worker, tasks = build_case(seed, n)
+        new_task = SensingTask(99, Location(1000, 1200), 0.0, 240.0, 5.0)
+        found = cheapest_insertion_position(worker, tasks, new_task, SPEED)
+        if found is None:
+            return
+        position, rtt = found
+        assert 0 <= position <= len(tasks)
+        combined = tasks[:position] + [new_task] + tasks[position:]
+        timing = simulate_route(worker, combined, speed=SPEED)
+        assert timing.feasible
+        assert timing.route_travel_time == pytest.approx(rtt)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(0, 4))
+    def test_insertion_rtt_not_below_base(self, seed, n):
+        from repro.tsptw import cheapest_insertion_position
+
+        worker, tasks = build_case(seed, n)
+        base = simulate_route(worker, tasks, speed=SPEED)
+        if not base.feasible:
+            return
+        new_task = SensingTask(99, Location(500, 700), 0.0, 240.0, 5.0)
+        found = cheapest_insertion_position(worker, tasks, new_task, SPEED)
+        if found is not None:
+            assert found[1] >= base.route_travel_time - 1e-9

@@ -1,0 +1,145 @@
+"""Tests for working routes and route simulation (paper Definition 5)."""
+
+import pytest
+
+from repro.core import (
+    Location,
+    SensingTask,
+    TravelTask,
+    Worker,
+    WorkingRoute,
+    simulate_route,
+)
+
+SPEED = 60.0
+
+
+@pytest.fixture
+def worker():
+    return Worker(
+        worker_id=1,
+        origin=Location(0, 0),
+        destination=Location(600, 0),
+        earliest_departure=0.0,
+        latest_arrival=120.0,
+        travel_tasks=(TravelTask(10, Location(300, 0), 10.0),),
+    )
+
+
+class TestSimulateRoute:
+    def test_empty_route(self, worker):
+        timing = simulate_route(worker, [], speed=SPEED)
+        # Straight line 600m at 60 m/min = 10 minutes.
+        assert timing.route_travel_time == pytest.approx(10.0)
+        assert timing.feasible
+
+    def test_travel_task_route(self, worker):
+        timing = simulate_route(worker, list(worker.travel_tasks), speed=SPEED)
+        # 300m + service 10 + 300m = 5 + 10 + 5 = 20 minutes.
+        assert timing.route_travel_time == pytest.approx(20.0)
+        assert timing.feasible
+        assert timing.stops[0].arrival == pytest.approx(5.0)
+        assert timing.stops[0].finish == pytest.approx(15.0)
+
+    def test_waiting_for_sensing_window(self, worker):
+        sensing = SensingTask(20, Location(300, 0), 30.0, 60.0, 5.0)
+        timing = simulate_route(worker, [sensing], speed=SPEED)
+        stop = timing.stops[0]
+        assert stop.arrival == pytest.approx(5.0)
+        assert stop.service_start == pytest.approx(30.0)   # waited
+        assert stop.waiting_time == pytest.approx(25.0)
+        assert timing.route_travel_time == pytest.approx(40.0)
+        assert timing.feasible
+
+    def test_missed_window_infeasible(self, worker):
+        # Window closes before the worker can arrive.
+        sensing = SensingTask(20, Location(600, 0), 0.0, 8.0, 5.0)
+        timing = simulate_route(worker, [sensing], speed=SPEED)
+        assert not timing.feasible
+        assert timing.violated_at == 0
+
+    def test_late_arrival_infeasible(self, worker):
+        sensing = SensingTask(20, Location(300, 1200), 0.0, 240.0, 5.0)
+        # Long detour: 0->(300,1200) is ~20.6 min, plus return: exceeds 120?
+        timing = simulate_route(worker, [sensing], speed=SPEED)
+        assert timing.route_travel_time > 0
+        # The detour is feasible in time windows but check total:
+        # distance 0->(300,1200)=1237m=20.6min, 5 service,
+        # (300,1200)->(600,0)=1237m=20.6min -> about 46min: feasible.
+        assert timing.feasible
+
+    def test_latest_arrival_violation_flagged_at_end(self):
+        worker = Worker(1, Location(0, 0), Location(600, 0), 0.0, 9.0, ())
+        timing = simulate_route(worker, [], speed=SPEED)
+        assert not timing.feasible
+        assert timing.violated_at == 0  # index len(tasks) == 0
+
+    def test_departure_override(self, worker):
+        timing = simulate_route(worker, [], speed=SPEED, departure=50.0)
+        assert timing.departure == pytest.approx(50.0)
+        assert timing.arrival_at_destination == pytest.approx(60.0)
+
+    def test_total_service_and_waiting(self, worker):
+        sensing = SensingTask(20, Location(300, 0), 30.0, 60.0, 5.0)
+        timing = simulate_route(worker, [sensing, *worker.travel_tasks],
+                                speed=SPEED)
+        assert timing.total_service_time == pytest.approx(15.0)
+        assert timing.total_waiting_time == pytest.approx(25.0)
+
+
+class TestWorkingRoute:
+    def test_task_partition(self, worker):
+        sensing = SensingTask(20, Location(100, 0), 0.0, 120.0, 5.0)
+        route = WorkingRoute(worker, (sensing, *worker.travel_tasks))
+        assert route.sensing_tasks == (sensing,)
+        assert route.travel_tasks == worker.travel_tasks
+
+    def test_covers_all_travel_tasks(self, worker):
+        complete = WorkingRoute(worker, worker.travel_tasks)
+        assert complete.covers_all_travel_tasks()
+        missing = WorkingRoute(worker, ())
+        assert not missing.covers_all_travel_tasks()
+
+    def test_feasible_requires_travel_tasks(self, worker):
+        # Time-feasible but missing a mandatory stop.
+        route = WorkingRoute(worker, ())
+        assert route.simulate().feasible
+        assert not route.feasible
+
+    def test_with_task_inserted(self, worker):
+        sensing = SensingTask(20, Location(100, 0), 0.0, 120.0, 5.0)
+        base = WorkingRoute(worker, worker.travel_tasks)
+        extended = base.with_task_inserted(sensing, 0)
+        assert extended.tasks[0] is sensing
+        assert len(extended.tasks) == 2
+        # Original unchanged (immutability).
+        assert len(base.tasks) == 1
+
+    def test_without_task(self, worker):
+        sensing = SensingTask(20, Location(100, 0), 0.0, 120.0, 5.0)
+        route = WorkingRoute(worker, (sensing, *worker.travel_tasks))
+        removed = route.without_task(sensing)
+        assert sensing not in removed.tasks
+
+    def test_route_travel_time_matches_simulation(self, worker):
+        route = WorkingRoute(worker, worker.travel_tasks)
+        assert route.route_travel_time == pytest.approx(
+            route.simulate().route_travel_time)
+
+    def test_tasks_normalised_to_tuple(self, worker):
+        route = WorkingRoute(worker, list(worker.travel_tasks))
+        assert isinstance(route.tasks, tuple)
+
+
+class TestRouteTravelTimeDefinition:
+    """rtt must equal travel + waiting + service exactly (Equation 1)."""
+
+    def test_decomposition(self, worker):
+        sensing = SensingTask(20, Location(300, 0), 30.0, 60.0, 5.0)
+        tasks = [sensing, *worker.travel_tasks]
+        timing = simulate_route(worker, tasks, speed=SPEED)
+        travel = (Location(0, 0).distance_to(Location(300, 0))
+                  + Location(300, 0).distance_to(Location(300, 0))
+                  + Location(300, 0).distance_to(Location(600, 0))) / SPEED
+        expected = travel + timing.total_waiting_time + timing.total_service_time
+        assert timing.route_travel_time == pytest.approx(expected)

@@ -1,0 +1,117 @@
+"""Tests for the Solution container and its constraint validator."""
+
+import pytest
+
+from repro.core import (
+    CoverageModel,
+    Grid,
+    IncentiveModel,
+    Location,
+    Region,
+    SensingTask,
+    Solution,
+    TravelTask,
+    USMDWInstance,
+    Worker,
+    WorkingRoute,
+)
+
+
+@pytest.fixture
+def instance():
+    grid = Grid(Region(2000, 2400), 10, 12)
+    coverage = CoverageModel(grid, 240.0, 30.0)
+    workers = (
+        Worker(1, Location(0, 0), Location(600, 0), 0.0, 240.0,
+               (TravelTask(10, Location(300, 0), 10.0),)),
+        Worker(2, Location(0, 100), Location(600, 100), 0.0, 240.0, ()),
+    )
+    tasks = (
+        SensingTask(100, Location(150, 0), 0.0, 120.0, 5.0),
+        SensingTask(101, Location(450, 0), 0.0, 120.0, 5.0),
+    )
+    return USMDWInstance(workers=workers, sensing_tasks=tasks,
+                         budget=300.0, mu=1.0, coverage=coverage)
+
+
+def solution_with(instance, tasks_for_w1):
+    worker = instance.worker(1)
+    route = WorkingRoute(worker, (tasks_for_w1[0], *worker.travel_tasks,
+                                  *tasks_for_w1[1:]))
+    return Solution(instance, routes={1: route}, incentives={1: 10.0},
+                    solver_name="test")
+
+
+class TestSolution:
+    def test_completed_tasks(self, instance):
+        solution = solution_with(instance, [instance.sensing_task(100)])
+        assert [t.task_id for t in solution.completed_tasks] == [100]
+
+    def test_objective_matches_coverage(self, instance):
+        solution = solution_with(instance, [instance.sensing_task(100)])
+        assert solution.objective == pytest.approx(
+            instance.coverage.phi(solution.completed_tasks))
+
+    def test_budget_accounting(self, instance):
+        solution = solution_with(instance, [instance.sensing_task(100)])
+        assert solution.total_incentive == 10.0
+        assert solution.budget_remaining == 290.0
+
+    def test_empty_solution_valid(self, instance):
+        solution = Solution(instance)
+        assert solution.is_valid()
+        assert solution.objective == 0.0
+
+    def test_summary_format(self, instance):
+        text = solution_with(instance, [instance.sensing_task(100)]).summary()
+        assert "phi=" in text
+        assert "test" in text
+
+
+class TestValidation:
+    def test_valid_solution(self, instance):
+        solution = solution_with(instance, [instance.sensing_task(100)])
+        assert solution.validate() == []
+
+    def test_detects_missing_travel_task(self, instance):
+        worker = instance.worker(1)
+        route = WorkingRoute(worker, (instance.sensing_task(100),))
+        solution = Solution(instance, routes={1: route}, incentives={1: 5.0})
+        problems = solution.validate()
+        assert any("travel tasks" in p for p in problems)
+
+    def test_detects_duplicate_completion(self, instance):
+        task = instance.sensing_task(100)
+        w1, w2 = instance.worker(1), instance.worker(2)
+        r1 = WorkingRoute(w1, (task, *w1.travel_tasks))
+        r2 = WorkingRoute(w2, (task,))
+        solution = Solution(instance, routes={1: r1, 2: r2},
+                            incentives={1: 1.0, 2: 1.0})
+        problems = solution.validate()
+        assert any("multiple workers" in p for p in problems)
+
+    def test_detects_budget_overrun(self, instance):
+        solution = solution_with(instance, [instance.sensing_task(100)])
+        solution.incentives[1] = 301.0
+        problems = solution.validate()
+        assert any("budget exceeded" in p for p in problems)
+
+    def test_detects_time_violation(self, instance):
+        # Worker 2 route with a window that closed long before arrival.
+        late = SensingTask(999, Location(600, 100), 0.0, 8.0, 5.0)
+        # not in the instance's task set, but validation only checks timing
+        w2 = instance.worker(2)
+        route = WorkingRoute(w2, (late,))
+        solution = Solution(instance, routes={2: route}, incentives={2: 0.0})
+        problems = solution.validate()
+        assert any("time constraints" in p for p in problems)
+
+    def test_incentive_cross_check(self, instance):
+        model = IncentiveModel(mu=1.0)
+        model.set_base_rtt(instance.worker(1), 20.0)
+        solution = solution_with(instance, [instance.sensing_task(100)])
+        rtt = solution.routes[1].route_travel_time
+        solution.incentives[1] = model.incentive(instance.worker(1), rtt)
+        assert solution.validate(model) == []
+        solution.incentives[1] += 5.0
+        assert any("incentive" in p for p in solution.validate(model))

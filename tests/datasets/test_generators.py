@@ -1,0 +1,155 @@
+"""Tests for the three dataset family generators."""
+
+import numpy as np
+import pytest
+
+from repro.core import simulate_route
+from repro.datasets import (
+    DELIVERY_SPEC,
+    LADE_SPEC,
+    LADE_STATIONS,
+    TOURISM_POIS,
+    TOURISM_SPEC,
+    delivery_generator,
+    generator_for,
+    lade_generator,
+    tourism_generator,
+)
+from repro.tsptw import InsertionSolver
+
+GENERATORS = [
+    ("delivery", delivery_generator),
+    ("tourism", tourism_generator),
+    ("lade", lade_generator),
+]
+
+
+@pytest.mark.parametrize("name,factory", GENERATORS)
+class TestAllGenerators:
+    def test_worker_inside_region(self, name, factory):
+        generator = factory()
+        rng = np.random.default_rng(0)
+        for worker in generator.make_workers(rng, count=5):
+            region = generator.spec.region
+            assert region.contains(worker.origin)
+            assert region.contains(worker.destination)
+            for task in worker.travel_tasks:
+                assert region.contains(task.location)
+
+    def test_worker_route_is_feasible(self, name, factory):
+        generator = factory()
+        rng = np.random.default_rng(1)
+        planner = InsertionSolver(speed=generator.spec.speed)
+        for worker in generator.make_workers(rng, count=5):
+            result = planner.base_route(worker)
+            assert result.feasible, f"{name} worker cannot finish own trip"
+
+    def test_worker_fits_time_span(self, name, factory):
+        generator = factory()
+        rng = np.random.default_rng(2)
+        for worker in generator.make_workers(rng, count=5):
+            assert worker.earliest_departure >= 0.0
+            assert worker.latest_arrival <= generator.spec.time_span + 1e-9
+
+    def test_travel_task_counts_in_range(self, name, factory):
+        generator = factory()
+        rng = np.random.default_rng(3)
+        low, high = generator.spec.travel_tasks_per_worker
+        counts = [generator.make_worker(i, rng).num_travel_tasks
+                  for i in range(30)]
+        assert min(counts) >= 0
+        assert max(counts) <= high
+
+    def test_worker_count_range(self, name, factory):
+        generator = factory()
+        rng = np.random.default_rng(4)
+        low, high = generator.spec.workers_per_instance
+        for _ in range(5):
+            workers = generator.make_workers(rng)
+            assert low <= len(workers) <= high
+
+    def test_deterministic_given_seed(self, name, factory):
+        a = factory().make_workers(np.random.default_rng(5), count=3)
+        b = factory().make_workers(np.random.default_rng(5), count=3)
+        assert [w.origin for w in a] == [w.origin for w in b]
+
+    def test_service_time_matches_spec(self, name, factory):
+        generator = factory()
+        rng = np.random.default_rng(6)
+        worker = generator.make_worker(0, rng)
+        for task in worker.travel_tasks:
+            assert task.service_time == generator.spec.travel_service_time
+
+    def test_slack_leaves_room_for_sensing(self, name, factory):
+        generator = factory()
+        rng = np.random.default_rng(7)
+        planner = InsertionSolver(speed=generator.spec.speed)
+        slacks = []
+        for worker in generator.make_workers(rng, count=8):
+            base = planner.base_route(worker).route_travel_time
+            slacks.append(worker.time_budget - base)
+        assert np.mean(slacks) > 0.0
+
+
+class TestSpecs:
+    def test_paper_grid_sizes(self):
+        assert (DELIVERY_SPEC.grid_nx, DELIVERY_SPEC.grid_ny) == (10, 12)
+        assert (TOURISM_SPEC.grid_nx, TOURISM_SPEC.grid_ny) == (10, 10)
+        assert (LADE_SPEC.grid_nx, LADE_SPEC.grid_ny) == (10, 10)
+
+    def test_paper_time_spans(self):
+        assert DELIVERY_SPEC.time_span == 240.0
+        assert TOURISM_SPEC.time_span == 360.0
+        assert LADE_SPEC.time_span == 240.0
+
+    def test_paper_service_times(self):
+        assert DELIVERY_SPEC.travel_service_time == 10.0   # couriers: 10 min
+        assert TOURISM_SPEC.travel_service_time == 20.0    # tourists: 20 min
+        assert LADE_SPEC.travel_service_time == 10.0
+
+    def test_paper_regions(self):
+        assert (DELIVERY_SPEC.region.width,
+                DELIVERY_SPEC.region.height) == (2000.0, 2400.0)
+        assert (TOURISM_SPEC.region.width,
+                TOURISM_SPEC.region.height) == (8000.0, 8000.0)
+
+    def test_fixed_pois_inside_region(self):
+        for poi in TOURISM_POIS:
+            assert TOURISM_SPEC.region.contains(poi)
+
+    def test_fixed_stations_inside_region(self):
+        for station in LADE_STATIONS:
+            assert LADE_SPEC.region.contains(station)
+
+    def test_generator_for_lookup(self):
+        assert generator_for("delivery").spec.name == "delivery"
+        with pytest.raises(KeyError):
+            generator_for("nonexistent")
+
+
+class TestDatasetCharacter:
+    def test_tourism_tasks_near_pois(self):
+        generator = tourism_generator()
+        rng = np.random.default_rng(8)
+        worker = generator.make_worker(0, rng)
+        for task in worker.travel_tasks:
+            nearest = min(task.location.distance_to(p) for p in TOURISM_POIS)
+            assert nearest < 500.0
+
+    def test_delivery_tasks_clustered(self):
+        generator = delivery_generator()
+        rng = np.random.default_rng(9)
+        worker = generator.make_worker(0, rng)
+        if worker.num_travel_tasks >= 2:
+            points = [t.location for t in worker.travel_tasks]
+            cx = np.mean([p.x for p in points])
+            cy = np.mean([p.y for p in points])
+            spreads = [np.hypot(p.x - cx, p.y - cy) for p in points]
+            assert np.mean(spreads) < 900.0
+
+    def test_lade_endpoints_near_stations(self):
+        generator = lade_generator()
+        rng = np.random.default_rng(10)
+        worker = generator.make_worker(0, rng)
+        nearest = min(worker.origin.distance_to(s) for s in LADE_STATIONS)
+        assert nearest < 800.0

@@ -1,0 +1,125 @@
+"""Tests for instance construction, splits and Figure-4 distributions."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_NAMES,
+    InstanceOptions,
+    generate_instance,
+    generate_instances,
+    generator_for,
+    summarize_dataset,
+    train_val_test_split,
+    travel_task_histogram,
+    worker_count_histogram,
+)
+
+
+@pytest.fixture(scope="module")
+def delivery_instances():
+    return generate_instances("delivery", 8, seed=0,
+                              options=InstanceOptions(task_density=0.1))
+
+
+class TestGenerateInstances:
+    def test_count(self, delivery_instances):
+        assert len(delivery_instances) == 8
+
+    def test_deterministic(self):
+        options = InstanceOptions(task_density=0.1)
+        a = generate_instances("delivery", 2, seed=3, options=options)
+        b = generate_instances("delivery", 2, seed=3, options=options)
+        assert a[0].workers[0].origin == b[0].workers[0].origin
+        assert [t.task_id for t in a[0].sensing_tasks] == \
+            [t.task_id for t in b[0].sensing_tasks]
+
+    def test_instances_validate(self, delivery_instances):
+        for instance in delivery_instances:
+            instance.validate()  # raises on problems
+
+    def test_names_unique(self, delivery_instances):
+        names = [i.name for i in delivery_instances]
+        assert len(set(names)) == len(names)
+
+    def test_options_applied(self):
+        options = InstanceOptions(budget=123.0, mu=2.0, window_minutes=60.0,
+                                  alpha=0.7, task_density=0.1)
+        instance = generate_instances("delivery", 1, seed=0,
+                                      options=options)[0]
+        assert instance.budget == 123.0
+        assert instance.mu == 2.0
+        assert instance.coverage.alpha == 0.7
+        windows = {t.tw_end - t.tw_start for t in instance.sensing_tasks}
+        assert windows == {60.0}
+
+    def test_fixed_worker_count(self):
+        options = InstanceOptions(task_density=0.1, num_workers=3)
+        instance = generate_instances("tourism", 1, seed=0, options=options)[0]
+        assert instance.num_workers == 3
+
+    @pytest.mark.parametrize("dataset", DATASET_NAMES)
+    def test_all_datasets_generate(self, dataset):
+        options = InstanceOptions(task_density=0.05)
+        instance = generate_instances(dataset, 1, seed=1, options=options)[0]
+        assert instance.num_workers > 0
+        assert instance.num_sensing_tasks > 0
+
+    def test_sensing_task_density(self):
+        generator = generator_for("delivery")
+        full = generator.spec.grid.num_cells * 8  # 240 / 30 slots
+        options = InstanceOptions(task_density=0.5)
+        instance = generate_instances("delivery", 1, seed=0,
+                                      options=options)[0]
+        assert instance.num_sensing_tasks == round(full * 0.5)
+
+
+class TestSplit:
+    def test_paper_proportions(self):
+        instances = list(range(160))  # stand-in objects
+        train, val, test = train_val_test_split(instances)
+        assert (len(train), len(val), len(test)) == (120, 20, 20)
+
+    def test_no_overlap_and_complete(self):
+        instances = list(range(40))
+        train, val, test = train_val_test_split(instances)
+        assert len(train) + len(val) + len(test) == 40
+        assert set(train).isdisjoint(val)
+        assert set(val).isdisjoint(test)
+
+    def test_too_few_instances_raises(self):
+        with pytest.raises(ValueError):
+            train_val_test_split([1, 2, 3], val_fraction=0.5,
+                                 test_fraction=0.5)
+
+    def test_tiny_list_gets_train_only(self):
+        train, val, test = train_val_test_split([1, 2])
+        assert train == [1, 2]
+        assert val == [] and test == []
+
+
+class TestDistributions:
+    def test_travel_task_histogram(self, delivery_instances):
+        dist = travel_task_histogram(delivery_instances)
+        assert dist.counts.sum() == sum(i.num_workers
+                                        for i in delivery_instances)
+        assert dist.mean > 0
+
+    def test_worker_count_histogram(self, delivery_instances):
+        dist = worker_count_histogram(delivery_instances)
+        assert dist.counts.sum() == len(delivery_instances)
+
+    def test_summary_has_both_panels(self, delivery_instances):
+        summary = summarize_dataset(delivery_instances)
+        assert set(summary) == {"travel_tasks", "workers"}
+
+    def test_rows_render(self, delivery_instances):
+        dist = travel_task_histogram(delivery_instances, bins=5)
+        rows = dist.rows()
+        assert len(rows) == 5
+        assert all(isinstance(label, str) for label, _ in rows)
+
+    def test_moments(self, delivery_instances):
+        dist = travel_task_histogram(delivery_instances)
+        assert dist.min <= dist.mean <= dist.max
+        assert dist.std >= 0

@@ -1,0 +1,177 @@
+"""Tests for the trajectory substrate: synthesis, stay-point detection,
+and the worker round-trip."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Location, TravelTask, Worker
+from repro.datasets.trajectories import (
+    StayPoint,
+    Trajectory,
+    TrajectoryPoint,
+    detect_stay_points,
+    synthesize_trip,
+    worker_from_trajectory,
+)
+
+
+@pytest.fixture
+def courier():
+    return Worker(
+        worker_id=7,
+        origin=Location(0, 0),
+        destination=Location(1200, 0),
+        earliest_departure=10.0,
+        latest_arrival=250.0,
+        travel_tasks=(
+            TravelTask(1, Location(400, 0), 10.0),
+            TravelTask(2, Location(800, 300), 12.0),
+        ),
+    )
+
+
+class TestTrajectory:
+    def test_rejects_unsorted_timestamps(self):
+        with pytest.raises(ValueError):
+            Trajectory((TrajectoryPoint(5, 0, 0), TrajectoryPoint(1, 0, 0)))
+
+    def test_duration(self):
+        traj = Trajectory((TrajectoryPoint(2, 0, 0), TrajectoryPoint(9, 1, 1)))
+        assert traj.duration == 7.0
+        assert len(traj) == 2
+
+    def test_empty_duration(self):
+        assert Trajectory(()).duration == 0.0
+
+
+class TestSynthesizeTrip:
+    def test_starts_and_ends_at_endpoints(self, courier):
+        traj = synthesize_trip(courier)
+        assert traj.points[0].location.distance_to(courier.origin) < 1e-9
+        assert traj.points[-1].location.distance_to(courier.destination) < 1e-6
+
+    def test_timestamps_span_route(self, courier):
+        traj = synthesize_trip(courier)
+        assert traj.points[0].t == pytest.approx(courier.earliest_departure)
+        assert traj.duration > 0
+
+    def test_sample_period_respected(self, courier):
+        traj = synthesize_trip(courier, sample_period=2.0)
+        gaps = [b.t - a.t for a, b in zip(traj.points, traj.points[1:])]
+        assert max(gaps) <= 2.0 + 1e-9
+
+    def test_dwells_at_travel_tasks(self, courier):
+        traj = synthesize_trip(courier, sample_period=1.0)
+        # During the 10-minute service at (400, 0) the position holds.
+        at_task = [p for p in traj.points
+                   if p.location.distance_to(Location(400, 0)) < 1.0]
+        assert len(at_task) >= 9
+
+    def test_noise_perturbs_positions(self, courier):
+        clean = synthesize_trip(courier, noise_std=0.0)
+        noisy = synthesize_trip(courier, noise_std=10.0,
+                                rng=np.random.default_rng(0))
+        deltas = [c.location.distance_to(n.location)
+                  for c, n in zip(clean.points, noisy.points)]
+        assert np.mean(deltas) > 1.0
+
+    def test_deterministic_given_rng(self, courier):
+        a = synthesize_trip(courier, noise_std=5.0,
+                            rng=np.random.default_rng(3))
+        b = synthesize_trip(courier, noise_std=5.0,
+                            rng=np.random.default_rng(3))
+        assert all(p.x == q.x and p.y == q.y
+                   for p, q in zip(a.points, b.points))
+
+
+class TestDetectStayPoints:
+    def test_finds_service_stops(self, courier):
+        traj = synthesize_trip(courier, sample_period=1.0)
+        stays = detect_stay_points(traj, radius=30.0, min_duration=5.0)
+        stay_locations = [s.location for s in stays]
+        for task in courier.travel_tasks:
+            nearest = min(loc.distance_to(task.location)
+                          for loc in stay_locations)
+            assert nearest < 30.0, f"stop at {task.location} not detected"
+
+    def test_no_stays_in_pure_motion(self):
+        # Constant-velocity trace, no dwells long enough.
+        points = tuple(TrajectoryPoint(t, 100.0 * t, 0.0) for t in range(20))
+        assert detect_stay_points(Trajectory(points), radius=30.0,
+                                  min_duration=2.0) == []
+
+    def test_stay_interval_recorded(self):
+        points = (
+            [TrajectoryPoint(t, 50.0 * t, 0.0) for t in range(5)]
+            + [TrajectoryPoint(5 + k, 250.0, 0.0) for k in range(10)]
+            + [TrajectoryPoint(15 + t, 250.0 + 50.0 * t, 0.0)
+               for t in range(1, 5)]
+        )
+        stays = detect_stay_points(Trajectory(tuple(points)), radius=10.0,
+                                   min_duration=5.0)
+        assert len(stays) == 1
+        stay = stays[0]
+        assert stay.arrival == pytest.approx(5.0, abs=1.01)
+        assert stay.duration >= 5.0
+        assert stay.location.distance_to(Location(250, 0)) < 10.0
+
+    def test_noise_tolerant(self, courier):
+        traj = synthesize_trip(courier, noise_std=5.0,
+                               rng=np.random.default_rng(1))
+        stays = detect_stay_points(traj, radius=40.0, min_duration=5.0)
+        assert len(stays) >= len(courier.travel_tasks)
+
+
+class TestWorkerRoundTrip:
+    def test_recovers_stop_structure(self, courier):
+        traj = synthesize_trip(courier, sample_period=1.0)
+        rebuilt = worker_from_trajectory(traj, worker_id=7, radius=40.0,
+                                         min_duration=5.0)
+        assert rebuilt.num_travel_tasks == courier.num_travel_tasks
+        for original, recovered in zip(courier.travel_tasks,
+                                       rebuilt.travel_tasks):
+            assert recovered.location.distance_to(original.location) < 40.0
+
+    def test_endpoints_and_times(self, courier):
+        traj = synthesize_trip(courier)
+        rebuilt = worker_from_trajectory(traj, worker_id=7)
+        assert rebuilt.origin.distance_to(courier.origin) < 1e-6
+        assert rebuilt.destination.distance_to(courier.destination) < 1e-5
+        assert rebuilt.earliest_departure == pytest.approx(
+            courier.earliest_departure)
+
+    def test_slack_extends_window(self, courier):
+        traj = synthesize_trip(courier)
+        tight = worker_from_trajectory(traj, worker_id=7, slack=1.0)
+        loose = worker_from_trajectory(traj, worker_id=7, slack=1.5)
+        assert loose.time_budget > tight.time_budget
+
+    def test_rebuilt_worker_route_feasible(self, courier):
+        from repro.tsptw import InsertionSolver
+
+        traj = synthesize_trip(courier, sample_period=1.0)
+        rebuilt = worker_from_trajectory(traj, worker_id=7, slack=1.2)
+        assert InsertionSolver().base_route(rebuilt).feasible
+
+    def test_too_short_trajectory_rejected(self):
+        with pytest.raises(ValueError):
+            worker_from_trajectory(
+                Trajectory((TrajectoryPoint(0, 0, 0),)), worker_id=1)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_property_roundtrip_counts(self, seed):
+        rng = np.random.default_rng(seed)
+        num_tasks = int(rng.integers(1, 4))
+        # Well-separated stops so detection is unambiguous.
+        xs = np.cumsum(rng.uniform(300, 600, size=num_tasks + 1))
+        tasks = tuple(TravelTask(k, Location(float(xs[k]), 0.0), 10.0)
+                      for k in range(num_tasks))
+        worker = Worker(1, Location(0, 0), Location(float(xs[-1] + 400), 0.0),
+                        0.0, 10_000.0, tasks)
+        traj = synthesize_trip(worker, sample_period=1.0)
+        rebuilt = worker_from_trajectory(traj, worker_id=1, radius=40.0,
+                                         min_duration=5.0)
+        assert rebuilt.num_travel_tasks == num_tasks

@@ -1,0 +1,28 @@
+"""Shared fixtures: a tiny run profile so experiment tests stay fast."""
+
+import pytest
+
+from repro.baselines import MSAConfig
+from repro.experiments import ExperimentRunner, RunProfile
+from repro.experiments.pretrained import PretrainSpec
+
+TINY_PRETRAIN = PretrainSpec(
+    num_train=2, num_val=1, imitation_iterations=2, rl_iterations=1,
+    d_model=8, num_heads=2, num_layers=1, conv_channels=2,
+    task_density=0.05,
+)
+
+TINY_PROFILE = RunProfile(
+    name="tiny",
+    num_test_instances=1,
+    task_density=0.05,
+    msa=MSAConfig(num_starts=1, iterations_per_round=15,
+                  patience_rounds=1, time_limit=5.0),
+    pretrain=TINY_PRETRAIN,
+)
+
+
+@pytest.fixture
+def runner(tmp_path):
+    return ExperimentRunner(profile=TINY_PROFILE, seed=100,
+                            cache_dir=tmp_path / "pretrained")

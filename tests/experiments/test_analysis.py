@@ -1,0 +1,114 @@
+"""Tests for solution analytics: worker reports and spatial Gini."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CoverageModel,
+    Grid,
+    Location,
+    Region,
+    SensingTask,
+    Solution,
+    TravelTask,
+    USMDWInstance,
+    Worker,
+    WorkingRoute,
+)
+from repro.datasets import InstanceOptions, generate_instances
+from repro.experiments.analysis import analyze_solution, spatial_gini
+from repro.smore import RatioSelectionRule, SMORESolver
+from repro.tsptw import InsertionSolver
+
+
+@pytest.fixture(scope="module")
+def solved():
+    options = InstanceOptions(task_density=0.08)
+    instance = generate_instances("delivery", 1, seed=9, options=options)[0]
+    solution = SMORESolver(InsertionSolver(), RatioSelectionRule()).solve(instance)
+    return instance, solution
+
+
+class TestSpatialGini:
+    def _solution_with_tasks(self, cells):
+        grid = Grid(Region(400, 400), 4, 4)
+        coverage = CoverageModel(grid, 240.0, 60.0)
+        worker = Worker(1, Location(0, 0), Location(399, 399), 0.0, 240.0, ())
+        tasks = tuple(
+            SensingTask(100 + k, grid.cell_center(i, j), 0.0, 240.0, 1.0)
+            for k, (i, j) in enumerate(cells))
+        instance = USMDWInstance(workers=(worker,), sensing_tasks=tasks,
+                                 budget=1000.0, mu=1.0, coverage=coverage)
+        route = WorkingRoute(worker, tasks)
+        return Solution(instance, routes={1: route}, incentives={1: 0.0})
+
+    def test_empty_solution_zero(self):
+        solution = self._solution_with_tasks([])
+        solution.routes = {}
+        assert spatial_gini(solution) == 0.0
+
+    def test_perfectly_even_low_gini(self):
+        # One task in every cell of the 4x4 grid.
+        cells = [(i, j) for i in range(4) for j in range(4)]
+        assert spatial_gini(self._solution_with_tasks(cells)) == pytest.approx(
+            0.0, abs=1e-9)
+
+    def test_single_cell_high_gini(self):
+        cells = [(0, 0)] * 8
+        gini = spatial_gini(self._solution_with_tasks(cells))
+        assert gini > 0.9
+
+    def test_partial_spread_intermediate(self):
+        even = spatial_gini(self._solution_with_tasks(
+            [(i, j) for i in range(4) for j in range(4)]))
+        half = spatial_gini(self._solution_with_tasks(
+            [(i, j) for i in range(2) for j in range(4)] * 2))
+        single = spatial_gini(self._solution_with_tasks([(0, 0)] * 16))
+        assert even < half < single
+
+
+class TestAnalyzeSolution:
+    def test_report_totals_match_solution(self, solved):
+        instance, solution = solved
+        report = analyze_solution(solution)
+        assert report.objective == pytest.approx(solution.objective)
+        assert report.num_completed == solution.num_completed
+        assert report.total_incentive == pytest.approx(
+            solution.total_incentive)
+        assert 0.0 <= report.budget_utilisation <= 1.0 + 1e-9
+
+    def test_worker_reports_cover_recruited(self, solved):
+        _, solution = solved
+        report = analyze_solution(solution)
+        assert {w.worker_id for w in report.workers} == set(solution.routes)
+
+    def test_detour_ratio_at_least_one(self, solved):
+        _, solution = solved
+        report = analyze_solution(solution)
+        for worker in report.workers:
+            assert worker.detour_ratio >= 1.0 - 1e-6
+
+    def test_task_counts_sum(self, solved):
+        _, solution = solved
+        report = analyze_solution(solution)
+        assert sum(w.sensing_tasks for w in report.workers) == \
+            solution.num_completed
+
+    def test_coverage_fraction(self, solved):
+        _, solution = solved
+        report = analyze_solution(solution)
+        assert 0.0 <= report.coverage_fraction <= 1.0
+
+    def test_render_is_readable(self, solved):
+        _, solution = solved
+        text = analyze_solution(solution).render()
+        assert "objective" in text
+        assert "Gini" in text
+        assert "worker" in text
+
+    def test_incentive_per_task_zero_for_no_tasks(self):
+        from repro.experiments.analysis import WorkerReport
+
+        report = WorkerReport(1, 0, 0.0, 10.0, 10.0, 0.0)
+        assert report.incentive_per_task == 0.0
+        assert report.detour_ratio == 1.0

@@ -1,0 +1,77 @@
+"""Tests for the experiments CLI (``python -m repro.experiments``) and the
+JSON reporting path."""
+
+import json
+
+import pytest
+
+from repro.experiments.__main__ import main
+from repro.experiments.metrics import MethodResult
+from repro.experiments.reporting import results_to_json
+
+
+class TestResultsToJson:
+    def _results(self):
+        cell = [MethodResult("RN", 1.5, 0.1, 0.2, 2, 10.0, 99.0),
+                MethodResult("SMORE", 2.0, 0.0, 0.1, 2, 12.0, 100.0)]
+        return {"delivery": {"Budget=300": cell}}
+
+    def test_roundtrip_structure(self):
+        payload = json.loads(results_to_json(self._results()))
+        assert payload["delivery"]["Budget=300"]["SMORE"]["objective"] == 2.0
+        assert payload["delivery"]["Budget=300"]["RN"]["instances"] == 2
+
+    def test_all_fields_present(self):
+        payload = json.loads(results_to_json(self._results()))
+        entry = payload["delivery"]["Budget=300"]["RN"]
+        assert set(entry) == {"objective", "objective_std", "wall_time",
+                              "instances", "completed", "incentive"}
+
+
+class TestResultsToLatex:
+    def _results(self):
+        cell = [MethodResult("RN", 1.5, 0.1, 0.2, 2, 10.0, 99.0),
+                MethodResult("SMORE", 2.0, 0.0, 0.1, 2, 12.0, 100.0)]
+        return {"delivery": {"Budget=300": cell}}
+
+    def test_structure(self):
+        from repro.experiments.reporting import results_to_latex
+
+        latex = results_to_latex("Table II", self._results())
+        assert "\\begin{tabular}" in latex
+        assert "\\toprule" in latex
+        assert "SMORE" in latex
+
+    def test_best_objective_bolded(self):
+        from repro.experiments.reporting import results_to_latex
+
+        latex = results_to_latex("Table II", self._results())
+        assert "\\textbf{2.000}" in latex
+        assert "\\textbf{1.500}" not in latex
+
+    def test_one_block_per_dataset(self):
+        from repro.experiments.reporting import results_to_latex
+
+        results = self._results()
+        results["tourism"] = results["delivery"]
+        latex = results_to_latex("T", results)
+        assert latex.count("\\begin{tabular}") == 2
+
+
+class TestCLI:
+    def test_figure4_runs(self, capsys):
+        code = main(["figure4", "--datasets", "delivery"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "travel_tasks" in out
+
+    def test_invalid_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["tableX"])
+
+    def test_dataset_subset_respected(self, capsys):
+        main(["figure4", "--datasets", "tourism"])
+        out = capsys.readouterr().out
+        assert "[tourism]" in out
+        assert "[delivery]" not in out

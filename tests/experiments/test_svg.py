@@ -1,0 +1,78 @@
+"""Tests for the SVG rendering of instances and solutions."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.datasets import InstanceOptions, generate_instances
+from repro.experiments.svg import render_instance_svg, render_solution_svg
+from repro.smore import RatioSelectionRule, SMORESolver
+from repro.tsptw import InsertionSolver
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+@pytest.fixture(scope="module")
+def instance():
+    options = InstanceOptions(task_density=0.05)
+    return generate_instances("delivery", 1, seed=3, options=options)[0]
+
+
+@pytest.fixture(scope="module")
+def solution(instance):
+    return SMORESolver(InsertionSolver(), RatioSelectionRule()).solve(instance)
+
+
+class TestInstanceSVG:
+    def test_well_formed_xml(self, instance):
+        root = ET.fromstring(render_instance_svg(instance))
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_grid_cells_drawn(self, instance):
+        root = ET.fromstring(render_instance_svg(instance))
+        rects = root.findall(f"{SVG_NS}rect")
+        grid = instance.coverage.grid
+        # background + grid cells + destination markers
+        assert len(rects) >= grid.num_cells
+
+    def test_every_sensing_task_drawn(self, instance):
+        root = ET.fromstring(render_instance_svg(instance))
+        circles = root.findall(f"{SVG_NS}circle")
+        assert len(circles) >= instance.num_sensing_tasks
+
+    def test_one_polyline_per_worker(self, instance):
+        root = ET.fromstring(render_instance_svg(instance))
+        polylines = root.findall(f"{SVG_NS}polyline")
+        assert len(polylines) == instance.num_workers
+
+
+class TestSolutionSVG:
+    def test_well_formed(self, solution):
+        ET.fromstring(render_solution_svg(solution))
+
+    def test_completed_tasks_highlighted(self, solution):
+        svg = render_solution_svg(solution)
+        assert svg.count("#2ca02c") == solution.num_completed
+
+    def test_label_mentions_solver_and_objective(self, solution):
+        svg = render_solution_svg(solution)
+        assert solution.solver_name in svg
+        assert f"{solution.objective:.3f}" in svg
+
+    def test_routes_drawn_for_recruited_workers(self, solution):
+        root = ET.fromstring(render_solution_svg(solution))
+        polylines = root.findall(f"{SVG_NS}polyline")
+        assert len(polylines) == len(solution.routes)
+
+    def test_scale_changes_canvas(self, solution):
+        small = ET.fromstring(render_solution_svg(solution, scale=0.1))
+        large = ET.fromstring(render_solution_svg(solution, scale=0.5))
+        assert float(large.get("width")) > float(small.get("width"))
+
+    def test_coordinates_within_canvas(self, solution):
+        root = ET.fromstring(render_solution_svg(solution))
+        width = float(root.get("width"))
+        height = float(root.get("height"))
+        for circle in root.findall(f"{SVG_NS}circle"):
+            assert -1 <= float(circle.get("cx")) <= width + 1
+            assert -1 <= float(circle.get("cy")) <= height + 1

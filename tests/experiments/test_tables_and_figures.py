@@ -1,0 +1,147 @@
+"""Tests for the table/figure generators and their text rendering."""
+
+import pytest
+
+from repro.experiments import (
+    ABLATION_VARIANTS,
+    figure5_ablation,
+    render_case_study,
+    render_figure5,
+    render_grid,
+    render_table,
+    run_case_study,
+    table1_time_window,
+    table2_budget,
+    table3_alpha,
+)
+from repro.experiments.case_study import (
+    completion_heatmap,
+    opportunistic_solution,
+    route_heatmap,
+)
+from repro.experiments.pretrained import get_trained_policy
+
+from .conftest import TINY_PRETRAIN
+
+FAST_METHODS = ("RN", "TVPG")
+
+
+class TestTables:
+    def test_table1_structure(self, runner):
+        results = table1_time_window(runner, datasets=("delivery",),
+                                     windows=(30.0, 60.0),
+                                     methods=FAST_METHODS)
+        assert set(results) == {"delivery"}
+        assert set(results["delivery"]) == {"Interval=30", "Interval=60"}
+        for cell in results["delivery"].values():
+            assert [r.method for r in cell] == list(FAST_METHODS)
+
+    def test_table2_structure(self, runner):
+        results = table2_budget(runner, datasets=("delivery",),
+                                budgets=(200.0,), methods=FAST_METHODS)
+        assert set(results["delivery"]) == {"Budget=200"}
+
+    def test_table3_structure(self, runner):
+        results = table3_alpha(runner, datasets=("delivery",),
+                               alphas=(0.2, 0.8), methods=FAST_METHODS)
+        assert set(results["delivery"]) == {"alpha=0.2", "alpha=0.8"}
+
+    def test_budget_monotonicity(self, runner):
+        # More budget -> no worse objective (paper Table II trend).
+        results = table2_budget(runner, datasets=("delivery",),
+                                budgets=(150.0, 400.0), methods=("TVPG",))
+        low = results["delivery"]["Budget=150"][0].objective_mean
+        high = results["delivery"]["Budget=400"][0].objective_mean
+        assert high >= low - 1e-9
+
+    def test_rendering(self, runner):
+        results = table1_time_window(runner, datasets=("delivery",),
+                                     windows=(30.0,), methods=FAST_METHODS)
+        text = render_grid("Table I", results)
+        assert "delivery" in text
+        assert "RN" in text
+        assert "Obj." in text
+
+    def test_render_table_basic(self):
+        text = render_table("T", ["c1"], {"m": [("1.0", "2 (s)")]})
+        assert "T" in text
+        assert "m" in text
+
+
+class TestFigure5:
+    def test_ablation_runs_all_variants(self, runner):
+        results = figure5_ablation(runner, datasets=("delivery",))
+        rows = results["delivery"]
+        assert [r.method for r in rows] == list(ABLATION_VARIANTS)
+        for result in rows:
+            assert result.objective_mean >= 0.0
+
+    def test_render(self, runner):
+        results = figure5_ablation(runner, datasets=("delivery",))
+        text = render_figure5(results)
+        assert "w/o RL-AS" in text
+        assert "#" in text
+
+    def test_extended_fusion_variant_trains(self, runner):
+        from repro.experiments.ablation import train_variant_policy
+
+        policy = train_variant_policy("w/o Fusion", "delivery",
+                                      runner.profile.pretrain,
+                                      cache_dir=runner.cache_dir)
+        assert not policy.net.task_selection.use_heuristic_fusion
+
+    def test_unknown_variant_rejected(self, runner):
+        from repro.experiments.ablation import train_variant_policy
+
+        with pytest.raises(KeyError):
+            train_variant_policy("w/o Everything", "delivery",
+                                 runner.profile.pretrain)
+
+
+class TestFigure6:
+    @pytest.fixture
+    def instance(self, runner):
+        return runner.test_instances("delivery")[0]
+
+    def test_opportunistic_solution_valid(self, instance):
+        solution = opportunistic_solution(instance)
+        assert solution.validate() == []
+        assert solution.total_incentive == 0.0
+
+    def test_opportunistic_tasks_fall_on_routes(self, instance):
+        solution = opportunistic_solution(instance)
+        tasks = getattr(solution, "opportunistic_tasks")
+        grid = instance.coverage.grid
+        route_cells = set()
+        for route in solution.routes.values():
+            for stop in route.tasks:
+                route_cells.add(grid.cell_index(stop.location))
+        for task in tasks:
+            assert grid.cell_index(task.location) in route_cells
+
+    def test_heatmap_shapes(self, instance):
+        grid = instance.coverage.grid
+        heat = completion_heatmap(instance, list(instance.sensing_tasks[:5]))
+        assert heat.shape == (grid.nx, grid.ny)
+        assert heat.sum() == 5
+
+    def test_route_heatmap_counts_stops(self, instance):
+        solution = opportunistic_solution(instance)
+        heat = route_heatmap(instance, solution.routes)
+        expected = sum(len(r.tasks) + 2 for r in solution.routes.values())
+        assert heat.sum() == expected
+
+    def test_case_study_smore_improves_coverage(self, runner, instance):
+        policy = get_trained_policy("delivery", spec=TINY_PRETRAIN,
+                                    cache_dir=runner.cache_dir)
+        result = run_case_study(instance, policy)
+        # The paper's headline: re-planning yields much better coverage.
+        assert result.smore_phi >= result.baseline_phi
+
+    def test_render_case_study(self, runner, instance):
+        policy = get_trained_policy("delivery", spec=TINY_PRETRAIN,
+                                    cache_dir=runner.cache_dir)
+        text = render_case_study(run_case_study(instance, policy))
+        assert "Figure 6" in text
+        assert "(a) original routes" in text
+        assert "(d) completion with SMORE" in text

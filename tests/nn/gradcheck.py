@@ -1,0 +1,44 @@
+"""Finite-difference gradient checking utilities for the autograd tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Tensor
+
+
+def numeric_gradient(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar-valued ``fn`` at ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        up = fn(x)
+        flat[i] = original - eps
+        down = fn(x)
+        flat[i] = original
+        grad_flat[i] = (up - down) / (2.0 * eps)
+    return grad
+
+
+def check_gradient(build_fn, shape, rng, atol: float = 1e-5, rtol: float = 1e-4,
+                   scale: float = 1.0, shift: float = 0.0) -> None:
+    """Assert autograd and numeric gradients agree for ``build_fn``.
+
+    ``build_fn`` maps a Tensor to a scalar Tensor.  ``scale``/``shift`` let
+    callers keep inputs inside an op's domain (e.g. positive for log).
+    """
+    x_data = rng.normal(size=shape) * scale + shift
+
+    def scalar_fn(arr: np.ndarray) -> float:
+        return build_fn(Tensor(arr)).item()
+
+    numeric = numeric_gradient(scalar_fn, x_data.copy())
+
+    x = Tensor(x_data, requires_grad=True)
+    out = build_fn(x)
+    out.backward()
+    assert x.grad is not None, "no gradient propagated"
+    np.testing.assert_allclose(x.grad, numeric, atol=atol, rtol=rtol)

@@ -1,0 +1,128 @@
+"""Tests for optimizers and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.optim import clip_grad_norm
+
+
+def quadratic_loss(param: nn.Tensor) -> nn.Tensor:
+    # Minimum at param = 3.
+    return ((param - 3.0) ** 2.0).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = nn.Parameter(np.zeros(3))
+        optimizer = nn.SGD([p], lr=0.1)
+        for _ in range(100):
+            loss = quadratic_loss(p)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(p.data, 3.0, atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        histories = {}
+        for momentum in (0.0, 0.9):
+            p = nn.Parameter(np.zeros(1))
+            optimizer = nn.SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(30):
+                loss = quadratic_loss(p)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+            histories[momentum] = abs(float(p.data[0]) - 3.0)
+        assert histories[0.9] < histories[0.0]
+
+    def test_skips_params_without_grad(self):
+        p = nn.Parameter(np.ones(2))
+        optimizer = nn.SGD([p], lr=0.5)
+        optimizer.step()  # no backward -> no grad -> no movement
+        np.testing.assert_allclose(p.data, 1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = nn.Parameter(np.zeros(3))
+        optimizer = nn.Adam([p], lr=0.1)
+        for _ in range(200):
+            loss = quadratic_loss(p)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(p.data, 3.0, atol=1e-2)
+
+    def test_first_step_magnitude_equals_lr(self):
+        # With bias correction the first Adam step is ~lr regardless of grad scale.
+        p = nn.Parameter(np.array([0.0]))
+        optimizer = nn.Adam([p], lr=0.1)
+        loss = (p * 1000.0).sum()
+        loss.backward()
+        optimizer.step()
+        assert abs(abs(float(p.data[0])) - 0.1) < 1e-6
+
+    def test_zero_grad_resets(self):
+        p = nn.Parameter(np.zeros(2))
+        optimizer = nn.Adam([p])
+        quadratic_loss(p).backward()
+        optimizer.zero_grad()
+        assert p.grad is None
+
+
+class TestAdamStateDict:
+    def test_roundtrip_continues_identically(self):
+        def run(restore_at=None, saved=None):
+            p = nn.Parameter(np.zeros(2))
+            optimizer = nn.Adam([p], lr=0.05)
+            for i in range(20):
+                if restore_at is not None and i == restore_at:
+                    optimizer.load_state_dict(saved["opt"])
+                    p.data = saved["param"].copy()
+                loss = quadratic_loss(p)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                if restore_at is None and saved is not None and i == 9:
+                    saved["opt"] = optimizer.state_dict()
+                    saved["param"] = p.data.copy()
+            return p.data.copy()
+
+        saved = {}
+        full = run(saved=saved)
+        resumed = run(restore_at=10, saved=saved)
+        np.testing.assert_allclose(full, resumed)
+
+    def test_mismatched_state_rejected(self):
+        a = nn.Adam([nn.Parameter(np.zeros(2))])
+        b = nn.Adam([nn.Parameter(np.zeros(2)), nn.Parameter(np.zeros(3))])
+        with pytest.raises(ValueError):
+            b.load_state_dict(a.state_dict())
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        p = nn.Parameter(np.zeros(2))
+        p.grad = np.array([0.3, 0.4])  # norm 0.5
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(0.5)
+        np.testing.assert_allclose(p.grad, [0.3, 0.4])
+
+    def test_clips_above_threshold(self):
+        p = nn.Parameter(np.zeros(2))
+        p.grad = np.array([3.0, 4.0])  # norm 5
+        clip_grad_norm([p], max_norm=1.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_handles_empty_grads(self):
+        p = nn.Parameter(np.zeros(2))
+        assert clip_grad_norm([p], max_norm=1.0) == 0.0
+
+    def test_global_norm_over_multiple_params(self):
+        a = nn.Parameter(np.zeros(1))
+        b = nn.Parameter(np.zeros(1))
+        a.grad = np.array([3.0])
+        b.grad = np.array([4.0])
+        norm = clip_grad_norm([a, b], max_norm=10.0)
+        assert norm == pytest.approx(5.0)

@@ -1,0 +1,163 @@
+"""Tests for the autograd Tensor core: graph mechanics, broadcasting, modes."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, as_tensor, is_grad_enabled, no_grad
+from repro.nn.tensor import unbroadcast
+
+
+class TestTensorBasics:
+    def test_wraps_array_as_float64(self):
+        t = Tensor([1, 2, 3])
+        assert t.data.dtype == np.float64
+        assert t.shape == (3,)
+
+    def test_item_on_scalar(self):
+        assert Tensor(3.5).item() == 3.5
+
+    def test_item_requires_scalar(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0, 2.0]).item()
+
+    def test_len_and_size(self):
+        t = Tensor(np.zeros((4, 5)))
+        assert len(t) == 4
+        assert t.size == 20
+        assert t.ndim == 2
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(Tensor(1.0, requires_grad=True))
+        assert "requires_grad" not in repr(Tensor(1.0))
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+
+    def test_as_tensor_coerces(self):
+        t = as_tensor([1.0, 2.0])
+        assert isinstance(t, Tensor)
+
+    def test_detach_cuts_graph(self):
+        x = Tensor(2.0, requires_grad=True)
+        y = (x * 3.0).detach()
+        assert not y.requires_grad
+
+    def test_numpy_returns_underlying(self):
+        arr = np.ones(3)
+        assert Tensor(arr).numpy() is not None
+
+
+class TestBackward:
+    def test_simple_chain(self):
+        x = Tensor(3.0, requires_grad=True)
+        y = x * x + 2.0 * x + 1.0
+        y.backward()
+        assert x.grad == pytest.approx(2 * 3.0 + 2.0)
+
+    def test_gradient_accumulates_across_backwards(self):
+        x = Tensor(2.0, requires_grad=True)
+        (x * x).backward()
+        first = float(x.grad)
+        (x * x).backward()
+        assert float(x.grad) == pytest.approx(2 * first)
+
+    def test_zero_grad(self):
+        x = Tensor(2.0, requires_grad=True)
+        (x * x).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_shared_subexpression_counted_once_per_path(self):
+        # y = x*x uses x twice: dy/dx = 2x.
+        x = Tensor(4.0, requires_grad=True)
+        (x * x).backward()
+        assert x.grad == pytest.approx(8.0)
+
+    def test_diamond_graph(self):
+        # z = (x + x) * (x + 1) -> dz/dx = 2(x+1) + 2x = 4x + 2
+        x = Tensor(3.0, requires_grad=True)
+        z = (x + x) * (x + 1.0)
+        z.backward()
+        assert x.grad == pytest.approx(4 * 3.0 + 2.0)
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor(1.0).backward()
+
+    def test_backward_on_vector_without_grad_raises(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x * 2.0
+        with pytest.raises(RuntimeError):
+            y.backward()
+
+    def test_backward_with_explicit_grad(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x * 3.0
+        y.backward(np.array([1.0, 10.0]))
+        np.testing.assert_allclose(x.grad, [3.0, 30.0])
+
+    def test_deep_chain_does_not_overflow(self):
+        # Iterative topo-sort must handle long decode trajectories.
+        x = Tensor(1.0, requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 0.001
+        y.backward()
+        assert x.grad == pytest.approx(1.0)
+
+
+class TestBroadcasting:
+    def test_unbroadcast_leading_axis(self):
+        grad = np.ones((3, 4))
+        reduced = unbroadcast(grad, (4,))
+        np.testing.assert_allclose(reduced, np.full(4, 3.0))
+
+    def test_unbroadcast_keepdim_axis(self):
+        grad = np.ones((3, 4))
+        reduced = unbroadcast(grad, (3, 1))
+        np.testing.assert_allclose(reduced, np.full((3, 1), 4.0))
+
+    def test_unbroadcast_noop(self):
+        grad = np.ones((2, 2))
+        assert unbroadcast(grad, (2, 2)) is grad
+
+    def test_add_broadcast_grad(self):
+        a = Tensor(np.ones((3, 4)), requires_grad=True)
+        b = Tensor(np.ones(4), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((3, 4)))
+        np.testing.assert_allclose(b.grad, np.full(4, 3.0))
+
+    def test_mul_scalar_broadcast_grad(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        b = Tensor(2.0, requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 3), 2.0))
+        assert b.grad == pytest.approx(np.arange(6.0).sum())
+
+
+class TestNoGrad:
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(2.0, requires_grad=True)
+        with no_grad():
+            y = x * x
+        assert not y.requires_grad
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_nested(self):
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_requires_grad_suppressed_inside_no_grad(self):
+        with no_grad():
+            t = Tensor(1.0, requires_grad=True)
+        assert not t.requires_grad

@@ -1,0 +1,57 @@
+"""Shared fixtures for SMORE tests: a small, fully controlled instance."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CoverageModel,
+    Grid,
+    Location,
+    Region,
+    SensingTask,
+    TravelTask,
+    USMDWInstance,
+    Worker,
+)
+from repro.smore import TASNet, TASNetConfig, TASNetPolicy
+from repro.tsptw import InsertionSolver
+
+GRID_NX, GRID_NY = 4, 4
+
+
+@pytest.fixture
+def small_instance():
+    """2 workers, 6 sensing tasks, tight but solvable."""
+    region = Region(800, 800)
+    grid = Grid(region, GRID_NX, GRID_NY)
+    coverage = CoverageModel(grid, time_span=240.0, slot_minutes=60.0, alpha=0.5)
+    workers = (
+        Worker(1, Location(50, 50), Location(750, 50), 0.0, 120.0,
+               (TravelTask(10, Location(400, 50), 10.0),)),
+        Worker(2, Location(50, 750), Location(750, 750), 0.0, 120.0,
+               (TravelTask(20, Location(400, 750), 10.0),)),
+    )
+    tasks = tuple(
+        SensingTask(100 + k, Location(100 + 120 * k, 100 + 100 * (k % 3)),
+                    60.0 * (k % 4), 60.0 * (k % 4) + 60.0, 5.0)
+        for k in range(6)
+    )
+    return USMDWInstance(workers=workers, sensing_tasks=tasks,
+                         budget=100.0, mu=1.0, coverage=coverage,
+                         name="small")
+
+
+@pytest.fixture
+def planner():
+    return InsertionSolver()
+
+
+@pytest.fixture
+def tasnet():
+    config = TASNetConfig(d_model=8, num_heads=2, num_layers=1, conv_channels=2)
+    return TASNet(config, GRID_NX, GRID_NY, rng=np.random.default_rng(0))
+
+
+@pytest.fixture
+def policy(tasnet):
+    return TASNetPolicy(tasnet)

@@ -1,0 +1,136 @@
+"""Tests for the candidate assignment table (Algorithm 1 step 1 / lines 15-23)."""
+
+import pytest
+
+from repro.core import IncentiveModel
+from repro.smore import CandidateTable
+
+
+@pytest.fixture
+def table(small_instance, planner):
+    incentives = IncentiveModel(mu=small_instance.mu)
+    table = CandidateTable(planner, incentives)
+    table.initialize(small_instance.workers, small_instance.sensing_tasks,
+                     small_instance.budget)
+    return table
+
+
+class TestInitialization:
+    def test_feasible_pairs_found(self, table, small_instance):
+        assert table.num_pairs() > 0
+        assert not table.empty
+
+    def test_entries_have_feasible_routes(self, table, small_instance):
+        for worker in small_instance.workers:
+            for task_id, entry in table.worker_candidates(worker.worker_id).items():
+                timing = entry.route.simulate()
+                assert timing.feasible
+                assert entry.route.covers_all_travel_tasks()
+                assert task_id in {t.task_id for t in entry.route.sensing_tasks}
+
+    def test_delta_incentive_within_budget(self, table, small_instance):
+        for worker in small_instance.workers:
+            for entry in table.worker_candidates(worker.worker_id).values():
+                assert entry.delta_incentive < small_instance.budget
+
+    def test_delta_incentive_matches_route(self, table, small_instance):
+        model = IncentiveModel(mu=small_instance.mu)
+        for worker in small_instance.workers:
+            model.set_base_rtt(worker, table.incentives.base_rtt(worker))
+            for entry in table.worker_candidates(worker.worker_id).values():
+                expected = model.incentive(worker, entry.route_travel_time)
+                assert entry.delta_incentive == pytest.approx(expected)
+
+    def test_base_rtt_seeded(self, table, small_instance):
+        for worker in small_instance.workers:
+            assert table.incentives.base_rtt(worker) > 0
+
+    def test_zero_budget_no_candidates(self, small_instance, planner):
+        incentives = IncentiveModel(mu=small_instance.mu)
+        empty = CandidateTable(planner, incentives)
+        empty.initialize(small_instance.workers, small_instance.sensing_tasks,
+                         0.0)
+        # delta >= 0 never < 0 -> only strictly-free insertions survive;
+        # with off-route tasks there are none.
+        assert empty.num_pairs() == 0
+
+    def test_contains(self, table, small_instance):
+        worker_id = small_instance.workers[0].worker_id
+        candidates = table.worker_candidates(worker_id)
+        if candidates:
+            task_id = next(iter(candidates))
+            assert (worker_id, task_id) in table
+        assert (999, 999) not in table
+
+
+class TestUpdates:
+    def test_remove_task_everywhere(self, table, small_instance):
+        task_id = next(iter(table.candidate_task_ids()))
+        table.remove_task(task_id)
+        for worker in small_instance.workers:
+            assert task_id not in table.worker_candidates(worker.worker_id)
+
+    def test_prune_over_budget(self, table):
+        before = table.num_pairs()
+        table.prune_over_budget(0.0)
+        assert table.num_pairs() == 0 or table.num_pairs() < before
+
+    def test_recompute_worker_respects_assignment(self, table, small_instance):
+        worker = small_instance.workers[0]
+        candidates = table.worker_candidates(worker.worker_id)
+        task_id = next(iter(candidates))
+        assigned_task = small_instance.sensing_task(task_id)
+        entry = candidates[task_id]
+        remaining = [s for s in small_instance.sensing_tasks
+                     if s.task_id != task_id]
+        table.recompute_worker(worker, [assigned_task], remaining,
+                               entry.delta_incentive,
+                               small_instance.budget - entry.delta_incentive,
+                               current_route_tasks=entry.route.tasks)
+        for new_id, new_entry in table.worker_candidates(worker.worker_id).items():
+            sensing_ids = {t.task_id for t in new_entry.route.sensing_tasks}
+            assert task_id in sensing_ids  # assigned task still on route
+            assert new_id in sensing_ids
+
+    def test_workers_with_candidates(self, table, small_instance):
+        ids = table.workers_with_candidates()
+        assert set(ids).issubset({w.worker_id for w in small_instance.workers})
+
+    def test_planner_call_counting(self, table):
+        assert table.planner_calls > 0
+
+
+class TestBatchedPlannerPath:
+    """RL backends expose plan_many; the table must use it transparently."""
+
+    @pytest.fixture
+    def gpn_table(self, small_instance):
+        from repro.smore import CandidateTable
+        from repro.tsptw import GPNSolver, make_default_gpn
+
+        region = small_instance.coverage.grid.region
+        model = make_default_gpn(region, 240.0, d_model=16, seed=0)
+        planner = GPNSolver(model, repair=True)
+        incentives = IncentiveModel(mu=small_instance.mu)
+        table = CandidateTable(planner, incentives)
+        table.initialize(small_instance.workers,
+                         small_instance.sensing_tasks,
+                         small_instance.budget)
+        return table
+
+    def test_batched_init_counts_all_pairs(self, gpn_table, small_instance):
+        expected = small_instance.num_workers * small_instance.num_sensing_tasks
+        assert gpn_table.planner_calls == expected
+
+    def test_batched_entries_feasible(self, gpn_table, small_instance):
+        for worker in small_instance.workers:
+            for entry in gpn_table.worker_candidates(worker.worker_id).values():
+                assert entry.route.simulate().feasible
+                assert entry.route.covers_all_travel_tasks()
+
+    def test_batched_matches_unbatched_feasibility_semantics(
+            self, gpn_table, small_instance):
+        # Every stored entry respects the budget bound of Algorithm 1.
+        for worker in small_instance.workers:
+            for entry in gpn_table.worker_candidates(worker.worker_id).values():
+                assert entry.delta_incentive < small_instance.budget

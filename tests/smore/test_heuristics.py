@@ -1,0 +1,94 @@
+"""Tests for the coverage-incentive ratio and the soft mask (Eqs. 9-10)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.smore import coverage_incentive_ratio, soft_mask
+
+
+class TestCoverageIncentiveRatio:
+    def test_basic_ratio(self):
+        ratio = coverage_incentive_ratio(np.array([2.0]), np.array([4.0]))
+        assert ratio[0] == pytest.approx(0.5)
+
+    def test_zero_cost_guarded(self):
+        ratio = coverage_incentive_ratio(np.array([1.0]), np.array([0.0]))
+        assert np.isfinite(ratio[0])
+        assert ratio[0] > 1e5  # very attractive but finite
+
+    def test_vectorised(self):
+        ratios = coverage_incentive_ratio(np.array([1.0, 2.0]),
+                                          np.array([1.0, 1.0]))
+        np.testing.assert_allclose(ratios, [1.0, 2.0])
+
+
+class TestSoftMask:
+    def test_range(self):
+        phi = np.array([0.1, 0.5, 0.9])
+        cost = np.array([1.0, 1.0, 1.0])
+        mask = soft_mask(phi, cost, lam=0.5)
+        # The worst normalised ratio underflows exp to exactly 0 — that is
+        # fine: a zero *logit multiplier* is soft (prob stays nonzero).
+        assert np.all(mask >= 0.0)
+        assert np.all(mask <= 1.0)
+
+    def test_best_ratio_gets_highest_mask(self):
+        phi = np.array([0.1, 0.9, 0.5])
+        cost = np.array([1.0, 1.0, 1.0])
+        mask = soft_mask(phi, cost, lam=0.5)
+        assert np.argmax(mask) == 1
+        assert np.argmin(mask) == 0
+
+    def test_single_candidate_is_one(self):
+        mask = soft_mask(np.array([0.3]), np.array([2.0]))
+        np.testing.assert_allclose(mask, [1.0])
+
+    def test_equal_ratios_all_ones(self):
+        mask = soft_mask(np.array([0.5, 0.5]), np.array([1.0, 1.0]))
+        np.testing.assert_allclose(mask, [1.0, 1.0])
+
+    def test_normalised_best_near_exp_formula(self):
+        # For beta_hat = 1: f = exp(-lam^2 / (eps + 1)).
+        phi = np.array([0.0, 1.0])
+        cost = np.array([1.0, 1.0])
+        lam = 0.5
+        mask = soft_mask(phi, cost, lam=lam)
+        assert mask[1] == pytest.approx(np.exp(-lam ** 2 / (1e-6 + 1.0)), rel=1e-3)
+
+    def test_worst_near_zero(self):
+        phi = np.array([0.0, 1.0])
+        cost = np.array([1.0, 1.0])
+        mask = soft_mask(phi, cost, lam=0.5)
+        assert mask[0] < 1e-6
+
+    def test_lambda_zero_disables_discrimination(self):
+        phi = np.array([0.1, 0.9])
+        cost = np.array([1.0, 1.0])
+        np.testing.assert_allclose(soft_mask(phi, cost, lam=0.0), [1.0, 1.0])
+
+    def test_larger_lambda_sharper(self):
+        phi = np.array([0.2, 0.5, 0.8])
+        cost = np.ones(3)
+        soft = soft_mask(phi, cost, lam=0.3)
+        sharp = soft_mask(phi, cost, lam=1.0)
+        # Larger lambda suppresses mid-ratio candidates more.
+        assert sharp[1] < soft[1]
+
+    @given(st.lists(st.tuples(st.floats(0.0, 2.0), st.floats(0.01, 10.0)),
+                    min_size=1, max_size=16))
+    def test_property_valid_output(self, pairs):
+        phi = np.array([p for p, _ in pairs])
+        cost = np.array([c for _, c in pairs])
+        mask = soft_mask(phi, cost, lam=0.5)
+        assert mask.shape == phi.shape
+        assert np.all(np.isfinite(mask))
+        assert np.all(mask >= 0.0)
+        assert np.all(mask <= 1.0)
+
+    def test_monotone_in_ratio(self):
+        phi = np.array([0.1, 0.3, 0.6, 0.9])
+        cost = np.ones(4)
+        mask = soft_mask(phi, cost, lam=0.5)
+        assert np.all(np.diff(mask) >= 0.0)

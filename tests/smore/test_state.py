@@ -1,0 +1,71 @@
+"""Tests for the assignment state M and the MDP state container."""
+
+import pytest
+
+from repro.core import IncentiveModel
+from repro.smore import AssignmentState, CandidateTable, SelectionEnv
+
+
+@pytest.fixture
+def env(small_instance, planner):
+    return SelectionEnv(small_instance, planner)
+
+
+class TestAssignmentState:
+    def test_initial_slots(self, small_instance):
+        state = AssignmentState(small_instance.workers)
+        for worker in small_instance.workers:
+            slot = state[worker.worker_id]
+            assert slot.assigned == []
+            assert slot.route is None
+            assert slot.incentive == 0.0
+            assert slot.num_assigned == 0
+
+    def test_iteration_covers_all_workers(self, small_instance):
+        state = AssignmentState(small_instance.workers)
+        ids = {slot.worker.worker_id for slot in state}
+        assert ids == {w.worker_id for w in small_instance.workers}
+
+    def test_apply_accumulates(self, small_instance, planner):
+        incentives = IncentiveModel(mu=small_instance.mu)
+        table = CandidateTable(planner, incentives)
+        table.initialize(small_instance.workers, small_instance.sensing_tasks,
+                         small_instance.budget)
+        state = AssignmentState(small_instance.workers)
+        worker_id = table.workers_with_candidates()[0]
+        task_id, entry = next(iter(
+            table.worker_candidates(worker_id).items()))
+        task = small_instance.sensing_task(task_id)
+        state.apply(worker_id, task, entry)
+        slot = state[worker_id]
+        assert slot.num_assigned == 1
+        assert slot.incentive == pytest.approx(entry.delta_incentive)
+        assert slot.route is entry.route
+
+    def test_routes_and_incentives_exclude_idle_workers(self, small_instance):
+        state = AssignmentState(small_instance.workers)
+        assert state.routes() == {}
+        assert state.incentives() == {}
+        assert state.total_incentive() == 0.0
+
+
+class TestSelectionState:
+    def test_done_reflects_candidates(self, env):
+        state = env.reset()
+        assert state.done == state.candidates.empty
+
+    def test_feasible_worker_ids_subset(self, env, small_instance):
+        state = env.reset()
+        ids = set(state.feasible_worker_ids())
+        assert ids.issubset({w.worker_id for w in small_instance.workers})
+
+    def test_phi_starts_at_zero(self, env):
+        state = env.reset()
+        assert state.phi() == 0.0
+
+    def test_step_count_advances(self, env):
+        state = env.reset()
+        worker_id = state.feasible_worker_ids()[0]
+        task_id = next(iter(state.candidates.worker_candidates(worker_id)))
+        state, _, _ = env.step(worker_id, task_id)
+        assert state.step_count == 1

@@ -1,0 +1,171 @@
+"""Edge-case behaviour across the stack: degenerate instances and limits.
+
+Failure-injection style tests: what happens when a worker has no slack,
+when no task fits the budget, when all workers share one location, etc.
+Every solver must degrade gracefully (valid, possibly empty, solutions)
+rather than crash.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RandomSolver, TCPGSolver, TVPGSolver
+from repro.core import (
+    CoverageModel,
+    Grid,
+    Location,
+    Region,
+    SensingTask,
+    TravelTask,
+    USMDWInstance,
+    Worker,
+)
+from repro.smore import (
+    RatioSelectionRule,
+    SelectionEnv,
+    SMORESolver,
+    TASNet,
+    TASNetConfig,
+    TASNetPolicy,
+)
+from repro.tsptw import InsertionSolver
+
+
+def make_instance(workers, tasks, budget=100.0, span=240.0):
+    grid = Grid(Region(1000, 1000), 4, 4)
+    coverage = CoverageModel(grid, span, 60.0)
+    return USMDWInstance(workers=tuple(workers), sensing_tasks=tuple(tasks),
+                         budget=budget, mu=1.0, coverage=coverage)
+
+
+def default_task(task_id=100, x=500.0, y=500.0):
+    return SensingTask(task_id, Location(x, y), 0.0, 240.0, 5.0)
+
+
+ALL_SOLVERS = [
+    lambda: RandomSolver(seed=0),
+    TVPGSolver,
+    TCPGSolver,
+    lambda: SMORESolver(InsertionSolver(), RatioSelectionRule()),
+]
+
+
+class TestZeroSlackWorker:
+    """A worker whose time budget exactly covers their own trip."""
+
+    def _worker(self):
+        # Straight line 0 -> 900, 15 min travel + 10 min service = 25 min.
+        return Worker(1, Location(0, 0), Location(900, 0), 0.0, 25.0,
+                      (TravelTask(10, Location(450, 0), 10.0),))
+
+    @pytest.mark.parametrize("factory", ALL_SOLVERS)
+    def test_no_assignment_possible(self, factory):
+        instance = make_instance([self._worker()], [default_task()])
+        solution = factory().solve(instance)
+        assert solution.num_completed == 0
+        assert solution.total_incentive == 0.0
+        assert solution.validate() == []
+
+
+class TestZeroBudget:
+    @pytest.mark.parametrize("factory", ALL_SOLVERS)
+    def test_only_free_tasks_assignable(self, factory):
+        worker = Worker(1, Location(0, 0), Location(900, 0), 0.0, 240.0, ())
+        instance = make_instance([worker], [default_task()], budget=0.0)
+        solution = factory().solve(instance)
+        assert solution.total_incentive == 0.0
+        assert solution.validate() == []
+
+
+class TestNoSensingTasks:
+    def test_env_immediately_done(self):
+        worker = Worker(1, Location(0, 0), Location(900, 0), 0.0, 240.0, ())
+        instance = make_instance([worker], [])
+        env = SelectionEnv(instance, InsertionSolver())
+        state = env.reset()
+        assert state.done
+
+    @pytest.mark.parametrize("factory", ALL_SOLVERS)
+    def test_solvers_return_empty(self, factory):
+        worker = Worker(1, Location(0, 0), Location(900, 0), 0.0, 240.0, ())
+        instance = make_instance([worker], [])
+        solution = factory().solve(instance)
+        assert solution.num_completed == 0
+        assert solution.validate() == []
+
+
+class TestSingleWorkerSingleTask:
+    def test_smore_assigns_it(self):
+        worker = Worker(1, Location(0, 0), Location(900, 0), 0.0, 240.0, ())
+        task = default_task(x=450.0, y=0.0)  # on the way
+        instance = make_instance([worker], [task])
+        solution = SMORESolver(InsertionSolver(),
+                               RatioSelectionRule()).solve(instance)
+        assert solution.num_completed == 1
+        assert solution.validate() == []
+
+
+class TestCoincidentLocations:
+    def test_all_entities_at_one_point(self):
+        origin = Location(500, 500)
+        worker = Worker(1, origin, origin, 0.0, 240.0,
+                        (TravelTask(10, origin, 10.0),))
+        tasks = [SensingTask(100 + k, origin, 0.0, 240.0, 5.0)
+                 for k in range(3)]
+        instance = make_instance([worker], tasks)
+        solution = SMORESolver(InsertionSolver(),
+                               RatioSelectionRule()).solve(instance)
+        # Zero travel: every task is assignable at service-time cost only.
+        assert solution.num_completed == 3
+        assert solution.validate() == []
+
+
+class TestTasNetOnDegenerateInstances:
+    def test_single_worker_single_candidate(self):
+        worker = Worker(1, Location(0, 0), Location(900, 0), 0.0, 240.0, ())
+        task = default_task(x=450.0, y=0.0)
+        instance = make_instance([worker], [task])
+        net = TASNet(TASNetConfig(d_model=8, num_heads=2, num_layers=1,
+                                  conv_channels=2), 4, 4,
+                     rng=np.random.default_rng(0))
+        solution = SMORESolver(InsertionSolver(),
+                               TASNetPolicy(net)).solve(instance)
+        assert solution.num_completed == 1
+        assert solution.validate() == []
+
+    def test_many_workers_one_task(self):
+        workers = [
+            Worker(i, Location(100 * i, 0), Location(100 * i + 500, 0),
+                   0.0, 240.0, ())
+            for i in range(1, 5)
+        ]
+        instance = make_instance(workers, [default_task(x=300.0, y=0.0)])
+        net = TASNet(TASNetConfig(d_model=8, num_heads=2, num_layers=1,
+                                  conv_channels=2), 4, 4,
+                     rng=np.random.default_rng(0))
+        solution = SMORESolver(InsertionSolver(),
+                               TASNetPolicy(net)).solve(instance)
+        assert solution.num_completed == 1
+
+
+class TestWindowBoundaries:
+    def test_task_window_equal_to_service_time(self):
+        # Window exactly fits the sensing period: only an exact-time
+        # arrival (with waiting allowed) can complete it.
+        worker = Worker(1, Location(0, 0), Location(120, 0), 0.0, 240.0, ())
+        tight = SensingTask(100, Location(60, 0), 30.0, 35.0, 5.0)
+        instance = make_instance([worker], [tight])
+        solution = SMORESolver(InsertionSolver(),
+                               RatioSelectionRule()).solve(instance)
+        assert solution.validate() == []
+        if solution.num_completed:
+            stop = solution.routes[1].simulate().stops[0]
+            assert stop.service_start == pytest.approx(30.0)
+
+    def test_task_window_in_the_past_of_departure(self):
+        worker = Worker(1, Location(0, 0), Location(120, 0), 100.0, 240.0, ())
+        early = SensingTask(100, Location(60, 0), 0.0, 60.0, 5.0)
+        instance = make_instance([worker], [early])
+        solution = SMORESolver(InsertionSolver(),
+                               RatioSelectionRule()).solve(instance)
+        assert solution.num_completed == 0

@@ -1,0 +1,57 @@
+"""Smoke tests for the runnable examples (the fast ones).
+
+Examples rot silently; importing and running their ``main()`` keeps them
+honest.  The slow, training-heavy examples (delivery_campaign,
+train_tsptw_solver) are exercised manually / by the benchmarks instead.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = ["quickstart.py", "trajectory_pipeline.py",
+                 "tourism_campaign.py"]
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(name.removesuffix(".py"),
+                                                  path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert len(out) > 100  # produced a real report
+
+
+def test_quickstart_reports_all_solvers(capsys):
+    load_example("quickstart.py").main()
+    out = capsys.readouterr().out
+    assert "SMORE (ratio rule)" in out
+    assert "TVPG" in out
+    assert "worker 1" in out
+
+
+def test_tourism_campaign_shows_improvement(capsys):
+    load_example("tourism_campaign.py").main()
+    out = capsys.readouterr().out
+    assert "with SMORE" in out
+    assert "cells covered" in out
+
+
+def test_trajectory_pipeline_exports_json(capsys):
+    load_example("trajectory_pipeline.py").main()
+    out = capsys.readouterr().out
+    assert "dispatch plan" in out
+    assert '"objective"' in out

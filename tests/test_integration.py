@@ -1,0 +1,156 @@
+"""End-to-end integration tests across all modules.
+
+These exercise the complete pipeline — dataset generation, candidate
+initialisation, policy decisions, environment transitions, solution
+validation — at a scale small enough for CI but with nothing mocked.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    JDRLSolver,
+    MSAConfig,
+    MSAGISolver,
+    MSASolver,
+    RandomSolver,
+    TCPGSolver,
+    TVPGSolver,
+)
+from repro.core import IncentiveModel
+from repro.datasets import InstanceOptions, generate_instances
+from repro.smore import (
+    GreedySelectionRule,
+    RatioSelectionRule,
+    SMORESolver,
+    TASNet,
+    TASNetConfig,
+    TASNetPolicy,
+    TASNetTrainer,
+    TrainingConfig,
+    imitation_pretrain,
+)
+from repro.tsptw import CachedPlanner, ExactDPSolver, InsertionSolver
+
+
+@pytest.fixture(scope="module")
+def instances():
+    options = InstanceOptions(task_density=0.08)
+    return generate_instances("delivery", 3, seed=11, options=options)
+
+
+@pytest.fixture(scope="module")
+def tiny_net():
+    return TASNet(
+        TASNetConfig(d_model=8, num_heads=2, num_layers=1, conv_channels=2),
+        grid_nx=10, grid_ny=12, rng=np.random.default_rng(0))
+
+
+class TestFullPipeline:
+    def test_every_solver_on_every_instance(self, instances, tiny_net):
+        msa_config = MSAConfig(num_starts=1, iterations_per_round=20,
+                               patience_rounds=1, time_limit=5.0)
+        solvers = [
+            RandomSolver(seed=1),
+            TVPGSolver(),
+            TCPGSolver(),
+            MSASolver(msa_config, seed=2),
+            MSAGISolver(msa_config, seed=2),
+            JDRLSolver(seed=3),
+            SMORESolver(InsertionSolver(), TASNetPolicy(tiny_net)),
+            SMORESolver(InsertionSolver(), GreedySelectionRule()),
+            SMORESolver(InsertionSolver(), RatioSelectionRule()),
+        ]
+        for instance in instances:
+            for solver in solvers:
+                solution = solver.solve(instance)
+                problems = solution.validate()
+                assert problems == [], (solution.solver_name, problems)
+
+    def test_incentives_consistent_across_framework(self, instances):
+        """Every solver's recorded incentives match Definition 6 exactly."""
+        planner = InsertionSolver()
+        model = IncentiveModel(
+            mu=instances[0].mu,
+            base_rtt_fn=lambda w: planner.base_route(w).route_travel_time)
+        solution = SMORESolver(planner, RatioSelectionRule()).solve(instances[0])
+        assert solution.validate(model) == []
+
+    def test_cached_planner_transparent(self, instances):
+        plain = SMORESolver(InsertionSolver(), RatioSelectionRule()).solve(
+            instances[0])
+        cached = SMORESolver(CachedPlanner(InsertionSolver()),
+                             RatioSelectionRule()).solve(instances[0])
+        assert cached.objective == pytest.approx(plain.objective)
+
+    def test_training_then_solving_roundtrip(self, instances, tmp_path):
+        from repro import nn
+
+        net = TASNet(
+            TASNetConfig(d_model=8, num_heads=2, num_layers=1,
+                         conv_channels=2),
+            grid_nx=10, grid_ny=12, rng=np.random.default_rng(1))
+        policy = TASNetPolicy(net)
+        planner = InsertionSolver()
+        imitation_pretrain(policy, planner, instances, iterations=3, seed=0)
+        trainer = TASNetTrainer(policy, planner,
+                                TrainingConfig(iterations=2, batch_size=1))
+        trainer.train(instances)
+
+        # Serialise, reload into a fresh net, verify identical decisions.
+        path = tmp_path / "tasnet.npz"
+        nn.save_module(net, path)
+        fresh = TASNet(
+            TASNetConfig(d_model=8, num_heads=2, num_layers=1,
+                         conv_channels=2),
+            grid_nx=10, grid_ny=12, rng=np.random.default_rng(999))
+        nn.load_module(fresh, path)
+        a = SMORESolver(planner, TASNetPolicy(net)).solve(instances[0])
+        b = SMORESolver(planner, TASNetPolicy(fresh)).solve(instances[0])
+        assert a.objective == pytest.approx(b.objective)
+        assert {t.task_id for t in a.completed_tasks} == \
+            {t.task_id for t in b.completed_tasks}
+
+
+class TestAgainstExactPlanning:
+    def test_smore_with_exact_planner_small_instance(self):
+        """SMORE runs unchanged on the optimal (exponential) backend."""
+        options = InstanceOptions(task_density=0.02)
+        instance = generate_instances("delivery", 1, seed=5,
+                                      options=options)[0]
+        # Keep worker task counts DP-sized.
+        if any(w.num_travel_tasks > 8 for w in instance.workers):
+            pytest.skip("sampled instance too large for exact DP")
+        solver = SMORESolver(ExactDPSolver(), RatioSelectionRule(),
+                             name="SMORE-exact")
+        solution = solver.solve(instance)
+        assert solution.validate() == []
+
+    def test_exact_backend_never_worse_objective(self):
+        """With identical selection rules, the optimal planner's cheaper
+        routes leave at least as much budget, so coverage cannot drop."""
+        options = InstanceOptions(task_density=0.02)
+        instance = generate_instances("delivery", 1, seed=5,
+                                      options=options)[0]
+        if any(w.num_travel_tasks > 8 for w in instance.workers):
+            pytest.skip("sampled instance too large for exact DP")
+        heuristic = SMORESolver(InsertionSolver(),
+                                RatioSelectionRule()).solve(instance)
+        exact = SMORESolver(ExactDPSolver(),
+                            RatioSelectionRule()).solve(instance)
+        assert exact.objective >= heuristic.objective - 0.35
+
+
+class TestDeterminism:
+    def test_greedy_smore_deterministic(self, instances, tiny_net):
+        solver = SMORESolver(InsertionSolver(), TASNetPolicy(tiny_net))
+        a = solver.solve(instances[0])
+        b = solver.solve(instances[0])
+        assert a.objective == pytest.approx(b.objective)
+
+    def test_instance_generation_stable_across_runs(self):
+        options = InstanceOptions(task_density=0.05)
+        a = generate_instances("lade", 1, seed=42, options=options)[0]
+        b = generate_instances("lade", 1, seed=42, options=options)[0]
+        assert a.workers[0].origin == b.workers[0].origin
+        assert a.num_sensing_tasks == b.num_sensing_tasks

@@ -1,0 +1,55 @@
+"""Shared fixtures for TSPTW solver tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import Location, Region, SensingTask, TravelTask, Worker
+
+SPEED = 60.0
+
+
+@pytest.fixture
+def region():
+    return Region(2000, 2400)
+
+
+@pytest.fixture
+def simple_worker():
+    """Worker with two travel tasks on a straight west-east line."""
+    return Worker(
+        worker_id=1,
+        origin=Location(0, 0),
+        destination=Location(1200, 0),
+        earliest_departure=0.0,
+        latest_arrival=240.0,
+        travel_tasks=(
+            TravelTask(10, Location(400, 0), 10.0),
+            TravelTask(11, Location(800, 0), 10.0),
+        ),
+    )
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+def random_worker(rng, region, num_travel=3, time_budget=240.0):
+    def loc():
+        return Location(rng.uniform(0, region.width),
+                        rng.uniform(0, region.height))
+    travel = tuple(TravelTask(i, loc(), 10.0) for i in range(num_travel))
+    return Worker(0, loc(), loc(), 0.0, time_budget, travel)
+
+
+def random_sensing(rng, region, count, time_span=240.0, window=60.0,
+                   start_id=100):
+    tasks = []
+    slots = int(time_span // window)
+    for k in range(count):
+        slot = int(rng.integers(0, slots))
+        tasks.append(SensingTask(
+            start_id + k,
+            Location(rng.uniform(0, region.width), rng.uniform(0, region.height)),
+            slot * window, (slot + 1) * window, 5.0))
+    return tasks

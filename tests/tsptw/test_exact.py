@@ -1,0 +1,93 @@
+"""Tests for the exact bitmask-DP TSPTW solver."""
+
+import pytest
+
+from repro.core import Location, SensingTask, TravelTask, Worker
+from repro.tsptw import ExactDPSolver
+
+from .conftest import SPEED
+
+
+@pytest.fixture
+def solver():
+    return ExactDPSolver(speed=SPEED)
+
+
+class TestExactDPSolver:
+    def test_empty_task_set(self, solver, simple_worker):
+        result = solver.plan(simple_worker, [])
+        assert result.feasible
+        # Straight line 1200m = 20 min + 2x10min service.
+        assert result.route_travel_time == pytest.approx(40.0)
+
+    def test_base_route(self, solver, simple_worker):
+        result = solver.base_route(simple_worker)
+        assert result.feasible
+        assert result.route.covers_all_travel_tasks()
+
+    def test_optimal_order_on_line(self, solver, simple_worker):
+        # Tasks on a straight line: optimal order is west->east.
+        result = solver.plan(simple_worker, [])
+        ids = [t.task_id for t in result.route.tasks]
+        assert ids == [10, 11]
+
+    def test_respects_time_window_order(self, solver):
+        # Two sensing tasks equidistant; windows force the far one first.
+        worker = Worker(1, Location(0, 0), Location(0, 0), 0.0, 240.0, ())
+        early_far = SensingTask(1, Location(600, 0), 0.0, 30.0, 5.0)
+        late_near = SensingTask(2, Location(300, 0), 100.0, 240.0, 5.0)
+        result = solver.plan(worker, [early_far, late_near])
+        assert result.feasible
+        assert [t.task_id for t in result.route.tasks] == [1, 2]
+
+    def test_infeasible_when_windows_conflict(self, solver):
+        worker = Worker(1, Location(0, 0), Location(0, 0), 0.0, 240.0, ())
+        # Two tasks far apart, both only completable in the first 12 min.
+        a = SensingTask(1, Location(600, 0), 0.0, 12.0, 1.0)
+        b = SensingTask(2, Location(0, 600), 0.0, 12.0, 1.0)
+        result = solver.plan(worker, [a, b])
+        assert not result.feasible
+
+    def test_infeasible_when_budget_too_small(self, solver):
+        worker = Worker(1, Location(0, 0), Location(1200, 0), 0.0, 19.0, ())
+        result = solver.plan(worker, [])
+        assert not result.feasible
+
+    def test_waiting_included_in_rtt(self, solver):
+        worker = Worker(1, Location(0, 0), Location(600, 0), 0.0, 240.0, ())
+        sensing = SensingTask(1, Location(300, 0), 60.0, 120.0, 5.0)
+        result = solver.plan(worker, [sensing])
+        assert result.feasible
+        # 5 min to task, wait until 60, sense 5, 5 min to dest = 70 total.
+        assert result.route_travel_time == pytest.approx(70.0)
+
+    def test_max_tasks_guard(self, simple_worker):
+        solver = ExactDPSolver(speed=SPEED, max_tasks=2)
+        extra = SensingTask(1, Location(100, 0), 0.0, 240.0, 5.0)
+        with pytest.raises(ValueError):
+            solver.plan(simple_worker, [extra])  # 2 travel + 1 sensing = 3
+
+    def test_optimal_beats_or_matches_any_permutation(self, solver, rng, region):
+        from itertools import permutations
+
+        from repro.core import simulate_route
+
+        from .conftest import random_sensing, random_worker
+
+        for _ in range(5):
+            worker = random_worker(rng, region, num_travel=2, time_budget=400.0)
+            sensing = random_sensing(rng, region, 2, window=200.0,
+                                     time_span=400.0)
+            tasks = list(worker.travel_tasks) + sensing
+            result = solver.plan(worker, sensing)
+            best_brute = None
+            for perm in permutations(tasks):
+                timing = simulate_route(worker, list(perm), speed=SPEED)
+                if timing.feasible:
+                    rtt = timing.route_travel_time
+                    best_brute = rtt if best_brute is None else min(best_brute, rtt)
+            if best_brute is None:
+                assert not result.feasible
+            else:
+                assert result.feasible
+                assert result.route_travel_time == pytest.approx(best_brute)

@@ -1,0 +1,232 @@
+"""Tests for the GPN TSPTW solver and its hierarchical RL training."""
+
+import numpy as np
+import pytest
+
+from repro.core import Location, Region, SensingTask, Worker
+from repro.tsptw import (
+    GPNScale,
+    GPNSolver,
+    HierarchicalGPN,
+    TSPTWTrainer,
+    TSPTWTrainingConfig,
+    make_default_gpn,
+    sample_training_worker,
+)
+
+from .conftest import SPEED
+
+
+@pytest.fixture
+def region():
+    return Region(2000, 2400)
+
+
+@pytest.fixture
+def model(region):
+    return make_default_gpn(region, 240.0, d_model=16, seed=0)
+
+
+class TestGPNScale:
+    def test_node_features_shape(self, region):
+        scale = GPNScale(space=2400.0, time=240.0)
+        worker, tasks = sample_training_worker(
+            np.random.default_rng(0), region, 240.0, 2, 3, 60.0)
+        features = scale.node_features(worker, tasks)
+        assert features.shape == (5, 6)
+
+    def test_travel_task_flag(self, region):
+        scale = GPNScale(space=2400.0, time=240.0)
+        worker, tasks = sample_training_worker(
+            np.random.default_rng(0), region, 240.0, 2, 3, 60.0)
+        features = scale.node_features(worker, tasks)
+        assert features[:2, 5].tolist() == [1.0, 1.0]   # travel tasks
+        assert features[2:, 5].tolist() == [0.0, 0.0, 0.0]
+
+    def test_normalisation_bounds(self, region):
+        scale = GPNScale(space=2400.0, time=240.0)
+        worker, tasks = sample_training_worker(
+            np.random.default_rng(1), region, 240.0, 2, 4, 60.0)
+        features = scale.node_features(worker, tasks)
+        assert features.min() >= 0.0
+        assert features.max() <= 1.0 + 1e-9
+
+    def test_endpoint_features(self, region):
+        scale = GPNScale(space=2400.0, time=240.0)
+        worker, _ = sample_training_worker(
+            np.random.default_rng(0), region, 240.0, 1, 1, 60.0)
+        endpoints = scale.endpoint_features(worker)
+        assert endpoints.shape == (2, 3)
+
+
+class TestDecoding:
+    def test_lower_decode_visits_all(self, model, region):
+        worker, tasks = sample_training_worker(
+            np.random.default_rng(0), region, 240.0, 2, 3, 60.0)
+        decoded = model.decode_lower(worker, tasks)
+        assert sorted(decoded.order) == list(range(5))
+
+    def test_upper_decode_visits_all(self, model, region):
+        worker, tasks = sample_training_worker(
+            np.random.default_rng(0), region, 240.0, 2, 3, 60.0)
+        decoded = model.decode_upper(worker, tasks)
+        assert sorted(decoded.order) == list(range(5))
+
+    def test_greedy_is_deterministic(self, model, region):
+        worker, tasks = sample_training_worker(
+            np.random.default_rng(0), region, 240.0, 2, 3, 60.0)
+        a = model.decode_lower(worker, tasks, greedy=True)
+        b = model.decode_lower(worker, tasks, greedy=True)
+        assert a.order == b.order
+
+    def test_sampling_uses_rng(self, model, region):
+        worker, tasks = sample_training_worker(
+            np.random.default_rng(0), region, 240.0, 2, 6, 60.0)
+        orders = {
+            tuple(model.decode_lower(worker, tasks, greedy=False,
+                                     rng=np.random.default_rng(seed)).order)
+            for seed in range(8)
+        }
+        assert len(orders) > 1
+
+    def test_log_prob_is_negative(self, model, region):
+        worker, tasks = sample_training_worker(
+            np.random.default_rng(0), region, 240.0, 2, 3, 60.0)
+        decoded = model.decode_lower(worker, tasks, greedy=False,
+                                     rng=np.random.default_rng(1))
+        assert decoded.log_prob.item() < 0.0
+
+    def test_satisfied_counts_windows(self, model, region):
+        worker, tasks = sample_training_worker(
+            np.random.default_rng(0), region, 240.0, 2, 3, 60.0)
+        decoded = model.decode_lower(worker, tasks)
+        assert 0 <= decoded.satisfied <= len(tasks)
+
+
+class TestGPNSolver:
+    def test_plan_returns_route_over_all_tasks(self, model, region):
+        solver = GPNSolver(model)
+        worker, tasks = sample_training_worker(
+            np.random.default_rng(0), region, 240.0, 2, 2, 120.0)
+        sensing = [t for t in tasks if isinstance(t, SensingTask)]
+        result = solver.plan(worker, sensing)
+        assert result.route is not None
+        assert len(result.route.tasks) == len(tasks)
+
+    def test_empty_plan(self, model):
+        solver = GPNSolver(model)
+        worker = Worker(1, Location(0, 0), Location(600, 0), 0.0, 240.0, ())
+        result = solver.plan(worker, [])
+        assert result.feasible
+
+    def test_repair_falls_back_to_insertion(self, region):
+        # An untrained model on a windowed instance often mis-orders;
+        # with repair the result must be feasible whenever insertion
+        # can solve it.
+        from repro.tsptw import InsertionSolver
+
+        model = make_default_gpn(region, 240.0, d_model=16, seed=3)
+        worker = Worker(1, Location(0, 0), Location(0, 0), 0.0, 240.0, ())
+        sensing = [
+            SensingTask(1, Location(600, 0), 0.0, 30.0, 5.0),
+            SensingTask(2, Location(300, 0), 100.0, 240.0, 5.0),
+        ]
+        assert InsertionSolver(speed=SPEED).plan(worker, sensing).feasible
+        repaired = GPNSolver(model, repair=True).plan(worker, sensing)
+        assert repaired.feasible
+
+    def test_lower_only_mode(self, model, region):
+        solver = GPNSolver(model, use_upper=False)
+        worker, tasks = sample_training_worker(
+            np.random.default_rng(0), region, 240.0, 1, 2, 120.0)
+        sensing = [t for t in tasks if isinstance(t, SensingTask)]
+        result = solver.plan(worker, sensing)
+        assert result.route is not None
+
+
+class TestPlanMany:
+    def test_matches_count_and_feasibility_verified(self, model, region):
+        solver = GPNSolver(model, repair=False)
+        rng = np.random.default_rng(2)
+        worker, tasks = sample_training_worker(rng, region, 240.0, 2, 6, 120.0)
+        sensing = [t for t in tasks if isinstance(t, SensingTask)]
+        candidate_sets = [[s] for s in sensing] + [sensing[:2]]
+        results = solver.plan_many(worker, candidate_sets)
+        assert len(results) == len(candidate_sets)
+        for candidate_set, result in zip(candidate_sets, results):
+            assert result.route is not None
+            route_sensing = {t.task_id for t in result.route.sensing_tasks}
+            assert route_sensing == {t.task_id for t in candidate_set}
+            # Feasibility flags are backed by exact simulation.
+            assert result.feasible == (result.route.simulate().feasible
+                                       and result.route.covers_all_travel_tasks())
+
+    def test_repair_applies_per_candidate(self, region):
+        from repro.core import Location, SensingTask, Worker
+        from repro.tsptw import InsertionSolver
+
+        model = make_default_gpn(region, 240.0, d_model=16, seed=3)
+        worker = Worker(1, Location(0, 0), Location(0, 0), 0.0, 240.0, ())
+        hard_set = [
+            SensingTask(1, Location(600, 0), 0.0, 30.0, 5.0),
+            SensingTask(2, Location(300, 0), 100.0, 240.0, 5.0),
+        ]
+        assert InsertionSolver().plan(worker, hard_set).feasible
+        solver = GPNSolver(model, repair=True)
+        results = solver.plan_many(worker, [hard_set])
+        assert results[0].feasible
+
+    def test_empty_candidate_set(self, model, region):
+        solver = GPNSolver(model)
+        rng = np.random.default_rng(4)
+        worker, tasks = sample_training_worker(rng, region, 240.0, 2, 1, 120.0)
+        results = solver.plan_many(worker, [[]])
+        assert len(results) == 1
+        # Travel tasks only.
+        assert results[0].route.sensing_tasks == ()
+
+
+class TestTSPTWTrainer:
+    def test_lower_training_improves_reward(self, region):
+        model = make_default_gpn(region, 240.0, d_model=16, seed=0)
+        config = TSPTWTrainingConfig(lower_iterations=12, upper_iterations=0,
+                                     batch_size=4, lr=3e-3,
+                                     num_travel=1, num_sensing=3)
+        trainer = TSPTWTrainer(model, region, config,
+                               rng=np.random.default_rng(0))
+        trainer.train_lower()
+        history = trainer.history["lower"]
+        assert len(history) == 12
+        early = np.mean(history[:4])
+        late = np.mean(history[-4:])
+        assert late >= early - 0.2  # learning signal, allow noise
+
+    def test_upper_training_runs(self, region):
+        model = make_default_gpn(region, 240.0, d_model=16, seed=0)
+        config = TSPTWTrainingConfig(lower_iterations=2, upper_iterations=3,
+                                     batch_size=2, num_travel=1, num_sensing=2)
+        trainer = TSPTWTrainer(model, region, config,
+                               rng=np.random.default_rng(0))
+        trainer.train()
+        assert len(trainer.history["upper"]) == 3
+
+    def test_evaluate_reports_rates(self, region):
+        model = make_default_gpn(region, 240.0, d_model=16, seed=0)
+        config = TSPTWTrainingConfig(num_travel=1, num_sensing=2)
+        trainer = TSPTWTrainer(model, region, config,
+                               rng=np.random.default_rng(0))
+        stats = trainer.evaluate(num_instances=5)
+        assert 0.0 <= stats["feasible_rate"] <= 1.0
+
+    def test_training_changes_parameters(self, region):
+        model = make_default_gpn(region, 240.0, d_model=16, seed=0)
+        before = {k: v.copy() for k, v in model.lower.state_dict().items()}
+        # Tight windows and several tasks so batch rewards differ (a batch
+        # of identical rewards has zero advantage and thus zero gradient).
+        config = TSPTWTrainingConfig(lower_iterations=5, upper_iterations=0,
+                                     batch_size=4, num_travel=2, num_sensing=5,
+                                     window_minutes=30.0)
+        TSPTWTrainer(model, region, config,
+                     rng=np.random.default_rng(0)).train_lower()
+        after = model.lower.state_dict()
+        assert any(not np.allclose(before[k], after[k]) for k in before)

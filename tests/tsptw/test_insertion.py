@@ -1,0 +1,171 @@
+"""Tests for the insertion heuristic and its fast position scan."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Location, Region, SensingTask, Worker, simulate_route
+from repro.tsptw import (
+    ExactDPSolver,
+    InsertionSolver,
+    cheapest_insertion_position,
+)
+
+from .conftest import SPEED, random_sensing, random_worker
+
+
+@pytest.fixture
+def solver():
+    return InsertionSolver(speed=SPEED)
+
+
+class TestCheapestInsertionPosition:
+    def test_matches_brute_force(self, rng, region):
+        """The prefix-reusing scan must agree with full re-simulation."""
+        for trial in range(20):
+            worker = random_worker(rng, region, num_travel=3, time_budget=300.0)
+            base = list(worker.travel_tasks)
+            candidate = random_sensing(rng, region, 1, time_span=300.0,
+                                       window=75.0)[0]
+            fast = cheapest_insertion_position(worker, base, candidate, SPEED)
+            brute = None
+            for p in range(len(base) + 1):
+                timing = simulate_route(worker, base[:p] + [candidate] + base[p:],
+                                        speed=SPEED)
+                if timing.feasible and (brute is None or
+                                        timing.route_travel_time < brute[1]):
+                    brute = (p, timing.route_travel_time)
+            assert (fast is None) == (brute is None)
+            if fast is not None:
+                assert fast[0] == brute[0]
+                assert fast[1] == pytest.approx(brute[1])
+
+    def test_insert_into_empty_route(self):
+        worker = Worker(1, Location(0, 0), Location(600, 0), 0.0, 240.0, ())
+        task = SensingTask(1, Location(300, 0), 0.0, 240.0, 5.0)
+        found = cheapest_insertion_position(worker, [], task, SPEED)
+        assert found == (0, pytest.approx(15.0))
+
+    def test_no_feasible_position(self):
+        worker = Worker(1, Location(0, 0), Location(600, 0), 0.0, 20.0, ())
+        far = SensingTask(1, Location(0, 2000), 0.0, 20.0, 5.0)
+        assert cheapest_insertion_position(worker, [], far, SPEED) is None
+
+    def test_on_route_task_is_free(self):
+        worker = Worker(1, Location(0, 0), Location(600, 0), 0.0, 240.0, ())
+        on_route = SensingTask(1, Location(300, 0), 0.0, 240.0, 0.0)
+        found = cheapest_insertion_position(worker, [], on_route, SPEED)
+        assert found[1] == pytest.approx(10.0)  # same as the empty route
+
+
+class TestInsertionSolver:
+    def test_feasible_simple(self, solver, simple_worker):
+        sensing = SensingTask(1, Location(600, 0), 0.0, 240.0, 5.0)
+        result = solver.plan(simple_worker, [sensing])
+        assert result.feasible
+        assert result.route.covers_all_travel_tasks()
+
+    def test_never_better_than_exact(self, solver, rng, region):
+        exact = ExactDPSolver(speed=SPEED)
+        for _ in range(8):
+            worker = random_worker(rng, region, num_travel=2, time_budget=400.0)
+            sensing = random_sensing(rng, region, 3, time_span=400.0,
+                                     window=100.0)
+            heur = solver.plan(worker, sensing)
+            opt = exact.plan(worker, sensing)
+            if heur.feasible:
+                # A feasible heuristic result implies the optimum exists and
+                # is no worse.
+                assert opt.feasible
+                assert heur.route_travel_time >= opt.route_travel_time - 1e-6
+
+    def test_or_opt_never_hurts(self, rng, region):
+        plain = InsertionSolver(speed=SPEED, improvement_rounds=0)
+        improved = InsertionSolver(speed=SPEED, improvement_rounds=3)
+        for _ in range(6):
+            worker = random_worker(rng, region, num_travel=3, time_budget=400.0)
+            sensing = random_sensing(rng, region, 3, time_span=400.0,
+                                     window=100.0)
+            a = plain.plan(worker, sensing)
+            b = improved.plan(worker, sensing)
+            if a.feasible and b.feasible:
+                assert b.route_travel_time <= a.route_travel_time + 1e-9
+
+    def test_two_opt_never_hurts(self, rng, region):
+        plain = InsertionSolver(speed=SPEED)
+        polished = InsertionSolver(speed=SPEED, use_two_opt=True)
+        for _ in range(6):
+            worker = random_worker(rng, region, num_travel=3, time_budget=400.0)
+            sensing = random_sensing(rng, region, 3, time_span=400.0,
+                                     window=100.0)
+            a = plain.plan(worker, sensing)
+            b = polished.plan(worker, sensing)
+            if a.feasible and b.feasible:
+                assert b.route_travel_time <= a.route_travel_time + 1e-9
+
+    def test_two_opt_untangles_crossing(self):
+        # Construction order forced by window starts creates a crossing
+        # that 2-opt undoes on a windowless suffix.
+        worker = Worker(1, Location(0, 0), Location(0, 0), 0.0, 500.0, ())
+        a = SensingTask(1, Location(600, 0), 0.0, 500.0, 0.0)
+        b = SensingTask(2, Location(0, 600), 0.0, 500.0, 0.0)
+        c = SensingTask(3, Location(600, 600), 0.0, 500.0, 0.0)
+        solver = InsertionSolver(speed=SPEED, improvement_rounds=0,
+                                 use_two_opt=True)
+        result = solver.plan(worker, [a, b, c])
+        assert result.feasible
+        # Optimal loop visits the corner c between a and b (or reverse).
+        ids = [t.task_id for t in result.route.tasks]
+        assert ids[1] == 3
+
+    def test_empty_plan(self, solver):
+        worker = Worker(1, Location(0, 0), Location(600, 0), 0.0, 240.0, ())
+        result = solver.plan(worker, [])
+        assert result.feasible
+        assert result.route_travel_time == pytest.approx(10.0)
+
+    def test_plan_with_insertion_appends_correctly(self, solver, simple_worker):
+        base = solver.base_route(simple_worker)
+        sensing = SensingTask(1, Location(600, 0), 0.0, 240.0, 5.0)
+        result = solver.plan_with_insertion(simple_worker, base.route.tasks,
+                                            sensing)
+        assert result.feasible
+        assert sensing in result.route.tasks
+        assert result.route.covers_all_travel_tasks()
+
+    def test_plan_with_insertion_infeasible(self, solver):
+        worker = Worker(1, Location(0, 0), Location(600, 0), 0.0, 11.0, ())
+        sensing = SensingTask(1, Location(0, 2000), 0.0, 11.0, 5.0)
+        result = solver.plan_with_insertion(worker, [], sensing)
+        assert not result.feasible
+
+    def test_all_sensing_windows_respected(self, solver, rng, region):
+        for _ in range(5):
+            worker = random_worker(rng, region, num_travel=2, time_budget=400.0)
+            sensing = random_sensing(rng, region, 4, time_span=400.0,
+                                     window=100.0)
+            result = solver.plan(worker, sensing)
+            if not result.feasible:
+                continue
+            for stop in result.timing.stops:
+                task = stop.task
+                if isinstance(task, SensingTask):
+                    assert task.tw_start - 1e-9 <= stop.service_start
+                    assert stop.finish <= task.tw_end + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_property_feasible_results_are_truly_feasible(self, seed):
+        rng = np.random.default_rng(seed)
+        region = Region(2000, 2400)
+        worker = random_worker(rng, region, num_travel=int(rng.integers(0, 4)),
+                               time_budget=float(rng.uniform(60, 400)))
+        sensing = random_sensing(rng, region, int(rng.integers(1, 5)),
+                                 time_span=240.0, window=60.0)
+        result = InsertionSolver(speed=SPEED).plan(worker, sensing)
+        if result.feasible:
+            timing = result.route.simulate()
+            assert timing.feasible
+            assert result.route.covers_all_travel_tasks()
+            assert timing.arrival_at_destination <= worker.latest_arrival + 1e-6

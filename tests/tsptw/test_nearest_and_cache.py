@@ -1,0 +1,91 @@
+"""Tests for the Nearest Neighbour solver and the memoising wrapper."""
+
+import pytest
+
+from repro.core import Location, SensingTask, TravelTask, Worker
+from repro.tsptw import (
+    CachedPlanner,
+    InsertionSolver,
+    NearestNeighborSolver,
+    nearest_neighbor_order,
+)
+
+from .conftest import SPEED
+
+
+class TestNearestNeighborOrder:
+    def test_orders_by_proximity(self):
+        worker = Worker(1, Location(0, 0), Location(0, 0), 0.0, 240.0, ())
+        tasks = [TravelTask(i, Location(x, 0), 0.0)
+                 for i, x in [(1, 900), (2, 300), (3, 600)]]
+        ordered = nearest_neighbor_order(worker, tasks)
+        assert [t.task_id for t in ordered] == [2, 3, 1]
+
+    def test_empty(self):
+        worker = Worker(1, Location(0, 0), Location(0, 0), 0.0, 240.0, ())
+        assert nearest_neighbor_order(worker, []) == []
+
+    def test_does_not_mutate_input(self):
+        worker = Worker(1, Location(0, 0), Location(0, 0), 0.0, 240.0, ())
+        tasks = [TravelTask(1, Location(100, 0), 0.0)]
+        nearest_neighbor_order(worker, tasks)
+        assert len(tasks) == 1
+
+
+class TestNearestNeighborSolver:
+    def test_includes_all_tasks(self, simple_worker):
+        solver = NearestNeighborSolver(speed=SPEED)
+        sensing = SensingTask(1, Location(100, 100), 0.0, 240.0, 5.0)
+        result = solver.plan(simple_worker, [sensing])
+        assert len(result.route.tasks) == 3
+
+    def test_may_be_infeasible(self):
+        # NN ignores windows; a window-first layout defeats it.
+        worker = Worker(1, Location(0, 0), Location(0, 0), 0.0, 240.0, ())
+        near_late = SensingTask(1, Location(100, 0), 100.0, 110.0, 5.0)
+        far_early = SensingTask(2, Location(600, 0), 0.0, 30.0, 5.0)
+        result = NearestNeighborSolver(speed=SPEED).plan(
+            worker, [near_late, far_early])
+        assert not result.feasible
+
+
+class TestCachedPlanner:
+    @pytest.fixture
+    def cached(self):
+        return CachedPlanner(InsertionSolver(speed=SPEED))
+
+    def test_hit_on_repeat(self, cached, simple_worker):
+        sensing = SensingTask(1, Location(600, 0), 0.0, 240.0, 5.0)
+        first = cached.plan(simple_worker, [sensing])
+        second = cached.plan(simple_worker, [sensing])
+        assert second is first
+        assert cached.hits == 1
+        assert cached.misses == 1
+
+    def test_key_order_insensitive(self, cached, simple_worker):
+        a = SensingTask(1, Location(600, 0), 0.0, 240.0, 5.0)
+        b = SensingTask(2, Location(200, 0), 0.0, 240.0, 5.0)
+        cached.plan(simple_worker, [a, b])
+        cached.plan(simple_worker, [b, a])
+        assert cached.hits == 1
+
+    def test_different_workers_not_conflated(self, cached, simple_worker):
+        other = Worker(2, Location(0, 0), Location(600, 0), 0.0, 240.0, ())
+        cached.plan(simple_worker, [])
+        cached.plan(other, [])
+        assert cached.misses == 2
+
+    def test_base_route_goes_through_cache(self, cached, simple_worker):
+        cached.base_route(simple_worker)
+        cached.base_route(simple_worker)
+        assert cached.hits == 1
+
+    def test_clear(self, cached, simple_worker):
+        cached.plan(simple_worker, [])
+        cached.clear()
+        assert len(cached) == 0
+        assert cached.hits == 0
+
+    def test_speed_mirrors_inner(self):
+        inner = InsertionSolver(speed=42.0)
+        assert CachedPlanner(inner).speed == 42.0
