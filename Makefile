@@ -1,6 +1,6 @@
 # SMORE reproduction — common workflows.
 
-.PHONY: install test bench results full clean
+.PHONY: install test bench bench-perf results full clean
 
 install:
 	pip install -e .
@@ -10,6 +10,11 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Perf-layer regression: planner-call counts + smoke timings
+# (writes results/BENCH_PR1.json).
+bench-perf:
+	pytest benchmarks/test_perf_regression.py --benchmark-only
 
 # Regenerate every table/figure artifact under results/.
 results: bench

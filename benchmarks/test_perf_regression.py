@@ -1,0 +1,93 @@
+"""Perf regression bench: snapshot reuse, cache stats, parallel parity.
+
+Smoke-scale guardrails for the performance layer:
+
+- sample-and-select-best inference pays the O(|W| x |S|) candidate
+  initialisation exactly once (snapshot reuse), vs. once per rollout with
+  ``reuse_candidates=False``;
+- a :class:`~repro.tsptw.CachedPlanner` wrapper reports a non-trivial hit
+  rate on the counters the solution carries;
+- a parallel (``workers=2``) solve returns the same objective as serial.
+
+Timings and call counts are written to ``results/BENCH_PR1.json`` so
+regressions show up as a diff; assertions pin only the call counts (wall
+time is hardware-dependent).
+"""
+
+import json
+import time
+
+import numpy as np
+
+from repro.datasets import InstanceOptions, generate_instances
+from repro.smore import RatioSelectionRule, SMORESolver
+from repro.tsptw import CachedPlanner, InsertionSolver
+
+from .conftest import write_artifact
+
+NUM_SAMPLES = 4
+
+
+def test_perf_regression(benchmark, results_dir):
+    def run():
+        options = InstanceOptions(task_density=0.15)
+        instance = generate_instances("delivery", 1, seed=100,
+                                      options=options)[0]
+        solver = SMORESolver(InsertionSolver(), RatioSelectionRule())
+
+        start = time.perf_counter()
+        reuse = solver.solve(instance, num_samples=NUM_SAMPLES,
+                             rng=np.random.default_rng(0))
+        reuse_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        fresh = solver.solve(instance, num_samples=NUM_SAMPLES,
+                             rng=np.random.default_rng(0),
+                             reuse_candidates=False)
+        fresh_time = time.perf_counter() - start
+
+        # Same instance solved twice through one memoising wrapper (the
+        # experiment-grid scenario): the second solve repeats every
+        # planner query, so its counters show the cross-solve hit rate.
+        cached_solver = SMORESolver(CachedPlanner(InsertionSolver()),
+                                    RatioSelectionRule())
+        cached_solver.solve(instance)
+        cached = cached_solver.solve(instance)
+
+        parallel = solver.solve(instance, num_samples=NUM_SAMPLES,
+                                rng=np.random.default_rng(0), workers=2)
+
+        return {
+            "instance": {"W": instance.num_workers,
+                         "S": instance.num_sensing_tasks,
+                         "num_samples": NUM_SAMPLES},
+            "snapshot_reuse": dict(reuse.perf.to_dict(),
+                                   wall_time=reuse_time),
+            "no_reuse": dict(fresh.perf.to_dict(), wall_time=fresh_time),
+            "cached_planner": cached.perf.to_dict(),
+            "parallel": {"phi_serial": reuse.objective,
+                         "phi_parallel": parallel.objective,
+                         "planner_calls": parallel.perf.planner_calls},
+        }
+
+    record = benchmark.pedantic(run, iterations=1, rounds=1)
+    text = json.dumps(record, indent=2, sort_keys=True)
+    write_artifact(results_dir, "BENCH_PR1.json", text)
+    print("\n" + text)
+
+    w_times_s = record["instance"]["W"] * record["instance"]["S"]
+    # Snapshot reuse: the init sweep runs once, not once per rollout.
+    assert record["snapshot_reuse"]["init_planner_calls"] == w_times_s
+    assert record["no_reuse"]["init_planner_calls"] == \
+        NUM_SAMPLES * w_times_s
+    assert record["snapshot_reuse"]["planner_calls"] < \
+        record["no_reuse"]["planner_calls"]
+    assert record["snapshot_reuse"]["rollouts"] == NUM_SAMPLES
+    # The memoising wrapper absorbs the second solve's repeated queries.
+    assert record["cached_planner"]["cache_hits"] > 0
+    assert record["cached_planner"]["cache_hit_rate"] > 0.3
+    # Parallel decoding is result-identical to serial.
+    assert record["parallel"]["phi_parallel"] == \
+        record["parallel"]["phi_serial"]
+    assert record["parallel"]["planner_calls"] == \
+        record["snapshot_reuse"]["planner_calls"]

@@ -18,14 +18,16 @@ Subpackages
     Seeded synthetic Delivery / Tourism / LaDe generators.
 ``repro.experiments``
     Harness regenerating every table and figure of the paper.
+``repro.parallel``
+    Deterministic process-pool fan-out for rollouts and experiment grids.
 """
 
 from . import nn  # noqa: F401  (import order: nn has no repro deps)
-from . import core, tsptw  # noqa: F401
+from . import core, parallel, tsptw  # noqa: F401
 from . import baselines, datasets, smore  # noqa: F401
 from . import experiments  # noqa: F401
 
 __version__ = "1.0.0"
 
 __all__ = ["nn", "core", "tsptw", "smore", "baselines", "datasets",
-           "experiments", "__version__"]
+           "experiments", "parallel", "__version__"]

@@ -16,6 +16,7 @@ from .errors import (
 from .geometry import DEFAULT_SPEED, Grid, Location, Region, euclidean, travel_time
 from .incentive import IncentiveModel
 from .instance import USMDWInstance, make_sensing_grid_tasks
+from .perf import PerfCounters
 from .route import RouteStop, RouteTiming, WorkingRoute, simulate_route
 from .solution import Solution
 
@@ -25,7 +26,7 @@ __all__ = [
     "TravelTask", "SensingTask", "Worker",
     "WorkingRoute", "RouteStop", "RouteTiming", "simulate_route",
     "CoverageModel", "CoverageState", "spatial_pyramid",
-    "IncentiveModel",
+    "IncentiveModel", "PerfCounters",
     "USMDWInstance", "make_sensing_grid_tasks",
     "ReproError", "InvalidInstanceError", "InfeasibleRouteError",
     "BudgetExceededError",

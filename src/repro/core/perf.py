@@ -1,0 +1,79 @@
+"""Performance counters shared by the solver, cache, and reporting layers.
+
+One :class:`PerfCounters` instance travels with each solve: the selection
+environment accounts planner calls and per-phase wall time (candidate
+initialisation vs. iterative selection), a :class:`~repro.tsptw.cache.CachedPlanner`
+contributes hit/miss/size statistics, and the experiment reporting layer
+aggregates and prints them so regressions in the hot path are visible in
+every benchmark run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+__all__ = ["PerfCounters"]
+
+
+@dataclass
+class PerfCounters:
+    """Counters for one solve (or one aggregation of solves).
+
+    ``planner_calls`` counts every TSPTW planning call issued;
+    ``init_planner_calls`` is the subset spent on candidate-table
+    initialisation (Algorithm 1 step 1).  With snapshot reuse the init
+    portion is paid once per (instance, planner) no matter how many
+    rollouts run.
+    """
+
+    planner_calls: int = 0
+    init_planner_calls: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_size: int = 0
+    cache_evictions: int = 0
+    init_time: float = 0.0
+    selection_time: float = 0.0
+    rollouts: int = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of cache lookups served from memory (0 when unused)."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def total_time(self) -> float:
+        return self.init_time + self.selection_time
+
+    # ------------------------------------------------------------------ #
+    def merge(self, other: "PerfCounters") -> "PerfCounters":
+        """Accumulate ``other`` into self (cache size keeps the maximum)."""
+        self.planner_calls += other.planner_calls
+        self.init_planner_calls += other.init_planner_calls
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.cache_size = max(self.cache_size, other.cache_size)
+        self.cache_evictions += other.cache_evictions
+        self.init_time += other.init_time
+        self.selection_time += other.selection_time
+        self.rollouts += other.rollouts
+        return self
+
+    def to_dict(self) -> dict:
+        payload = asdict(self)
+        payload["cache_hit_rate"] = self.cache_hit_rate
+        return payload
+
+    def summary(self) -> str:
+        parts = [f"planner_calls={self.planner_calls}"
+                 f" (init {self.init_planner_calls})"]
+        if self.cache_hits or self.cache_misses:
+            parts.append(f"cache_hit_rate={self.cache_hit_rate:.0%}"
+                         f" size={self.cache_size}")
+        parts.append(f"init={self.init_time:.3f}s"
+                     f" select={self.selection_time:.3f}s")
+        if self.rollouts:
+            parts.append(f"rollouts={self.rollouts}")
+        return " ".join(parts)

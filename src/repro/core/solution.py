@@ -15,6 +15,7 @@ from .coverage import CoverageModel
 from .entities import SensingTask, Worker
 from .incentive import IncentiveModel
 from .instance import USMDWInstance
+from .perf import PerfCounters
 from .route import WorkingRoute
 
 __all__ = ["Solution"]
@@ -29,6 +30,9 @@ class Solution:
     incentives: dict[int, float] = field(default_factory=dict)
     solver_name: str = "unknown"
     wall_time: float = 0.0
+    #: Optional planner/cache/phase-timing accounting for solvers that
+    #: report it (SMORE does; baselines may leave it None).
+    perf: PerfCounters | None = None
 
     @property
     def completed_tasks(self) -> list[SensingTask]:
@@ -126,7 +130,7 @@ class Solution:
                     for stop in timing.stops
                 ],
             }
-        return {
+        payload = {
             "solver": self.solver_name,
             "objective": self.objective,
             "completed_tasks": sorted(t.task_id for t in self.completed_tasks),
@@ -135,6 +139,9 @@ class Solution:
             "wall_time": self.wall_time,
             "workers": workers,
         }
+        if self.perf is not None:
+            payload["perf"] = self.perf.to_dict()
+        return payload
 
     def summary(self) -> str:
         return (f"{self.solver_name}: phi={self.objective:.3f} "

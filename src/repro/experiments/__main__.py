@@ -23,7 +23,7 @@ from ..datasets import (
 from .ablation import figure5_ablation, render_figure5
 from .case_study import render_case_study, run_case_study
 from .pretrained import get_trained_policy
-from .reporting import render_grid
+from .reporting import render_grid, render_perf
 from .runner import FAST_PROFILE, FULL_PROFILE, ExperimentRunner
 from .tables import table1_time_window, table2_budget, table3_alpha
 
@@ -73,6 +73,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--dataset", default="delivery",
                         help="dataset for figure6 / train")
     parser.add_argument("--seed", type=int, default=100)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool size for the method grid "
+                             "(1 = serial; results are identical)")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="also dump table results as JSON to PATH")
     parser.add_argument("--svg", default=None, metavar="PATH",
@@ -80,7 +83,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     profile = FULL_PROFILE if args.full else FAST_PROFILE
-    runner = ExperimentRunner(profile=profile, seed=args.seed)
+    runner = ExperimentRunner(profile=profile, seed=args.seed,
+                              workers=args.workers)
     datasets = tuple(name.strip() for name in args.datasets.split(","))
 
     table_builders = {
@@ -104,6 +108,10 @@ def main(argv: list[str] | None = None) -> int:
         title, builder = table_builders[args.experiment]
         results = builder(runner, datasets=datasets)
         print(render_grid(title, results))
+        perf_block = render_perf(results)
+        if perf_block:
+            print()
+            print(perf_block)
         if args.json:
             from .reporting import results_to_json
 

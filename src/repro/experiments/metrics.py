@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.perf import PerfCounters
 from ..core.solution import Solution
 
 __all__ = ["MethodResult", "ExperimentCell", "aggregate"]
@@ -13,7 +14,12 @@ __all__ = ["MethodResult", "ExperimentCell", "aggregate"]
 
 @dataclass(frozen=True)
 class MethodResult:
-    """One (method, setting) cell: mean objective and wall time."""
+    """One (method, setting) cell: mean objective and wall time.
+
+    ``perf`` aggregates the :class:`PerfCounters` of all solutions that
+    reported them (planner calls, cache hit rate, init/selection wall
+    time); it is None when no solution carried counters.
+    """
 
     method: str
     objective_mean: float
@@ -22,6 +28,7 @@ class MethodResult:
     num_instances: int
     num_completed_mean: float
     incentive_mean: float
+    perf: PerfCounters | None = None
 
     def format_objective(self) -> str:
         return f"{self.objective_mean:.3f}"
@@ -47,6 +54,11 @@ class ExperimentCell:
         times = [s.wall_time for s in self.solutions]
         completed = [s.num_completed for s in self.solutions]
         incentives = [s.total_incentive for s in self.solutions]
+        perf = None
+        for solution in self.solutions:
+            if solution.perf is not None:
+                perf = PerfCounters() if perf is None else perf
+                perf.merge(solution.perf)
         return MethodResult(
             method=self.method,
             objective_mean=float(np.mean(objectives)) if objectives else 0.0,
@@ -55,6 +67,7 @@ class ExperimentCell:
             num_instances=len(self.solutions),
             num_completed_mean=float(np.mean(completed)) if completed else 0.0,
             incentive_mean=float(np.mean(incentives)) if incentives else 0.0,
+            perf=perf,
         )
 
 

@@ -6,8 +6,49 @@ import json
 
 from .metrics import MethodResult
 
-__all__ = ["render_table", "render_grid", "results_to_json",
+__all__ = ["render_table", "render_grid", "render_perf", "results_to_json",
            "results_to_latex"]
+
+
+def render_perf(results: dict[str, dict[str, list[MethodResult]]]) -> str:
+    """Performance-counter table for every method that reported counters.
+
+    One row per (dataset, setting, method): planner calls (with the
+    candidate-initialisation share), cache hit rate, and init vs. selection
+    wall time.  Methods without counters (most baselines) are omitted;
+    returns the empty string when nothing reported any.
+    """
+    rows = []
+    for dataset, settings in results.items():
+        for setting, cell in settings.items():
+            for result in cell:
+                if result.perf is None:
+                    continue
+                perf = result.perf
+                rows.append([
+                    dataset, setting, result.method,
+                    str(perf.planner_calls),
+                    str(perf.init_planner_calls),
+                    f"{perf.cache_hit_rate:.0%}" if (perf.cache_hits
+                                                     or perf.cache_misses)
+                    else "-",
+                    f"{perf.init_time:.2f}s",
+                    f"{perf.selection_time:.2f}s",
+                ])
+    if not rows:
+        return ""
+    header = ["Dataset", "Setting", "Method", "Planner calls", "Init calls",
+              "Cache hits", "Init time", "Select time"]
+    table = [header] + rows
+    widths = [max(len(row[i]) for row in table) for i in range(len(header))]
+    lines = ["Performance counters", "=" * 20]
+    for index, row in enumerate(table):
+        line = "  ".join(cell.ljust(width)
+                         for cell, width in zip(row, widths))
+        lines.append(line.rstrip())
+        if index == 0:
+            lines.append("-" * len(line))
+    return "\n".join(lines)
 
 
 def results_to_latex(title: str,
@@ -67,8 +108,9 @@ def results_to_json(results: dict[str, dict[str, list[MethodResult]]]) -> str:
     for dataset, settings in results.items():
         payload[dataset] = {}
         for setting, cell in settings.items():
-            payload[dataset][setting] = {
-                r.method: {
+            payload[dataset][setting] = {}
+            for r in cell:
+                entry = {
                     "objective": r.objective_mean,
                     "objective_std": r.objective_std,
                     "wall_time": r.wall_time_mean,
@@ -76,8 +118,9 @@ def results_to_json(results: dict[str, dict[str, list[MethodResult]]]) -> str:
                     "completed": r.num_completed_mean,
                     "incentive": r.incentive_mean,
                 }
-                for r in cell
-            }
+                if r.perf is not None:
+                    entry["perf"] = r.perf.to_dict()
+                payload[dataset][setting][r.method] = entry
     return json.dumps(payload, indent=2, sort_keys=True)
 
 

@@ -1,0 +1,144 @@
+"""Process-pool fan-out for rollouts, evaluation grids, and benchmarks.
+
+SMORE's hot loops — sample-and-select-best inference, the experiment
+method grid, and trainer evaluation — are embarrassingly parallel over
+items that share large read-only state (instances, trained policies,
+candidate-table snapshots).  :func:`parallel_map` runs them across a
+``fork``-based process pool so that shared state is inherited copy-on-write
+instead of pickled, while keeping three guarantees:
+
+* **Determinism** — per-item RNGs are derived from one root seed via
+  :func:`numpy.random.SeedSequence.spawn`, so results are bit-identical
+  whether items run serially, in any pool size, or in any schedule.
+* **Graceful fallback** — with ``workers <= 1``, a single item, a platform
+  without ``fork`` (e.g. Windows/macOS spawn-only configurations), or when
+  already inside a pool worker (pool workers are daemonic and cannot fork
+  again), the map degrades to an ordinary serial loop with the *same*
+  per-item seeds.
+* **Chunking** — items are dispatched in contiguous chunks to amortise IPC
+  overhead; ``chunksize`` is derived from the item count when not given.
+
+Only the item index is sent to workers; the function, items, and seed
+sequences are inherited through the fork, so closures over unpicklable
+state (policies, planners, environments) work transparently.  Item
+*results* must be picklable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Iterable, Sequence, TypeVar
+
+import numpy as np
+
+__all__ = ["parallel_map", "derive_seeds", "derive_rngs", "fork_available",
+           "default_workers"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: State inherited by fork workers; only ever populated around a pool run.
+_FORK_STATE: dict = {}
+
+#: Set inside pool workers so nested parallel_map calls degrade to serial.
+_IN_WORKER = False
+
+
+def fork_available() -> bool:
+    """True when ``fork``-start process pools can be used on this platform."""
+    return (os.name == "posix"
+            and "fork" in multiprocessing.get_all_start_methods())
+
+
+def default_workers() -> int:
+    """A sensible pool size: the CPU count (at least 1)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def derive_seeds(seed: int | None, n: int) -> list[np.random.SeedSequence]:
+    """``n`` independent child seed sequences of one root seed.
+
+    The derivation is order-stable: item ``i`` always receives the same
+    child sequence for a given root, which is what makes parallel and
+    serial execution bit-identical.
+    """
+    return list(np.random.SeedSequence(seed).spawn(n))
+
+
+def derive_rngs(seed: int | None, n: int) -> list[np.random.Generator]:
+    """``n`` independent, deterministically derived generators."""
+    return [np.random.default_rng(s) for s in derive_seeds(seed, n)]
+
+
+def _default_chunksize(num_items: int, workers: int) -> int:
+    chunks_per_worker = 4
+    return max(1, num_items // (workers * chunks_per_worker))
+
+
+def _run_item(index: int):
+    """Pool worker entry point: everything else arrives via the fork."""
+    global _IN_WORKER
+    _IN_WORKER = True
+    fn = _FORK_STATE["fn"]
+    item = _FORK_STATE["items"][index]
+    seeds = _FORK_STATE["seeds"]
+    if seeds is None:
+        return fn(item)
+    return fn(item, np.random.default_rng(seeds[index]))
+
+
+def parallel_map(fn: Callable[..., R], items: Iterable[T],
+                 workers: int | None = None,
+                 seed: int | None = None,
+                 chunksize: int | None = None,
+                 use_seeds: bool = False) -> list[R]:
+    """Map ``fn`` over ``items``, optionally across a fork process pool.
+
+    Parameters
+    ----------
+    fn:
+        Called as ``fn(item)`` — or ``fn(item, rng)`` when seeding is
+        enabled — in an arbitrary process.  May close over unpicklable
+        state; the closure is inherited through the fork.
+    items:
+        Work items (materialised once; order defines result order).
+    workers:
+        Pool size.  ``None`` or ``<= 1`` runs serially in-process.
+    seed:
+        Root seed for per-item RNG derivation.  Passing a seed (or setting
+        ``use_seeds``) switches to the two-argument ``fn(item, rng)`` form;
+        ``seed=None`` with ``use_seeds=True`` derives from OS entropy.
+    chunksize:
+        Items per pool task; derived from the item count when omitted.
+
+    Returns results in item order.  Serial and parallel execution produce
+    identical results for deterministic ``fn``.
+    """
+    items = list(items)
+    seeds = derive_seeds(seed, len(items)) if (use_seeds or seed is not None) \
+        else None
+    if not items:
+        return []
+
+    run_parallel = (workers is not None and workers > 1 and len(items) > 1
+                    and not _IN_WORKER and fork_available())
+    if run_parallel:
+        workers = min(workers, len(items))
+        _FORK_STATE.update(fn=fn, items=items, seeds=seeds)
+        try:
+            ctx = multiprocessing.get_context("fork")
+            with ctx.Pool(processes=workers) as pool:
+                return pool.map(
+                    _run_item, range(len(items)),
+                    chunksize=chunksize or _default_chunksize(len(items),
+                                                              workers))
+        except (OSError, AssertionError):
+            pass  # fork/pool failure: fall through to the serial path
+        finally:
+            _FORK_STATE.clear()
+
+    if seeds is None:
+        return [fn(item) for item in items]
+    return [fn(item, np.random.default_rng(s))
+            for item, s in zip(items, seeds)]

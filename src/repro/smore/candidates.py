@@ -51,6 +51,7 @@ class CandidateTable:
         """
         self._table = {w.worker_id: {} for w in workers}
         plan_many = getattr(self.planner, "plan_many", None)
+        insertion = getattr(self.planner, "plan_with_insertion", None)
         for worker in workers:
             base = self.planner.base_route(worker)
             self.incentives.set_base_rtt(worker, base.route_travel_time)
@@ -58,8 +59,7 @@ class CandidateTable:
             if not base.feasible:
                 continue  # the worker cannot even complete their own trip
             base_tasks = base.route.tasks if base.route is not None else ()
-            if plan_many is not None and not hasattr(
-                    self.planner, "plan_with_insertion"):
+            if plan_many is not None and insertion is None:
                 # Batched path (RL backends): one encoder pass per worker.
                 results = plan_many(worker, [[task] for task in sensing_tasks])
                 self.planner_calls += len(sensing_tasks)
@@ -82,7 +82,9 @@ class CandidateTable:
             return None
         rtt = result.route_travel_time
         delta = self.incentives.incentive(worker, rtt) - current_incentive
-        if delta >= budget_rest:
+        if delta > budget_rest:
+            # Strict >: the paper's constraint is <=, so an assignment that
+            # exactly exhausts the remaining budget stays feasible.
             return None
         return CandidateEntry(result.route, rtt, delta)
 
@@ -101,11 +103,25 @@ class CandidateTable:
             return None
         rtt = result.route_travel_time
         delta = self.incentives.incentive(worker, rtt) - current_incentive
-        if delta >= budget_rest:
+        if delta > budget_rest:
             return None
         return CandidateEntry(result.route, rtt, delta)
 
     # ------------------------------------------------------------------ #
+    def copy(self) -> "CandidateTable":
+        """Cheap structural copy for snapshot reuse.
+
+        Rows are copied dict-by-dict; the :class:`CandidateEntry` values are
+        frozen and shared.  ``planner_calls`` carries over so the copy still
+        reports the cost of building the table it restores — no new planner
+        calls are issued by the copy itself.
+        """
+        clone = CandidateTable(self.planner, self.incentives)
+        clone._table = {worker_id: dict(row)
+                        for worker_id, row in self._table.items()}
+        clone.planner_calls = self.planner_calls
+        return clone
+
     def remove_task(self, task_id: int) -> None:
         """Line 16: drop a completed task from every worker's candidates."""
         for row in self._table.values():
@@ -124,8 +140,8 @@ class CandidateTable:
         """
         row = {}
         plan_many = getattr(self.planner, "plan_many", None)
-        if plan_many is not None and not hasattr(
-                self.planner, "plan_with_insertion"):
+        if plan_many is not None and getattr(
+                self.planner, "plan_with_insertion", None) is None:
             available = list(available)
             sets = [list(assigned) + [task] for task in available]
             results = plan_many(worker, sets)
@@ -152,7 +168,7 @@ class CandidateTable:
         a previously feasible pair of worker B unaffordable.
         """
         for row in self._table.values():
-            for task_id in [t for t, e in row.items() if e.delta_incentive >= budget_rest]:
+            for task_id in [t for t, e in row.items() if e.delta_incentive > budget_rest]:
                 del row[task_id]
 
     # ------------------------------------------------------------------ #

@@ -8,12 +8,22 @@ reward is the coverage gain ``r_t = phi(S'_{t+1}) - phi(S'_t)``.
 Both SMORE inference (greedy policy) and TASNet training (sampled policy)
 run episodes through this environment, which guarantees the learned policy
 is optimised on exactly the dynamics the solver executes.
+
+Repeated rollouts on the same environment are cheap: the initial candidate
+table — the O(|W| x |S|) planner sweep of Algorithm 1 step 1 — is computed
+once on the first :meth:`SelectionEnv.reset` and snapshotted; later resets
+restore it via a structural copy instead of replanning every pair.  The
+environment's :attr:`perf` counters record planner calls and per-phase wall
+time (initialisation vs. selection) across all episodes it has run.
 """
 
 from __future__ import annotations
 
+import time
+
 from ..core.incentive import IncentiveModel
 from ..core.instance import USMDWInstance
+from ..core.perf import PerfCounters
 from ..tsptw.base import RoutePlanner
 from .candidates import CandidateTable
 from .state import AssignmentState, SelectionState
@@ -30,27 +40,48 @@ class SelectionEnv:
         The problem to solve.
     planner:
         TSPTW backend used for feasibility checks and route updates.
+    reuse_candidates:
+        When True (default) the initial candidate table is computed once
+        and restored by copy on subsequent resets — sound because the
+        initial table depends only on the (immutable) instance and the
+        planner.  Set False to force a full replan on every reset.
     """
 
-    def __init__(self, instance: USMDWInstance, planner: RoutePlanner):
+    def __init__(self, instance: USMDWInstance, planner: RoutePlanner,
+                 reuse_candidates: bool = True):
         self.instance = instance
         self.planner = planner
         self.incentives = IncentiveModel(mu=instance.mu)
+        self.reuse_candidates = reuse_candidates
         self.state: SelectionState | None = None
+        self.perf = PerfCounters()
+        self._snapshot: CandidateTable | None = None
 
     # ------------------------------------------------------------------ #
-    def reset(self) -> SelectionState:
-        """Step 1 of SMORE: candidate assignment initialisation."""
+    def _initial_table(self) -> CandidateTable:
+        """The post-initialisation candidate table, snapshotted on reuse."""
+        if self._snapshot is not None and self.reuse_candidates:
+            return self._snapshot.copy()
         table = CandidateTable(self.planner, self.incentives)
         table.initialize(self.instance.workers, self.instance.sensing_tasks,
                          self.instance.budget)
+        self.perf.planner_calls += table.planner_calls
+        self.perf.init_planner_calls += table.planner_calls
+        self._snapshot = table
+        return table.copy() if self.reuse_candidates else table
+
+    def reset(self) -> SelectionState:
+        """Step 1 of SMORE: candidate assignment initialisation."""
+        start = time.perf_counter()
         self.state = SelectionState(
-            candidates=table,
+            candidates=self._initial_table(),
             assignments=AssignmentState(self.instance.workers),
             workers=self.instance.workers,
             budget_rest=self.instance.budget,
             coverage=self.instance.coverage.new_state(),
         )
+        self.perf.init_time += time.perf_counter() - start
+        self.perf.rollouts += 1
         return self.state
 
     # ------------------------------------------------------------------ #
@@ -65,6 +96,8 @@ class SelectionEnv:
         if entry is None:
             raise KeyError(
                 f"(worker {worker_id}, task {task_id}) is not a feasible candidate")
+        start = time.perf_counter()
+        calls_before = state.candidates.planner_calls
         task = self.instance.sensing_task(task_id)
         worker = self.instance.worker(worker_id)
 
@@ -93,6 +126,8 @@ class SelectionEnv:
             current_route_tasks=current_tasks)
 
         reward = state.coverage.phi() - phi_before
+        self.perf.planner_calls += state.candidates.planner_calls - calls_before
+        self.perf.selection_time += time.perf_counter() - start
         return state, reward, state.done
 
     # ------------------------------------------------------------------ #

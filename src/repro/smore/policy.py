@@ -70,8 +70,14 @@ def _choose(log_probs: nn.Tensor, greedy: bool,
     probs = np.exp(log_probs.data)
     if greedy:
         return int(np.argmax(probs))
+    if rng is None:
+        # A silently created fresh generator here would make sampled
+        # rollouts irreproducible; the caller must own the randomness.
+        raise ValueError(
+            "sampled decoding (greedy=False) requires an explicit rng; "
+            "pass rng=np.random.default_rng(seed)")
     probs = probs / probs.sum()
-    return int((rng or np.random.default_rng()).choice(len(probs), p=probs))
+    return int(rng.choice(len(probs), p=probs))
 
 
 class TASNetPolicy:

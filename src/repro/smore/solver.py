@@ -4,6 +4,13 @@ Runs candidate assignment initialisation followed by iterative selection,
 driven by a trained (or untrained) policy.  Also hosts the "w/o RL-AS"
 ablation: the same iterative framework with a purely greedy
 coverage-gain-first selection rule instead of the learned policy.
+
+Sample-and-select-best inference (``num_samples > 1``) shares one
+:class:`~repro.smore.env.SelectionEnv` across rollouts, so the candidate
+table is initialised once and restored by snapshot copy per rollout; with
+``workers > 1`` the sampled rollouts additionally fan out over a process
+pool (:mod:`repro.parallel`) with per-rollout seeds derived from one root,
+making parallel and serial decoding bit-identical.
 """
 
 from __future__ import annotations
@@ -14,13 +21,16 @@ import numpy as np
 
 from .. import nn
 from ..core.instance import USMDWInstance
+from ..core.perf import PerfCounters
 from ..core.solution import Solution
+from ..parallel import derive_seeds, parallel_map
 from ..tsptw.base import RoutePlanner
 from .env import SelectionEnv
 from .policy import FlatSelectionPolicy, TASNetPolicy
 from .state import SelectionState
 
-__all__ = ["SMORESolver", "GreedySelectionRule", "run_episode"]
+__all__ = ["SMORESolver", "GreedySelectionRule", "RatioSelectionRule",
+           "run_episode"]
 
 
 def run_episode(env: SelectionEnv, policy, greedy: bool = True,
@@ -40,6 +50,33 @@ def run_episode(env: SelectionEnv, policy, greedy: bool = True,
     return state, total_reward, records
 
 
+def _best_candidate_pair(state: SelectionState, score):
+    """Arg-best (worker, task) over the candidate table without sorting.
+
+    ``score(task_id, entry)`` returns the primary key to *minimise* (e.g.
+    negative coverage gain).  Ties break toward the lower incentive cost,
+    then the lower task id within a worker's row; across workers the
+    earlier worker in table order wins, mirroring the historical
+    sorted-scan semantics at O(row) instead of O(row log row) per step.
+    """
+    best = None
+    best_key = None
+    for worker_id in state.candidates.workers_with_candidates():
+        row_best = None
+        row_key = None
+        for task_id, entry in state.candidates.worker_candidates(
+                worker_id).items():
+            key = (score(task_id, entry), entry.delta_incentive, task_id)
+            if row_key is None or key < row_key:
+                row_key = key
+                row_best = task_id
+        if row_key is not None and (best_key is None
+                                    or row_key[:2] < best_key[:2]):
+            best_key = row_key
+            best = (worker_id, row_best)
+    return best
+
+
 class GreedySelectionRule:
     """"w/o RL-AS" ablation: pick the pair with maximum coverage gain.
 
@@ -54,16 +91,10 @@ class GreedySelectionRule:
             rng: np.random.Generator | None = None):
         from .policy import ActionRecord
 
-        best = None
-        best_key = None
-        for worker_id in state.candidates.workers_with_candidates():
-            for task_id, entry in sorted(
-                    state.candidates.worker_candidates(worker_id).items()):
-                gain = state.coverage.gain(self._instance.sensing_task(task_id))
-                key = (-gain, entry.delta_incentive)
-                if best_key is None or key < best_key:
-                    best_key = key
-                    best = (worker_id, task_id)
+        def score(task_id, entry):
+            return -state.coverage.gain(self._instance.sensing_task(task_id))
+
+        best = _best_candidate_pair(state, score)
         return ActionRecord(best[0], best[1], nn.Tensor(0.0))
 
 
@@ -81,17 +112,11 @@ class RatioSelectionRule:
         from .heuristics import SOFT_MASK_EPS
         from .policy import ActionRecord
 
-        best = None
-        best_key = None
-        for worker_id in state.candidates.workers_with_candidates():
-            for task_id, entry in sorted(
-                    state.candidates.worker_candidates(worker_id).items()):
-                gain = state.coverage.gain(self._instance.sensing_task(task_id))
-                ratio = gain / max(entry.delta_incentive, SOFT_MASK_EPS)
-                key = (-ratio, entry.delta_incentive)
-                if best_key is None or key < best_key:
-                    best_key = key
-                    best = (worker_id, task_id)
+        def score(task_id, entry):
+            gain = state.coverage.gain(self._instance.sensing_task(task_id))
+            return -gain / max(entry.delta_incentive, SOFT_MASK_EPS)
+
+        best = _best_candidate_pair(state, score)
         return ActionRecord(best[0], best[1], nn.Tensor(0.0))
 
 
@@ -120,39 +145,89 @@ class SMORESolver:
             }.get(type(policy), "SMORE")
         self.name = name
 
+    # ------------------------------------------------------------------ #
+    def _rollout_plan(self, greedy: bool, rng: np.random.Generator | None,
+                      num_samples: int) -> list:
+        """The (use_greedy, seed) schedule for sample-and-select-best.
+
+        Per-rollout seeds are derived from one root drawn off the caller's
+        rng, so the schedule — and therefore the returned solution — is
+        identical whether rollouts run serially or across a pool.
+        """
+        if num_samples > 1:
+            rng = rng or np.random.default_rng()
+            root = int(rng.integers(0, 2**63 - 1))
+            return [(True, None)] + [
+                (False, seed) for seed in derive_seeds(root, num_samples - 1)]
+        if not greedy:
+            return [(False, np.random.SeedSequence()
+                     if rng is None else rng)]
+        return [(True, None)]
+
     def solve(self, instance: USMDWInstance, greedy: bool = True,
               rng: np.random.Generator | None = None,
-              num_samples: int = 1) -> Solution:
+              num_samples: int = 1, workers: int = 1,
+              reuse_candidates: bool = True) -> Solution:
         """Solve one instance.
 
         ``greedy=True`` decodes with argmax actions (the paper's test-time
         protocol).  ``num_samples > 1`` enables sample-and-select-best
         inference — a standard neural-CO extension beyond the paper: the
-        policy is rolled out stochastically ``num_samples`` times (plus one
-        greedy rollout) and the best-coverage solution is returned.
+        policy is rolled out stochastically ``num_samples - 1`` times on
+        top of one greedy rollout and the best-coverage solution is
+        returned.  Candidate initialisation runs once regardless of
+        ``num_samples`` (snapshot reuse); ``workers > 1`` fans the sampled
+        rollouts out over a process pool with identical results.
         """
         start = time.perf_counter()
-        best_state = None
-        best_phi = -float("inf")
-        rollouts = [(True, None)]
-        if num_samples > 1:
-            rng = rng or np.random.default_rng()
-            rollouts += [(False, rng) for _ in range(num_samples - 1)]
-        elif not greedy:
-            rollouts = [(False, rng)]
-        with nn.no_grad():
-            for use_greedy, roll_rng in rollouts:
-                env = SelectionEnv(instance, self.planner)
+        env = SelectionEnv(instance, self.planner,
+                           reuse_candidates=reuse_candidates)
+        rollouts = self._rollout_plan(greedy, rng, num_samples)
+
+        def roll(spec):
+            use_greedy, seed = spec
+            roll_rng = None
+            if not use_greedy:
+                roll_rng = (seed if isinstance(seed, np.random.Generator)
+                            else np.random.default_rng(seed))
+            # Fresh counters per rollout: a pool child may run several
+            # rollouts on its copy of the env, and each must report only
+            # its own episode.
+            env.perf = PerfCounters()
+            with nn.no_grad():
                 state, _, _ = run_episode(env, self.policy,
                                           greedy=use_greedy, rng=roll_rng)
-                if state.phi() > best_phi:
-                    best_phi = state.phi()
-                    best_state = state
+            return (state.phi(), state.assignments.routes(),
+                    state.assignments.incentives(), env.perf)
+
+        perf = PerfCounters()
+        if workers > 1 and len(rollouts) > 1:
+            # Warm the candidate snapshot before forking so every child
+            # inherits it instead of re-running the O(W x S) init sweep.
+            env.reset()
+            env.perf.rollouts = 0  # the warm-up reset is not an episode
+            perf.merge(env.perf)
+            results = parallel_map(roll, rollouts, workers=workers)
+        else:
+            results = [roll(spec) for spec in rollouts]
+        for _, _, _, episode_perf in results:
+            perf.merge(episode_perf)
+
+        best = None
+        best_phi = -float("inf")
+        for phi, routes, incentives, _ in results:
+            if phi > best_phi:
+                best_phi = phi
+                best = (routes, incentives)
+
+        if getattr(self.planner, "stats", None) is not None:
+            perf.merge(self.planner.stats())
         elapsed = time.perf_counter() - start
         return Solution(
             instance=instance,
-            routes=best_state.assignments.routes(),
-            incentives=best_state.assignments.incentives(),
+            routes=best[0],
+            incentives=best[1],
             solver_name=self.name,
             wall_time=elapsed,
+            perf=perf,
         )

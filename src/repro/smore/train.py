@@ -17,6 +17,7 @@ import numpy as np
 
 from .. import nn
 from ..core.instance import USMDWInstance
+from ..parallel import parallel_map
 from ..tsptw.base import RoutePlanner
 from .critic import CriticNetwork, critic_features
 from .env import SelectionEnv
@@ -51,9 +52,15 @@ def imitation_pretrain(policy, planner: RoutePlanner,
     if teacher is None:
         teacher = RatioSelectionRule()
     history: list[float] = []
+    # One env per instance: the candidate-table snapshot survives across
+    # iterations, so the O(W x S) init sweep is paid once per instance.
+    envs: dict[int, SelectionEnv] = {}
     for iteration in range(iterations):
-        instance = instances[int(rng.integers(0, len(instances)))]
-        env = SelectionEnv(instance, planner)
+        index = int(rng.integers(0, len(instances)))
+        instance = instances[index]
+        env = envs.get(index)
+        if env is None:
+            env = envs.setdefault(index, SelectionEnv(instance, planner))
         state = env.reset()
         policy.begin_episode(instance)
         teacher.begin_episode(instance)
@@ -100,6 +107,10 @@ class TrainingConfig:
     grad_clip: float = 1.0
     seed: int = 0
     baseline: str = "critic"
+    #: Process-pool size for greedy validation rollouts (repro.parallel).
+    #: Training rollouts stay in-process — their autograd graphs cannot
+    #: cross a process boundary.
+    eval_workers: int = 1
 
     def __post_init__(self):
         if self.baseline not in ("critic", "rollout", "none"):
@@ -124,11 +135,22 @@ class TASNetTrainer:
         self.optimizer = nn.Adam(self.policy.parameters(), lr=self.config.lr)
         self.critic_optimizer = nn.Adam(self.critic.parameters(),
                                         lr=self.config.critic_lr)
+        self._envs: dict[int, SelectionEnv] = {}
 
     # ------------------------------------------------------------------ #
+    def _env(self, instance: USMDWInstance) -> SelectionEnv:
+        """Per-instance environment, kept so candidate snapshots are reused
+        across every rollout of the whole training run."""
+        key = id(instance)
+        env = self._envs.get(key)
+        if env is None or env.instance is not instance:
+            env = SelectionEnv(instance, self.planner)
+            self._envs[key] = env
+        return env
+
     def _rollout(self, instance: USMDWInstance):
         """Sampled episode; returns (phi, sum of log-probs, initial features)."""
-        env = SelectionEnv(instance, self.planner)
+        env = self._env(instance)
         state = env.reset()
         features = critic_features(instance, state)
         self.policy.begin_episode(instance)
@@ -143,7 +165,7 @@ class TASNetTrainer:
     def _greedy_rollout_value(self, instance: USMDWInstance) -> float:
         """Self-critic baseline: coverage of the current policy decoded
         greedily on the same instance (Kool et al.'s rollout baseline)."""
-        env = SelectionEnv(instance, self.planner)
+        env = self._env(instance)
         with nn.no_grad():
             state, _, _ = run_episode(env, self.policy, greedy=True)
         return state.phi()
@@ -273,11 +295,18 @@ class TASNetTrainer:
 
     # ------------------------------------------------------------------ #
     def evaluate(self, instances: Sequence[USMDWInstance]) -> float:
-        """Mean greedy-rollout coverage over held-out instances."""
-        scores = []
-        with nn.no_grad():
-            for instance in instances:
-                env = SelectionEnv(instance, self.planner)
+        """Mean greedy-rollout coverage over held-out instances.
+
+        Greedy decoding is deterministic, so fanning the instances out over
+        ``config.eval_workers`` processes returns exactly the serial score.
+        """
+
+        def score_one(instance: USMDWInstance) -> float:
+            env = self._env(instance)
+            with nn.no_grad():
                 state, _, _ = run_episode(env, self.policy, greedy=True)
-                scores.append(state.phi())
+            return state.phi()
+
+        scores = parallel_map(score_one, instances,
+                              workers=self.config.eval_workers)
         return float(np.mean(scores)) if scores else 0.0

@@ -5,68 +5,139 @@ notably the base routes used by the incentive model and the current
 assigned-set route after each rejection.  :class:`CachedPlanner` memoises on
 ``(worker_id, frozenset of sensing task ids)``, which is sound because
 entities are immutable within an instance.
+
+The wrapper is feature-transparent: ``plan_with_insertion`` and
+``plan_many`` are bound onto the instance *only when the wrapped backend
+provides them*, so ``hasattr``/``getattr`` feature detection (as done by
+:class:`~repro.smore.candidates.CandidateTable`) behaves identically with
+and without the cache — including the batched ``plan_many`` path used by
+RL backends.  An optional ``max_size`` turns both memo tables into bounded
+LRU caches, and :meth:`stats` exposes hit/miss/size accounting as a
+:class:`~repro.core.perf.PerfCounters`.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Sequence
 
 from ..core.entities import SensingTask, Worker
+from ..core.perf import PerfCounters
 from .base import RoutePlanner, RouteResult
 
 __all__ = ["CachedPlanner"]
 
 
 class CachedPlanner:
-    """Wrap any :class:`RoutePlanner` with an unbounded memo table."""
+    """Wrap any :class:`RoutePlanner` with a (optionally bounded) memo table.
 
-    def __init__(self, planner: RoutePlanner):
+    Parameters
+    ----------
+    planner:
+        The backend to memoise.
+    max_size:
+        Maximum number of entries per memo table (full-plan and insertion
+        tables are bounded independently).  ``None`` keeps the historical
+        unbounded behaviour; a bound evicts least-recently-used entries,
+        which caps memory on long experiment grids.
+    """
+
+    def __init__(self, planner: RoutePlanner, max_size: int | None = None):
         self.planner = planner
         self.speed = planner.speed
-        self._cache: dict[tuple[int, frozenset[int]], RouteResult] = {}
-        self._insert_cache: dict[tuple, RouteResult] = {}
+        if max_size is not None and max_size < 1:
+            raise ValueError("max_size must be a positive integer or None")
+        self.max_size = max_size
+        self._cache: OrderedDict[tuple[int, frozenset[int]], RouteResult] = \
+            OrderedDict()
+        self._insert_cache: OrderedDict[tuple, RouteResult] = OrderedDict()
         self.hits = 0
         self.misses = 0
-        # Only exposed when the wrapped backend supports it, so callers
-        # that feature-detect incremental insertion behave identically
-        # with and without the cache.
-        if not hasattr(planner, "plan_with_insertion"):
-            self.plan_with_insertion = None  # type: ignore[assignment]
+        self.evictions = 0
+        # Bind optional-protocol methods only when the backend has them, so
+        # feature detection sees exactly the backend's capabilities.
+        if getattr(planner, "plan_with_insertion", None) is not None:
+            self.plan_with_insertion = self._plan_with_insertion
+        if getattr(planner, "plan_many", None) is not None:
+            self.plan_many = self._plan_many
 
-    def plan_with_insertion(self, worker: Worker, base_tasks,
-                            new_task) -> RouteResult:
+    # ------------------------------------------------------------------ #
+    def _lookup(self, table: OrderedDict, key) -> RouteResult | None:
+        cached = table.get(key)
+        if cached is not None:
+            self.hits += 1
+            table.move_to_end(key)
+        return cached
+
+    def _store(self, table: OrderedDict, key, result: RouteResult) -> None:
+        table[key] = result
+        if self.max_size is not None and len(table) > self.max_size:
+            table.popitem(last=False)
+            self.evictions += 1
+
+    # ------------------------------------------------------------------ #
+    def _plan_with_insertion(self, worker: Worker, base_tasks,
+                             new_task) -> RouteResult:
         """Memoised single-task insertion (delegates to the backend)."""
         key = (worker.worker_id, tuple(t.task_id for t in base_tasks),
                new_task.task_id)
-        cached = self._insert_cache.get(key)
+        cached = self._lookup(self._insert_cache, key)
         if cached is not None:
-            self.hits += 1
             return cached
         self.misses += 1
         result = self.planner.plan_with_insertion(worker, base_tasks, new_task)
-        self._insert_cache[key] = result
+        self._store(self._insert_cache, key, result)
         return result
+
+    def _plan_many(self, worker: Worker,
+                   task_sets: Sequence[Sequence[SensingTask]]
+                   ) -> list[RouteResult]:
+        """Memoised batch planning: only cache misses reach the backend."""
+        keys = [(worker.worker_id, frozenset(s.task_id for s in tasks))
+                for tasks in task_sets]
+        results: list[RouteResult | None] = [
+            self._lookup(self._cache, key) for key in keys]
+        missing = [i for i, r in enumerate(results) if r is None]
+        if missing:
+            self.misses += len(missing)
+            fresh = self.planner.plan_many(
+                worker, [task_sets[i] for i in missing])
+            for i, result in zip(missing, fresh):
+                self._store(self._cache, keys[i], result)
+                results[i] = result
+        return results  # type: ignore[return-value]
 
     def plan(self, worker: Worker,
              sensing_tasks: Sequence[SensingTask]) -> RouteResult:
         key = (worker.worker_id, frozenset(s.task_id for s in sensing_tasks))
-        cached = self._cache.get(key)
+        cached = self._lookup(self._cache, key)
         if cached is not None:
-            self.hits += 1
             return cached
         self.misses += 1
         result = self.planner.plan(worker, sensing_tasks)
-        self._cache[key] = result
+        self._store(self._cache, key, result)
         return result
 
     def base_route(self, worker: Worker) -> RouteResult:
         return self.plan(worker, [])
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> PerfCounters:
+        """Current accounting as a :class:`PerfCounters` snapshot."""
+        return PerfCounters(
+            planner_calls=self.misses,
+            cache_hits=self.hits,
+            cache_misses=self.misses,
+            cache_size=len(self._cache) + len(self._insert_cache),
+            cache_evictions=self.evictions,
+        )
 
     def clear(self) -> None:
         self._cache.clear()
         self._insert_cache.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._cache)

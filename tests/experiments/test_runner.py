@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.core import Solution
-from repro.experiments import METHOD_ORDER, MethodResult, aggregate
+from repro.experiments import (
+    METHOD_ORDER,
+    ExperimentRunner,
+    MethodResult,
+    aggregate,
+)
 from repro.experiments.pretrained import get_trained_policy
 
 from .conftest import TINY_PRETRAIN
@@ -73,6 +78,41 @@ class TestRunner:
         results = runner.run_setting("delivery", methods=("SMORE",))
         assert results[0].method == "SMORE"
         assert results[0].objective_mean > 0
+
+
+class TestParallelRunner:
+    def _make(self, tmp_path, workers):
+        from .conftest import TINY_PROFILE
+
+        return ExperimentRunner(profile=TINY_PROFILE, seed=100,
+                                cache_dir=tmp_path / "pretrained",
+                                workers=workers)
+
+    def test_parallel_results_bit_identical_to_serial(self, tmp_path):
+        methods = ("RN", "TVPG")
+        serial = self._make(tmp_path, workers=1).run_setting(
+            "delivery", methods=methods)
+        fanned = self._make(tmp_path, workers=2).run_setting(
+            "delivery", methods=methods)
+        assert [r.method for r in fanned] == [r.method for r in serial]
+        for a, b in zip(serial, fanned):
+            # Everything except wall time must match exactly.
+            assert a.objective_mean == b.objective_mean
+            assert a.objective_std == b.objective_std
+            assert a.num_completed_mean == b.num_completed_mean
+            assert a.incentive_mean == b.incentive_mean
+            assert a.num_instances == b.num_instances
+
+    def test_workers_default_serial(self, runner):
+        assert runner.workers == 1
+
+    def test_smore_perf_counters_reported(self, runner):
+        results = runner.run_setting("delivery", methods=("SMORE",))
+        perf = results[0].perf
+        assert perf is not None
+        assert perf.planner_calls > 0
+        assert perf.init_planner_calls > 0
+        assert perf.init_time > 0
 
 
 class TestPretrainedCache:

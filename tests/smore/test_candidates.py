@@ -29,9 +29,11 @@ class TestInitialization:
                 assert task_id in {t.task_id for t in entry.route.sensing_tasks}
 
     def test_delta_incentive_within_budget(self, table, small_instance):
+        # The paper's constraint is <=: exactly exhausting the budget is
+        # feasible.
         for worker in small_instance.workers:
             for entry in table.worker_candidates(worker.worker_id).values():
-                assert entry.delta_incentive < small_instance.budget
+                assert entry.delta_incentive <= small_instance.budget
 
     def test_delta_incentive_matches_route(self, table, small_instance):
         model = IncentiveModel(mu=small_instance.mu)
@@ -50,8 +52,8 @@ class TestInitialization:
         empty = CandidateTable(planner, incentives)
         empty.initialize(small_instance.workers, small_instance.sensing_tasks,
                          0.0)
-        # delta >= 0 never < 0 -> only strictly-free insertions survive;
-        # with off-route tasks there are none.
+        # Only zero-cost insertions fit a zero budget; with off-route
+        # tasks there are none.
         assert empty.num_pairs() == 0
 
     def test_contains(self, table, small_instance):
@@ -98,6 +100,66 @@ class TestUpdates:
 
     def test_planner_call_counting(self, table):
         assert table.planner_calls > 0
+
+
+class TestBudgetBoundary:
+    """Regression tests for the <= budget constraint (Section III-B).
+
+    Entries whose marginal cost exactly exhausts the remaining budget are
+    feasible; the pre-fix strict-< comparison wrongly excluded them.
+    """
+
+    def test_prune_keeps_exact_budget_entry(self, table):
+        worker_id = table.workers_with_candidates()[0]
+        task_id, entry = next(iter(table.worker_candidates(worker_id).items()))
+        table.prune_over_budget(entry.delta_incentive)
+        assert (worker_id, task_id) in table
+
+    def test_prune_drops_over_budget_entry(self, table):
+        worker_id = table.workers_with_candidates()[0]
+        task_id, entry = next(iter(table.worker_candidates(worker_id).items()))
+        table.prune_over_budget(entry.delta_incentive - 1e-9)
+        assert (worker_id, task_id) not in table
+
+    def test_initialize_keeps_exact_budget_assignment(self, small_instance,
+                                                      planner):
+        from repro.core import IncentiveModel
+
+        # First pass at unlimited budget to learn each entry's true cost.
+        probe = CandidateTable(planner, IncentiveModel(mu=small_instance.mu))
+        probe.initialize(small_instance.workers,
+                         small_instance.sensing_tasks, float("inf"))
+        worker_id = probe.workers_with_candidates()[0]
+        task_id, entry = next(iter(probe.worker_candidates(worker_id).items()))
+        assert entry.delta_incentive > 0
+
+        # Re-initialise with a budget exactly equal to that cost: the pair
+        # must survive.
+        exact = CandidateTable(planner, IncentiveModel(mu=small_instance.mu))
+        exact.initialize(small_instance.workers,
+                         small_instance.sensing_tasks, entry.delta_incentive)
+        assert (worker_id, task_id) in exact
+
+
+class TestCopy:
+    def test_copy_is_structurally_identical(self, table, small_instance):
+        clone = table.copy()
+        assert clone.num_pairs() == table.num_pairs()
+        assert clone.planner_calls == table.planner_calls
+        for worker in small_instance.workers:
+            original = table.worker_candidates(worker.worker_id)
+            copied = clone.worker_candidates(worker.worker_id)
+            assert set(original) == set(copied)
+            for task_id in original:
+                # Entries are frozen and shared, not re-planned.
+                assert copied[task_id] is original[task_id]
+
+    def test_copy_isolated_from_mutation(self, table):
+        clone = table.copy()
+        task_id = next(iter(table.candidate_task_ids()))
+        clone.remove_task(task_id)
+        assert any(task_id in table.worker_candidates(w)
+                   for w in table.workers_with_candidates())
 
 
 class TestBatchedPlannerPath:

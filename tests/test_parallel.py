@@ -1,0 +1,99 @@
+"""Tests for the deterministic process-pool fan-out (``repro.parallel``)."""
+
+import numpy as np
+import pytest
+
+from repro import parallel
+from repro.parallel import (
+    derive_rngs,
+    derive_seeds,
+    fork_available,
+    parallel_map,
+)
+
+
+def square(x):
+    return x * x
+
+
+def draw(x, rng):
+    return x + int(rng.integers(0, 1_000_000))
+
+
+class TestSerialPath:
+    def test_workers_one_matches_map(self):
+        assert parallel_map(square, range(10), workers=1) == \
+            [x * x for x in range(10)]
+
+    def test_workers_none_is_serial(self):
+        assert parallel_map(square, [3, 4]) == [9, 16]
+
+    def test_empty_items(self):
+        assert parallel_map(square, [], workers=4) == []
+
+    def test_single_item_stays_serial(self):
+        assert parallel_map(square, [5], workers=4) == [25]
+
+    def test_closures_allowed(self):
+        offset = 7
+        assert parallel_map(lambda x: x + offset, [1, 2], workers=1) == [8, 9]
+
+
+@pytest.mark.skipif(not fork_available(), reason="platform lacks fork")
+class TestParallelPath:
+    def test_matches_serial(self):
+        serial = parallel_map(square, range(20), workers=1)
+        fanned = parallel_map(square, range(20), workers=4)
+        assert fanned == serial
+
+    def test_chunksize_accepted(self):
+        assert parallel_map(square, range(8), workers=2, chunksize=3) == \
+            [x * x for x in range(8)]
+
+    def test_closures_cross_fork(self):
+        big = list(range(1000))
+        assert parallel_map(lambda i: big[i], [0, 999], workers=2) == [0, 999]
+
+    def test_nested_call_degrades_to_serial(self):
+        def outer(x):
+            return sum(parallel_map(square, range(x + 1), workers=2))
+
+        assert parallel_map(outer, [2, 3], workers=2) == [5, 14]
+
+
+class TestSeededDeterminism:
+    def test_derive_seeds_stable(self):
+        a = [s.generate_state(2).tolist() for s in derive_seeds(42, 3)]
+        b = [s.generate_state(2).tolist() for s in derive_seeds(42, 3)]
+        assert a == b
+
+    def test_derive_rngs_independent(self):
+        rngs = derive_rngs(0, 2)
+        assert rngs[0].integers(0, 10**9) != rngs[1].integers(0, 10**9)
+
+    def test_seeded_serial_reproducible(self):
+        a = parallel_map(draw, range(6), workers=1, seed=123)
+        b = parallel_map(draw, range(6), workers=1, seed=123)
+        assert a == b
+
+    @pytest.mark.skipif(not fork_available(), reason="platform lacks fork")
+    def test_seeded_parallel_matches_serial(self):
+        serial = parallel_map(draw, range(12), workers=1, seed=99)
+        fanned = parallel_map(draw, range(12), workers=3, seed=99)
+        assert fanned == serial
+
+    def test_use_seeds_without_seed_passes_rng(self):
+        results = parallel_map(lambda x, rng: isinstance(
+            rng, np.random.Generator), range(3), use_seeds=True)
+        assert results == [True, True, True]
+
+
+class TestFallbacks:
+    def test_fork_unavailable_falls_back(self, monkeypatch):
+        monkeypatch.setattr(parallel, "fork_available", lambda: False)
+        assert parallel_map(square, range(5), workers=4) == \
+            [x * x for x in range(5)]
+
+    def test_fork_state_cleared_after_run(self):
+        parallel_map(square, range(4), workers=2)
+        assert parallel._FORK_STATE == {}

@@ -89,3 +89,162 @@ class TestCachedPlanner:
     def test_speed_mirrors_inner(self):
         inner = InsertionSolver(speed=42.0)
         assert CachedPlanner(inner).speed == 42.0
+
+    def test_stats_snapshot(self, cached, simple_worker):
+        sensing = SensingTask(1, Location(600, 0), 0.0, 240.0, 5.0)
+        cached.plan(simple_worker, [sensing])
+        cached.plan(simple_worker, [sensing])
+        stats = cached.stats()
+        assert stats.cache_hits == 1
+        assert stats.cache_misses == 1
+        assert stats.planner_calls == 1
+        assert stats.cache_size == 1
+        assert stats.cache_hit_rate == 0.5
+
+
+class TestCachedPlannerLRU:
+    def _tasks(self, n):
+        return [SensingTask(i, Location(100 * i, 0), 0.0, 240.0, 5.0)
+                for i in range(1, n + 1)]
+
+    def test_bounded_cache_evicts_lru(self, simple_worker):
+        cached = CachedPlanner(InsertionSolver(speed=SPEED), max_size=2)
+        a, b, c = self._tasks(3)
+        cached.plan(simple_worker, [a])
+        cached.plan(simple_worker, [b])
+        cached.plan(simple_worker, [c])  # evicts [a]
+        assert len(cached) == 2
+        assert cached.evictions == 1
+        cached.plan(simple_worker, [a])  # miss: was evicted
+        assert cached.misses == 4
+
+    def test_recently_used_survives(self, simple_worker):
+        cached = CachedPlanner(InsertionSolver(speed=SPEED), max_size=2)
+        a, b, c = self._tasks(3)
+        cached.plan(simple_worker, [a])
+        cached.plan(simple_worker, [b])
+        cached.plan(simple_worker, [a])  # refresh [a]; [b] is now LRU
+        cached.plan(simple_worker, [c])  # evicts [b]
+        cached.plan(simple_worker, [a])
+        assert cached.hits == 2
+
+    def test_invalid_max_size_rejected(self):
+        with pytest.raises(ValueError):
+            CachedPlanner(InsertionSolver(speed=SPEED), max_size=0)
+
+    def test_unbounded_by_default(self, simple_worker):
+        cached = CachedPlanner(InsertionSolver(speed=SPEED))
+        for task in self._tasks(5):
+            cached.plan(simple_worker, [task])
+        assert len(cached) == 5
+        assert cached.evictions == 0
+
+
+class TestFeatureDetection:
+    """The wrapper must mirror the backend's optional-protocol surface.
+
+    The old implementation set ``plan_with_insertion = None`` on the
+    instance, which made ``hasattr`` return True for backends without
+    insertion support and silently disabled the batched ``plan_many``
+    path in the candidate table for wrapped RL backends.
+    """
+
+    def test_insertion_exposed_when_backend_has_it(self):
+        cached = CachedPlanner(InsertionSolver(speed=SPEED))
+        assert getattr(cached, "plan_with_insertion", None) is not None
+
+    def test_insertion_absent_when_backend_lacks_it(self):
+        cached = CachedPlanner(NearestNeighborSolver(speed=SPEED))
+        assert not hasattr(cached, "plan_with_insertion")
+        assert getattr(cached, "plan_with_insertion", None) is None
+
+    def test_plan_many_delegated_and_memoised(self, simple_worker):
+        class BatchBackend:
+            """Minimal plan_many-only backend (like the GPN solver)."""
+
+            def __init__(self):
+                self.inner = NearestNeighborSolver(speed=SPEED)
+                self.speed = self.inner.speed
+                self.batch_calls = 0
+
+            def plan(self, worker, sensing_tasks):
+                return self.inner.plan(worker, sensing_tasks)
+
+            def base_route(self, worker):
+                return self.inner.base_route(worker)
+
+            def plan_many(self, worker, task_sets):
+                self.batch_calls += 1
+                return [self.inner.plan(worker, tasks)
+                        for tasks in task_sets]
+
+        backend = BatchBackend()
+        cached = CachedPlanner(backend)
+        assert getattr(cached, "plan_many", None) is not None
+        a = SensingTask(1, Location(600, 0), 0.0, 240.0, 5.0)
+        b = SensingTask(2, Location(200, 0), 0.0, 240.0, 5.0)
+        first = cached.plan_many(simple_worker, [[a], [b]])
+        second = cached.plan_many(simple_worker, [[a], [b]])
+        assert backend.batch_calls == 1  # second call fully cached
+        assert cached.hits == 2
+        assert [r is s for r, s in zip(first, second)] == [True, True]
+
+    def test_plan_many_partial_miss(self, simple_worker):
+        class BatchBackend:
+            def __init__(self):
+                self.inner = NearestNeighborSolver(speed=SPEED)
+                self.speed = self.inner.speed
+                self.seen_batches = []
+
+            def plan(self, worker, sensing_tasks):
+                return self.inner.plan(worker, sensing_tasks)
+
+            def base_route(self, worker):
+                return self.inner.base_route(worker)
+
+            def plan_many(self, worker, task_sets):
+                self.seen_batches.append(
+                    [tuple(t.task_id for t in tasks) for tasks in task_sets])
+                return [self.inner.plan(worker, tasks)
+                        for tasks in task_sets]
+
+        backend = BatchBackend()
+        cached = CachedPlanner(backend)
+        a = SensingTask(1, Location(600, 0), 0.0, 240.0, 5.0)
+        b = SensingTask(2, Location(200, 0), 0.0, 240.0, 5.0)
+        cached.plan_many(simple_worker, [[a]])
+        cached.plan_many(simple_worker, [[a], [b]])
+        # Only the uncached set reaches the backend on the second call.
+        assert backend.seen_batches == [[(1,)], [(2,)]]
+
+    def test_wrapped_batch_backend_uses_batched_table_path(
+            self, simple_worker):
+        from repro.core import IncentiveModel
+        from repro.smore import CandidateTable
+
+        class BatchBackend:
+            def __init__(self):
+                self.inner = NearestNeighborSolver(speed=SPEED)
+                self.speed = self.inner.speed
+                self.batch_calls = 0
+
+            def plan(self, worker, sensing_tasks):
+                return self.inner.plan(worker, sensing_tasks)
+
+            def base_route(self, worker):
+                return self.inner.base_route(worker)
+
+            def plan_many(self, worker, task_sets):
+                self.batch_calls += 1
+                return [self.inner.plan(worker, tasks)
+                        for tasks in task_sets]
+
+        backend = BatchBackend()
+        cached = CachedPlanner(backend)
+        table = CandidateTable(cached, IncentiveModel(mu=1.0))
+        tasks = [SensingTask(1, Location(600, 0), 0.0, 240.0, 5.0),
+                 SensingTask(2, Location(200, 0), 0.0, 240.0, 5.0)]
+        table.initialize([simple_worker], tasks, budget_rest=1000.0)
+        # The batched path fired exactly once for the worker's task sweep;
+        # the old None-attribute shadowing forced per-task plan() calls.
+        assert backend.batch_calls == 1
