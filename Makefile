@@ -6,15 +6,15 @@ install:
 	pip install -e .
 
 test:
-	pytest tests/
+	PYTHONPATH=src pytest tests/
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src pytest benchmarks/ --benchmark-only
 
-# Perf-layer regression: planner-call counts + smoke timings
-# (writes results/BENCH_PR1.json).
+# Perf-layer regression: planner-call counts, batched-decode throughput
+# + smoke timings (writes one results/BENCH_PR<n>.json per PR).
 bench-perf:
-	pytest benchmarks/test_perf_regression.py --benchmark-only
+	PYTHONPATH=src pytest benchmarks/test_perf_regression.py --benchmark-only
 
 # Regenerate every table/figure artifact under results/.
 results: bench
@@ -25,5 +25,7 @@ full:
 	python -m repro.experiments table2 --full
 	python -m repro.experiments table3 --full
 
+# Remove generated caches only; results/ holds committed benchmark
+# artefacts (results/BENCH_PR*.json) and must survive a clean.
 clean:
-	rm -rf .cache .benchmarks results
+	rm -rf .cache .benchmarks

@@ -16,6 +16,7 @@ The ``--full`` scale can be reproduced offline with
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -60,6 +61,18 @@ def runner() -> ExperimentRunner:
 def write_artifact(results_dir: Path, name: str, text: str) -> None:
     path = results_dir / name
     path.write_text(text + "\n")
+
+
+def write_bench(results_dir: Path, pr: int, record: dict) -> str:
+    """Write one PR's perf record to ``results/BENCH_PR{pr}.json``.
+
+    Each PR that lands a performance change appends its own artefact, so
+    a regression shows up as a diff against the committed file rather
+    than silently overwriting an earlier PR's baseline.
+    """
+    text = json.dumps(record, indent=2, sort_keys=True)
+    write_artifact(results_dir, f"BENCH_PR{pr}.json", text)
+    return text
 
 
 def objectives_by_method(results: list) -> dict[str, float]:

@@ -101,6 +101,10 @@ class CoverageModel:
         if self.level_weighting not in ("mean", "capacity", "finest"):
             raise ValueError(
                 f"unknown level_weighting {self.level_weighting!r}")
+        # Task -> (per-level spatial bins, temporal slot).  Binning is a
+        # pure function of the immutable task and grid, so one cache on
+        # the model serves every CoverageState across all rollouts.
+        object.__setattr__(self, "_bin_cache", {})
 
     @property
     def num_slots(self) -> int:
@@ -154,6 +158,16 @@ class _Histogram:
     def entropy(self) -> float:
         return _entropy_from_stats(self.total, self.sum_clog)
 
+    def entropy_after_add(self, key: int) -> float:
+        """Entropy the histogram would have after ``add(key)`` — without
+        mutating, and bitwise identical to the add/entropy/remove
+        round-trip (same update expression, no float residue)."""
+        old = self.counts.get(key, 0)
+        new = old + 1
+        sum_clog = self.sum_clog + new * math.log2(new) \
+            - (old * math.log2(old) if old else 0.0)
+        return _entropy_from_stats(self.total + 1, sum_clog)
+
     def copy(self) -> "_Histogram":
         twin = _Histogram()
         twin.counts = dict(self.counts)
@@ -177,6 +191,7 @@ class CoverageState:
         self._temporal = _Histogram()
         self._total = 0
         self._weights = self._level_weights()
+        self._phi_cache: float | None = None
 
     def _level_weights(self) -> list[float]:
         """Weights over [spatial levels..., temporal], normalised to 1."""
@@ -199,17 +214,31 @@ class CoverageState:
         """Number of completed sensing tasks tracked."""
         return self._total
 
+    def _bins(self, task: SensingTask) -> tuple[list[int], int]:
+        """Cached (per-level spatial bins, temporal slot) of a task."""
+        cache = self.model._bin_cache
+        bins = cache.get(task)
+        if bins is None:
+            bins = ([grid.cell_index(task.location) for grid in self._levels],
+                    self.model.slot_of(task))
+            cache[task] = bins
+        return bins
+
     def add(self, task: SensingTask) -> None:
-        for grid, hist in zip(self._levels, self._spatial):
-            hist.add(grid.cell_index(task.location))
-        self._temporal.add(self.model.slot_of(task))
+        keys, slot = self._bins(task)
+        for hist, key in zip(self._spatial, keys):
+            hist.add(key)
+        self._temporal.add(slot)
         self._total += 1
+        self._phi_cache = None
 
     def remove(self, task: SensingTask) -> None:
-        for grid, hist in zip(self._levels, self._spatial):
-            hist.remove(grid.cell_index(task.location))
-        self._temporal.remove(self.model.slot_of(task))
+        keys, slot = self._bins(task)
+        for hist, key in zip(self._spatial, keys):
+            hist.remove(key)
+        self._temporal.remove(slot)
         self._total -= 1
+        self._phi_cache = None
 
     # ------------------------------------------------------------------ #
     def entropy(self) -> float:
@@ -226,23 +255,46 @@ class CoverageState:
         return self._temporal.entropy()
 
     def phi(self) -> float:
-        """Current coverage; phi(empty set) is defined as 0."""
+        """Current coverage; phi(empty set) is defined as 0.
+
+        Cached between mutations: candidate-scoring loops evaluate the
+        marginal gain of every feasible task against one fixed state, so
+        the "before" value is computed once per state, not per candidate.
+        """
+        if self._phi_cache is not None:
+            return self._phi_cache
         if self._total == 0:
-            return 0.0
-        alpha = self.model.alpha
-        return alpha * self.entropy() + (1.0 - alpha) * math.log2(self._total)
+            value = 0.0
+        else:
+            alpha = self.model.alpha
+            value = alpha * self.entropy() \
+                + (1.0 - alpha) * math.log2(self._total)
+        self._phi_cache = value
+        return value
 
     def gain(self, task: SensingTask) -> float:
-        """Marginal coverage gain of adding ``task`` (does not mutate)."""
-        before = self.phi()
-        self.add(task)
-        after = self.phi()
-        self.remove(task)
-        return after - before
+        """Marginal coverage gain of adding ``task`` (does not mutate).
+
+        Computed analytically per histogram — the entropy each would have
+        after the hypothetical add — instead of an add/phi/remove
+        round-trip, so the hot candidate-scoring loops of the policies
+        and baselines pay O(levels) dictionary lookups, no mutation, and
+        no floating-point residue in the running ``sum_clog`` terms.
+        """
+        keys, slot = self._bins(task)
+        terms = [hist.entropy_after_add(key)
+                 for hist, key in zip(self._spatial, keys)]
+        terms.append(self._temporal.entropy_after_add(slot))
+        entropy_after = sum(w * t for w, t in zip(self._weights, terms))
+        alpha = self.model.alpha
+        phi_after = alpha * entropy_after \
+            + (1.0 - alpha) * math.log2(self._total + 1)
+        return phi_after - self.phi()
 
     def copy(self) -> "CoverageState":
         clone = CoverageState(self.model)
         clone._spatial = [hist.copy() for hist in self._spatial]
         clone._temporal = self._temporal.copy()
         clone._total = self._total
+        clone._phi_cache = self._phi_cache
         return clone

@@ -22,6 +22,7 @@ Quick example::
 """
 
 from . import init, ops
+from .ops import pad_stack
 from .attention import (
     MultiHeadAttention,
     PointerAttention,
@@ -47,6 +48,7 @@ from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad
 
 __all__ = [
     "Tensor", "as_tensor", "no_grad", "is_grad_enabled", "ops", "init",
+    "pad_stack",
     "Module", "Parameter", "Linear", "Embedding", "MLP", "LayerNorm",
     "Conv2D", "Sequential", "ReLU", "Tanh",
     "MultiHeadAttention", "PointerAttention", "TransformerEncoder",

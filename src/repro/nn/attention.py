@@ -80,11 +80,26 @@ class MultiHeadAttention(Module):
         return ops.transpose(x, (0, 2, 1, 3))          # (B, H, n, dh)
 
     def forward(self, query, key=None, value=None,
-                mask: np.ndarray | None = None) -> Tensor:
+                mask: np.ndarray | None = None,
+                key_padding_mask: np.ndarray | None = None) -> Tensor:
+        """``key_padding_mask`` is a boolean ``(n,)`` — or ``(B, n)`` for
+        batched inputs — with True marking padded key positions; it is
+        expanded over heads and query positions and OR-combined with
+        ``mask``.  This is how variable-length sets ride through one
+        batched forward: pad to a common ``n``, mask the tail.
+        """
         query = as_tensor(query)
         key = query if key is None else as_tensor(key)
         value = key if value is None else as_tensor(value)
         batched = query.ndim == 3
+
+        if key_padding_mask is not None:
+            padding = np.asarray(key_padding_mask, dtype=bool)
+            # Broadcast over (B,) H and query positions: (B, 1, 1, n) /
+            # (1, 1, n) aligns with score shape (B, H, n_q, n_k).
+            expanded = padding[..., None, None, :] if batched \
+                else padding[None, None, :]
+            mask = expanded if mask is None else np.logical_or(mask, expanded)
 
         q = self._split_heads(self.w_q(query))
         k = self._split_heads(self.w_k(key))
@@ -162,17 +177,25 @@ class PointerAttention(Module):
         self.w_k = Linear(d_key_in, d_key, bias=False, rng=rng)
 
     def forward(self, query, keys, mask: np.ndarray | None = None) -> Tensor:
-        """Return clipped logits, shape ``(n,)``.
+        """Return clipped logits, shape ``(n,)`` — or ``(B, n)`` batched.
 
-        ``query`` has shape ``(d_query,)``; ``keys`` has shape
-        ``(n, d_key_in)``; ``mask`` is a boolean ``(n,)`` with True marking
-        disallowed candidates.
+        Serial form: ``query`` has shape ``(d_query,)``, ``keys`` has shape
+        ``(n, d_key_in)``.  Batched form (the decode engine's hot path):
+        ``query`` is ``(B, d_query)`` and ``keys`` is ``(B, n, d_key_in)``
+        — one pointer evaluation per rollout in a single pass.  ``mask``
+        is boolean ``(n,)`` / ``(B, n)`` with True marking disallowed
+        candidates (including padding).
         """
         query = as_tensor(query)
         keys = as_tensor(keys)
-        q = self.w_q(query)                    # (d_key,)
-        k = self.w_k(keys)                     # (n, d_key)
-        scores = ops.matmul(k, q)              # (n,)
+        q = self.w_q(query)                    # (d_key,) or (B, d_key)
+        k = self.w_k(keys)                     # (n, d_key) or (B, n, d_key)
+        if keys.ndim == 3:
+            batch = keys.shape[0]
+            q_col = ops.reshape(q, (batch, self.d_key, 1))
+            scores = ops.reshape(ops.matmul(k, q_col), (batch, -1))
+        else:
+            scores = ops.matmul(k, q)          # (n,)
         scores = ops.mul(scores, 1.0 / math.sqrt(self.d_key))
         logits = ops.clip_tanh(scores, self.clip)
         if mask is not None:

@@ -7,6 +7,8 @@ broadcast operands are reduced with :func:`~repro.nn.tensor.unbroadcast`.
 
 from __future__ import annotations
 
+import builtins
+
 import numpy as np
 
 from .tensor import Tensor, as_tensor, unbroadcast
@@ -16,7 +18,12 @@ __all__ = [
     "sqrt", "tanh", "sigmoid", "relu", "sum", "mean", "max", "reshape",
     "transpose", "concat", "stack", "getitem", "softmax", "log_softmax",
     "clip_tanh", "where", "dropout", "gather_rows", "masked_fill", "abs",
+    "broadcast_to", "masked_softmax", "masked_log_softmax", "masked_mean",
+    "pad_stack",
 ]
+
+#: Logit value used for masked-out entries (matches the pointer decoders).
+NEG_INF = -1e9
 
 
 # --------------------------------------------------------------------- #
@@ -417,6 +424,115 @@ def where(condition, a, b) -> Tensor:
         )
 
     return Tensor._make(out_data, (a, b), backward)
+
+
+def broadcast_to(a, shape) -> Tensor:
+    """Broadcast ``a`` to ``shape`` (numpy rules); backward sums the
+    expanded axes back down via :func:`unbroadcast`.
+
+    Used by the batched decoders to share per-instance static embeddings
+    (computed once) across a leading rollout axis.
+    """
+    a = as_tensor(a)
+    out_data = np.broadcast_to(a.data, shape).copy()
+
+    def backward(grad):
+        return (unbroadcast(grad, a.shape),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def masked_softmax(a, mask, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` restricted to entries where ``mask`` is False.
+
+    ``mask`` is boolean, broadcastable to ``a.shape``, with True marking
+    *disallowed* (e.g. padded) positions: they get probability exactly 0.0
+    and receive no gradient, so padded rows cannot leak into real ones.
+    Fully masked rows yield all-zero probabilities (never NaN) — the
+    convention the batched decode engine relies on for variable-length
+    candidate sets padded to a common width.
+    """
+    a = as_tensor(a)
+    mask_arr = np.broadcast_to(np.asarray(mask, dtype=bool), a.shape).copy()
+    neg = np.where(mask_arr, -np.inf, a.data)
+    row_max = neg.max(axis=axis, keepdims=True)
+    safe_max = np.where(np.isfinite(row_max), row_max, 0.0)
+    exps = np.where(mask_arr, 0.0, np.exp(neg - safe_max))
+    denom = exps.sum(axis=axis, keepdims=True)
+    out_data = exps / np.where(denom == 0.0, 1.0, denom)
+
+    def backward(grad):
+        dot = (grad * out_data).sum(axis=axis, keepdims=True)
+        return (np.where(mask_arr, 0.0, out_data * (grad - dot)),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def masked_log_softmax(a, mask, axis: int = -1) -> Tensor:
+    """Log-softmax along ``axis`` over the entries where ``mask`` is False.
+
+    Masked positions output the constant ``NEG_INF`` with zero gradient;
+    unmasked positions match :func:`log_softmax` over the unmasked subset
+    bit-for-bit when the row carries no padding (the normalising sum then
+    runs over the identical entries in the identical order).  Fully masked
+    rows output ``NEG_INF`` everywhere.
+    """
+    a = as_tensor(a)
+    mask_arr = np.broadcast_to(np.asarray(mask, dtype=bool), a.shape).copy()
+    neg = np.where(mask_arr, -np.inf, a.data)
+    row_max = neg.max(axis=axis, keepdims=True)
+    safe_max = np.where(np.isfinite(row_max), row_max, 0.0)
+    shifted = a.data - safe_max
+    exps = np.where(mask_arr, 0.0, np.exp(shifted))
+    denom = exps.sum(axis=axis, keepdims=True)
+    log_norm = np.log(np.where(denom == 0.0, 1.0, denom))
+    out_data = np.where(mask_arr, NEG_INF, shifted - log_norm)
+    soft = np.where(mask_arr, 0.0, np.exp(out_data))
+
+    def backward(grad):
+        gsum = np.where(mask_arr, 0.0, grad).sum(axis=axis, keepdims=True)
+        return (np.where(mask_arr, 0.0, grad - soft * gsum),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def masked_mean(a, mask, axis: int) -> Tensor:
+    """Mean over ``axis`` counting only entries where ``mask`` is False.
+
+    ``mask`` must broadcast to ``a.shape`` (True = excluded/padded).  Rows
+    whose every entry is masked yield 0.0 — matching the all-zero
+    embedding the serial policy uses for workers with no assigned tasks.
+    Composed from primitive ops, so gradients need no custom backward.
+    """
+    a = as_tensor(a)
+    mask_arr = np.broadcast_to(np.asarray(mask, dtype=bool), a.shape)
+    counts = np.maximum((~mask_arr).sum(axis=axis), 1)
+    zeroed = where(mask_arr, Tensor(0.0), a)
+    return div(sum(zeroed, axis=axis), counts.astype(np.float64))
+
+
+def pad_stack(arrays, pad_value: float = 0.0) -> tuple[np.ndarray, np.ndarray]:
+    """Stack variable-length arrays into one padded batch plus its mask.
+
+    ``arrays`` is a sequence of numpy arrays shaped ``(n_i, ...)`` with
+    identical trailing dimensions.  Returns ``(batch, mask)`` where
+    ``batch`` has shape ``(B, n_max, ...)`` with short rows padded by
+    ``pad_value`` and ``mask`` is boolean ``(B, n_max)`` with True marking
+    the padded tail — the convention every ``masked_*`` op above expects.
+    Plain-numpy utility (no autograd): use it for feature/signal arrays;
+    pad differentiable embeddings via index matrices + :func:`gather_rows`.
+    """
+    arrays = [np.asarray(arr, dtype=np.float64) for arr in arrays]
+    # ``max`` is shadowed by the reduction op above.
+    n_max = builtins.max((arr.shape[0] for arr in arrays), default=0)
+    trailing = arrays[0].shape[1:] if arrays else ()
+    batch = np.full((len(arrays), n_max) + trailing, float(pad_value))
+    mask = np.ones((len(arrays), n_max), dtype=bool)
+    for i, arr in enumerate(arrays):
+        n = arr.shape[0]
+        batch[i, :n] = arr
+        mask[i, :n] = False
+    return batch, mask
 
 
 def dropout(a, rate: float, rng: np.random.Generator, training: bool = True) -> Tensor:

@@ -16,6 +16,7 @@ Typical use::
     solution = solver.solve(instance)
 """
 
+from .batch import BatchedEpisodeRunner, EpisodeResult
 from .candidates import CandidateEntry, CandidateTable
 from .critic import CriticNetwork, critic_features
 from .env import SelectionEnv
@@ -41,6 +42,7 @@ from .tasnet import (
 from .train import TASNetTrainer, TrainingConfig, imitation_pretrain
 
 __all__ = [
+    "BatchedEpisodeRunner", "EpisodeResult",
     "CandidateEntry", "CandidateTable",
     "SelectionEnv",
     "AssignmentState", "SelectionState", "WorkerAssignment",

@@ -61,5 +61,16 @@ class CriticNetwork(nn.Module):
     def value_from_features(self, features: np.ndarray) -> nn.Tensor:
         return self(features)
 
+    def values(self, features_batch: np.ndarray) -> nn.Tensor:
+        """Value estimates for a batch of feature vectors, shape ``(B,)``.
+
+        One MLP forward serves a whole REINFORCE batch — both the
+        baselines (detached) and the critic regression loss read from
+        this single graph.
+        """
+        batch = np.asarray(features_batch, dtype=float)
+        out = self.mlp(nn.Tensor(batch))
+        return nn.ops.reshape(out, (batch.shape[0],))
+
     def value(self, instance: USMDWInstance, state: SelectionState) -> nn.Tensor:
         return self(critic_features(instance, state))

@@ -91,7 +91,16 @@ class SelectionEnv:
         Raises ``KeyError`` when the pair is not a current candidate —
         actions must come from ``state.candidates``.
         """
-        state = self._require_state()
+        return self.step_state(self._require_state(), worker_id, task_id)
+
+    def step_state(self, state: SelectionState, worker_id: int,
+                   task_id: int) -> tuple[SelectionState, float, bool]:
+        """Apply an action to an explicit state (batched rollouts).
+
+        The batched decode engine holds K states from K :meth:`reset`
+        calls and advances each independently; dynamics and perf
+        accounting are identical to :meth:`step`.
+        """
         entry = state.candidates.get(worker_id, task_id)
         if entry is None:
             raise KeyError(

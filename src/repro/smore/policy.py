@@ -65,9 +65,12 @@ class ActionRecord:
     log_prob: nn.Tensor
 
 
-def _choose(log_probs: nn.Tensor, greedy: bool,
+def _choose(log_probs, greedy: bool,
             rng: np.random.Generator | None) -> int:
-    probs = np.exp(log_probs.data)
+    """Argmax / sample an index from log-probs (Tensor or ndarray)."""
+    data = log_probs.data if isinstance(log_probs, nn.Tensor) \
+        else np.asarray(log_probs)
+    probs = np.exp(data)
     if greedy:
         return int(np.argmax(probs))
     if rng is None:
@@ -81,7 +84,14 @@ def _choose(log_probs: nn.Tensor, greedy: bool,
 
 
 class TASNetPolicy:
-    """Featurisation + two-stage decoding for one episode at a time."""
+    """Featurisation + two-stage decoding over the selection MDP.
+
+    Drives one episode at a time through :meth:`act`, or K rollouts of the
+    same instance in lock-step through :meth:`act_batch` — one batched
+    two-stage forward per decoding step, sharing the static encoder
+    embeddings computed once in :meth:`begin_episode` across the whole
+    batch (see :class:`repro.smore.batch.BatchedEpisodeRunner`).
+    """
 
     def __init__(self, net: TASNet):
         self.net = net
@@ -188,6 +198,139 @@ class TASNetPolicy:
             state, worker_id, worker_idx, budget_norm, h_g)
         task_idx = task_ids.index(task_id)
         return worker_logp[worker_idx] + task_logp[task_idx]
+
+    # ------------------------------------------------------------------ #
+    # Batched decoding: K rollouts of one instance per forward pass.
+    # ------------------------------------------------------------------ #
+    def _worker_state_embeddings_batch(self, states) -> nn.Tensor:
+        """Worker-state embeddings for K rollouts: (K, n_w, 2d)."""
+        num_states, n_w = len(states), len(self._worker_ids)
+        d = self.net.config.d_model
+        rows: list[list[int]] = []
+        for state in states:
+            for worker_id in self._worker_ids:
+                rows.append([self._task_index[t.task_id]
+                             for t in state.assignments[worker_id].assigned])
+        a_max = max(len(row) for row in rows)
+        if a_max == 0:
+            mean_assigned = nn.Tensor(np.zeros((num_states, n_w, d)))
+        else:
+            idx = np.zeros((num_states * n_w, a_max), dtype=np.intp)
+            mask = np.ones((num_states * n_w, a_max), dtype=bool)
+            for i, row in enumerate(rows):
+                idx[i, :len(row)] = row
+                mask[i, :len(row)] = False
+            gathered = nn.ops.gather_rows(
+                self._task_emb, idx.reshape(num_states, n_w, a_max))
+            mean_assigned = nn.ops.masked_mean(
+                gathered, mask.reshape(num_states, n_w, a_max, 1), axis=2)
+        worker_emb = nn.ops.broadcast_to(self._worker_emb,
+                                         (num_states, n_w, d))
+        return nn.ops.concat([mean_assigned, worker_emb], axis=2)
+
+    def _worker_stage_batch(self, states, budget_norms: np.ndarray
+                            ) -> tuple[nn.Tensor, nn.Tensor]:
+        """Batched stage 1: ((K, n_w) log-probs, (K, 2d) group embeddings)."""
+        worker_states = self._worker_state_embeddings_batch(states)
+        mask = np.empty((len(states), len(self._worker_ids)), dtype=bool)
+        for k, state in enumerate(states):
+            feasible = set(state.feasible_worker_ids())
+            mask[k] = [w not in feasible for w in self._worker_ids]
+            if mask[k].all():
+                raise RuntimeError("no worker has feasible candidates")
+        return self.net.worker_selection.forward_batch(
+            worker_states, budget_norms, mask)
+
+    def _task_stage_batch(self, states, worker_ids, worker_idxs,
+                          budget_norms: np.ndarray, h_g: nn.Tensor
+                          ) -> tuple[nn.Tensor, list[list[int]]]:
+        """Batched stage 2: ((K, m_max) padded log-probs, task-id orders)."""
+        instance = self._require_episode()
+        num_states = len(states)
+        task_id_lists: list[list[int]] = []
+        delta_in_rows, delta_phi_rows = [], []
+        cand_rows: list[list[int]] = []
+        assigned_rows: list[list[int]] = []
+        for state, worker_id in zip(states, worker_ids):
+            candidates = state.candidates.worker_candidates(worker_id)
+            task_ids = sorted(candidates)
+            task_id_lists.append(task_ids)
+            delta_in_rows.append(np.array(
+                [candidates[t].delta_incentive for t in task_ids]))
+            delta_phi_rows.append(np.array(
+                [state.coverage.gain(instance.sensing_task(t))
+                 for t in task_ids]))
+            cand_rows.append([self._task_index[t] for t in task_ids])
+            assigned_rows.append(
+                [self._task_index[t.task_id]
+                 for t in state.assignments[worker_id].assigned])
+
+        delta_phi, cand_mask = nn.ops.pad_stack(delta_phi_rows)
+        delta_in, _ = nn.ops.pad_stack(delta_in_rows)
+        m_max = delta_phi.shape[1]
+        cand_idx = np.zeros((num_states, m_max), dtype=np.intp)
+        for k, row in enumerate(cand_rows):
+            cand_idx[k, :len(row)] = row
+        candidate_emb = nn.ops.gather_rows(self._task_emb, cand_idx)
+
+        a_max = max(len(row) for row in assigned_rows)
+        assigned_emb, assigned_mask = None, None
+        if a_max:
+            a_idx = np.zeros((num_states, a_max), dtype=np.intp)
+            assigned_mask = np.ones((num_states, a_max), dtype=bool)
+            for k, row in enumerate(assigned_rows):
+                a_idx[k, :len(row)] = row
+                assigned_mask[k, :len(row)] = False
+            assigned_emb = nn.ops.gather_rows(self._task_emb, a_idx)
+
+        worker_emb = nn.ops.gather_rows(self._worker_emb,
+                                        np.asarray(worker_idxs, dtype=np.intp))
+        task_mean = nn.ops.broadcast_to(
+            self._task_mean, (num_states, self._task_mean.shape[0]))
+        task_logp = self.net.task_selection.forward_batch(
+            worker_emb, assigned_emb, assigned_mask, budget_norms, h_g,
+            task_mean, candidate_emb, cand_mask, delta_phi, delta_in)
+        return task_logp, task_id_lists
+
+    def act_batch(self, states, greedy=True, rngs=None) -> list[ActionRecord]:
+        """Decode one action for each of K concurrent rollouts.
+
+        ``states`` are live :class:`SelectionState` objects over the
+        instance passed to :meth:`begin_episode`.  ``greedy`` is one bool
+        for the whole batch or a per-rollout sequence; ``rngs`` supplies
+        each sampled rollout's own generator, consumed in the same
+        worker-then-task order as the serial :meth:`act`, so a rollout's
+        random stream is independent of its batch companions.
+        """
+        states = list(states)
+        if not states:
+            return []
+        instance = self._require_episode()
+        num_states = len(states)
+        greedy_flags = [greedy] * num_states if isinstance(greedy, bool) \
+            else list(greedy)
+        rng_list = [None] * num_states if rngs is None else list(rngs)
+        budget_norms = np.array(
+            [s.budget_rest / max(instance.budget, 1e-9) for s in states])
+
+        worker_logp, h_g = self._worker_stage_batch(states, budget_norms)
+        worker_idxs = [
+            _choose(worker_logp.data[k], greedy_flags[k], rng_list[k])
+            for k in range(num_states)]
+        worker_ids = [self._worker_ids[i] for i in worker_idxs]
+
+        task_logp, task_id_lists = self._task_stage_batch(
+            states, worker_ids, worker_idxs, budget_norms, h_g)
+
+        records = []
+        for k in range(num_states):
+            task_ids = task_id_lists[k]
+            task_idx = _choose(task_logp.data[k, :len(task_ids)],
+                               greedy_flags[k], rng_list[k])
+            log_prob = worker_logp[k, worker_idxs[k]] + task_logp[k, task_idx]
+            records.append(
+                ActionRecord(worker_ids[k], task_ids[task_idx], log_prob))
+        return records
 
     # ------------------------------------------------------------------ #
     def parameters(self):

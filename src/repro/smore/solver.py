@@ -25,6 +25,7 @@ from ..core.perf import PerfCounters
 from ..core.solution import Solution
 from ..parallel import derive_seeds, parallel_map
 from ..tsptw.base import RoutePlanner
+from .batch import BatchedEpisodeRunner
 from .env import SelectionEnv
 from .policy import FlatSelectionPolicy, TASNetPolicy
 from .state import SelectionState
@@ -48,6 +49,22 @@ def run_episode(env: SelectionEnv, policy, greedy: bool = True,
         if record_actions:
             records.append(action)
     return state, total_reward, records
+
+
+def _chunk(items: list, parts: int) -> list[list]:
+    """Split ``items`` into at most ``parts`` contiguous non-empty chunks.
+
+    Contiguity preserves the rollout schedule's order, so concatenating
+    chunk results reproduces the serial result list exactly.
+    """
+    parts = min(parts, len(items))
+    size, extra = divmod(len(items), parts)
+    chunks, start = [], 0
+    for i in range(parts):
+        stop = start + size + (1 if i < extra else 0)
+        chunks.append(items[start:stop])
+        start = stop
+    return chunks
 
 
 def _best_candidate_pair(state: SelectionState, score):
@@ -167,7 +184,8 @@ class SMORESolver:
     def solve(self, instance: USMDWInstance, greedy: bool = True,
               rng: np.random.Generator | None = None,
               num_samples: int = 1, workers: int = 1,
-              reuse_candidates: bool = True) -> Solution:
+              reuse_candidates: bool = True,
+              batch_rollouts: bool = True) -> Solution:
         """Solve one instance.
 
         ``greedy=True`` decodes with argmax actions (the paper's test-time
@@ -178,6 +196,14 @@ class SMORESolver:
         returned.  Candidate initialisation runs once regardless of
         ``num_samples`` (snapshot reuse); ``workers > 1`` fans the sampled
         rollouts out over a process pool with identical results.
+
+        ``batch_rollouts=True`` (default) advances all rollouts in
+        lock-step through :class:`BatchedEpisodeRunner`, one batched
+        policy forward per decoding step; with ``workers > 1`` each pool
+        child batch-decodes its contiguous chunk of the rollout schedule.
+        Because each rollout keeps its own derived seed and rng-draw
+        order, the returned solution is identical either way — set
+        ``batch_rollouts=False`` to force the per-episode reference loop.
         """
         start = time.perf_counter()
         env = SelectionEnv(instance, self.planner,
@@ -200,14 +226,42 @@ class SMORESolver:
             return (state.phi(), state.assignments.routes(),
                     state.assignments.incentives(), env.perf)
 
+        def roll_chunk(chunk):
+            # One batched decode over a contiguous slice of the schedule;
+            # fresh counters so the chunk reports only its own episodes.
+            env.perf = PerfCounters()
+            runner = BatchedEpisodeRunner(env, self.policy)
+            with nn.no_grad():
+                episodes = runner.run(chunk)
+            return ([(ep.state.phi(), ep.state.assignments.routes(),
+                      ep.state.assignments.incentives())
+                     for ep in episodes], env.perf)
+
         perf = PerfCounters()
+        batched = batch_rollouts and len(rollouts) > 1
         if workers > 1 and len(rollouts) > 1:
             # Warm the candidate snapshot before forking so every child
             # inherits it instead of re-running the O(W x S) init sweep.
             env.reset()
             env.perf.rollouts = 0  # the warm-up reset is not an episode
             perf.merge(env.perf)
-            results = parallel_map(roll, rollouts, workers=workers)
+            if batched:
+                chunks = _chunk(rollouts, workers)
+                chunk_results = parallel_map(roll_chunk, chunks,
+                                             workers=workers)
+                results = []
+                for episodes, chunk_perf in chunk_results:
+                    results.extend(
+                        (phi, routes, incentives, PerfCounters())
+                        for phi, routes, incentives in episodes)
+                    perf.merge(chunk_perf)
+            else:
+                results = parallel_map(roll, rollouts, workers=workers)
+        elif batched:
+            episodes, chunk_perf = roll_chunk(rollouts)
+            results = [(phi, routes, incentives, PerfCounters())
+                       for phi, routes, incentives in episodes]
+            perf.merge(chunk_perf)
         else:
             results = [roll(spec) for spec in rollouts]
         for _, _, _, episode_perf in results:

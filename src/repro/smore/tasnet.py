@@ -138,6 +138,39 @@ class WorkerSelection(nn.Module):
         logits = self.pointer(h_c_prime, worker_state_emb, mask=mask)
         return nn.ops.log_softmax(logits), h_g
 
+    def forward_batch(self, worker_state_emb: nn.Tensor,
+                      budget_norm: np.ndarray,
+                      mask: np.ndarray) -> tuple[nn.Tensor, nn.Tensor]:
+        """Stage-1 forward for K rollouts at once.
+
+        ``worker_state_emb``: (K, n_w, 2d); ``budget_norm``: (K,);
+        ``mask``: boolean (K, n_w), True for workers with no feasible
+        candidate in that rollout.  Returns ((K, n_w) log-probs, (K, 2d)
+        group embeddings).  Every reduction runs along axes whose length
+        matches the serial :meth:`forward`, so per-rollout slices
+        reproduce the one-episode path.
+        """
+        batch = worker_state_emb.shape[0]
+        h_g = nn.ops.mean(self.group_mha(worker_state_emb), axis=1)
+        budget_emb = self.budget_fc(nn.Tensor(
+            np.asarray(budget_norm, dtype=np.float64).reshape(batch, 1)))
+        h_c = nn.ops.concat([h_g, budget_emb], axis=1)
+
+        q = self.glimpse_q(h_c)                                     # (K, 2d)
+        d_q = q.shape[-1]
+        q_col = nn.ops.reshape(q, (batch, d_q, 1))
+        scores = nn.ops.reshape(nn.ops.matmul(worker_state_emb, q_col),
+                                (batch, -1))                        # (K, n_w)
+        scores = nn.ops.mul(scores, 1.0 / np.sqrt(d_q))
+        scores = nn.ops.masked_fill(scores, mask, -1e9)
+        attn = nn.ops.softmax(scores)
+        attn_row = nn.ops.reshape(attn, (batch, 1, -1))
+        h_c_prime = nn.ops.reshape(
+            nn.ops.matmul(attn_row, worker_state_emb), (batch, -1))  # (K, 2d)
+
+        logits = self.pointer(h_c_prime, worker_state_emb, mask=mask)
+        return nn.ops.log_softmax(logits), h_g
+
 
 class TaskSelection(nn.Module):
     """Individual state encoder + heuristic-enhanced task decoder (IV-E)."""
@@ -186,6 +219,57 @@ class TaskSelection(nn.Module):
             mask_values = soft_mask(delta_phi, delta_in, lam=self.lam)
             logits = nn.ops.mul(logits, nn.Tensor(mask_values))
         return nn.ops.log_softmax(logits)
+
+    def forward_batch(self, worker_emb: nn.Tensor,
+                      assigned_emb: nn.Tensor | None,
+                      assigned_mask: np.ndarray | None,
+                      budget_norm: np.ndarray, h_g: nn.Tensor,
+                      task_mean: nn.Tensor, candidate_emb: nn.Tensor,
+                      candidate_mask: np.ndarray, delta_phi: np.ndarray,
+                      delta_in: np.ndarray) -> nn.Tensor:
+        """Stage-2 forward for K rollouts (each with its chosen worker).
+
+        Shapes: ``worker_emb`` (K, d); ``assigned_emb`` (K, a_max, d) with
+        boolean padding mask ``assigned_mask`` (K, a_max), or None when no
+        rollout has assignments yet; ``budget_norm`` (K,); ``h_g`` (K, 2d);
+        ``task_mean`` (K, d); ``candidate_emb`` (K, m_max, d) padded per
+        ``candidate_mask`` (K, m_max); ``delta_phi`` / ``delta_in``
+        (K, m_max) zero-padded.  Returns (K, m_max) log-probs with
+        ``NEG_INF`` on padding.
+
+        The soft mask min-max normalises the coverage-incentive ratio
+        *within each rollout's real candidates* (Equation 9), so it is
+        evaluated row-by-row on the unpadded slices — padding must never
+        shift a rollout's normalisation.
+        """
+        batch, d = worker_emb.shape
+        if assigned_emb is not None and assigned_emb.shape[1] > 0:
+            attended = self.assigned_attn(assigned_emb,
+                                          key_padding_mask=assigned_mask)
+            a_j = nn.ops.masked_mean(attended, assigned_mask[:, :, None],
+                                     axis=1)
+        else:
+            a_j = nn.Tensor(np.zeros((batch, d)))
+        budget_emb = self.budget_fc(nn.Tensor(
+            np.asarray(budget_norm, dtype=np.float64).reshape(batch, 1)))
+        h_w = nn.ops.concat([a_j, worker_emb, budget_emb, h_g, task_mean],
+                            axis=1)                                  # (K, 6d)
+
+        if self.use_heuristic_fusion:
+            signals = nn.Tensor(np.stack([delta_phi, delta_in], axis=2))
+            keys = nn.ops.concat([candidate_emb, signals], axis=2)
+        else:
+            keys = candidate_emb
+        logits = self.pointer(h_w, keys)                             # (K, m)
+
+        if self.use_soft_mask:
+            mask_values = np.ones_like(delta_phi)
+            for k in range(batch):
+                real = ~candidate_mask[k]
+                mask_values[k, real] = soft_mask(
+                    delta_phi[k, real], delta_in[k, real], lam=self.lam)
+            logits = nn.ops.mul(logits, nn.Tensor(mask_values))
+        return nn.ops.masked_log_softmax(logits, candidate_mask)
 
 
 class TASNet(nn.Module):

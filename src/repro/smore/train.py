@@ -19,6 +19,7 @@ from .. import nn
 from ..core.instance import USMDWInstance
 from ..parallel import parallel_map
 from ..tsptw.base import RoutePlanner
+from .batch import BatchedEpisodeRunner
 from .critic import CriticNetwork, critic_features
 from .env import SelectionEnv
 from .solver import run_episode
@@ -107,6 +108,11 @@ class TrainingConfig:
     grad_clip: float = 1.0
     seed: int = 0
     baseline: str = "critic"
+    #: Sampled rollouts decoded per instance each iteration.  Values > 1
+    #: run as one lock-step batch (BatchedEpisodeRunner): K episodes per
+    #: batched TASNet forward, static encodings shared, all log-probs in
+    #: one graph for the single policy backward.
+    rollouts_per_instance: int = 1
     #: Process-pool size for greedy validation rollouts (repro.parallel).
     #: Training rollouts stay in-process — their autograd graphs cannot
     #: cross a process boundary.
@@ -115,6 +121,8 @@ class TrainingConfig:
     def __post_init__(self):
         if self.baseline not in ("critic", "rollout", "none"):
             raise ValueError(f"unknown baseline {self.baseline!r}")
+        if self.rollouts_per_instance < 1:
+            raise ValueError("rollouts_per_instance must be >= 1")
 
 
 @dataclass
@@ -162,6 +170,35 @@ class TASNetTrainer:
                             else log_prob_sum + action.log_prob)
         return state.phi(), log_prob_sum, features
 
+    def _rollout_batch(self, instance: USMDWInstance, num_rollouts: int):
+        """K sampled episodes in lock-step; list of (phi, log-probs, features).
+
+        Each rollout draws from its own generator seeded off the trainer
+        rng, so companions in the batch never perturb each other's
+        sampling stream.
+        """
+        env = self._env(instance)
+        features = critic_features(instance, env.reset())
+        seeds = [int(s) for s in
+                 self.rng.integers(0, 2**63 - 1, size=num_rollouts)]
+        runner = BatchedEpisodeRunner(env, self.policy)
+        episodes = runner.run([(False, seed) for seed in seeds],
+                              record_actions=True)
+        samples = []
+        for episode in episodes:
+            log_prob_sum = None
+            for record in episode.records:
+                log_prob_sum = (record.log_prob if log_prob_sum is None
+                                else log_prob_sum + record.log_prob)
+            samples.append((episode.state.phi(), log_prob_sum, features))
+        return samples
+
+    def _collect_samples(self, instance: USMDWInstance):
+        if self.config.rollouts_per_instance == 1:
+            return [self._rollout(instance)]
+        return self._rollout_batch(instance,
+                                   self.config.rollouts_per_instance)
+
     def _greedy_rollout_value(self, instance: USMDWInstance) -> float:
         """Self-critic baseline: coverage of the current policy decoded
         greedily on the same instance (Kool et al.'s rollout baseline)."""
@@ -170,36 +207,54 @@ class TASNetTrainer:
             state, _, _ = run_episode(env, self.policy, greedy=True)
         return state.phi()
 
-    def _baseline_value(self, instance: USMDWInstance,
-                        features: np.ndarray) -> float:
-        if self.config.baseline == "critic":
-            return self.critic.value_from_features(features).item()
-        if self.config.baseline == "rollout":
-            return self._greedy_rollout_value(instance)
-        return 0.0
-
     def train_iteration(self, instances: Sequence[USMDWInstance]) -> float:
-        """One REINFORCE update over a batch sampled from ``instances``."""
+        """One REINFORCE update over a batch sampled from ``instances``.
+
+        All rollouts of the iteration accumulate into one policy-loss
+        graph and trigger exactly one backward; the critic evaluates the
+        whole batch of feature vectors in a single forward that serves
+        both the (detached) baselines and the regression loss.  With
+        ``rollouts_per_instance > 1`` each instance's rollouts decode in
+        lock-step through the batched engine.
+        """
         cfg = self.config
         batch_idx = self.rng.choice(len(instances),
                                     size=min(cfg.batch_size, len(instances)),
                                     replace=False)
         rewards = []
-        policy_loss = None
-        critic_loss = None
+        samples = []  # (phi, log-prob sum, features, instance)
         for idx in batch_idx:
             instance = instances[int(idx)]
-            phi, log_prob_sum, features = self._rollout(instance)
-            rewards.append(phi)
-            if log_prob_sum is None:
-                continue  # instance admitted no assignments at all
-            advantage = phi - self._baseline_value(instance, features)
-            term = log_prob_sum * (-advantage / len(batch_idx))
-            policy_loss = term if policy_loss is None else policy_loss + term
+            for phi, log_prob_sum, features in self._collect_samples(instance):
+                rewards.append(phi)
+                if log_prob_sum is None:
+                    continue  # instance admitted no assignments at all
+                samples.append((phi, log_prob_sum, features, instance))
+
+        policy_loss = None
+        critic_loss = None
+        if samples:
+            phis = np.array([phi for phi, _, _, _ in samples])
             if cfg.baseline == "critic":
-                value = self.critic.value_from_features(features)
-                v_err = (value - phi) ** 2.0
-                critic_loss = v_err if critic_loss is None else critic_loss + v_err
+                feature_batch = np.stack([f for _, _, f, _ in samples])
+                values = self.critic.values(feature_batch)
+                baselines = values.data
+                critic_loss = nn.ops.sum((values - nn.Tensor(phis)) ** 2.0)
+            elif cfg.baseline == "rollout":
+                # Greedy decode once per distinct instance, not per sample.
+                cache: dict[int, float] = {}
+                baselines = np.array([
+                    cache[id(inst)] if id(inst) in cache else cache.setdefault(
+                        id(inst), self._greedy_rollout_value(inst))
+                    for _, _, _, inst in samples])
+            else:
+                baselines = np.zeros(len(samples))
+            total = len(batch_idx) * cfg.rollouts_per_instance
+            for (phi, log_prob_sum, _, _), baseline in zip(samples, baselines):
+                advantage = phi - float(baseline)
+                term = log_prob_sum * (-advantage / total)
+                policy_loss = (term if policy_loss is None
+                               else policy_loss + term)
 
         if policy_loss is not None:
             self.optimizer.zero_grad()
