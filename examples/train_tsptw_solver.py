@@ -72,13 +72,22 @@ def main() -> None:
 
     print("\ntraining lower model (time-window satisfaction reward)...")
     trainer.train_lower()
-    lower = trainer.history["lower"]
+    lower = trainer.history.series("lower")
     print(f"  reward: {np.mean(lower[:5]):.2f} -> {np.mean(lower[-5:]):.2f}")
 
     print("training upper model (satisfaction - route-length penalty)...")
     trainer.train_upper()
-    upper = trainer.history["upper"]
+    upper = trainer.history.series("upper")
     print(f"  reward: {np.mean(upper[:5]):.2f} -> {np.mean(upper[-5:]):.2f}")
+
+    # The history is a repro.obs.TrainingHistory: one series per curve,
+    # including the per-phase gradient norms recorded every iteration.
+    history = trainer.history
+    assert len(history.series("lower")) == config.lower_iterations
+    assert len(history.series("upper")) == config.upper_iterations
+    assert history.last("lower_grad_norm") is not None
+    print("\ntraining history:")
+    print(history.summary())
 
     stats, count = evaluate_solvers(model, np.random.default_rng(123))
     report("after training", stats, count)

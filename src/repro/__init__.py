@@ -20,14 +20,17 @@ Subpackages
     Harness regenerating every table and figure of the paper.
 ``repro.parallel``
     Deterministic process-pool fan-out for rollouts and experiment grids.
+``repro.obs``
+    Run telemetry: hierarchical timer spans, a counter/gauge metrics
+    registry, and JSONL trace files (propagated across the fork pool).
 """
 
 from . import nn  # noqa: F401  (import order: nn has no repro deps)
-from . import core, parallel, tsptw  # noqa: F401
+from . import core, obs, parallel, tsptw  # noqa: F401
 from . import baselines, datasets, smore  # noqa: F401
 from . import experiments  # noqa: F401
 
 __version__ = "1.0.0"
 
 __all__ = ["nn", "core", "tsptw", "smore", "baselines", "datasets",
-           "experiments", "parallel", "__version__"]
+           "experiments", "parallel", "obs", "__version__"]

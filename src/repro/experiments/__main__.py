@@ -9,12 +9,18 @@ Usage::
     python -m repro.experiments figure5
     python -m repro.experiments figure6 [--dataset delivery]
     python -m repro.experiments train --dataset tourism   # warm the cache
+
+Any invocation accepts ``--trace out.jsonl``: the whole run executes
+under a live :mod:`repro.obs` tracer, the JSONL event trace is written to
+the given path, and a per-method span-summary table is appended to the
+report output.
 """
 
 from __future__ import annotations
 
 import argparse
 
+from .. import obs
 from ..datasets import (
     DATASET_NAMES,
     generate_instances,
@@ -23,7 +29,7 @@ from ..datasets import (
 from .ablation import figure5_ablation, render_figure5
 from .case_study import render_case_study, run_case_study
 from .pretrained import get_trained_policy
-from .reporting import render_grid, render_perf
+from .reporting import render_grid, render_perf, render_spans
 from .runner import FAST_PROFILE, FULL_PROFILE, ExperimentRunner
 from .tables import table1_time_window, table2_budget, table3_alpha
 
@@ -80,8 +86,24 @@ def main(argv: list[str] | None = None) -> int:
                         help="also dump table results as JSON to PATH")
     parser.add_argument("--svg", default=None, metavar="PATH",
                         help="figure6: also write the SMORE plan as SVG")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a JSONL obs trace of the whole run to "
+                             "PATH and append a span-summary table")
     args = parser.parse_args(argv)
 
+    if args.trace:
+        with obs.tracing(args.trace) as tracer:
+            code = _dispatch(args)
+            spans = render_spans(tracer.metrics)
+        if spans:
+            print()
+            print(spans)
+        print(f"\nTrace written to {args.trace}")
+        return code
+    return _dispatch(args)
+
+
+def _dispatch(args) -> int:
     profile = FULL_PROFILE if args.full else FAST_PROFILE
     runner = ExperimentRunner(profile=profile, seed=args.seed,
                               workers=args.workers)

@@ -6,8 +6,36 @@ import json
 
 from .metrics import MethodResult
 
-__all__ = ["render_table", "render_grid", "render_perf", "results_to_json",
-           "results_to_latex"]
+__all__ = ["render_table", "render_grid", "render_perf", "render_spans",
+           "results_to_json", "results_to_latex"]
+
+
+def render_spans(metrics) -> str:
+    """Span-summary table from a :class:`~repro.obs.MetricsRegistry`.
+
+    One row per span path (``setting/method.SMORE/solve/...``): call
+    count, total and mean wall time.  Rows come from the
+    ``span.<path>.time``/``.count`` timing aggregates, which include
+    spans shipped back from fork-pool workers; returns the empty string
+    when nothing was traced.
+    """
+    rows = []
+    for path, count, total in metrics.span_summary():
+        mean = total / count if count else 0.0
+        rows.append([path, str(count), f"{total:.3f}s", f"{mean:.3f}s"])
+    if not rows:
+        return ""
+    header = ["Span", "Count", "Total", "Mean"]
+    table = [header] + rows
+    widths = [max(len(row[i]) for row in table) for i in range(len(header))]
+    lines = ["Span summary", "=" * 12]
+    for index, row in enumerate(table):
+        line = "  ".join(cell.ljust(width)
+                         for cell, width in zip(row, widths))
+        lines.append(line.rstrip())
+        if index == 0:
+            lines.append("-" * len(line))
+    return "\n".join(lines)
 
 
 def render_perf(results: dict[str, dict[str, list[MethodResult]]]) -> str:
@@ -29,6 +57,7 @@ def render_perf(results: dict[str, dict[str, list[MethodResult]]]) -> str:
                     dataset, setting, result.method,
                     str(perf.planner_calls),
                     str(perf.init_planner_calls),
+                    str(perf.backend_calls) if perf.backend_calls else "-",
                     f"{perf.cache_hit_rate:.0%}" if (perf.cache_hits
                                                      or perf.cache_misses)
                     else "-",
@@ -38,7 +67,7 @@ def render_perf(results: dict[str, dict[str, list[MethodResult]]]) -> str:
     if not rows:
         return ""
     header = ["Dataset", "Setting", "Method", "Planner calls", "Init calls",
-              "Cache hits", "Init time", "Select time"]
+              "Backend calls", "Cache hits", "Init time", "Select time"]
     table = [header] + rows
     widths = [max(len(row[i]) for row in table) for i in range(len(header))]
     lines = ["Performance counters", "=" * 20]

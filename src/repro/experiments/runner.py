@@ -23,6 +23,7 @@ from ..baselines import (
     TCPGSolver,
     TVPGSolver,
 )
+from .. import obs
 from ..core.solution import Solution
 from ..datasets import InstanceOptions, generate_instances
 from ..parallel import parallel_map
@@ -131,11 +132,17 @@ class ExperimentRunner:
             self._smore_solver(dataset)
 
         def run_method(method: str) -> list[Solution]:
-            solver = self._make_solver(method, dataset)
-            return [solver.solve(inst) for inst in instances]
+            # One span per (setting, method) cell; with workers > 1 these
+            # run in pool children and their span/counter telemetry is
+            # shipped back and merged in method order (repro.parallel).
+            with obs.span(f"method.{method}", dataset=dataset,
+                          instances=len(instances)):
+                solver = self._make_solver(method, dataset)
+                return [solver.solve(inst) for inst in instances]
 
-        method_solutions = parallel_map(run_method, methods,
-                                        workers=self.workers)
+        with obs.span("setting", dataset=dataset):
+            method_solutions = parallel_map(run_method, methods,
+                                            workers=self.workers)
         solutions: dict[str, list[Solution]] = dict(
             zip(methods, method_solutions))
         return aggregate(solutions)

@@ -1,0 +1,64 @@
+"""``repro.obs`` — run telemetry: timer spans, metrics, JSONL traces.
+
+The observability layer the solver, trainer, cache and experiment runner
+report into.  Three pieces:
+
+* :class:`MetricsRegistry` — named counters (schedule-invariant sums),
+  gauges (max-merged) and timings (wall clock); subsumes and extends
+  :class:`~repro.core.perf.PerfCounters`.
+* :class:`Tracer` / :func:`tracing` — hierarchical timer spans
+  (``with obs.span("init"): ...``), point events, and a JSONL sink.
+  The default tracer is a no-op; instrumentation costs nothing when off.
+* :func:`capture_child` / :func:`absorb` — fork-pool propagation: worker
+  telemetry is snapshotted per item, shipped back with the result, and
+  merged deterministically in item order by :func:`repro.parallel.parallel_map`.
+
+Typical use::
+
+    from repro import obs
+
+    with obs.tracing("run.jsonl") as tracer:
+        solution = solver.solve(instance, num_samples=8, workers=4)
+    print(tracer.metrics.counters["solve.planner_calls"])
+
+See ``docs/architecture.md`` ("Observability") for the span tree, metric
+names and the trace-file schema.
+"""
+
+from .history import TrainingHistory
+from .metrics import (
+    PERF_COUNTER_NAMES,
+    PERF_GAUGE_NAMES,
+    PERF_TIMING_NAMES,
+    MetricsRegistry,
+)
+from .trace import (
+    NULL_TRACER,
+    JsonlSink,
+    ListSink,
+    NullSink,
+    NullTracer,
+    Tracer,
+    absorb,
+    add_time,
+    capture_child,
+    count,
+    current_metrics,
+    event,
+    gauge,
+    get_tracer,
+    record_perf,
+    set_tracer,
+    span,
+    tracing,
+)
+
+__all__ = [
+    "MetricsRegistry", "TrainingHistory",
+    "PERF_COUNTER_NAMES", "PERF_TIMING_NAMES", "PERF_GAUGE_NAMES",
+    "Tracer", "NullTracer", "NULL_TRACER",
+    "JsonlSink", "ListSink", "NullSink",
+    "tracing", "get_tracer", "set_tracer", "current_metrics",
+    "span", "count", "gauge", "add_time", "event", "record_perf",
+    "capture_child", "absorb",
+]

@@ -1,0 +1,50 @@
+"""Training-curve container shared by every trainer.
+
+``TrainingHistory`` is a ``dict[str, list[float]]`` (so existing
+``history["reward"]`` indexing keeps working) with the conveniences the
+examples and ablation benchmarks assert against: :meth:`record` appends
+one epoch's metrics across several series at once, :meth:`last` and
+:meth:`series` read them back safely, and :meth:`summary` renders a
+one-line first->last digest per curve.
+
+Series are ragged by design — e.g. ``critic_loss`` only grows when the
+critic baseline is active, ``eval`` only when validation runs — so
+consumers should index by name, not assume aligned lengths.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TrainingHistory"]
+
+
+class TrainingHistory(dict):
+    """Named metric series accumulated over training iterations."""
+
+    def record(self, **metrics: float) -> None:
+        """Append one value per named series (series created on demand)."""
+        for name, value in metrics.items():
+            self.setdefault(name, []).append(float(value))
+
+    def series(self, name: str) -> list[float]:
+        """The named curve ([] when never recorded)."""
+        return self.get(name, [])
+
+    def last(self, name: str, default: float | None = None) -> float | None:
+        values = self.get(name)
+        if not values:
+            return default
+        return values[-1]
+
+    def to_dict(self) -> dict[str, list[float]]:
+        return {name: list(values) for name, values in self.items()}
+
+    def summary(self) -> str:
+        """One line per non-empty series: count and first -> last values."""
+        lines = []
+        for name in sorted(self):
+            values = self[name]
+            if not values:
+                continue
+            lines.append(f"{name}: n={len(values)} "
+                         f"first={values[0]:.4f} last={values[-1]:.4f}")
+        return "\n".join(lines)

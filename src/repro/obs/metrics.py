@@ -1,0 +1,160 @@
+"""Counter/gauge/timing registry behind the tracing layer.
+
+A :class:`MetricsRegistry` is the numeric half of ``repro.obs``: named
+**counters** (monotone sums), **gauges** (merged by maximum) and
+**timings** (wall-clock sums plus span call counts).  The split encodes
+the determinism contract the solver relies on:
+
+* ``counters`` must be *schedule-invariant* — a traced run records the
+  same counter values whether rollouts execute serially, batched, or
+  across a fork pool, so regression tests can compare them bit-for-bit.
+* ``gauges`` merge by ``max`` (commutative and associative), so they are
+  also schedule-invariant for quantities like "largest cache observed".
+* ``timings`` hold wall-clock measurements and per-schedule span counts;
+  they are explicitly *excluded* from the bit-identity contract.
+
+The registry subsumes :class:`~repro.core.perf.PerfCounters`: every solve's
+final counters can be absorbed via :meth:`record_perf`, and a registry
+carrying the ``perf.*`` names can be projected back with :meth:`to_perf` —
+round-tripping is covered by tests.  Snapshots (:meth:`snapshot` /
+:meth:`diff` / :meth:`merge_snapshot`) are plain picklable dicts, which is
+what lets :mod:`repro.parallel` ship worker-side telemetry back to the
+parent process with each result.
+"""
+
+from __future__ import annotations
+
+from ..core.perf import PerfCounters
+
+__all__ = ["MetricsRegistry", "PERF_COUNTER_NAMES", "PERF_TIMING_NAMES",
+           "PERF_GAUGE_NAMES"]
+
+#: PerfCounters fields that are schedule-invariant -> ``counters``.
+PERF_COUNTER_NAMES = ("planner_calls", "init_planner_calls", "backend_calls",
+                      "cache_hits", "cache_misses", "cache_evictions",
+                      "rollouts")
+#: PerfCounters wall-clock fields -> ``timings``.
+PERF_TIMING_NAMES = ("init_time", "selection_time")
+#: PerfCounters fields merged by maximum -> ``gauges``.
+PERF_GAUGE_NAMES = ("cache_size",)
+
+
+class MetricsRegistry:
+    """Named counters, gauges and timings with deterministic merging."""
+
+    __slots__ = ("counters", "gauges", "timings")
+
+    def __init__(self):
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.timings: dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+    def inc(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to counter ``name`` (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Raise gauge ``name`` to ``value`` if larger (max-merge)."""
+        current = self.gauges.get(name)
+        if current is None or value > current:
+            self.gauges[name] = value
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Accumulate wall-clock ``seconds`` under timing ``name``."""
+        self.timings[name] = self.timings.get(name, 0.0) + seconds
+
+    # ------------------------------------------------------------------ #
+    def record_perf(self, perf: PerfCounters, prefix: str = "perf.") -> None:
+        """Absorb a :class:`PerfCounters` under ``prefix``-qualified names."""
+        for field in PERF_COUNTER_NAMES:
+            value = getattr(perf, field)
+            if value:
+                self.inc(prefix + field, value)
+        for field in PERF_TIMING_NAMES:
+            value = getattr(perf, field)
+            if value:
+                self.add_time(prefix + field, value)
+        for field in PERF_GAUGE_NAMES:
+            value = getattr(perf, field)
+            if value:
+                self.gauge(prefix + field, value)
+
+    def to_perf(self, prefix: str = "perf.") -> PerfCounters:
+        """Project the ``prefix``-qualified names back to a PerfCounters."""
+        payload: dict[str, float] = {}
+        for field in PERF_COUNTER_NAMES:
+            payload[field] = self.counters.get(prefix + field, 0)
+        for field in PERF_TIMING_NAMES:
+            payload[field] = self.timings.get(prefix + field, 0.0)
+        for field in PERF_GAUGE_NAMES:
+            payload[field] = self.gauges.get(prefix + field, 0)
+        return PerfCounters.from_dict(payload)
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict:
+        """Picklable copy of the full registry state."""
+        return {"counters": dict(self.counters),
+                "gauges": dict(self.gauges),
+                "timings": dict(self.timings)}
+
+    def diff(self, baseline: dict) -> dict:
+        """The delta accumulated since ``baseline`` (a prior snapshot).
+
+        Counters and timings subtract (zero deltas are dropped); gauges
+        keep their current value — max-merging the delta into the baseline
+        then reproduces this registry exactly.
+        """
+        counters = {}
+        for name, value in self.counters.items():
+            delta = value - baseline["counters"].get(name, 0)
+            if delta:
+                counters[name] = delta
+        timings = {}
+        for name, value in self.timings.items():
+            delta = value - baseline["timings"].get(name, 0.0)
+            if delta:
+                timings[name] = delta
+        return {"counters": counters, "gauges": dict(self.gauges),
+                "timings": timings}
+
+    def merge_snapshot(self, payload: dict) -> None:
+        """Merge a snapshot/delta: counters and timings sum, gauges max."""
+        for name, value in payload.get("counters", {}).items():
+            self.inc(name, value)
+        for name, value in payload.get("gauges", {}).items():
+            self.gauge(name, value)
+        for name, value in payload.get("timings", {}).items():
+            self.add_time(name, value)
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        self.merge_snapshot(other.snapshot())
+        return self
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.timings.clear()
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        return self.snapshot()
+
+    def span_summary(self) -> list[tuple[str, int, float]]:
+        """(span path, call count, total seconds) rows from the timings.
+
+        Spans record ``span.<path>.time`` / ``span.<path>.count`` pairs;
+        rows come back sorted by path for stable rendering.
+        """
+        rows = []
+        for name, total in sorted(self.timings.items()):
+            if not (name.startswith("span.") and name.endswith(".time")):
+                continue
+            path = name[len("span."):-len(".time")]
+            count = int(self.timings.get(f"span.{path}.count", 0))
+            rows.append((path, count, total))
+        return rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"MetricsRegistry(counters={len(self.counters)}, "
+                f"gauges={len(self.gauges)}, timings={len(self.timings)})")

@@ -1,0 +1,337 @@
+"""Hierarchical timer spans and the JSONL event sink.
+
+One module-level *current tracer* serves the whole process.  By default it
+is :data:`NULL_TRACER`, whose every operation is a no-op — instrumentation
+points (``obs.span``, ``obs.count``, ``obs.event``) cost one attribute
+lookup and one empty call, so the hot path pays nothing measurable when
+tracing is off (the ``BENCH_PR3`` artefact pins this below 2% of a solver
+smoke run).  :func:`tracing` installs a live :class:`Tracer` for the
+duration of a ``with`` block; ``python -m repro.experiments ... --trace
+out.jsonl`` does the same for a whole CLI run.
+
+Trace-file schema (one JSON object per line, ``sort_keys`` for stable
+field order):
+
+* ``{"seq", "type": "span", "name", "path", "dur", ...attrs}`` — emitted
+  when a span closes; ``path`` is the ``/``-joined ancestry, ``dur`` in
+  seconds.  Every close also feeds ``span.<path>.time`` / ``.count``
+  timing aggregates in the tracer's :class:`MetricsRegistry`.
+* ``{"seq", "type": "event", "name", ...fields}`` — point events (e.g.
+  one per training iteration).
+* ``{"seq", "type": "metrics", "counters", "gauges", "timings"}`` — the
+  final registry summary, written when the tracing context exits.
+
+``seq`` is a parent-assigned logical sequence number: events produced
+inside fork-pool workers are buffered child-side, shipped back with each
+item result, and re-emitted by the parent in item order — so the trace
+file's ordering is deterministic no matter how the pool schedules work.
+Counter values are schedule-invariant by construction (see
+:mod:`repro.obs.metrics`); wall-clock fields (``dur``, timings) are not.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from .metrics import MetricsRegistry
+
+__all__ = ["Tracer", "NullTracer", "NULL_TRACER", "JsonlSink", "ListSink",
+           "NullSink", "tracing", "get_tracer", "set_tracer", "span",
+           "count", "gauge", "add_time", "event", "record_perf",
+           "current_metrics", "capture_child", "absorb"]
+
+
+# --------------------------------------------------------------------- #
+# Sinks
+# --------------------------------------------------------------------- #
+class NullSink:
+    """Swallows every record."""
+
+    def emit(self, record: dict) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class ListSink:
+    """Collects records in memory (tests, child-side buffering)."""
+
+    def __init__(self):
+        self.records: list[dict] = []
+
+    def emit(self, record: dict) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """Appends one JSON object per record to a file."""
+
+    def __init__(self, path):
+        self.path = path
+        self._file = open(path, "w")
+
+    def emit(self, record: dict) -> None:
+        self._file.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+
+# --------------------------------------------------------------------- #
+# Spans
+# --------------------------------------------------------------------- #
+class _Span:
+    """Context manager for one timed span (created by :meth:`Tracer.span`)."""
+
+    __slots__ = ("_tracer", "name", "attrs", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        self._tracer._stack.append(self.name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = time.perf_counter() - self._start
+        tracer = self._tracer
+        path = "/".join(tracer._stack)
+        tracer._stack.pop()
+        tracer.metrics.add_time(f"span.{path}.time", elapsed)
+        tracer.metrics.add_time(f"span.{path}.count", 1)
+        record = {"type": "span", "name": self.name, "path": path,
+                  "dur": round(elapsed, 9)}
+        if self.attrs:
+            record.update(self.attrs)
+        tracer._emit(record)
+
+
+class _NullSpan:
+    """Shared reusable no-op span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+# --------------------------------------------------------------------- #
+# Tracers
+# --------------------------------------------------------------------- #
+class Tracer:
+    """Live tracer: spans + counters into a registry, records into a sink."""
+
+    enabled = True
+
+    def __init__(self, sink=None, metrics: MetricsRegistry | None = None):
+        self.sink = sink if sink is not None else NullSink()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._stack: list[str] = []
+        self._seq = 0
+
+    # -- record plumbing ------------------------------------------------ #
+    def _emit(self, record: dict) -> None:
+        record["seq"] = self._seq
+        self._seq += 1
+        self.sink.emit(record)
+
+    # -- instrumentation points ----------------------------------------- #
+    def span(self, name: str, **attrs) -> _Span:
+        return _Span(self, name, attrs)
+
+    def event(self, name: str, **fields) -> None:
+        record = {"type": "event", "name": name}
+        record.update(fields)
+        self._emit(record)
+
+    def count(self, name: str, value: float = 1) -> None:
+        self.metrics.inc(name, value)
+
+    def gauge(self, name: str, value: float) -> None:
+        self.metrics.gauge(name, value)
+
+    def add_time(self, name: str, seconds: float) -> None:
+        self.metrics.add_time(name, seconds)
+
+    def record_perf(self, perf, prefix: str = "perf.") -> None:
+        self.metrics.record_perf(perf, prefix=prefix)
+
+    # -- lifecycle ------------------------------------------------------ #
+    def emit_metrics(self) -> None:
+        """Write the registry summary as a ``metrics`` record."""
+        record = {"type": "metrics"}
+        record.update(self.metrics.snapshot())
+        self._emit(record)
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: every operation is a no-op."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **fields) -> None:
+        pass
+
+    def count(self, name: str, value: float = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def add_time(self, name: str, seconds: float) -> None:
+        pass
+
+    def record_perf(self, perf, prefix: str = "perf.") -> None:
+        pass
+
+    def emit_metrics(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+_TRACER: Tracer = NULL_TRACER
+
+
+# --------------------------------------------------------------------- #
+# Module-level current-tracer API
+# --------------------------------------------------------------------- #
+def get_tracer() -> Tracer:
+    return _TRACER
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as current; returns the previous one."""
+    global _TRACER
+    previous = _TRACER
+    _TRACER = tracer
+    return previous
+
+
+def current_metrics() -> MetricsRegistry:
+    """The current tracer's registry (empty and inert when disabled)."""
+    return _TRACER.metrics
+
+
+class tracing:
+    """``with tracing("out.jsonl") as tracer:`` — scoped live tracing.
+
+    ``path=None`` enables metrics/span accounting without a trace file
+    (useful in tests).  On exit the final ``metrics`` record is written,
+    the sink is closed, and the previous tracer is restored.
+    """
+
+    def __init__(self, path=None, sink=None):
+        if sink is None:
+            sink = JsonlSink(path) if path is not None else NullSink()
+        self.tracer = Tracer(sink)
+        self._previous: Tracer | None = None
+
+    def __enter__(self) -> Tracer:
+        self._previous = set_tracer(self.tracer)
+        return self.tracer
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        try:
+            self.tracer.emit_metrics()
+            self.tracer.close()
+        finally:
+            set_tracer(self._previous)
+
+
+def span(name: str, **attrs):
+    return _TRACER.span(name, **attrs)
+
+
+def event(name: str, **fields) -> None:
+    _TRACER.event(name, **fields)
+
+
+def count(name: str, value: float = 1) -> None:
+    _TRACER.count(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    _TRACER.gauge(name, value)
+
+
+def add_time(name: str, seconds: float) -> None:
+    _TRACER.add_time(name, seconds)
+
+
+def record_perf(perf, prefix: str = "perf.") -> None:
+    _TRACER.record_perf(perf, prefix=prefix)
+
+
+# --------------------------------------------------------------------- #
+# Fork-pool propagation
+# --------------------------------------------------------------------- #
+class capture_child:
+    """Worker-side telemetry capture around one fork-pool item.
+
+    Inside a ``fork`` child the tracer (inherited copy-on-write) would
+    otherwise accumulate counters and stream events that die with the
+    process.  ``with capture_child() as cap:`` redirects events to an
+    in-memory buffer and marks a metrics baseline; ``cap.snapshot`` is a
+    picklable payload — the metrics *delta* plus the buffered records —
+    to ship back with the item result.  ``None`` when tracing is off, so
+    the disabled path adds no measurable cost or IPC volume.
+    """
+
+    __slots__ = ("snapshot", "_baseline", "_buffer", "_saved_sink")
+
+    def __enter__(self) -> "capture_child":
+        self.snapshot = None
+        if not _TRACER.enabled:
+            self._buffer = None
+            return self
+        self._baseline = _TRACER.metrics.snapshot()
+        self._buffer = ListSink()
+        self._saved_sink = _TRACER.sink
+        _TRACER.sink = self._buffer
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._buffer is None:
+            return
+        _TRACER.sink = self._saved_sink
+        self.snapshot = {"metrics": _TRACER.metrics.diff(self._baseline),
+                         "events": self._buffer.records}
+
+
+def absorb(snapshot: dict | None) -> None:
+    """Parent-side merge of one worker item's telemetry snapshot.
+
+    Counters/timings sum and gauges max into the current registry; the
+    worker's buffered records are re-emitted through the parent's sink
+    with freshly assigned ``seq`` numbers.  Callers must absorb snapshots
+    in item order — that is what makes the merged registry and the trace
+    file deterministic under any pool schedule.
+    """
+    if snapshot is None or not _TRACER.enabled:
+        return
+    _TRACER.metrics.merge_snapshot(snapshot["metrics"])
+    for record in snapshot["events"]:
+        _TRACER._emit(record)

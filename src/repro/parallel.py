@@ -22,6 +22,19 @@ Only the item index is sent to workers; the function, items, and seed
 sequences are inherited through the fork, so closures over unpicklable
 state (policies, planners, environments) work transparently.  Item
 *results* must be picklable.
+
+Two further guarantees:
+
+* **Failures propagate** — an exception raised by ``fn`` inside a worker
+  re-raises in the parent (with the worker traceback attached by
+  ``multiprocessing``).  Only *pool construction* failures fall back to
+  the serial path; a failing ``fn`` is never silently re-executed.
+* **Telemetry propagates** — each worker item runs under
+  :func:`repro.obs.capture_child`, and its counter/span/event snapshot is
+  shipped back with the result and merged in item order
+  (:func:`repro.obs.absorb`), so a traced parallel run reports the same
+  counters as the serial run.  With tracing disabled the snapshots are
+  ``None`` and cost nothing.
 """
 
 from __future__ import annotations
@@ -31,6 +44,8 @@ import os
 from typing import Callable, Iterable, Sequence, TypeVar
 
 import numpy as np
+
+from . import obs
 
 __all__ = ["parallel_map", "derive_seeds", "derive_rngs", "fork_available",
            "default_workers"]
@@ -77,15 +92,23 @@ def _default_chunksize(num_items: int, workers: int) -> int:
 
 
 def _run_item(index: int):
-    """Pool worker entry point: everything else arrives via the fork."""
+    """Pool worker entry point: everything else arrives via the fork.
+
+    Returns ``(result, telemetry_snapshot)``: worker-side counters and
+    spans would otherwise die with the child process, so each item ships
+    its delta back for the parent to merge (``None`` when tracing is off).
+    """
     global _IN_WORKER
     _IN_WORKER = True
     fn = _FORK_STATE["fn"]
     item = _FORK_STATE["items"][index]
     seeds = _FORK_STATE["seeds"]
-    if seeds is None:
-        return fn(item)
-    return fn(item, np.random.default_rng(seeds[index]))
+    with obs.capture_child() as telemetry:
+        if seeds is None:
+            result = fn(item)
+        else:
+            result = fn(item, np.random.default_rng(seeds[index]))
+    return result, telemetry.snapshot
 
 
 def parallel_map(fn: Callable[..., R], items: Iterable[T],
@@ -127,14 +150,28 @@ def parallel_map(fn: Callable[..., R], items: Iterable[T],
         workers = min(workers, len(items))
         _FORK_STATE.update(fn=fn, items=items, seeds=seeds)
         try:
-            ctx = multiprocessing.get_context("fork")
-            with ctx.Pool(processes=workers) as pool:
-                return pool.map(
-                    _run_item, range(len(items)),
-                    chunksize=chunksize or _default_chunksize(len(items),
-                                                              workers))
-        except (OSError, AssertionError):
-            pass  # fork/pool failure: fall through to the serial path
+            # Only pool *construction* may fall back to the serial path
+            # (fork can fail under memory pressure; daemonic pool workers
+            # cannot fork again).  Exceptions raised by ``fn`` inside a
+            # worker propagate out of ``pool.map`` untouched — retrying
+            # them serially would duplicate side effects and mask the
+            # failure.
+            try:
+                ctx = multiprocessing.get_context("fork")
+                pool = ctx.Pool(processes=workers)
+            except (OSError, AssertionError):
+                pool = None  # fall through to the serial path below
+            if pool is not None:
+                with pool:
+                    pairs = pool.map(
+                        _run_item, range(len(items)),
+                        chunksize=chunksize or _default_chunksize(len(items),
+                                                                  workers))
+                results = []
+                for result, telemetry in pairs:
+                    obs.absorb(telemetry)  # item order -> deterministic
+                    results.append(result)
+                return results
         finally:
             _FORK_STATE.clear()
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import time
 
+from .. import obs
 from ..core.incentive import IncentiveModel
 from ..core.instance import USMDWInstance
 from ..core.perf import PerfCounters
@@ -62,9 +63,12 @@ class SelectionEnv:
         """The post-initialisation candidate table, snapshotted on reuse."""
         if self._snapshot is not None and self.reuse_candidates:
             return self._snapshot.copy()
-        table = CandidateTable(self.planner, self.incentives)
-        table.initialize(self.instance.workers, self.instance.sensing_tasks,
-                         self.instance.budget)
+        with obs.span("init", workers=len(self.instance.workers),
+                      tasks=len(self.instance.sensing_tasks)):
+            table = CandidateTable(self.planner, self.incentives)
+            table.initialize(self.instance.workers,
+                             self.instance.sensing_tasks,
+                             self.instance.budget)
         self.perf.planner_calls += table.planner_calls
         self.perf.init_planner_calls += table.planner_calls
         self._snapshot = table

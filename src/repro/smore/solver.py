@@ -19,7 +19,7 @@ import time
 
 import numpy as np
 
-from .. import nn
+from .. import nn, obs
 from ..core.instance import USMDWInstance
 from ..core.perf import PerfCounters
 from ..core.solution import Solution
@@ -206,77 +206,103 @@ class SMORESolver:
         ``batch_rollouts=False`` to force the per-episode reference loop.
         """
         start = time.perf_counter()
-        env = SelectionEnv(instance, self.planner,
-                           reuse_candidates=reuse_candidates)
-        rollouts = self._rollout_plan(greedy, rng, num_samples)
+        solve_span = obs.span("solve", method=self.name,
+                              num_samples=num_samples, workers=workers)
+        with solve_span:
+            env = SelectionEnv(instance, self.planner,
+                               reuse_candidates=reuse_candidates)
+            rollouts = self._rollout_plan(greedy, rng, num_samples)
+            # A memoising planner's counters are cumulative over its whole
+            # lifetime; scope them to this solve by differencing around
+            # each unit of work.  Differencing *inside* roll/roll_chunk —
+            # which execute in the pool children — is what ships child-side
+            # cache activity back instead of losing it with the fork.
+            stats_fn = getattr(self.planner, "stats", None)
 
-        def roll(spec):
-            use_greedy, seed = spec
-            roll_rng = None
-            if not use_greedy:
-                roll_rng = (seed if isinstance(seed, np.random.Generator)
-                            else np.random.default_rng(seed))
-            # Fresh counters per rollout: a pool child may run several
-            # rollouts on its copy of the env, and each must report only
-            # its own episode.
-            env.perf = PerfCounters()
-            with nn.no_grad():
-                state, _, _ = run_episode(env, self.policy,
-                                          greedy=use_greedy, rng=roll_rng)
-            return (state.phi(), state.assignments.routes(),
-                    state.assignments.incentives(), env.perf)
+            def roll(spec):
+                use_greedy, seed = spec
+                roll_rng = None
+                if not use_greedy:
+                    roll_rng = (seed if isinstance(seed, np.random.Generator)
+                                else np.random.default_rng(seed))
+                # Fresh counters per rollout: a pool child may run several
+                # rollouts on its copy of the env, and each must report only
+                # its own episode.
+                env.perf = PerfCounters()
+                cache_before = stats_fn() if stats_fn is not None else None
+                with obs.span("select", rollouts=1):
+                    with nn.no_grad():
+                        state, _, _ = run_episode(env, self.policy,
+                                                  greedy=use_greedy,
+                                                  rng=roll_rng)
+                if cache_before is not None:
+                    env.perf.merge(stats_fn().diff(cache_before))
+                return (state.phi(), state.assignments.routes(),
+                        state.assignments.incentives(), env.perf)
 
-        def roll_chunk(chunk):
-            # One batched decode over a contiguous slice of the schedule;
-            # fresh counters so the chunk reports only its own episodes.
-            env.perf = PerfCounters()
-            runner = BatchedEpisodeRunner(env, self.policy)
-            with nn.no_grad():
-                episodes = runner.run(chunk)
-            return ([(ep.state.phi(), ep.state.assignments.routes(),
-                      ep.state.assignments.incentives())
-                     for ep in episodes], env.perf)
+            def roll_chunk(chunk):
+                # One batched decode over a contiguous slice of the schedule;
+                # fresh counters so the chunk reports only its own episodes.
+                env.perf = PerfCounters()
+                cache_before = stats_fn() if stats_fn is not None else None
+                with obs.span("select", rollouts=len(chunk)):
+                    runner = BatchedEpisodeRunner(env, self.policy)
+                    with nn.no_grad():
+                        episodes = runner.run(chunk)
+                if cache_before is not None:
+                    env.perf.merge(stats_fn().diff(cache_before))
+                return ([(ep.state.phi(), ep.state.assignments.routes(),
+                          ep.state.assignments.incentives())
+                         for ep in episodes], env.perf)
 
-        perf = PerfCounters()
-        batched = batch_rollouts and len(rollouts) > 1
-        if workers > 1 and len(rollouts) > 1:
-            # Warm the candidate snapshot before forking so every child
-            # inherits it instead of re-running the O(W x S) init sweep.
-            env.reset()
-            env.perf.rollouts = 0  # the warm-up reset is not an episode
-            perf.merge(env.perf)
-            if batched:
-                chunks = _chunk(rollouts, workers)
-                chunk_results = parallel_map(roll_chunk, chunks,
-                                             workers=workers)
-                results = []
-                for episodes, chunk_perf in chunk_results:
-                    results.extend(
-                        (phi, routes, incentives, PerfCounters())
-                        for phi, routes, incentives in episodes)
-                    perf.merge(chunk_perf)
+            perf = PerfCounters()
+            batched = batch_rollouts and len(rollouts) > 1
+            if workers > 1 and len(rollouts) > 1:
+                # Warm the candidate snapshot before forking so every child
+                # inherits it instead of re-running the O(W x S) init sweep.
+                cache_before = stats_fn() if stats_fn is not None else None
+                env.reset()  # emits the env's "init" span on first compute
+                env.perf.rollouts = 0  # the warm-up reset is not an episode
+                perf.merge(env.perf)
+                if cache_before is not None:
+                    perf.merge(stats_fn().diff(cache_before))
+                if batched:
+                    chunks = _chunk(rollouts, workers)
+                    chunk_results = parallel_map(roll_chunk, chunks,
+                                                 workers=workers)
+                    results = []
+                    for episodes, chunk_perf in chunk_results:
+                        results.extend(
+                            (phi, routes, incentives, PerfCounters())
+                            for phi, routes, incentives in episodes)
+                        perf.merge(chunk_perf)
+                else:
+                    results = parallel_map(roll, rollouts, workers=workers)
+            elif batched:
+                episodes, chunk_perf = roll_chunk(rollouts)
+                results = [(phi, routes, incentives, PerfCounters())
+                           for phi, routes, incentives in episodes]
+                perf.merge(chunk_perf)
             else:
-                results = parallel_map(roll, rollouts, workers=workers)
-        elif batched:
-            episodes, chunk_perf = roll_chunk(rollouts)
-            results = [(phi, routes, incentives, PerfCounters())
-                       for phi, routes, incentives in episodes]
-            perf.merge(chunk_perf)
-        else:
-            results = [roll(spec) for spec in rollouts]
-        for _, _, _, episode_perf in results:
-            perf.merge(episode_perf)
+                results = [roll(spec) for spec in rollouts]
+            for _, _, _, episode_perf in results:
+                perf.merge(episode_perf)
 
-        best = None
-        best_phi = -float("inf")
-        for phi, routes, incentives, _ in results:
-            if phi > best_phi:
-                best_phi = phi
-                best = (routes, incentives)
+            best = None
+            best_phi = -float("inf")
+            for phi, routes, incentives, _ in results:
+                if phi > best_phi:
+                    best_phi = phi
+                    best = (routes, incentives)
 
-        if getattr(self.planner, "stats", None) is not None:
-            perf.merge(self.planner.stats())
-        elapsed = time.perf_counter() - start
+            elapsed = time.perf_counter() - start
+            obs.count("solve.count")
+            obs.record_perf(perf, prefix="solve.")
+            obs.gauge("solve.best_phi", best_phi)
+            obs.event("solve.done", method=self.name, phi=best_phi,
+                      rollouts=len(rollouts),
+                      planner_calls=perf.planner_calls,
+                      wall_time=round(elapsed, 6))
         return Solution(
             instance=instance,
             routes=best[0],

@@ -15,8 +15,9 @@ from typing import Sequence
 
 import numpy as np
 
-from .. import nn
+from .. import nn, obs
 from ..core.instance import USMDWInstance
+from ..obs import TrainingHistory
 from ..parallel import parallel_map
 from ..tsptw.base import RoutePlanner
 from .batch import BatchedEpisodeRunner
@@ -133,8 +134,14 @@ class TASNetTrainer:
     planner: RoutePlanner
     config: TrainingConfig = field(default_factory=TrainingConfig)
     critic: CriticNetwork | None = None
-    history: dict[str, list[float]] = field(
-        default_factory=lambda: {"reward": [], "baseline": [], "critic_loss": []})
+    #: Named training curves (dict-compatible).  ``train_iteration``
+    #: records ``reward`` / ``reward_std`` / ``loss`` / ``grad_norm`` /
+    #: ``entropy`` (and ``critic_loss`` under the critic baseline);
+    #: :meth:`evaluate` records ``eval``; :meth:`train` appends the best
+    #: validation score under ``val``.
+    history: TrainingHistory = field(
+        default_factory=lambda: TrainingHistory(
+            reward=[], baseline=[], critic_loss=[]))
 
     def __post_init__(self):
         self.rng = np.random.default_rng(self.config.seed)
@@ -157,21 +164,23 @@ class TASNetTrainer:
         return env
 
     def _rollout(self, instance: USMDWInstance):
-        """Sampled episode; returns (phi, sum of log-probs, initial features)."""
+        """Sampled episode; (phi, sum of log-probs, initial features, steps)."""
         env = self._env(instance)
         state = env.reset()
         features = critic_features(instance, state)
         self.policy.begin_episode(instance)
         log_prob_sum = None
+        steps = 0
         while not state.done:
             action = self.policy.act(state, greedy=False, rng=self.rng)
             state, _, _ = env.step(action.worker_id, action.task_id)
             log_prob_sum = (action.log_prob if log_prob_sum is None
                             else log_prob_sum + action.log_prob)
-        return state.phi(), log_prob_sum, features
+            steps += 1
+        return state.phi(), log_prob_sum, features, steps
 
     def _rollout_batch(self, instance: USMDWInstance, num_rollouts: int):
-        """K sampled episodes in lock-step; list of (phi, log-probs, features).
+        """K lock-step episodes; list of (phi, log-probs, features, steps).
 
         Each rollout draws from its own generator seeded off the trainer
         rng, so companions in the batch never perturb each other's
@@ -190,7 +199,8 @@ class TASNetTrainer:
             for record in episode.records:
                 log_prob_sum = (record.log_prob if log_prob_sum is None
                                 else log_prob_sum + record.log_prob)
-            samples.append((episode.state.phi(), log_prob_sum, features))
+            samples.append((episode.state.phi(), log_prob_sum, features,
+                            len(episode.records)))
         return samples
 
     def _collect_samples(self, instance: USMDWInstance):
@@ -223,13 +233,22 @@ class TASNetTrainer:
                                     replace=False)
         rewards = []
         samples = []  # (phi, log-prob sum, features, instance)
-        for idx in batch_idx:
-            instance = instances[int(idx)]
-            for phi, log_prob_sum, features in self._collect_samples(instance):
-                rewards.append(phi)
-                if log_prob_sum is None:
-                    continue  # instance admitted no assignments at all
-                samples.append((phi, log_prob_sum, features, instance))
+        total_log_prob = 0.0
+        total_steps = 0
+        rollout_span = obs.span("train.rollouts",
+                                instances=len(batch_idx),
+                                rollouts_per_instance=cfg.rollouts_per_instance)
+        with rollout_span:
+            for idx in batch_idx:
+                instance = instances[int(idx)]
+                for phi, log_prob_sum, features, steps in \
+                        self._collect_samples(instance):
+                    rewards.append(phi)
+                    if log_prob_sum is None:
+                        continue  # instance admitted no assignments at all
+                    total_log_prob += float(log_prob_sum.item())
+                    total_steps += steps
+                    samples.append((phi, log_prob_sum, features, instance))
 
         policy_loss = None
         critic_loss = None
@@ -256,19 +275,36 @@ class TASNetTrainer:
                 policy_loss = (term if policy_loss is None
                                else policy_loss + term)
 
+        grad_norm = 0.0
+        loss_value = 0.0
         if policy_loss is not None:
+            loss_value = float(policy_loss.item())
             self.optimizer.zero_grad()
             policy_loss.backward()
-            nn.clip_grad_norm(self.policy.parameters(), cfg.grad_clip)
+            grad_norm = nn.clip_grad_norm(self.policy.parameters(),
+                                          cfg.grad_clip)
             self.optimizer.step()
+        critic_loss_value = None
         if critic_loss is not None:
+            critic_loss_value = float(critic_loss.item())
             self.critic_optimizer.zero_grad()
             critic_loss.backward()
             self.critic_optimizer.step()
-            self.history["critic_loss"].append(critic_loss.item())
+            self.history["critic_loss"].append(critic_loss_value)
 
         mean_reward = float(np.mean(rewards)) if rewards else 0.0
-        self.history["reward"].append(mean_reward)
+        reward_std = float(np.std(rewards)) if rewards else 0.0
+        # Sample estimate of the policy entropy: the mean negative
+        # log-probability of the actions actually drawn this iteration.
+        entropy = (-total_log_prob / total_steps) if total_steps else 0.0
+        self.history.record(reward=mean_reward, reward_std=reward_std,
+                            loss=loss_value, grad_norm=grad_norm,
+                            entropy=entropy)
+        obs.count("train.iterations")
+        obs.event("train.iteration", epoch=len(self.history["reward"]),
+                  reward=mean_reward, reward_std=reward_std,
+                  loss=loss_value, grad_norm=grad_norm, entropy=entropy,
+                  critic_loss=critic_loss_value)
         return mean_reward
 
     def train(self, instances: Sequence[USMDWInstance],
@@ -362,6 +398,10 @@ class TASNetTrainer:
                 state, _, _ = run_episode(env, self.policy, greedy=True)
             return state.phi()
 
-        scores = parallel_map(score_one, instances,
-                              workers=self.config.eval_workers)
-        return float(np.mean(scores)) if scores else 0.0
+        with obs.span("train.eval", instances=len(instances)):
+            scores = parallel_map(score_one, instances,
+                                  workers=self.config.eval_workers)
+        score = float(np.mean(scores)) if scores else 0.0
+        self.history.record(eval=score)
+        obs.event("train.eval", coverage=score)
+        return score

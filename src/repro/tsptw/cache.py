@@ -53,6 +53,7 @@ class CachedPlanner:
         self._insert_cache: OrderedDict[tuple, RouteResult] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.backend_calls = 0
         self.evictions = 0
         # Bind optional-protocol methods only when the backend has them, so
         # feature detection sees exactly the backend's capabilities.
@@ -78,13 +79,22 @@ class CachedPlanner:
     # ------------------------------------------------------------------ #
     def _plan_with_insertion(self, worker: Worker, base_tasks,
                              new_task) -> RouteResult:
-        """Memoised single-task insertion (delegates to the backend)."""
-        key = (worker.worker_id, tuple(t.task_id for t in base_tasks),
+        """Memoised single-task insertion (delegates to the backend).
+
+        The key normalises the base tasks to a *sorted* id tuple so that
+        permutations of the same base set share one entry, mirroring the
+        order-insensitive ``frozenset`` key :meth:`plan` uses.  (Base
+        orders for one task set come from the same deterministic planner,
+        so within a solve the set determines the order anyway.)
+        """
+        key = (worker.worker_id,
+               tuple(sorted(t.task_id for t in base_tasks)),
                new_task.task_id)
         cached = self._lookup(self._insert_cache, key)
         if cached is not None:
             return cached
         self.misses += 1
+        self.backend_calls += 1
         result = self.planner.plan_with_insertion(worker, base_tasks, new_task)
         self._store(self._insert_cache, key, result)
         return result
@@ -100,6 +110,7 @@ class CachedPlanner:
         missing = [i for i, r in enumerate(results) if r is None]
         if missing:
             self.misses += len(missing)
+            self.backend_calls += 1  # one batched call serves every miss
             fresh = self.planner.plan_many(
                 worker, [task_sets[i] for i in missing])
             for i, result in zip(missing, fresh):
@@ -114,6 +125,7 @@ class CachedPlanner:
         if cached is not None:
             return cached
         self.misses += 1
+        self.backend_calls += 1
         result = self.planner.plan(worker, sensing_tasks)
         self._store(self._cache, key, result)
         return result
@@ -123,9 +135,17 @@ class CachedPlanner:
 
     # ------------------------------------------------------------------ #
     def stats(self) -> PerfCounters:
-        """Current accounting as a :class:`PerfCounters` snapshot."""
+        """Current accounting as a :class:`PerfCounters` snapshot.
+
+        ``planner_calls`` counts *logical* plans computed (one per cache
+        miss); ``backend_calls`` counts true backend invocations, which
+        on the batched ``plan_many`` path can be far fewer — one batched
+        call serves every miss in the request.  Both are exposed so the
+        batched path's saving is visible rather than overstated.
+        """
         return PerfCounters(
             planner_calls=self.misses,
+            backend_calls=self.backend_calls,
             cache_hits=self.hits,
             cache_misses=self.misses,
             cache_size=len(self._cache) + len(self._insert_cache),
@@ -137,6 +157,7 @@ class CachedPlanner:
         self._insert_cache.clear()
         self.hits = 0
         self.misses = 0
+        self.backend_calls = 0
         self.evictions = 0
 
     def __len__(self) -> int:

@@ -18,9 +18,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .. import nn
+from .. import nn, obs
 from ..core.entities import SensingTask, TravelTask, Worker
 from ..core.geometry import Location, Region
+from ..obs import TrainingHistory
 from .gpn import DecodeResult, GPNScale, HierarchicalGPN
 
 __all__ = ["TSPTWTrainingConfig", "TSPTWTrainer", "sample_training_worker"]
@@ -81,8 +82,11 @@ class TSPTWTrainer:
     region: Region
     config: TSPTWTrainingConfig = field(default_factory=TSPTWTrainingConfig)
     rng: np.random.Generator = field(default_factory=np.random.default_rng)
-    history: dict[str, list[float]] = field(
-        default_factory=lambda: {"lower": [], "upper": []})
+    #: ``lower`` / ``upper`` reward curves plus per-phase ``*_grad_norm``
+    #: series; a :class:`~repro.obs.TrainingHistory` so callers can use
+    #: ``record`` / ``last`` / ``summary`` as with the TASNet trainer.
+    history: TrainingHistory = field(
+        default_factory=lambda: TrainingHistory(lower=[], upper=[]))
 
     # ------------------------------------------------------------------ #
     def _lower_reward(self, decoded: DecodeResult) -> float:
@@ -141,9 +145,12 @@ class TSPTWTrainer:
                 loss = term if loss is None else loss + term
             optimizer.zero_grad()
             loss.backward()
-            nn.clip_grad_norm(params, cfg.grad_clip)
+            grad_norm = nn.clip_grad_norm(params, cfg.grad_clip)
             optimizer.step()
             self.history[phase].append(mean_reward)
+            self.history.record(**{f"{phase}_grad_norm": grad_norm})
+            obs.event("tsptw.train.iteration", phase=phase,
+                      reward=mean_reward, grad_norm=grad_norm)
 
     def train_lower(self) -> None:
         """Phase 1: optimise window satisfaction."""

@@ -1,0 +1,199 @@
+"""Tests for spans, sinks, the tracing context and child-capture plumbing."""
+
+import json
+
+from repro import obs
+from repro.core.perf import PerfCounters
+from repro.obs import (
+    NULL_TRACER,
+    JsonlSink,
+    ListSink,
+    Tracer,
+    absorb,
+    capture_child,
+    tracing,
+)
+
+
+class TestTracerSpans:
+    def test_span_paths_nest(self):
+        sink = ListSink()
+        tracer = Tracer(sink)
+        with tracer.span("solve"):
+            with tracer.span("select"):
+                pass
+        paths = [r["path"] for r in sink.records]
+        # Inner span closes first.
+        assert paths == ["solve/select", "solve"]
+
+    def test_span_feeds_timing_aggregates(self):
+        tracer = Tracer()
+        with tracer.span("solve"):
+            pass
+        with tracer.span("solve"):
+            pass
+        assert tracer.metrics.timings["span.solve.count"] == 2
+        assert tracer.metrics.timings["span.solve.time"] >= 0.0
+        assert tracer.metrics.span_summary()[0][:2] == ("solve", 2)
+
+    def test_span_attrs_in_record(self):
+        sink = ListSink()
+        tracer = Tracer(sink)
+        with tracer.span("solve", method="SMORE", workers=4):
+            pass
+        record = sink.records[0]
+        assert record["type"] == "span"
+        assert record["method"] == "SMORE"
+        assert record["workers"] == 4
+        assert record["dur"] >= 0.0
+
+    def test_seq_strictly_increasing(self):
+        sink = ListSink()
+        tracer = Tracer(sink)
+        tracer.event("a")
+        with tracer.span("s"):
+            tracer.event("b")
+        tracer.emit_metrics()
+        seqs = [r["seq"] for r in sink.records]
+        assert seqs == list(range(len(seqs)))
+
+    def test_counters_via_tracer(self):
+        tracer = Tracer()
+        tracer.count("n")
+        tracer.count("n", 2)
+        tracer.gauge("g", 5)
+        tracer.record_perf(PerfCounters(planner_calls=7))
+        assert tracer.metrics.counters == {"n": 3, "perf.planner_calls": 7}
+        assert tracer.metrics.gauges == {"g": 5}
+
+
+class TestJsonlSink:
+    def test_writes_sorted_key_json_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"b": 1, "a": 2})
+        sink.close()
+        line = path.read_text().strip()
+        assert line == '{"a": 2, "b": 1}'
+        assert json.loads(line) == {"a": 2, "b": 1}
+
+    def test_close_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.close()
+
+
+class TestTracingContext:
+    def test_installs_and_restores(self):
+        before = obs.get_tracer()
+        with tracing() as tracer:
+            assert obs.get_tracer() is tracer
+            assert tracer.enabled
+        assert obs.get_tracer() is before
+
+    def test_module_level_shims_route_to_active_tracer(self):
+        with tracing() as tracer:
+            obs.count("hits", 2)
+            obs.gauge("size", 9)
+            obs.add_time("wall", 0.5)
+            with obs.span("outer"):
+                obs.event("tick")
+        assert tracer.metrics.counters == {"hits": 2}
+        assert tracer.metrics.gauges == {"size": 9}
+        assert tracer.metrics.timings["wall"] == 0.5
+        assert "span.outer.time" in tracer.metrics.timings
+
+    def test_trace_file_ends_with_metrics_record(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with tracing(path):
+            obs.count("n", 3)
+            obs.event("hello", answer=42)
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["type"] for r in records] == ["event", "metrics"]
+        assert records[0]["answer"] == 42
+        assert records[1]["counters"] == {"n": 3}
+
+    def test_disabled_by_default(self):
+        tracer = obs.get_tracer()
+        assert not tracer.enabled
+        # All instrumentation points are inert no-ops.
+        obs.count("ignored")
+        obs.gauge("ignored", 1)
+        obs.add_time("ignored", 1.0)
+        obs.event("ignored")
+        with obs.span("ignored"):
+            pass
+        assert obs.current_metrics().to_dict() == \
+            {"counters": {}, "gauges": {}, "timings": {}}
+
+    def test_null_span_is_shared_singleton(self):
+        # Zero-allocation disabled path: every no-op span is one object.
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+
+
+class TestChildCapture:
+    def test_snapshot_none_when_disabled(self):
+        with capture_child() as cap:
+            obs.count("ignored")
+        assert cap.snapshot is None
+        absorb(cap.snapshot)  # no-op, must not raise
+
+    def test_capture_diffs_and_buffers(self):
+        with tracing() as tracer:
+            obs.count("before", 1)
+            with capture_child() as cap:
+                obs.count("inside", 2)
+                obs.event("child.tick")
+            snap = cap.snapshot
+        assert snap["metrics"]["counters"] == {"inside": 2}
+        assert [r["name"] for r in snap["events"]] == ["child.tick"]
+        # Captured counters stayed in the (forked) registry too; the
+        # parent only absorbs the delta, never double-counting `before`.
+        assert tracer.metrics.counters == {"before": 1, "inside": 2}
+
+    def test_events_buffered_not_streamed(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with tracing(path):
+            with capture_child() as cap:
+                obs.event("child.only")
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        # The child event went to the buffer, not the file sink.
+        assert [r["type"] for r in records] == ["metrics"]
+        assert cap.snapshot["events"][0]["name"] == "child.only"
+
+    def test_absorb_merges_and_reemits_with_fresh_seq(self):
+        with tracing():  # stands in for the forked child process
+            with capture_child() as cap:
+                obs.count("n", 5)
+                obs.event("tick")
+        sink = ListSink()
+        with tracing(sink=sink) as tracer:
+            obs.event("parent.first")
+            absorb(cap.snapshot)
+            counters = dict(tracer.metrics.counters)
+        assert counters == {"n": 5}
+        events = [r for r in sink.records if r["type"] == "event"]
+        # Parent seq numbering: its own event first, then the re-emitted
+        # child event with a freshly assigned (larger) seq.
+        assert [r["name"] for r in events] == ["parent.first", "tick"]
+        assert events[1]["seq"] > events[0]["seq"]
+
+    def test_absorb_in_item_order_is_deterministic(self):
+        def child_snapshot(value):
+            with tracing():
+                with capture_child() as cap:
+                    obs.count("n", value)
+                    obs.event("done", value=value)
+            return cap.snapshot
+
+        snaps = [child_snapshot(v) for v in (1, 2, 3)]
+        sink = ListSink()
+        with tracing(sink=sink) as tracer:
+            for snap in snaps:
+                absorb(snap)
+            counters = dict(tracer.metrics.counters)
+        assert counters == {"n": 6}
+        values = [r["value"] for r in sink.records if r["type"] == "event"]
+        assert values == [1, 2, 3]
+        seqs = [r["seq"] for r in sink.records]
+        assert seqs == sorted(seqs)

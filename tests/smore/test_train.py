@@ -86,6 +86,52 @@ class TestTASNetTrainer:
         assert len(trainer.history["critic_loss"]) == 2
 
 
+class TestTrainingTelemetry:
+    """Per-epoch observability: history series and trace events."""
+
+    def test_history_records_epoch_series(self, policy, planner,
+                                          small_instance):
+        trainer = TASNetTrainer(policy, planner,
+                                TrainingConfig(iterations=2, batch_size=1))
+        trainer.train([small_instance])
+        for name in ("reward", "reward_std", "loss", "grad_norm", "entropy"):
+            assert len(trainer.history.series(name)) == 2, name
+            assert all(np.isfinite(v) for v in trainer.history[name])
+        assert trainer.history.last("reward") == trainer.history["reward"][-1]
+
+    def test_evaluate_records_eval_series(self, policy, planner,
+                                          small_instance):
+        trainer = TASNetTrainer(policy, planner, TrainingConfig())
+        score = trainer.evaluate([small_instance])
+        assert trainer.history.series("eval") == [score]
+
+    def test_history_summary_covers_series(self, policy, planner,
+                                           small_instance):
+        trainer = TASNetTrainer(policy, planner,
+                                TrainingConfig(iterations=1, batch_size=1))
+        trainer.train([small_instance])
+        text = trainer.history.summary()
+        assert "reward: n=1" in text
+        assert "entropy: n=1" in text
+
+    def test_iteration_emits_trace_event(self, policy, planner,
+                                         small_instance):
+        from repro import obs
+        from repro.obs import ListSink
+
+        trainer = TASNetTrainer(policy, planner,
+                                TrainingConfig(iterations=1, batch_size=1))
+        sink = ListSink()
+        with obs.tracing(sink=sink) as tracer:
+            trainer.train_iteration([small_instance])
+            counters = dict(tracer.metrics.counters)
+        assert counters["train.iterations"] == 1
+        events = [r for r in sink.records if r["type"] == "event"]
+        assert events[0]["name"] == "train.iteration"
+        assert events[0]["epoch"] == 1
+        assert "span.train.rollouts.time" in tracer.metrics.timings
+
+
 class TestBaselineVariants:
     def test_invalid_baseline_rejected(self):
         with pytest.raises(ValueError):

@@ -97,3 +97,109 @@ class TestFallbacks:
     def test_fork_state_cleared_after_run(self):
         parallel_map(square, range(4), workers=2)
         assert parallel._FORK_STATE == {}
+
+    @pytest.mark.skipif(not fork_available(), reason="platform lacks fork")
+    def test_pool_construction_failure_falls_back(self, monkeypatch):
+        def refuse(method):
+            raise OSError("cannot fork")
+
+        monkeypatch.setattr(parallel.multiprocessing, "get_context", refuse)
+        assert parallel_map(square, range(5), workers=4) == \
+            [x * x for x in range(5)]
+        assert parallel._FORK_STATE == {}
+
+
+@pytest.mark.skipif(not fork_available(), reason="platform lacks fork")
+class TestFailurePropagation:
+    """A raising ``fn`` must propagate — never silently re-run serially.
+
+    The old code wrapped the whole pool run in ``except (OSError,
+    AssertionError)`` and fell back to the serial loop, so a worker that
+    had already performed side effects would execute again in the parent
+    and the original error context was lost.
+    """
+
+    def test_worker_exception_propagates(self):
+        def explode(x):
+            if x == 2:
+                raise OSError("disk gone")
+            return x
+
+        with pytest.raises(OSError, match="disk gone"):
+            parallel_map(explode, range(4), workers=2)
+
+    def test_non_oserror_propagates_too(self):
+        def explode(x):
+            raise ValueError(f"bad item {x}")
+
+        with pytest.raises(ValueError, match="bad item"):
+            parallel_map(explode, range(4), workers=2)
+
+    def test_no_serial_rerun_after_worker_failure(self, tmp_path):
+        # Workers append one line per execution to a shared log (O_APPEND
+        # writes from separate processes don't interleave at this size).
+        log = tmp_path / "executions.log"
+
+        def record_and_maybe_explode(x):
+            with open(log, "a") as handle:
+                handle.write(f"{x}\n")
+            if x == 1:
+                raise RuntimeError("boom")
+            return x
+
+        with pytest.raises(RuntimeError, match="boom"):
+            parallel_map(record_and_maybe_explode, range(6), workers=3,
+                         chunksize=1)
+        executions = log.read_text().split()
+        # Each item ran at most once: the failure was not retried serially.
+        assert len(executions) == len(set(executions))
+
+    def test_fork_state_cleared_after_failure(self):
+        def explode(x):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            parallel_map(explode, range(4), workers=2)
+        assert parallel._FORK_STATE == {}
+
+
+@pytest.mark.skipif(not fork_available(), reason="platform lacks fork")
+class TestTelemetryPropagation:
+    """Worker-side obs counters/events ship back and merge in item order."""
+
+    def _traced_counts(self, workers):
+        from repro import obs
+        from repro.obs import ListSink
+
+        def work(x):
+            obs.count("work.items")
+            obs.count("work.value", x)
+            obs.event("work.done", item=x)
+            return x * x
+
+        sink = ListSink()
+        with obs.tracing(sink=sink) as tracer:
+            results = parallel_map(work, range(8), workers=workers)
+            counters = dict(tracer.metrics.counters)
+        events = [r for r in sink.records if r["type"] == "event"]
+        return results, counters, events
+
+    def test_parallel_counters_match_serial(self):
+        serial_results, serial_counters, _ = self._traced_counts(workers=1)
+        fanned_results, fanned_counters, _ = self._traced_counts(workers=4)
+        assert fanned_results == serial_results
+        assert fanned_counters == serial_counters
+        assert fanned_counters["work.items"] == 8
+        assert fanned_counters["work.value"] == sum(range(8))
+
+    def test_events_arrive_in_item_order(self):
+        _, _, events = self._traced_counts(workers=4)
+        assert [r["item"] for r in events] == list(range(8))
+        seqs = [r["seq"] for r in events]
+        assert seqs == sorted(seqs)
+
+    def test_untraced_run_ships_no_snapshots(self):
+        # With tracing disabled capture_child yields None snapshots; the
+        # map still returns plain results.
+        assert parallel_map(square, range(6), workers=3) == \
+            [x * x for x in range(6)]

@@ -98,8 +98,111 @@ class TestCachedPlanner:
         assert stats.cache_hits == 1
         assert stats.cache_misses == 1
         assert stats.planner_calls == 1
+        assert stats.backend_calls == 1
         assert stats.cache_size == 1
         assert stats.cache_hit_rate == 0.5
+
+    def test_clear_resets_backend_calls(self, cached, simple_worker):
+        cached.plan(simple_worker, [])
+        cached.clear()
+        assert cached.backend_calls == 0
+        assert cached.stats().backend_calls == 0
+
+
+class TestInsertionCacheKey:
+    """``plan_with_insertion`` memoisation must be base-order-insensitive.
+
+    The old key used the base tasks' id tuple *in order*, so permutations
+    of the same base set — which produce the same optimal insertion from
+    a deterministic backend — missed the cache and re-ran the backend.
+    """
+
+    @pytest.fixture
+    def cached(self):
+        return CachedPlanner(InsertionSolver(speed=SPEED))
+
+    def _tasks(self):
+        a = SensingTask(1, Location(600, 0), 0.0, 240.0, 5.0)
+        b = SensingTask(2, Location(200, 0), 0.0, 240.0, 5.0)
+        new = SensingTask(3, Location(400, 0), 0.0, 240.0, 5.0)
+        return a, b, new
+
+    def test_permuted_base_set_hits(self, cached, simple_worker):
+        a, b, new = self._tasks()
+        first = cached.plan_with_insertion(simple_worker, [a, b], new)
+        second = cached.plan_with_insertion(simple_worker, [b, a], new)
+        assert second is first
+        assert cached.hits == 1
+        assert cached.misses == 1
+        assert cached.backend_calls == 1
+
+    def test_different_new_task_still_misses(self, cached, simple_worker):
+        a, b, _ = self._tasks()
+        other = SensingTask(4, Location(900, 0), 0.0, 240.0, 5.0)
+        cached.plan_with_insertion(simple_worker, [a, b], a)
+        cached.plan_with_insertion(simple_worker, [a, b], other)
+        assert cached.misses == 2
+
+    def test_different_base_set_still_misses(self, cached, simple_worker):
+        a, b, new = self._tasks()
+        cached.plan_with_insertion(simple_worker, [a], new)
+        cached.plan_with_insertion(simple_worker, [a, b], new)
+        assert cached.misses == 2
+
+
+class TestBackendCallAccounting:
+    """``backend_calls`` counts true backend invocations, not logical plans.
+
+    The old ``stats()`` reported ``planner_calls = misses``, overstating
+    backend work on the batched path where one ``plan_many`` call serves
+    every miss in the request.
+    """
+
+    class BatchBackend:
+        def __init__(self):
+            self.inner = NearestNeighborSolver(speed=SPEED)
+            self.speed = self.inner.speed
+            self.batch_calls = 0
+
+        def plan(self, worker, sensing_tasks):
+            return self.inner.plan(worker, sensing_tasks)
+
+        def base_route(self, worker):
+            return self.inner.base_route(worker)
+
+        def plan_many(self, worker, task_sets):
+            self.batch_calls += 1
+            return [self.inner.plan(worker, tasks) for tasks in task_sets]
+
+    def _task_sets(self, n):
+        return [[SensingTask(i, Location(100 * i, 0), 0.0, 240.0, 5.0)]
+                for i in range(1, n + 1)]
+
+    def test_batched_misses_count_one_backend_call(self, simple_worker):
+        backend = self.BatchBackend()
+        cached = CachedPlanner(backend)
+        cached.plan_many(simple_worker, self._task_sets(5))
+        stats = cached.stats()
+        assert stats.cache_misses == 5
+        assert stats.planner_calls == 5       # logical plans computed
+        assert stats.backend_calls == 1       # one true backend invocation
+        assert stats.backend_calls == backend.batch_calls
+
+    def test_fully_cached_batch_adds_no_backend_call(self, simple_worker):
+        backend = self.BatchBackend()
+        cached = CachedPlanner(backend)
+        sets = self._task_sets(3)
+        cached.plan_many(simple_worker, sets)
+        cached.plan_many(simple_worker, sets)
+        assert cached.backend_calls == 1
+        assert backend.batch_calls == 1
+
+    def test_unbatched_plan_counts_one_per_miss(self, simple_worker):
+        cached = CachedPlanner(InsertionSolver(speed=SPEED))
+        for tasks in self._task_sets(3):
+            cached.plan(simple_worker, tasks)
+        assert cached.backend_calls == 3
+        assert cached.stats().backend_calls == 3
 
 
 class TestCachedPlannerLRU:
