@@ -1,6 +1,6 @@
 # SMORE reproduction — common workflows.
 
-.PHONY: install test bench bench-perf results full clean
+.PHONY: install test bench bench-perf profile results full clean
 
 install:
 	pip install -e .
@@ -11,10 +11,22 @@ test:
 bench:
 	PYTHONPATH=src pytest benchmarks/ --benchmark-only
 
-# Perf-layer regression: planner-call counts, batched-decode throughput
-# + smoke timings (writes one results/BENCH_PR<n>.json per PR).
+# Perf-layer regression: planner-call counts, batched-decode throughput,
+# profiler attribution/cost + smoke timings (writes one
+# results/BENCH_PR<n>.json per PR).
 bench-perf:
-	PYTHONPATH=src pytest benchmarks/test_perf_regression.py --benchmark-only
+	PYTHONPATH=src pytest benchmarks/test_perf_regression.py \
+		benchmarks/test_profile_regression.py --benchmark-only
+
+# Op-level autograd profiles of a smoke solve + training run: per-op
+# JSONL summaries and collapsed stacks (flamegraph.pl format) under
+# profiles/.
+profile:
+	mkdir -p profiles
+	PYTHONPATH=src python -m repro.obs.profile solve \
+		--out profiles/solve.jsonl --collapsed profiles/solve.folded
+	PYTHONPATH=src python -m repro.obs.profile train \
+		--out profiles/train.jsonl --collapsed profiles/train.folded
 
 # Regenerate every table/figure artifact under results/.
 results: bench
@@ -28,4 +40,4 @@ full:
 # Remove generated caches only; results/ holds committed benchmark
 # artefacts (results/BENCH_PR*.json) and must survive a clean.
 clean:
-	rm -rf .cache .benchmarks
+	rm -rf .cache .benchmarks profiles

@@ -8,10 +8,18 @@ minus route length — and reports how the learned policy compares to the
 insertion heuristic and the exact DP on fresh instances.
 
 Run:  python examples/train_tsptw_solver.py   (about 2 minutes on CPU)
+
+``--history curves.jsonl`` persists the training curves
+(:meth:`repro.obs.TrainingHistory.save`); ``--profile profile.jsonl``
+runs the whole session under the op-level autograd profiler and prints
+the per-op summary (:mod:`repro.obs.profile`).
 """
+
+import argparse
 
 import numpy as np
 
+from repro import obs
 from repro.core import Region
 from repro.tsptw import (
     ExactDPSolver,
@@ -58,7 +66,26 @@ def report(title, stats, count):
         print(f"{name:<14} {rate:>8.0%} {rtt:>8.1f}m")
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--history", default=None, metavar="PATH",
+                        help="save the training curves as JSONL to PATH")
+    parser.add_argument("--profile", default=None, metavar="PATH",
+                        help="profile the run at op level; write the JSONL "
+                             "profile to PATH")
+    args = parser.parse_args(argv)
+
+    if args.profile:
+        with obs.profiling(args.profile) as profiler:
+            _run(args)
+        print()
+        print(obs.render_profile(profiler))
+        print(f"\nProfile written to {args.profile}")
+    else:
+        _run(args)
+
+
+def _run(args) -> None:
     model = make_default_gpn(REGION, TIME_SPAN, d_model=24, seed=0)
     config = TSPTWTrainingConfig(
         lower_iterations=40, upper_iterations=30, batch_size=6, lr=2e-3,
@@ -88,6 +115,11 @@ def main() -> None:
     assert history.last("lower_grad_norm") is not None
     print("\ntraining history:")
     print(history.summary())
+
+    if args.history:
+        history.save(args.history)
+        print(f"\nHistory written to {args.history} "
+              f"(reload with TrainingHistory.load)")
 
     stats, count = evaluate_solvers(model, np.random.default_rng(123))
     report("after training", stats, count)

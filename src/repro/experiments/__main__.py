@@ -13,7 +13,9 @@ Usage::
 Any invocation accepts ``--trace out.jsonl``: the whole run executes
 under a live :mod:`repro.obs` tracer, the JSONL event trace is written to
 the given path, and a per-method span-summary table is appended to the
-report output.
+report output.  ``--profile out.jsonl`` additionally runs under the
+op-level autograd profiler (:mod:`repro.obs.profile`) and appends the
+per-op summary table; the two flags compose.
 """
 
 from __future__ import annotations
@@ -89,8 +91,25 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trace", default=None, metavar="PATH",
                         help="write a JSONL obs trace of the whole run to "
                              "PATH and append a span-summary table")
+    parser.add_argument("--profile", default=None, metavar="PATH",
+                        help="run under the op-level autograd profiler, "
+                             "write the JSONL profile to PATH and append "
+                             "the per-op summary table")
     args = parser.parse_args(argv)
 
+    if args.profile:
+        from ..obs.profile import render_profile
+
+        with obs.profiling(args.profile) as profiler:
+            code = _run_traced(args)
+        print()
+        print(render_profile(profiler))
+        print(f"\nProfile written to {args.profile}")
+        return code
+    return _run_traced(args)
+
+
+def _run_traced(args) -> int:
     if args.trace:
         with obs.tracing(args.trace) as tracer:
             code = _dispatch(args)

@@ -21,7 +21,7 @@ Quick example::
     optimizer.step()
 """
 
-from . import init, ops
+from . import flops, init, ops
 from .ops import pad_stack
 from .attention import (
     MultiHeadAttention,
@@ -44,11 +44,21 @@ from .layers import (
 )
 from .optim import SGD, Adam, Optimizer, clip_grad_norm
 from .serialize import load_module, save_module
-from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad
+from .tensor import (
+    NULL_HOOK,
+    Tensor,
+    TensorHook,
+    as_tensor,
+    get_tensor_hook,
+    is_grad_enabled,
+    no_grad,
+    set_tensor_hook,
+)
 
 __all__ = [
     "Tensor", "as_tensor", "no_grad", "is_grad_enabled", "ops", "init",
-    "pad_stack",
+    "flops", "pad_stack",
+    "TensorHook", "NULL_HOOK", "get_tensor_hook", "set_tensor_hook",
     "Module", "Parameter", "Linear", "Embedding", "MLP", "LayerNorm",
     "Conv2D", "Sequential", "ReLU", "Tanh",
     "MultiHeadAttention", "PointerAttention", "TransformerEncoder",

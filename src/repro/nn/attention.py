@@ -115,6 +115,26 @@ class MultiHeadAttention(Module):
             attended = ops.reshape(attended, (query.shape[0], self.d_model))
         return self.w_o(attended)
 
+    def forward_flops(self, n_q: int, n_k: int | None = None,
+                      batch: int = 1, matmul_only: bool = False) -> int:
+        """Closed-form forward FLOPs at the given query/key set sizes.
+
+        With ``matmul_only=True`` only the four projections and the two
+        attention products are counted — the subset the profiler tallies
+        under ``matmul``, which the regression bench reconciles within 1%.
+        """
+        from . import flops
+
+        n_k = n_q if n_k is None else n_k
+        # w_q and w_o run over the n_q query rows; w_k and w_v over n_k.
+        total = 2 * (flops.linear_flops(batch * n_q, self.d_model,
+                                        self.d_model, bias=False)
+                     + flops.linear_flops(batch * n_k, self.d_model,
+                                          self.d_model, bias=False))
+        total += flops.attention_flops(batch, self.num_heads, n_q, n_k,
+                                       self.d_head, matmul_only=matmul_only)
+        return total
+
 
 class TransformerEncoderLayer(Module):
     """MHA + node-wise feed-forward, each with residual + LayerNorm."""
@@ -201,3 +221,16 @@ class PointerAttention(Module):
         if mask is not None:
             logits = ops.masked_fill(logits, mask, _NEG_INF)
         return logits
+
+    def forward_flops(self, n: int, d_query: int, d_key_in: int,
+                      batch: int = 1, matmul_only: bool = False) -> int:
+        """Closed-form forward FLOPs for ``n`` candidate keys per item."""
+        from . import flops
+
+        total = (flops.linear_flops(batch, d_query, self.d_key, bias=False)
+                 + flops.linear_flops(batch * n, d_key_in, self.d_key,
+                                      bias=False)
+                 + 2 * batch * n * self.d_key)       # k @ q scores
+        if not matmul_only:
+            total += batch * n * (1 + flops.ELEMENTWISE_COST["clip_tanh"])
+        return total

@@ -40,17 +40,29 @@ class Module:
 
     # -- discovery ------------------------------------------------------ #
     def named_parameters(self, prefix: str = ""):
-        """Yield ``(name, Parameter)`` pairs, depth-first."""
+        """Yield ``(name, Parameter)`` pairs, depth-first.
+
+        Each parameter's ``name`` slot is stamped with its qualified path
+        (e.g. ``worker_selection.group_mha.w_q.weight``) the first time it
+        is discovered, so profiler and trace output can name parameters.
+        A parameter reachable through several attributes keeps the first
+        (sorted-order) path — the same one ``state_dict`` serialises
+        under.
+        """
         for attr in sorted(vars(self)):
             value = getattr(self, attr)
             full = f"{prefix}{attr}"
             if isinstance(value, Parameter):
+                if value.name is None:
+                    value.name = full
                 yield full, value
             elif isinstance(value, Module):
                 yield from value.named_parameters(prefix=f"{full}.")
             elif isinstance(value, (list, tuple)):
                 for i, item in enumerate(value):
                     if isinstance(item, Parameter):
+                        if item.name is None:
+                            item.name = f"{full}.{i}"
                         yield f"{full}.{i}", item
                     elif isinstance(item, Module):
                         yield from item.named_parameters(prefix=f"{full}.{i}.")
@@ -133,6 +145,18 @@ class Linear(Module):
         if self.bias is not None:
             out = ops.add(out, self.bias)
         return out
+
+    def forward_flops(self, rows: int) -> int:
+        """Closed-form forward FLOPs over ``rows`` input rows.
+
+        Matches the profiler's matmul/elementwise cost model
+        (:mod:`repro.nn.flops`), letting tests reconcile recorded totals
+        against layer shapes.
+        """
+        from . import flops
+
+        return flops.linear_flops(rows, self.in_features, self.out_features,
+                                  bias=self.bias is not None)
 
 
 class Embedding(Module):
@@ -286,6 +310,7 @@ class Conv2D(Module):
             return (grad_padded,)
 
         cols = Tensor._make(cols_np, (x,), backward)
+        cols._op = "im2col"  # names this node in profiler backward output
         out = ops.matmul(cols, self.weight)  # (batch, out_h, out_w, out_channels)
         out = ops.add(out, self.bias)
         return ops.transpose(out, (0, 3, 1, 2))

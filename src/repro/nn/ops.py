@@ -11,7 +11,7 @@ import builtins
 
 import numpy as np
 
-from .tensor import Tensor, as_tensor, unbroadcast
+from .tensor import Tensor, as_tensor, instrument_op, unbroadcast
 
 __all__ = [
     "add", "sub", "mul", "div", "neg", "power", "matmul", "exp", "log",
@@ -548,3 +548,19 @@ def dropout(a, rate: float, rng: np.random.Generator, training: bool = True) -> 
         return (grad * mask,)
 
     return Tensor._make(out_data, (a,), backward)
+
+
+# --------------------------------------------------------------------- #
+# Profiler instrumentation
+# --------------------------------------------------------------------- #
+# Every public op is rebound to its instrumented wrapper at import time.
+# Rebinding the *module globals* (not just ``__all__`` exports) matters:
+# composite ops such as ``masked_mean`` call ``where``/``sum``/``div``
+# through this namespace, so their constituents nest naturally under the
+# composite frame in stack-aware hooks.  ``pad_stack`` is a plain-numpy
+# utility (no Tensor output) and stays unwrapped.
+for _name in __all__:
+    if _name == "pad_stack":
+        continue
+    globals()[_name] = instrument_op(globals()[_name], _name)
+del _name

@@ -6,11 +6,21 @@ Section V-B); SGD is provided for tests and ablations.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import Tensor, get_tensor_hook
 
 __all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm"]
+
+# Per-element FLOP charges reported to the profiler hook: the update
+# rules below, counted by arithmetic pass (Adam: 2 moment EMAs at 4, two
+# bias corrections, sqrt + add + div + fused update ~= 12 / element).
+_ADAM_FLOPS_PER_ELEM = 12
+_SGD_FLOPS_PER_ELEM = 2
+_SGD_MOMENTUM_FLOPS_PER_ELEM = 4
+_CLIP_FLOPS_PER_ELEM = 3
 
 
 def clip_grad_norm(parameters: list[Tensor], max_norm: float) -> float:
@@ -18,6 +28,8 @@ def clip_grad_norm(parameters: list[Tensor], max_norm: float) -> float:
 
     Returns the pre-clipping norm.  Standard stabiliser for REINFORCE.
     """
+    hook = get_tensor_hook()
+    start = time.perf_counter() if hook.enabled else 0.0
     grads = [p.grad for p in parameters if p.grad is not None]
     if not grads:
         return 0.0
@@ -26,6 +38,11 @@ def clip_grad_norm(parameters: list[Tensor], max_norm: float) -> float:
         scale = max_norm / (total + 1e-12)
         for g in grads:
             g *= scale
+    if hook.enabled:
+        n_elems = sum(g.size for g in grads)
+        hook.custom("clip_grad_norm", time.perf_counter() - start,
+                    flops=_CLIP_FLOPS_PER_ELEM * n_elems,
+                    nbytes=8 * n_elems)
     return total
 
 
@@ -53,15 +70,24 @@ class SGD(Optimizer):
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
+        hook = get_tensor_hook()
+        start = time.perf_counter() if hook.enabled else 0.0
+        n_elems = 0
         for param, velocity in zip(self.parameters, self._velocity):
             if param.grad is None:
                 continue
+            n_elems += param.data.size
             if self.momentum:
                 velocity *= self.momentum
                 velocity += param.grad
                 param.data -= self.lr * velocity
             else:
                 param.data -= self.lr * param.grad
+        if hook.enabled:
+            per_elem = (_SGD_MOMENTUM_FLOPS_PER_ELEM if self.momentum
+                        else _SGD_FLOPS_PER_ELEM)
+            hook.custom("sgd.step", time.perf_counter() - start,
+                        flops=per_elem * n_elems, nbytes=8 * n_elems)
 
 
 class Adam(Optimizer):
@@ -78,12 +104,16 @@ class Adam(Optimizer):
         self._v = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
+        hook = get_tensor_hook()
+        start = time.perf_counter() if hook.enabled else 0.0
+        n_elems = 0
         self._step_count += 1
         bias1 = 1.0 - self.beta1 ** self._step_count
         bias2 = 1.0 - self.beta2 ** self._step_count
         for param, m, v in zip(self.parameters, self._m, self._v):
             if param.grad is None:
                 continue
+            n_elems += param.data.size
             grad = param.grad
             m *= self.beta1
             m += (1.0 - self.beta1) * grad
@@ -92,6 +122,10 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        if hook.enabled:
+            hook.custom("adam.step", time.perf_counter() - start,
+                        flops=_ADAM_FLOPS_PER_ELEM * n_elems,
+                        nbytes=8 * n_elems)
 
     # -- checkpointing --------------------------------------------------- #
     def state_dict(self) -> dict:

@@ -16,11 +16,130 @@ are summed over the broadcast axes (see :func:`unbroadcast`).
 
 from __future__ import annotations
 
+import functools
+import time
+import weakref
+
 import numpy as np
 
-__all__ = ["Tensor", "as_tensor", "unbroadcast", "no_grad", "is_grad_enabled"]
+__all__ = ["Tensor", "as_tensor", "unbroadcast", "no_grad", "is_grad_enabled",
+           "TensorHook", "NULL_HOOK", "get_tensor_hook", "set_tensor_hook",
+           "instrument_op"]
 
 _GRAD_ENABLED = True
+
+
+# --------------------------------------------------------------------- #
+# Profiler hook
+# --------------------------------------------------------------------- #
+class TensorHook:
+    """Pluggable observer of the autograd engine's op traffic.
+
+    Every differentiable op in :mod:`repro.nn.ops` funnels through one
+    creation choke point (:func:`instrument_op` around the op function,
+    :meth:`Tensor._make` for the graph node); a hook installed with
+    :func:`set_tensor_hook` sees each forward op, each backward closure
+    invocation, and every tensor allocation/release.  The base class is
+    the *shared null hook*: all callbacks are no-ops and ``enabled`` is
+    False, so the disabled hot path pays one global read and one
+    attribute check per op — no allocation, no call.
+
+    The real implementation is
+    :class:`repro.obs.profile.OpProfiler`; this base lives in ``nn`` so
+    the engine has no dependency on the observability layer.
+    """
+
+    enabled = False
+    __slots__ = ()
+
+    def begin(self, name: str) -> None:
+        """Push a frame named ``name`` (op or scope) onto the stack."""
+
+    def forward(self, name: str, seconds: float, args, out) -> None:
+        """Pop the frame: one forward op finished in ``seconds``.
+
+        ``args``/``out`` are the op's raw arguments and result (``out``
+        is None when the op raised), from which implementations estimate
+        FLOPs and bytes; they must not be retained.
+        """
+
+    def end(self, name: str, seconds: float) -> None:
+        """Pop the frame: a non-op scope closed after ``seconds``."""
+
+    def backward(self, name: str, seconds: float, node: "Tensor") -> None:
+        """One backward closure for op ``name`` finished in ``seconds``."""
+
+    def custom(self, name: str, seconds: float, flops: int = 0,
+               nbytes: int = 0) -> None:
+        """A leaf sample outside the op system (optimizer step, im2col)."""
+
+    def alloc(self, nbytes: int) -> None:
+        """A tensor holding ``nbytes`` was created."""
+
+    def release(self, nbytes: int) -> None:
+        """A tensor holding ``nbytes`` was garbage-collected."""
+
+
+#: The shared disabled hook — installed by default, restored on teardown.
+NULL_HOOK = TensorHook()
+
+_HOOK: TensorHook = NULL_HOOK
+
+
+def get_tensor_hook() -> TensorHook:
+    """The currently installed hook (:data:`NULL_HOOK` when disabled)."""
+    return _HOOK
+
+
+def set_tensor_hook(hook: TensorHook | None) -> TensorHook:
+    """Install ``hook`` (None restores the null hook); returns previous."""
+    global _HOOK
+    previous = _HOOK
+    _HOOK = hook if hook is not None else NULL_HOOK
+    return previous
+
+
+def instrument_op(fn, name: str | None = None):
+    """Wrap an op function so the installed hook sees every call.
+
+    Applied to every public differentiable op at the bottom of
+    :mod:`repro.nn.ops`.  With the null hook installed the wrapper is a
+    single ``enabled`` check plus the delegated call; with a live hook it
+    times the forward pass (inclusive of nested ops — the hook's frame
+    stack separates self-time) and tags the output tensor with the op
+    name for backward attribution.
+    """
+    name = name or fn.__name__
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        hook = _HOOK
+        if not hook.enabled:
+            return fn(*args, **kwargs)
+        hook.begin(name)
+        start = time.perf_counter()
+        try:
+            out = fn(*args, **kwargs)
+        except BaseException:
+            hook.forward(name, time.perf_counter() - start, args, None)
+            raise
+        hook.forward(name, time.perf_counter() - start, args, out)
+        if isinstance(out, Tensor):
+            out._op = name
+        return out
+
+    return wrapper
+
+
+def _node_op_name(node: "Tensor") -> str:
+    """Best-effort op name for a graph node during the backward walk."""
+    if node._op is not None:
+        return node._op
+    backward = node._backward
+    if backward is None:
+        return "leaf"
+    qual = getattr(backward, "__qualname__", "op")
+    return qual.split(".<locals>")[0]
 
 
 class no_grad:
@@ -83,7 +202,8 @@ class Tensor:
         :meth:`backward`.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
+                 "name", "_op", "__weakref__")
 
     def __init__(self, data, requires_grad: bool = False, name: str | None = None):
         if isinstance(data, Tensor):
@@ -95,6 +215,15 @@ class Tensor:
         self._backward = None  # type: ignore[assignment]
         self._parents: tuple[Tensor, ...] = ()
         self.name = name
+        self._op: str | None = None
+        hook = _HOOK
+        if hook.enabled:
+            # Live-tensor accounting: graph retention keeps parents alive
+            # through ``_parents``, so the watermark tracks exactly the
+            # memory the recorded graph pins until backward/release.
+            nbytes = arr.nbytes
+            hook.alloc(nbytes)
+            weakref.finalize(self, hook.release, nbytes)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -184,23 +313,38 @@ class Tensor:
                 if parent.requires_grad and id(parent) not in visited:
                     stack.append((parent, False))
 
-        grads: dict[int, np.ndarray] = {id(self): grad}
-        for node in reversed(order):
-            node_grad = grads.pop(id(node), None)
-            if node_grad is None:
-                continue
-            if node._backward is None:
-                node._accumulate(node_grad)
-                continue
-            parent_grads = node._backward(node_grad)
-            for parent, pgrad in zip(node._parents, parent_grads):
-                if pgrad is None or not parent.requires_grad:
+        hook = _HOOK
+        profiled = hook.enabled
+        if profiled:
+            hook.begin("backward")
+            walk_start = time.perf_counter()
+        try:
+            grads: dict[int, np.ndarray] = {id(self): grad}
+            for node in reversed(order):
+                node_grad = grads.pop(id(node), None)
+                if node_grad is None:
                     continue
-                if parent._backward is None and not parent._parents:
-                    parent._accumulate(pgrad)
+                if node._backward is None:
+                    node._accumulate(node_grad)
+                    continue
+                if profiled:
+                    start = time.perf_counter()
+                    parent_grads = node._backward(node_grad)
+                    hook.backward(_node_op_name(node),
+                                  time.perf_counter() - start, node)
                 else:
-                    existing = grads.get(id(parent))
-                    grads[id(parent)] = pgrad if existing is None else existing + pgrad
+                    parent_grads = node._backward(node_grad)
+                for parent, pgrad in zip(node._parents, parent_grads):
+                    if pgrad is None or not parent.requires_grad:
+                        continue
+                    if parent._backward is None and not parent._parents:
+                        parent._accumulate(pgrad)
+                    else:
+                        existing = grads.get(id(parent))
+                        grads[id(parent)] = pgrad if existing is None else existing + pgrad
+        finally:
+            if profiled:
+                hook.end("backward", time.perf_counter() - walk_start)
 
     # ------------------------------------------------------------------ #
     # Operators (implemented in ops.py, attached at import time)

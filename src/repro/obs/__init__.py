@@ -12,6 +12,11 @@ report into.  Three pieces:
 * :func:`capture_child` / :func:`absorb` — fork-pool propagation: worker
   telemetry is snapshotted per item, shipped back with the result, and
   merged deterministically in item order by :func:`repro.parallel.parallel_map`.
+* :class:`OpProfiler` / :func:`profiling` (:mod:`repro.obs.profile`) —
+  op-level autograd profiling below the span layer: per-op call counts,
+  wall time, estimated FLOPs/bytes, live-tensor peak memory, and
+  collapsed-stack (flamegraph) export.  ``python -m repro.obs.profile``
+  profiles a smoke workload from the command line.
 
 Typical use::
 
@@ -25,6 +30,7 @@ See ``docs/architecture.md`` ("Observability") for the span tree, metric
 names and the trace-file schema.
 """
 
+from . import profile
 from .history import TrainingHistory
 from .metrics import (
     PERF_COUNTER_NAMES,
@@ -32,6 +38,7 @@ from .metrics import (
     PERF_TIMING_NAMES,
     MetricsRegistry,
 )
+from .profile import OpProfiler, OpStat, profiling, render_profile
 from .trace import (
     NULL_TRACER,
     JsonlSink,
@@ -55,6 +62,7 @@ from .trace import (
 
 __all__ = [
     "MetricsRegistry", "TrainingHistory",
+    "OpProfiler", "OpStat", "profiling", "render_profile", "profile",
     "PERF_COUNTER_NAMES", "PERF_TIMING_NAMES", "PERF_GAUGE_NAMES",
     "Tracer", "NullTracer", "NULL_TRACER",
     "JsonlSink", "ListSink", "NullSink",

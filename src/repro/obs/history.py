@@ -10,9 +10,16 @@ one-line first->last digest per curve.
 Series are ragged by design — e.g. ``critic_loss`` only grows when the
 critic baseline is active, ``eval`` only when validation runs — so
 consumers should index by name, not assume aligned lengths.
+
+Histories persist as JSONL (:meth:`TrainingHistory.save` /
+:meth:`TrainingHistory.load`): one ``{"series": name, "values": [...]}``
+object per line, series in sorted order — so training curves survive the
+process and diff cleanly next to ``--trace`` / ``--profile`` files.
 """
 
 from __future__ import annotations
+
+import json
 
 __all__ = ["TrainingHistory"]
 
@@ -37,6 +44,33 @@ class TrainingHistory(dict):
 
     def to_dict(self) -> dict[str, list[float]]:
         return {name: list(values) for name, values in self.items()}
+
+    def save(self, path) -> None:
+        """Write the history as JSONL: one series per line, sorted.
+
+        Empty series are kept — a curve that never recorded (e.g.
+        ``critic_loss`` without the critic baseline) round-trips as
+        itself rather than disappearing.
+        """
+        with open(path, "w") as handle:
+            for name in sorted(self):
+                record = {"series": name,
+                          "values": [float(v) for v in self[name]]}
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    @classmethod
+    def load(cls, path) -> "TrainingHistory":
+        """Read a history written by :meth:`save`."""
+        history = cls()
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                history[record["series"]] = [float(v)
+                                             for v in record["values"]]
+        return history
 
     def summary(self) -> str:
         """One line per non-empty series: count and first -> last values."""

@@ -155,6 +155,24 @@ class MetricsRegistry:
             rows.append((path, count, total))
         return rows
 
+    def profile_summary(self) -> list[tuple[str, int, float, float]]:
+        """(op name, calls, total seconds, total FLOPs) rows.
+
+        An :class:`~repro.obs.profile.OpProfiler` publishes
+        ``profile.<op>.time`` / ``.calls`` / ``.flops`` into ``timings``
+        (wall-clock territory) plus a ``profile.peak_live_bytes`` gauge;
+        this reads the per-op rows back, sorted by name.
+        """
+        rows = []
+        for name, total in sorted(self.timings.items()):
+            if not (name.startswith("profile.") and name.endswith(".time")):
+                continue
+            op = name[len("profile."):-len(".time")]
+            calls = int(self.timings.get(f"profile.{op}.calls", 0))
+            flops = self.timings.get(f"profile.{op}.flops", 0.0)
+            rows.append((op, calls, total, flops))
+        return rows
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"MetricsRegistry(counters={len(self.counters)}, "
                 f"gauges={len(self.gauges)}, timings={len(self.timings)})")

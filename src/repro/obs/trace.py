@@ -288,6 +288,22 @@ def record_perf(perf, prefix: str = "perf.") -> None:
 # --------------------------------------------------------------------- #
 # Fork-pool propagation
 # --------------------------------------------------------------------- #
+def _profiler_hook():
+    """The installed tensor hook, if it is a capturable profiler.
+
+    Lazy import: ``trace`` must stay importable without pulling the nn
+    stack (obs.metrics <- obs.trace is the bottom of the obs layer).
+    Duck-typed on ``snapshot``/``diff``/``merge`` rather than the
+    concrete :class:`~repro.obs.profile.OpProfiler` for the same reason.
+    """
+    from ..nn.tensor import get_tensor_hook
+
+    hook = get_tensor_hook()
+    if hook.enabled and hasattr(hook, "snapshot"):
+        return hook
+    return None
+
+
 class capture_child:
     """Worker-side telemetry capture around one fork-pool item.
 
@@ -296,14 +312,20 @@ class capture_child:
     process.  ``with capture_child() as cap:`` redirects events to an
     in-memory buffer and marks a metrics baseline; ``cap.snapshot`` is a
     picklable payload — the metrics *delta* plus the buffered records —
-    to ship back with the item result.  ``None`` when tracing is off, so
-    the disabled path adds no measurable cost or IPC volume.
+    to ship back with the item result.  When an op profiler is installed
+    (:func:`repro.obs.profile.profiling`) its delta rides along under a
+    ``"profile"`` key, tracer or no tracer.  ``None`` when both are off,
+    so the disabled path adds no measurable cost or IPC volume.
     """
 
-    __slots__ = ("snapshot", "_baseline", "_buffer", "_saved_sink")
+    __slots__ = ("snapshot", "_baseline", "_buffer", "_saved_sink",
+                 "_profiler", "_profile_baseline")
 
     def __enter__(self) -> "capture_child":
         self.snapshot = None
+        self._profiler = _profiler_hook()
+        if self._profiler is not None:
+            self._profile_baseline = self._profiler.snapshot()
         if not _TRACER.enabled:
             self._buffer = None
             return self
@@ -314,11 +336,15 @@ class capture_child:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        if self._buffer is None:
-            return
-        _TRACER.sink = self._saved_sink
-        self.snapshot = {"metrics": _TRACER.metrics.diff(self._baseline),
-                         "events": self._buffer.records}
+        payload = {}
+        if self._profiler is not None:
+            payload["profile"] = self._profiler.diff(self._profile_baseline)
+        if self._buffer is not None:
+            _TRACER.sink = self._saved_sink
+            payload["metrics"] = _TRACER.metrics.diff(self._baseline)
+            payload["events"] = self._buffer.records
+        if payload:
+            self.snapshot = payload
 
 
 def absorb(snapshot: dict | None) -> None:
@@ -326,11 +352,20 @@ def absorb(snapshot: dict | None) -> None:
 
     Counters/timings sum and gauges max into the current registry; the
     worker's buffered records are re-emitted through the parent's sink
-    with freshly assigned ``seq`` numbers.  Callers must absorb snapshots
-    in item order — that is what makes the merged registry and the trace
-    file deterministic under any pool schedule.
+    with freshly assigned ``seq`` numbers; a ``"profile"`` delta merges
+    into the installed op profiler (counts/seconds/FLOPs sum, the
+    peak-bytes watermark maxes).  Callers must absorb snapshots in item
+    order — that is what makes the merged registry and the trace file
+    deterministic under any pool schedule.
     """
-    if snapshot is None or not _TRACER.enabled:
+    if snapshot is None:
+        return
+    profile_delta = snapshot.get("profile")
+    if profile_delta is not None:
+        profiler = _profiler_hook()
+        if profiler is not None:
+            profiler.merge(profile_delta)
+    if not _TRACER.enabled or "metrics" not in snapshot:
         return
     _TRACER.metrics.merge_snapshot(snapshot["metrics"])
     for record in snapshot["events"]:

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.profile import scope as profile_scope
 from .env import SelectionEnv
 from .state import SelectionState
 
@@ -67,6 +68,11 @@ class BatchedEpisodeRunner:
                 rng = np.random.default_rng(rng)
             rngs.append(rng)
 
+        with profile_scope("decode"):
+            return self._run(specs, greedy_flags, rngs, record_actions)
+
+    def _run(self, specs, greedy_flags, rngs,
+             record_actions: bool) -> list[EpisodeResult]:
         states = [self.env.reset() for _ in specs]
         self.policy.begin_episode(self.env.instance)
         results = [EpisodeResult(state=s, total_reward=0.0) for s in states]

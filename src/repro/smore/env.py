@@ -22,6 +22,7 @@ from __future__ import annotations
 import time
 
 from .. import obs
+from ..obs.profile import scope as profile_scope
 from ..core.incentive import IncentiveModel
 from ..core.instance import USMDWInstance
 from ..core.perf import PerfCounters
@@ -64,7 +65,8 @@ class SelectionEnv:
         if self._snapshot is not None and self.reuse_candidates:
             return self._snapshot.copy()
         with obs.span("init", workers=len(self.instance.workers),
-                      tasks=len(self.instance.sensing_tasks)):
+                      tasks=len(self.instance.sensing_tasks)), \
+                profile_scope("env.init"):
             table = CandidateTable(self.planner, self.incentives)
             table.initialize(self.instance.workers,
                              self.instance.sensing_tasks,
@@ -109,6 +111,11 @@ class SelectionEnv:
         if entry is None:
             raise KeyError(
                 f"(worker {worker_id}, task {task_id}) is not a feasible candidate")
+        with profile_scope("env.step"):
+            return self._apply_step(state, worker_id, task_id, entry)
+
+    def _apply_step(self, state: SelectionState, worker_id: int,
+                    task_id: int, entry) -> tuple[SelectionState, float, bool]:
         start = time.perf_counter()
         calls_before = state.candidates.planner_calls
         task = self.instance.sensing_task(task_id)

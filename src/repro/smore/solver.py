@@ -23,6 +23,7 @@ from .. import nn, obs
 from ..core.instance import USMDWInstance
 from ..core.perf import PerfCounters
 from ..core.solution import Solution
+from ..obs.profile import scope as profile_scope
 from ..parallel import derive_seeds, parallel_map
 from ..tsptw.base import RoutePlanner
 from .batch import BatchedEpisodeRunner
@@ -208,7 +209,7 @@ class SMORESolver:
         start = time.perf_counter()
         solve_span = obs.span("solve", method=self.name,
                               num_samples=num_samples, workers=workers)
-        with solve_span:
+        with solve_span, profile_scope("solve"):
             env = SelectionEnv(instance, self.planner,
                                reuse_candidates=reuse_candidates)
             rollouts = self._rollout_plan(greedy, rng, num_samples)

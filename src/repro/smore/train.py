@@ -18,6 +18,7 @@ import numpy as np
 from .. import nn, obs
 from ..core.instance import USMDWInstance
 from ..obs import TrainingHistory
+from ..obs.profile import scope as profile_scope
 from ..parallel import parallel_map
 from ..tsptw.base import RoutePlanner
 from .batch import BatchedEpisodeRunner
@@ -228,6 +229,9 @@ class TASNetTrainer:
         lock-step through the batched engine.
         """
         cfg = self.config
+        hook = nn.get_tensor_hook()
+        profiled = hook.enabled and hasattr(hook, "diff")
+        profile_baseline = hook.snapshot() if profiled else None
         batch_idx = self.rng.choice(len(instances),
                                     size=min(cfg.batch_size, len(instances)),
                                     replace=False)
@@ -238,7 +242,7 @@ class TASNetTrainer:
         rollout_span = obs.span("train.rollouts",
                                 instances=len(batch_idx),
                                 rollouts_per_instance=cfg.rollouts_per_instance)
-        with rollout_span:
+        with rollout_span, profile_scope("train.rollouts"):
             for idx in batch_idx:
                 instance = instances[int(idx)]
                 for phi, log_prob_sum, features, steps in \
@@ -279,17 +283,19 @@ class TASNetTrainer:
         loss_value = 0.0
         if policy_loss is not None:
             loss_value = float(policy_loss.item())
-            self.optimizer.zero_grad()
-            policy_loss.backward()
-            grad_norm = nn.clip_grad_norm(self.policy.parameters(),
-                                          cfg.grad_clip)
-            self.optimizer.step()
+            with profile_scope("train.update"):
+                self.optimizer.zero_grad()
+                policy_loss.backward()
+                grad_norm = nn.clip_grad_norm(self.policy.parameters(),
+                                              cfg.grad_clip)
+                self.optimizer.step()
         critic_loss_value = None
         if critic_loss is not None:
             critic_loss_value = float(critic_loss.item())
-            self.critic_optimizer.zero_grad()
-            critic_loss.backward()
-            self.critic_optimizer.step()
+            with profile_scope("train.critic"):
+                self.critic_optimizer.zero_grad()
+                critic_loss.backward()
+                self.critic_optimizer.step()
             self.history["critic_loss"].append(critic_loss_value)
 
         mean_reward = float(np.mean(rewards)) if rewards else 0.0
@@ -300,12 +306,40 @@ class TASNetTrainer:
         self.history.record(reward=mean_reward, reward_std=reward_std,
                             loss=loss_value, grad_norm=grad_norm,
                             entropy=entropy)
+        if profiled:
+            self._record_profile(hook.diff(profile_baseline))
         obs.count("train.iterations")
         obs.event("train.iteration", epoch=len(self.history["reward"]),
                   reward=mean_reward, reward_std=reward_std,
                   loss=loss_value, grad_norm=grad_norm, entropy=entropy,
                   critic_loss=critic_loss_value)
         return mean_reward
+
+    def _record_profile(self, delta: dict) -> None:
+        """Fold one iteration's op-profiler delta into the history.
+
+        ``delta`` is an :meth:`~repro.obs.profile.OpProfiler.diff`
+        payload; scope rows are excluded from the time sums (they would
+        double-count the ops running inside them).  Adds per-epoch
+        ``profile_forward_seconds`` / ``profile_backward_seconds`` /
+        ``profile_flops`` / ``profile_peak_live_bytes`` series and a
+        max-merged ``train.peak_live_bytes`` gauge.
+        """
+        forward_seconds = 0.0
+        backward_seconds = 0.0
+        total_flops = 0
+        for row in delta.get("ops", {}).values():
+            kind, _, fwd_s, _, bwd_s, flops, bwd_flops, _, _ = row
+            if kind != "scope":
+                forward_seconds += fwd_s
+                backward_seconds += bwd_s
+            total_flops += flops + bwd_flops
+        peak = delta.get("peak_live_bytes", 0)
+        self.history.record(profile_forward_seconds=forward_seconds,
+                            profile_backward_seconds=backward_seconds,
+                            profile_flops=total_flops,
+                            profile_peak_live_bytes=peak)
+        obs.gauge("train.peak_live_bytes", peak)
 
     def train(self, instances: Sequence[USMDWInstance],
               val_instances: Sequence[USMDWInstance] | None = None,

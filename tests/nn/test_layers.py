@@ -22,6 +22,24 @@ class TestModuleMechanics:
         # Re-running yields the same order.
         assert names == [name for name, _ in model.named_parameters()]
 
+    def test_named_parameters_stamp_tensor_names(self, rng):
+        enc = nn.TransformerEncoder(8, 2, 2, rng=rng)
+        for name, param in enc.named_parameters():
+            assert param.name == name
+        assert any(p.name.startswith("layers.0.")
+                   for p in enc.parameters())
+
+    def test_shared_parameter_keeps_first_name(self, rng):
+        layer = nn.Linear(3, 3, bias=False, rng=rng)
+        model = nn.Module()
+        model.a = layer
+        model.b = layer  # same submodule reachable under two attributes
+        names = dict(model.named_parameters())
+        assert set(names) == {"a.weight", "b.weight"}
+        # The stamped name is the first sorted-order path, matching the
+        # state_dict key the tensor serialises under.
+        assert layer.weight.name == "a.weight"
+
     def test_parameters_in_list_attributes_found(self, rng):
         enc = nn.TransformerEncoder(8, 2, 2, rng=rng)
         assert enc.num_parameters() > 0

@@ -161,3 +161,82 @@ class TestNoGrad:
         with no_grad():
             t = Tensor(1.0, requires_grad=True)
         assert not t.requires_grad
+
+
+class TestNoGradEdgeCases:
+    def test_exception_interrupted_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+    def test_exception_in_inner_nested_no_grad(self):
+        with no_grad():
+            with pytest.raises(ValueError):
+                with no_grad():
+                    raise ValueError("inner")
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_graph_resumes_after_interrupted_no_grad(self):
+        x = Tensor(3.0, requires_grad=True)
+        try:
+            with no_grad():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        y = x * x
+        y.backward()
+        assert x.grad == pytest.approx(6.0)
+
+
+class TestBackwardEdgeCases:
+    def test_non_scalar_root_without_grad_raises(self):
+        t = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(RuntimeError, match="scalars"):
+            (t * 2.0).backward()
+
+    def test_repeated_backward_on_same_root_accumulates(self):
+        x = Tensor(2.0, requires_grad=True)
+        y = x * x
+        y.backward()
+        y.backward()
+        assert x.grad == pytest.approx(8.0)
+
+    def test_explicit_grad_scales_accumulation(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = x * 2.0
+        y.backward(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose(x.grad, [2.0, 4.0, 6.0])
+        y.backward(np.ones(3))
+        np.testing.assert_allclose(x.grad, [4.0, 6.0, 8.0])
+
+    def test_backward_under_no_grad_still_propagates(self):
+        # no_grad gates graph *construction*, not traversal of an
+        # existing graph.
+        x = Tensor(2.0, requires_grad=True)
+        y = x * x
+        with no_grad():
+            y.backward()
+        assert x.grad == pytest.approx(4.0)
+
+
+class TestUnbroadcastEdgeCases:
+    def test_unbroadcast_to_scalar_shape(self):
+        grad = np.ones((2, 3))
+        reduced = unbroadcast(grad, ())
+        assert np.asarray(reduced).shape == ()
+        assert float(reduced) == pytest.approx(6.0)
+
+    def test_unbroadcast_multiple_mixed_axes(self):
+        grad = np.ones((2, 3, 4))
+        reduced = unbroadcast(grad, (1, 3, 1))
+        assert reduced.shape == (1, 3, 1)
+        np.testing.assert_allclose(reduced, np.full((1, 3, 1), 8.0))
+
+    def test_unbroadcast_leading_and_keepdim(self):
+        grad = np.ones((5, 2, 3))
+        reduced = unbroadcast(grad, (2, 1))
+        assert reduced.shape == (2, 1)
+        np.testing.assert_allclose(reduced, np.full((2, 1), 15.0))

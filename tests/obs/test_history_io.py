@@ -1,0 +1,52 @@
+"""JSONL round-trip for TrainingHistory save/load."""
+
+import json
+
+from repro.obs import TrainingHistory
+
+
+class TestHistoryRoundTrip:
+    def test_save_load_round_trips(self, tmp_path):
+        history = TrainingHistory()
+        history.record(reward=1.0, loss=-0.5)
+        history.record(reward=2.0, loss=-0.25)
+        history.record(eval=0.9)
+        path = tmp_path / "history.jsonl"
+        history.save(path)
+        loaded = TrainingHistory.load(path)
+        assert loaded == history
+        assert isinstance(loaded, TrainingHistory)
+        assert loaded.series("reward") == [1.0, 2.0]
+        assert loaded.last("eval") == 0.9
+
+    def test_empty_series_survive(self, tmp_path):
+        history = TrainingHistory(reward=[], critic_loss=[])
+        path = tmp_path / "history.jsonl"
+        history.save(path)
+        loaded = TrainingHistory.load(path)
+        assert loaded == {"reward": [], "critic_loss": []}
+
+    def test_file_is_one_sorted_series_per_line(self, tmp_path):
+        history = TrainingHistory()
+        history.record(b=1.0, a=2.0)
+        path = tmp_path / "history.jsonl"
+        history.save(path)
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert [r["series"] for r in records] == ["a", "b"]
+        assert records[0]["values"] == [2.0]
+
+    def test_loaded_history_keeps_recording(self, tmp_path):
+        history = TrainingHistory()
+        history.record(reward=1.0)
+        path = tmp_path / "history.jsonl"
+        history.save(path)
+        loaded = TrainingHistory.load(path)
+        loaded.record(reward=3.0)
+        assert loaded.series("reward") == [1.0, 3.0]
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        path.write_text('{"series": "reward", "values": [1.5]}\n\n')
+        loaded = TrainingHistory.load(path)
+        assert loaded.series("reward") == [1.5]
