@@ -1,6 +1,6 @@
 # SMORE reproduction — common workflows.
 
-.PHONY: install test bench bench-perf profile results full clean
+.PHONY: install test bench bench-perf bench-route profile results full clean
 
 install:
 	pip install -e .
@@ -18,6 +18,12 @@ bench-perf:
 	PYTHONPATH=src pytest benchmarks/test_perf_regression.py \
 		benchmarks/test_profile_regression.py --benchmark-only
 
+# Route-kernel regression: packed-array candidate sweep vs the object
+# path (speedup floor + bit-identity; writes results/BENCH_PR5.json).
+bench-route:
+	PYTHONPATH=src pytest benchmarks/test_route_kernel_regression.py \
+		--benchmark-only
+
 # Op-level autograd profiles of a smoke solve + training run: per-op
 # JSONL summaries and collapsed stacks (flamegraph.pl format) under
 # profiles/.
@@ -25,6 +31,9 @@ profile:
 	mkdir -p profiles
 	PYTHONPATH=src python -m repro.obs.profile solve \
 		--out profiles/solve.jsonl --collapsed profiles/solve.folded
+	PYTHONPATH=src python -m repro.obs.profile solve --no-kernels \
+		--out profiles/solve_object.jsonl \
+		--collapsed profiles/solve_object.folded
 	PYTHONPATH=src python -m repro.obs.profile train \
 		--out profiles/train.jsonl --collapsed profiles/train.folded
 

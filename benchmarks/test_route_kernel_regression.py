@@ -1,0 +1,115 @@
+"""Perf regression bench for PR 5 (vectorized route kernels).
+
+Pins the packed-array insertion sweep's win over the object path at
+paper smoke scale, and its exactness:
+
+- candidate-table initialisation — the O(|W| x |S|) all-pairs sweep — is
+  at least ``MIN_SWEEP_SPEEDUP``x faster with a kernel planner bound to
+  the instance than with the looped object path, while discovering the
+  identical candidate set with the identical ``planner_calls``;
+- a full sample-and-select solve is bit-identical (objective and
+  counters) with kernels on or off, and no slower with them on.
+
+Timings land in ``results/BENCH_PR5.json`` (a CI artifact), so a
+regression shows up as a diff; the assertion pins the speedup ratio
+(absolute wall time is hardware-dependent).
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import IncentiveModel
+from repro.datasets import InstanceOptions, generate_instances
+from repro.smore import CandidateTable, RatioSelectionRule, SMORESolver
+from repro.tsptw import InsertionSolver
+
+from .conftest import write_bench
+
+NUM_SAMPLES = 4
+BENCH_ROUNDS = 5
+MIN_SWEEP_SPEEDUP = 3.0
+
+
+def _init_candidates(instance, use_kernels):
+    """One candidate-table initialisation; returns (table, seconds)."""
+    planner = InsertionSolver(speed=instance.speed, use_kernels=use_kernels)
+    if use_kernels:
+        planner.bind_instance(instance)
+    table = CandidateTable(planner, IncentiveModel(mu=instance.mu))
+    start = time.perf_counter()
+    table.initialize(instance.workers, instance.sensing_tasks,
+                     instance.budget)
+    return table, time.perf_counter() - start
+
+
+def test_route_kernel_regression(benchmark, results_dir):
+    def run():
+        options = InstanceOptions(task_density=0.15)
+        instance = generate_instances("delivery", 1, seed=100,
+                                      options=options)[0]
+
+        # Alternate the paths and keep each one's fastest round: the
+        # minimum is the scheduler-noise-free estimate.
+        kernel_time = object_time = float("inf")
+        for _ in range(BENCH_ROUNDS):
+            kernel_table, elapsed = _init_candidates(instance, True)
+            kernel_time = min(kernel_time, elapsed)
+            object_table, elapsed = _init_candidates(instance, False)
+            object_time = min(object_time, elapsed)
+
+        def timed_solve(use_kernels):
+            planner = InsertionSolver(speed=instance.speed,
+                                      use_kernels=use_kernels)
+            solver = SMORESolver(planner, RatioSelectionRule())
+            start = time.perf_counter()
+            solution = solver.solve(instance, num_samples=NUM_SAMPLES,
+                                    rng=np.random.default_rng(0))
+            return solution, time.perf_counter() - start
+
+        kernel_sol, kernel_solve_time = timed_solve(True)
+        object_sol, object_solve_time = timed_solve(False)
+
+        return {
+            "instance": {"W": instance.num_workers,
+                         "S": instance.num_sensing_tasks,
+                         "num_samples": NUM_SAMPLES},
+            "candidate_init": {
+                "kernel_seconds": kernel_time,
+                "object_seconds": object_time,
+                "speedup": object_time / kernel_time,
+                "pairs_kernel": kernel_table.num_pairs(),
+                "pairs_object": object_table.num_pairs(),
+                "planner_calls_kernel": kernel_table.planner_calls,
+                "planner_calls_object": object_table.planner_calls,
+            },
+            "solve": {
+                "kernel": dict(kernel_sol.perf.to_dict(),
+                               wall_time=kernel_solve_time),
+                "object": dict(object_sol.perf.to_dict(),
+                               wall_time=object_solve_time),
+                "phi_kernel": kernel_sol.objective,
+                "phi_object": object_sol.objective,
+                "speedup": object_solve_time / kernel_solve_time,
+            },
+        }
+
+    record = benchmark.pedantic(run, iterations=1, rounds=1)
+    text = write_bench(results_dir, 5, record)
+    print("\n" + text)
+
+    init = record["candidate_init"]
+    # Both engines discover the identical candidate set and account the
+    # identical logical planner calls...
+    assert init["pairs_kernel"] == init["pairs_object"]
+    assert init["planner_calls_kernel"] == init["planner_calls_object"]
+    # ...but the packed sweep does it at a multiple of the object path.
+    assert init["speedup"] >= MIN_SWEEP_SPEEDUP
+
+    solve = record["solve"]
+    # End to end, kernels change the wall clock, never the solution.
+    assert solve["phi_kernel"] == solve["phi_object"]
+    assert solve["kernel"]["planner_calls"] == \
+        solve["object"]["planner_calls"]
+    assert solve["kernel"]["init_planner_calls"] == \
+        solve["object"]["init_planner_calls"]

@@ -17,6 +17,7 @@ import time
 from ..core.entities import SensingTask, Worker
 from ..core.incentive import IncentiveModel
 from ..core.instance import USMDWInstance
+from ..core.packed import packed_instance
 from ..core.route import WorkingRoute, simulate_route
 from ..core.solution import Solution
 from ..tsptw.insertion import InsertionSolver, cheapest_insertion_position
@@ -32,6 +33,10 @@ class RouteBuilder:
         self.instance = instance
         self.speed = instance.speed
         base_planner = InsertionSolver(speed=instance.speed)
+        base_planner.bind_instance(instance)
+        # Every distance below comes from the instance's shared packed
+        # travel-distance matrix (identical floats to per-pair hypot).
+        self._dist = packed_instance(instance).distance_between
         self.incentives = IncentiveModel(
             mu=instance.mu,
             base_rtt_fn=lambda w: base_planner.base_route(w).route_travel_time)
@@ -44,7 +49,8 @@ class RouteBuilder:
         self.route_rtt: dict[int, float] = {}
         self.route_ok: dict[int, bool] = {}
         for worker in instance.workers:
-            order = nearest_neighbor_order(worker, list(worker.travel_tasks))
+            order = nearest_neighbor_order(worker, list(worker.travel_tasks),
+                                           dist=self._dist)
             timing = simulate_route(worker, order, speed=self.speed)
             self.routes[worker.worker_id] = order
             self.route_rtt[worker.worker_id] = timing.route_travel_time
@@ -56,6 +62,7 @@ class RouteBuilder:
         twin = object.__new__(RouteBuilder)
         twin.instance = self.instance
         twin.speed = self.speed
+        twin._dist = self._dist
         twin.incentives = self.incentives  # caches are per-worker, immutable
         twin.coverage = self.coverage.copy()
         twin.budget_rest = self.budget_rest
@@ -90,7 +97,8 @@ class RouteBuilder:
             return None
         worker = self.instance.worker(worker_id)
         best = cheapest_insertion_position(
-            worker, self.routes[worker_id], task, self.speed)
+            worker, self.routes[worker_id], task, self.speed,
+            dist=self._dist)
         if best is None:
             return None
         position, rtt_after = best

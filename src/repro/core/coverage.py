@@ -30,6 +30,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from .entities import SensingTask
 from .geometry import Grid
 
@@ -114,6 +116,41 @@ class CoverageModel:
         """Temporal bin of a sensing task, from its window start."""
         slot = int(task.tw_start / self.slot_minutes)
         return min(max(slot, 0), self.num_slots - 1)
+
+    def precompute_bins(self, tasks) -> None:
+        """Bulk-fill the bin cache for ``tasks`` with vectorized binning.
+
+        One numpy pass per pyramid level replaces per-task ``cell_index``
+        calls on first touch; tasks already cached are skipped.  The
+        arithmetic mirrors :meth:`Grid.cell_of` / :meth:`slot_of` exactly
+        (same division, truncation toward zero, same clamp order), so the
+        cached values are identical to the lazy path's.
+        """
+        cache = self._bin_cache
+        todo = [t for t in tasks if t not in cache]
+        if not todo:
+            return
+        count = len(todo)
+        xs = np.fromiter((t.location.x for t in todo), dtype=np.float64,
+                         count=count)
+        ys = np.fromiter((t.location.y for t in todo), dtype=np.float64,
+                         count=count)
+        per_level = []
+        for grid in spatial_pyramid(self.grid):
+            i = np.minimum((xs / grid.cell_width).astype(np.int64),
+                           grid.nx - 1)
+            np.maximum(i, 0, out=i)
+            j = np.minimum((ys / grid.cell_height).astype(np.int64),
+                           grid.ny - 1)
+            np.maximum(j, 0, out=j)
+            per_level.append(i * grid.ny + j)
+        tw = np.fromiter((t.tw_start for t in todo), dtype=np.float64,
+                         count=count)
+        slots = np.maximum((tw / self.slot_minutes).astype(np.int64), 0)
+        np.minimum(slots, self.num_slots - 1, out=slots)
+        for k, task in enumerate(todo):
+            cache[task] = ([int(col[k]) for col in per_level],
+                           int(slots[k]))
 
     def new_state(self) -> "CoverageState":
         return CoverageState(self)

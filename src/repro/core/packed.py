@@ -1,0 +1,172 @@
+"""Packed-array view of a USMDW instance (the route-kernel substrate).
+
+The object model (:mod:`repro.core.entities`) is convenient but slow to
+traverse: every planner call re-reads ``Location`` attributes and recomputes
+``math.hypot`` per hop.  :class:`PackedInstance` flattens an instance once
+into contiguous float64 arrays — deduplicated location coordinates, sensing
+task attributes (``tw_start``/``tw_end``/service/latest-start), sensing
+flags — plus a lazily built per-instance travel-distance matrix that every
+planner call shares.  The numpy route kernels in :mod:`repro.tsptw.kernels`
+operate on these arrays.
+
+Bit-identity contract: the distance matrix is built with ``math.hypot``
+(never ``np.hypot``, which differs by 1 ulp on ~0.6% of inputs), with the
+same argument orientation the object path uses, so kernel results and
+object-path results see exactly the same floats.  ``math.hypot`` is
+symmetric under argument order and sign, so one cached row serves both
+travel directions.
+
+The packed view is cached on the instance (:func:`packed_instance`) and the
+lazily built rows live in plain numpy arrays, so fork-pool children inherit
+the whole structure copy-on-write together with the candidate-table
+snapshot.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from .entities import SensingTask, Worker
+from .geometry import Location
+
+__all__ = ["PackedInstance", "packed_instance"]
+
+
+class PackedInstance:
+    """Contiguous-array representation of an instance's geometry and tasks.
+
+    Locations are deduplicated (sensing tasks share grid-cell centers, so
+    the unique-location count is typically far below worker-count x
+    task-count); distances are materialised row-by-row on first use via
+    ``math.hypot`` and cached for the lifetime of the instance.
+    """
+
+    __slots__ = ("xs", "ys", "_locs", "_loc_index", "_rows",
+                 "sensing_ids", "sensing_loc", "tw_start", "tw_end",
+                 "service", "latest_start", "is_sensing", "_sensing_row",
+                 "worker_locs")
+
+    def __init__(self, workers: Sequence[Worker],
+                 sensing_tasks: Sequence[SensingTask]):
+        locs: list[Location] = []
+        index: dict[Location, int] = {}
+
+        def intern(loc: Location) -> int:
+            i = index.get(loc)
+            if i is None:
+                i = len(locs)
+                index[loc] = i
+                locs.append(loc)
+            return i
+
+        # worker_id -> (origin idx, travel-task idx tuple, destination idx)
+        self.worker_locs: dict[int, tuple[int, tuple[int, ...], int]] = {}
+        for w in workers:
+            origin = intern(w.origin)
+            travel = tuple(intern(t.location) for t in w.travel_tasks)
+            self.worker_locs[w.worker_id] = (origin, travel,
+                                             intern(w.destination))
+
+        n = len(sensing_tasks)
+        self.sensing_ids = np.fromiter((s.task_id for s in sensing_tasks),
+                                       dtype=np.int64, count=n)
+        self.sensing_loc = np.fromiter(
+            (intern(s.location) for s in sensing_tasks),
+            dtype=np.intp, count=n)
+        self.tw_start = np.fromiter((s.tw_start for s in sensing_tasks),
+                                    dtype=np.float64, count=n)
+        self.tw_end = np.fromiter((s.tw_end for s in sensing_tasks),
+                                  dtype=np.float64, count=n)
+        self.service = np.fromiter((s.service_time for s in sensing_tasks),
+                                   dtype=np.float64, count=n)
+        # Same expression as SensingTask.latest_start (tw_end - service).
+        self.latest_start = np.fromiter(
+            (s.tw_end - s.service_time for s in sensing_tasks),
+            dtype=np.float64, count=n)
+        self.is_sensing = np.ones(n, dtype=bool)
+        self._sensing_row = {int(s.task_id): k
+                             for k, s in enumerate(sensing_tasks)}
+
+        self._locs = locs
+        self._loc_index = index
+        self.xs = np.fromiter((l.x for l in locs), dtype=np.float64,
+                              count=len(locs))
+        self.ys = np.fromiter((l.y for l in locs), dtype=np.float64,
+                              count=len(locs))
+        self._rows: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_locations(self) -> int:
+        return len(self._locs)
+
+    @property
+    def num_cached_rows(self) -> int:
+        return len(self._rows)
+
+    def nbytes(self) -> int:
+        """Approximate memory of the packed arrays + cached matrix rows."""
+        base = (self.xs.nbytes + self.ys.nbytes + self.tw_start.nbytes
+                + self.tw_end.nbytes + self.service.nbytes
+                + self.latest_start.nbytes + self.sensing_loc.nbytes)
+        return base + sum(r.nbytes for r in self._rows.values())
+
+    # ------------------------------------------------------------------ #
+    def loc_id(self, location: Location) -> int:
+        """Index of a known location, or -1 (callers fall back to hypot)."""
+        return self._loc_index.get(location, -1)
+
+    def sensing_row(self, task_id: int) -> int:
+        """Packed array row of a sensing task id, or -1 when unknown."""
+        return self._sensing_row.get(task_id, -1)
+
+    def row(self, i: int) -> np.ndarray:
+        """Distances (meters) from location ``i`` to every location.
+
+        Built with ``math.hypot(x_j - x_i, y_j - y_i)`` — the exact
+        expression and orientation of ``Location.distance_to`` and the
+        insertion scan — so every consumer sees seed-identical floats.
+        """
+        r = self._rows.get(i)
+        if r is None:
+            xi = self.xs[i]
+            yi = self.ys[i]
+            hypot = math.hypot
+            r = np.fromiter(
+                (hypot(x - xi, y - yi) for x, y in zip(self.xs, self.ys)),
+                dtype=np.float64, count=len(self._locs))
+            self._rows[i] = r
+        return r
+
+    def distance(self, i: int, j: int) -> float:
+        return float(self.row(i)[j])
+
+    def distance_between(self, a: Location, b: Location) -> float:
+        """Matrix-backed ``Location`` distance with hypot fallback.
+
+        The fallback keeps the provider total (a stale binding or an
+        ad-hoc location is slower, never wrong).
+        """
+        ia = self._loc_index.get(a)
+        if ia is not None:
+            ib = self._loc_index.get(b)
+            if ib is not None:
+                return float(self.row(ia)[ib])
+        return math.hypot(b.x - a.x, b.y - a.y)
+
+
+def packed_instance(instance) -> PackedInstance:
+    """The instance's cached :class:`PackedInstance` (built on first use).
+
+    Cached via ``object.__setattr__`` on the frozen dataclass, so every
+    planner bound to the same instance — and every fork-pool child — shares
+    one matrix.
+    """
+    cached = instance.__dict__.get("_packed")
+    if cached is None:
+        cached = PackedInstance(instance.workers, instance.sensing_tasks)
+        object.__setattr__(instance, "_packed", cached)
+    return cached

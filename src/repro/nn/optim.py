@@ -68,21 +68,27 @@ class SGD(Optimizer):
         self.lr = lr
         self.momentum = momentum
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+        # Scratch buffer per parameter: the update runs entirely in place,
+        # allocating nothing per step.  Same op order as the expression
+        # form, so updates are bitwise identical.
+        self._buf = [np.empty_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
         hook = get_tensor_hook()
         start = time.perf_counter() if hook.enabled else 0.0
         n_elems = 0
-        for param, velocity in zip(self.parameters, self._velocity):
+        for param, velocity, buf in zip(self.parameters, self._velocity,
+                                        self._buf):
             if param.grad is None:
                 continue
             n_elems += param.data.size
             if self.momentum:
                 velocity *= self.momentum
                 velocity += param.grad
-                param.data -= self.lr * velocity
+                np.multiply(velocity, self.lr, out=buf)
             else:
-                param.data -= self.lr * param.grad
+                np.multiply(param.grad, self.lr, out=buf)
+            np.subtract(param.data, buf, out=param.data)
         if hook.enabled:
             per_elem = (_SGD_MOMENTUM_FLOPS_PER_ELEM if self.momentum
                         else _SGD_FLOPS_PER_ELEM)
@@ -102,6 +108,13 @@ class Adam(Optimizer):
         self._step_count = 0
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
+        # Two scratch buffers per parameter make the whole update run in
+        # place — zero allocations per step.  Each out= op replays the
+        # expression form's operation in the same order on the same
+        # operands, so the resulting parameters are bitwise identical
+        # (scalar-array multiplication commutes exactly in IEEE-754).
+        self._num = [np.empty_like(p.data) for p in self.parameters]
+        self._den = [np.empty_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
         hook = get_tensor_hook()
@@ -110,18 +123,29 @@ class Adam(Optimizer):
         self._step_count += 1
         bias1 = 1.0 - self.beta1 ** self._step_count
         bias2 = 1.0 - self.beta2 ** self._step_count
-        for param, m, v in zip(self.parameters, self._m, self._v):
+        for param, m, v, num, den in zip(self.parameters, self._m, self._v,
+                                         self._num, self._den):
             if param.grad is None:
                 continue
             n_elems += param.data.size
             grad = param.grad
+            # m = beta1*m + (1-beta1)*grad
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            np.multiply(grad, 1.0 - self.beta1, out=num)
+            np.add(m, num, out=m)
+            # v = beta2*v + ((1-beta2)*grad)*grad  (left-associated)
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            m_hat = m / bias1
-            v_hat = v / bias2
-            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            np.multiply(grad, 1.0 - self.beta2, out=den)
+            np.multiply(den, grad, out=den)
+            np.add(v, den, out=v)
+            # data -= (lr*m_hat) / (sqrt(v_hat) + eps)
+            np.divide(m, bias1, out=num)
+            np.divide(v, bias2, out=den)
+            np.multiply(num, self.lr, out=num)
+            np.sqrt(den, out=den)
+            np.add(den, self.eps, out=den)
+            np.divide(num, den, out=num)
+            np.subtract(param.data, num, out=param.data)
         if hook.enabled:
             hook.custom("adam.step", time.perf_counter() - start,
                         flops=_ADAM_FLOPS_PER_ELEM * n_elems,

@@ -6,6 +6,18 @@ of the worker's current assignment, and the additional incentive that
 assignment would cost.  A pair is feasible iff such a route respects the
 worker's time constraint and the additional incentive fits the remaining
 budget (Section III-B).
+
+Planners exposing ``plan_insertions_many`` (the insertion solver's batched
+kernel sweep, optionally behind :class:`~repro.tsptw.cache.CachedPlanner`)
+get the whole init/recompute sweep as one batched call per worker;
+``planner_calls`` still counts one logical plan per task, so accounting is
+identical to the per-task loop.
+
+Beyond the rows themselves the table maintains two incremental indices —
+a task -> workers reverse map and the set of non-empty rows — so that
+``remove_task``, ``workers_with_candidates``, ``candidate_task_ids`` and
+the ``empty`` check cost O(affected entries) instead of rescanning every
+row on every step.
 """
 
 from __future__ import annotations
@@ -37,6 +49,12 @@ class CandidateTable:
         self.planner = planner
         self.incentives = incentives
         self._table: dict[int, dict[int, CandidateEntry]] = {}
+        # Incremental indices: which workers hold each task, which rows are
+        # non-empty, and a lazily rebuilt workers_with_candidates() list
+        # (kept in _table order, which selection tie-breaking observes).
+        self._task_workers: dict[int, set[int]] = {}
+        self._nonempty: set[int] = set()
+        self._workers_cache: list[int] | None = None
         self.planner_calls = 0
 
     # ------------------------------------------------------------------ #
@@ -46,20 +64,36 @@ class CandidateTable:
         """Algorithm 1 lines 4-9: try every (worker, task) pair.
 
         Each worker's base route (travel tasks only) is planned once; every
-        sensing task is then checked by insertion into it when the planner
-        supports incremental insertion, or by a full re-plan otherwise.
+        sensing task is then checked by insertion into it — batched when
+        the planner supports it, per-task otherwise — or by a full re-plan
+        for planners without incremental insertion.
         """
         self._table = {w.worker_id: {} for w in workers}
+        self._task_workers = {}
+        self._nonempty = set()
+        self._workers_cache = None
         plan_many = getattr(self.planner, "plan_many", None)
         insertion = getattr(self.planner, "plan_with_insertion", None)
+        insert_many = getattr(self.planner, "plan_insertions_many", None)
+        sensing_tasks = list(sensing_tasks)
         for worker in workers:
             base = self.planner.base_route(worker)
             self.incentives.set_base_rtt(worker, base.route_travel_time)
-            row = self._table[worker.worker_id]
             if not base.feasible:
                 continue  # the worker cannot even complete their own trip
             base_tasks = base.route.tasks if base.route is not None else ()
-            if plan_many is not None and insertion is None:
+            row: dict[int, CandidateEntry] = {}
+            if insert_many is not None:
+                # Batched insertion path (kernel sweep): one call per
+                # worker, one logical plan per task.
+                results = insert_many(worker, base_tasks, sensing_tasks)
+                self.planner_calls += len(sensing_tasks)
+                for task, result in zip(sensing_tasks, results):
+                    entry = self._entry_from_result(worker, result, 0.0,
+                                                    budget_rest)
+                    if entry is not None:
+                        row[task.task_id] = entry
+            elif plan_many is not None and insertion is None:
                 # Batched path (RL backends): one encoder pass per worker.
                 results = plan_many(worker, [[task] for task in sensing_tasks])
                 self.planner_calls += len(sensing_tasks)
@@ -68,12 +102,14 @@ class CandidateTable:
                                                     budget_rest)
                     if entry is not None:
                         row[task.task_id] = entry
-                continue
-            for task in sensing_tasks:
-                entry = self._try_assignment(worker, [task], 0.0, budget_rest,
-                                             base_tasks=base_tasks)
-                if entry is not None:
-                    row[task.task_id] = entry
+            else:
+                for task in sensing_tasks:
+                    entry = self._try_assignment(worker, [task], 0.0,
+                                                 budget_rest,
+                                                 base_tasks=base_tasks)
+                    if entry is not None:
+                        row[task.task_id] = entry
+            self._commit_row(worker.worker_id, row)
 
     def _entry_from_result(self, worker: Worker, result,
                            current_incentive: float,
@@ -108,6 +144,42 @@ class CandidateTable:
         return CandidateEntry(result.route, rtt, delta)
 
     # ------------------------------------------------------------------ #
+    # Incremental index maintenance
+    # ------------------------------------------------------------------ #
+    def _commit_row(self, worker_id: int,
+                    row: dict[int, CandidateEntry]) -> None:
+        """Replace a worker's row and update both indices."""
+        old = self._table.get(worker_id)
+        if old:
+            for task_id in old:
+                self._unindex(task_id, worker_id)
+        self._table[worker_id] = row
+        for task_id in row:
+            self._task_workers.setdefault(task_id, set()).add(worker_id)
+        was_nonempty = worker_id in self._nonempty
+        if row and not was_nonempty:
+            self._nonempty.add(worker_id)
+            self._workers_cache = None
+        elif not row and was_nonempty:
+            self._nonempty.discard(worker_id)
+            self._workers_cache = None
+
+    def _unindex(self, task_id: int, worker_id: int) -> None:
+        holders = self._task_workers.get(task_id)
+        if holders is not None:
+            holders.discard(worker_id)
+            if not holders:
+                del self._task_workers[task_id]
+
+    def _drop_entry(self, worker_id: int, task_id: int) -> None:
+        row = self._table[worker_id]
+        del row[task_id]
+        self._unindex(task_id, worker_id)
+        if not row:
+            self._nonempty.discard(worker_id)
+            self._workers_cache = None
+
+    # ------------------------------------------------------------------ #
     def copy(self) -> "CandidateTable":
         """Cheap structural copy for snapshot reuse.
 
@@ -119,13 +191,25 @@ class CandidateTable:
         clone = CandidateTable(self.planner, self.incentives)
         clone._table = {worker_id: dict(row)
                         for worker_id, row in self._table.items()}
+        clone._task_workers = {task_id: set(holders)
+                               for task_id, holders
+                               in self._task_workers.items()}
+        clone._nonempty = set(self._nonempty)
         clone.planner_calls = self.planner_calls
         return clone
 
     def remove_task(self, task_id: int) -> None:
-        """Line 16: drop a completed task from every worker's candidates."""
-        for row in self._table.values():
-            row.pop(task_id, None)
+        """Line 16: drop a completed task from every worker's candidates.
+
+        The reverse index makes this O(workers holding the task) instead
+        of touching every row.
+        """
+        for worker_id in self._task_workers.pop(task_id, ()):
+            row = self._table[worker_id]
+            del row[task_id]
+            if not row:
+                self._nonempty.discard(worker_id)
+                self._workers_cache = None
 
     def recompute_worker(self, worker: Worker,
                          assigned: Sequence[SensingTask],
@@ -136,10 +220,23 @@ class CandidateTable:
         """Lines 17-23: refresh the selected worker's candidate row.
 
         ``current_route_tasks`` — the worker's committed route order — lets
-        incremental planners check each candidate by single insertion.
+        incremental planners check each candidate by single insertion
+        (batched into one call when the planner supports it).
         """
-        row = {}
+        row: dict[int, CandidateEntry] = {}
+        insert_many = getattr(self.planner, "plan_insertions_many", None)
         plan_many = getattr(self.planner, "plan_many", None)
+        if insert_many is not None and current_route_tasks is not None:
+            available = list(available)
+            results = insert_many(worker, current_route_tasks, available)
+            self.planner_calls += len(available)
+            for task, result in zip(available, results):
+                entry = self._entry_from_result(worker, result,
+                                                current_incentive, budget_rest)
+                if entry is not None:
+                    row[task.task_id] = entry
+            self._commit_row(worker.worker_id, row)
+            return
         if plan_many is not None and getattr(
                 self.planner, "plan_with_insertion", None) is None:
             available = list(available)
@@ -151,7 +248,7 @@ class CandidateTable:
                                                 current_incentive, budget_rest)
                 if entry is not None:
                     row[task.task_id] = entry
-            self._table[worker.worker_id] = row
+            self._commit_row(worker.worker_id, row)
             return
         for task in available:
             entry = self._try_assignment(
@@ -159,7 +256,7 @@ class CandidateTable:
                 base_tasks=current_route_tasks)
             if entry is not None:
                 row[task.task_id] = entry
-        self._table[worker.worker_id] = row
+        self._commit_row(worker.worker_id, row)
 
     def prune_over_budget(self, budget_rest: float) -> None:
         """Drop entries whose marginal cost no longer fits the budget.
@@ -167,9 +264,11 @@ class CandidateTable:
         Needed after *any* selection: spending budget on worker A can make
         a previously feasible pair of worker B unaffordable.
         """
-        for row in self._table.values():
-            for task_id in [t for t, e in row.items() if e.delta_incentive > budget_rest]:
-                del row[task_id]
+        for worker_id, row in self._table.items():
+            doomed = [t for t, e in row.items()
+                      if e.delta_incentive > budget_rest]
+            for task_id in doomed:
+                self._drop_entry(worker_id, task_id)
 
     # ------------------------------------------------------------------ #
     def get(self, worker_id: int, task_id: int) -> CandidateEntry | None:
@@ -179,17 +278,27 @@ class CandidateTable:
         return self._table.get(worker_id, {})
 
     def workers_with_candidates(self) -> list[int]:
-        return [w for w, row in self._table.items() if row]
+        """Worker ids with at least one candidate, in table order.
+
+        Rebuilt only when a row transitions between empty and non-empty
+        (rare), so repeated calls within a selection step are O(1).
+        """
+        cache = self._workers_cache
+        if cache is None:
+            cache = [w for w in self._table if w in self._nonempty]
+            self._workers_cache = cache
+        return cache
 
     def candidate_task_ids(self) -> set[int]:
-        ids: set[int] = set()
-        for row in self._table.values():
-            ids.update(row)
-        return ids
+        return set(self._task_workers)
+
+    def num_candidate_tasks(self) -> int:
+        """Distinct tasks still assignable somewhere (O(1))."""
+        return len(self._task_workers)
 
     @property
     def empty(self) -> bool:
-        return all(not row for row in self._table.values())
+        return not self._task_workers
 
     def num_pairs(self) -> int:
         return sum(len(row) for row in self._table.values())

@@ -32,7 +32,7 @@ def critic_features(instance: USMDWInstance, state: SelectionState) -> np.ndarra
     mean_travel = float(np.mean([w.num_travel_tasks for w in workers]))
     mean_budget_time = float(np.mean([w.time_budget for w in workers]))
     num_pairs = state.candidates.num_pairs()
-    num_candidate_tasks = len(state.candidates.candidate_task_ids())
+    num_candidate_tasks = state.candidates.num_candidate_tasks()
     return np.array([
         num_workers / 32.0,
         num_tasks / 512.0,

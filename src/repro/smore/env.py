@@ -55,6 +55,14 @@ class SelectionEnv:
         self.planner = planner
         self.incentives = IncentiveModel(mu=instance.mu)
         self.reuse_candidates = reuse_candidates
+        # Share the instance's packed arrays / travel-time matrix with the
+        # planner (kernel engines), and bulk-fill the coverage bin cache so
+        # rollouts never pay per-task binning on first touch.  Both are
+        # no-ops for backends without the capability.
+        bind = getattr(planner, "bind_instance", None)
+        if bind is not None:
+            bind(instance)
+        instance.coverage.precompute_bins(instance.sensing_tasks)
         self.state: SelectionState | None = None
         self.perf = PerfCounters()
         self._snapshot: CandidateTable | None = None

@@ -61,6 +61,10 @@ class CachedPlanner:
             self.plan_with_insertion = self._plan_with_insertion
         if getattr(planner, "plan_many", None) is not None:
             self.plan_many = self._plan_many
+        if getattr(planner, "plan_insertions_many", None) is not None:
+            self.plan_insertions_many = self._plan_insertions_many
+        if getattr(planner, "bind_instance", None) is not None:
+            self.bind_instance = planner.bind_instance
 
     # ------------------------------------------------------------------ #
     def _lookup(self, table: OrderedDict, key) -> RouteResult | None:
@@ -98,6 +102,27 @@ class CachedPlanner:
         result = self.planner.plan_with_insertion(worker, base_tasks, new_task)
         self._store(self._insert_cache, key, result)
         return result
+
+    def _plan_insertions_many(self, worker: Worker, base_tasks,
+                              new_tasks) -> list[RouteResult]:
+        """Memoised batched insertion: shares keys with
+        :meth:`_plan_with_insertion`, so batched sweeps and single queries
+        populate one table; only the missing tasks reach the backend, in
+        one batched call."""
+        base_key = tuple(sorted(t.task_id for t in base_tasks))
+        keys = [(worker.worker_id, base_key, t.task_id) for t in new_tasks]
+        results: list[RouteResult | None] = [
+            self._lookup(self._insert_cache, key) for key in keys]
+        missing = [i for i, r in enumerate(results) if r is None]
+        if missing:
+            self.misses += len(missing)
+            self.backend_calls += 1  # one batched call serves every miss
+            fresh = self.planner.plan_insertions_many(
+                worker, base_tasks, [new_tasks[i] for i in missing])
+            for i, result in zip(missing, fresh):
+                self._store(self._insert_cache, keys[i], result)
+                results[i] = result
+        return results  # type: ignore[return-value]
 
     def _plan_many(self, worker: Worker,
                    task_sets: Sequence[Sequence[SensingTask]]

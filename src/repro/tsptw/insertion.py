@@ -9,26 +9,83 @@ are unconstrained and shape the backbone), then sensing tasks in order of
 window start — each at the position minimising the route travel time among
 all *feasible* positions.  Improvement then relocates single tasks (or-opt
 with segment length 1) while feasibility holds.
+
+Two engines implement the position scoring:
+
+* the object path (``use_kernels=False``): every candidate check is an
+  independent per-position suffix re-propagation over Python objects —
+  the original reference implementation;
+* the kernel path (default): batched candidate checks
+  (:meth:`InsertionSolver.plan_insertions_many`) run one vectorized
+  :func:`repro.tsptw.kernels.sweep_insertions` over the packed arrays of
+  a bound instance (:meth:`InsertionSolver.bind_instance`), scoring every
+  (position, task) lane at once, and per-result timings materialise
+  lazily.  Single-insertion scans keep the scalar engine in both modes —
+  one task against one route has no lanes to amortize a pack over, and
+  the pure-Python scan measures faster than numpy element access at
+  every route size.
+
+Both engines produce bit-identical results (same floats, same argmin
+tie-breaking), verified by randomized parity tests, so seeded rollouts,
+cached plans and the fork pool are unaffected by the switch.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Callable, Sequence
 
 from ..core.entities import SensingTask, Worker
-from ..core.geometry import DEFAULT_SPEED
+from ..core.geometry import DEFAULT_SPEED, Location
+from ..core.packed import packed_instance
 from ..core.route import WorkingRoute, simulate_route
+from ..obs.profile import scope as profile_scope
+from . import kernels
 from .base import PlannerBase, RouteResult, combined_tasks
 
 __all__ = ["InsertionSolver", "cheapest_insertion_position"]
 
+#: Batch size at which ``plan_insertions_many`` switches from looped
+#: scalar scans to the vectorized sweep (numpy per-op overhead dominates
+#: below this).
+_SWEEP_MIN_TASKS = 4
 
-def _advance(clock: float, x: float, y: float, task, speed: float,
+DistFn = Callable[[Location, Location], float]
+
+
+class _KernelResult:
+    """Duck-typed :class:`RouteResult` for the kernel engine.
+
+    Feasibility and route travel time come straight from the kernel scan;
+    the per-stop :class:`~repro.core.route.RouteTiming` — which most
+    consumers (candidate tables, caches) never read — is materialised
+    lazily by simulating the route on first access, with identical values.
+    """
+
+    __slots__ = ("route", "feasible", "_rtt", "_timing")
+
+    def __init__(self, route: WorkingRoute, rtt: float, feasible: bool):
+        self.route = route
+        self.feasible = feasible
+        self._rtt = rtt
+        self._timing = None
+
+    @property
+    def timing(self):
+        if self._timing is None:
+            self._timing = self.route.simulate()
+        return self._timing
+
+    @property
+    def route_travel_time(self) -> float:
+        return self._rtt
+
+
+def _advance(clock: float, d: float, task, speed: float,
              is_sensing: bool) -> float | None:
-    """Travel to ``task``, wait if needed, service it; None if window missed."""
-    loc = task.location
-    clock += math.hypot(loc.x - x, loc.y - y) / speed
+    """Travel ``d`` meters to ``task``, wait if needed, service it;
+    None if the window is missed."""
+    clock += d / speed
     if is_sensing:
         if clock < task.tw_start:
             clock = task.tw_start
@@ -38,56 +95,72 @@ def _advance(clock: float, x: float, y: float, task, speed: float,
 
 
 def cheapest_insertion_position(worker: Worker, tasks: list, new_task,
-                                speed: float) -> tuple[int, float] | None:
+                                speed: float,
+                                dist: DistFn | None = None
+                                ) -> tuple[int, float] | None:
     """Best feasible position for ``new_task`` in ``tasks``.
 
     Returns ``(position, route_travel_time_after)`` or None when every
     position violates a window or the latest-arrival constraint.  Runs a
     lean prefix-reusing scan: the timing state after each existing stop is
     computed once, and each candidate position only re-propagates the
-    suffix.
+    suffix.  ``dist`` optionally replaces the inline ``math.hypot`` with a
+    shared travel-distance provider (e.g.
+    :meth:`~repro.core.packed.PackedInstance.distance_between`); distances
+    are identical either way, so results do not depend on it.
     """
     departure = worker.earliest_departure
     latest = worker.latest_arrival
     dest = worker.destination
     sensing_flags = [isinstance(t, SensingTask) for t in tasks]
     new_is_sensing = isinstance(new_task, SensingTask)
+    hypot = math.hypot
 
     # prefix[p]: clock after completing tasks[:p] (None once infeasible).
     prefix: list[float | None] = [departure]
-    px, py = worker.origin.x, worker.origin.y
-    positions = [(px, py)]
+    positions: list[Location] = [worker.origin]
     clock: float | None = departure
     for task, is_sensing in zip(tasks, sensing_flags):
         if clock is not None:
-            clock = _advance(clock, positions[-1][0], positions[-1][1],
-                             task, speed, is_sensing)
+            prev = positions[-1]
+            loc = task.location
+            d = (dist(prev, loc) if dist is not None
+                 else hypot(loc.x - prev.x, loc.y - prev.y))
+            clock = _advance(clock, d, task, speed, is_sensing)
         prefix.append(clock)
-        positions.append((task.location.x, task.location.y))
+        positions.append(task.location)
 
+    new_loc = new_task.location
     best: tuple[int, float] | None = None
     for position in range(len(tasks) + 1):
         clock = prefix[position]
         if clock is None:
             break  # prefix already infeasible; later positions share it
-        x, y = positions[position]
-        clock = _advance(clock, x, y, new_task, speed, new_is_sensing)
+        prev = positions[position]
+        d = (dist(prev, new_loc) if dist is not None
+             else hypot(new_loc.x - prev.x, new_loc.y - prev.y))
+        clock = _advance(clock, d, new_task, speed, new_is_sensing)
         if clock is None:
             continue
-        x, y = new_task.location.x, new_task.location.y
+        prev = new_loc
         ok = True
         for idx in range(position, len(tasks)):
             task = tasks[idx]
-            clock = _advance(clock, x, y, task, speed, sensing_flags[idx])
+            loc = task.location
+            d = (dist(prev, loc) if dist is not None
+                 else hypot(loc.x - prev.x, loc.y - prev.y))
+            clock = _advance(clock, d, task, speed, sensing_flags[idx])
             if clock is None:
                 ok = False
                 break
-            x, y = task.location.x, task.location.y
+            prev = loc
             # A suffix stop finishing later than the pure-wait slack of the
             # remaining route cannot recover; the final check below catches it.
         if not ok:
             continue
-        clock += math.hypot(dest.x - x, dest.y - y) / speed
+        d = (dist(prev, dest) if dist is not None
+             else hypot(dest.x - prev.x, dest.y - prev.y))
+        clock += d / speed
         if clock > latest + 1e-9:
             continue
         rtt = clock - departure
@@ -105,20 +178,82 @@ class InsertionSolver(PlannerBase):
         Worker speed (m/min).
     improvement_rounds:
         Maximum or-opt sweeps after construction; 0 disables improvement.
+    use_kernels:
+        Batched candidate checks scored by the vectorized packed-array
+        sweep (default) or by looped object-path scans.  Results are
+        bit-identical; the flag exists so the object path stays available
+        as a reference and for A/B benchmarking.
     """
 
     def __init__(self, speed: float = DEFAULT_SPEED, improvement_rounds: int = 2,
-                 use_two_opt: bool = False):
+                 use_two_opt: bool = False, use_kernels: bool = True):
         self.speed = speed
         self.improvement_rounds = improvement_rounds
         self.use_two_opt = use_two_opt
+        self.use_kernels = use_kernels
+        self._packed = None
+        self._base_cache: dict[int, RouteResult] = {}
+
+    # ------------------------------------------------------------------ #
+    def bind_instance(self, instance) -> None:
+        """Share the instance's packed arrays / travel-distance matrix.
+
+        Kernels work unbound too (they fall back to ``math.hypot``), but a
+        bound solver reuses one lazily built distance matrix across every
+        planner call — and, through copy-on-write ``fork``, across pool
+        children.  Binding also enables the per-worker base-route memo:
+        ``plan(worker, [])`` is a pure function of the (immutable) bound
+        instance, and candidate sweeps re-request it every initialisation.
+        """
+        self._packed = packed_instance(instance)
+        self._base_cache = {}
+
+    def base_route(self, worker: Worker) -> RouteResult:
+        if self._packed is None:
+            return self.plan(worker, [])
+        result = self._base_cache.get(worker.worker_id)
+        if result is None:
+            result = self.plan(worker, [])
+            self._base_cache[worker.worker_id] = result
+        return result
+
+    def _cheapest(self, worker: Worker, tasks: list,
+                  new_task) -> tuple[int, float] | None:
+        # Single-insertion scans run the scalar engine in BOTH modes: one
+        # position against one task has no lanes to vectorize, and the
+        # pure-Python scan (C-level math.hypot, unboxed floats) measures
+        # faster than numpy element access at every route size.  The
+        # packed kernels take over exactly where vectorization pays —
+        # the batched sweep in :meth:`plan_insertions_many`.
+        return cheapest_insertion_position(worker, tasks, new_task,
+                                           self.speed)
+
+    def _route_result(self, worker: Worker, tasks: Sequence,
+                      known: tuple[bool, float] | None = None,
+                      covers: bool | None = None) -> RouteResult:
+        """Build the planner's result for a final task order.
+
+        ``known`` is the (windows-feasible, rtt) pair when the kernel scan
+        already established it — the scan replays the simulation's exact
+        op sequence, so reusing its numbers instead of re-simulating is
+        bitwise identical and skips a per-result repack.  ``covers``
+        short-circuits the travel-coverage check when the caller knows it
+        (inserting a sensing task cannot change travel-task membership).
+        """
+        route = WorkingRoute(worker, tuple(tasks), speed=self.speed)
+        if known is not None and self.use_kernels:
+            windows_ok, rtt = known
+            if covers is None:
+                covers = route.covers_all_travel_tasks()
+            return _KernelResult(route, rtt, windows_ok and covers)
+        return RouteResult.from_route(route)
 
     # ------------------------------------------------------------------ #
     def plan(self, worker: Worker,
              sensing_tasks: Sequence[SensingTask]) -> RouteResult:
         all_tasks = combined_tasks(worker, sensing_tasks)
         if not all_tasks:
-            return RouteResult.from_route(WorkingRoute(worker, (), speed=self.speed))
+            return self._route_result(worker, ())
 
         # Travel tasks first (windowless backbone), then sensing tasks by
         # window start so early windows are placed while slack remains.
@@ -127,7 +262,7 @@ class InsertionSolver(PlannerBase):
 
         route_tasks: list = []
         for task in travel + sensing:
-            best = cheapest_insertion_position(worker, route_tasks, task, self.speed)
+            best = self._cheapest(worker, route_tasks, task)
             if best is None:
                 return RouteResult.infeasible()
             route_tasks.insert(best[0], task)
@@ -135,8 +270,7 @@ class InsertionSolver(PlannerBase):
         route_tasks = self._or_opt(worker, route_tasks)
         if self.use_two_opt:
             route_tasks = self._two_opt(worker, route_tasks)
-        route = WorkingRoute(worker, tuple(route_tasks), speed=self.speed)
-        return RouteResult.from_route(route)
+        return self._route_result(worker, route_tasks)
 
     def plan_with_insertion(self, worker: Worker, base_tasks: Sequence,
                             new_task) -> RouteResult:
@@ -146,15 +280,50 @@ class InsertionSolver(PlannerBase):
         on: O(n^2) instead of rebuilding the whole route.  The result is a
         valid upper bound on the optimal route travel time.
         """
-        best = cheapest_insertion_position(worker, list(base_tasks), new_task,
-                                           self.speed)
+        best = self._cheapest(worker, list(base_tasks), new_task)
         if best is None:
             return RouteResult.infeasible()
-        position, _rtt = best
+        position, rtt = best
         tasks = list(base_tasks)
         tasks.insert(position, new_task)
-        route = WorkingRoute(worker, tuple(tasks), speed=self.speed)
-        return RouteResult.from_route(route)
+        if self.use_kernels:
+            return self._route_result(worker, tasks, known=(True, rtt))
+        return self._route_result(worker, tasks)
+
+    def plan_insertions_many(self, worker: Worker, base_tasks: Sequence,
+                             new_tasks: Sequence) -> list[RouteResult]:
+        """Check many single-task insertions into one base order.
+
+        The batched entry point behind ``CandidateTable``'s init/recompute
+        sweeps.  Available in *both* engine modes — with kernels one
+        vectorized sweep scores every (position, task) lane at once; the
+        object path loops :meth:`plan_with_insertion` — so perf counters
+        and results are identical whichever engine runs.
+        """
+        new_tasks = list(new_tasks)
+        if not self.use_kernels or len(new_tasks) < _SWEEP_MIN_TASKS:
+            return [self.plan_with_insertion(worker, base_tasks, task)
+                    for task in new_tasks]
+        base = list(base_tasks)
+        with profile_scope("kernel.insertion_sweep"):
+            pack = kernels.pack_route(worker, base, self.speed, self._packed)
+            hits = kernels.sweep_insertions(pack, new_tasks)
+        # Sensing-task insertion leaves travel membership unchanged, so the
+        # coverage verdict is a property of the base order alone.
+        base_tup = tuple(base)
+        covers = WorkingRoute(worker, base_tup,
+                              speed=self.speed).covers_all_travel_tasks()
+        results = []
+        for task, hit in zip(new_tasks, hits):
+            if hit is None:
+                results.append(RouteResult.infeasible())
+                continue
+            p = hit[0]
+            tasks = base_tup[:p] + (task,) + base_tup[p:]
+            results.append(self._route_result(worker, tasks,
+                                              known=(True, hit[1]),
+                                              covers=covers))
+        return results
 
     def _two_opt(self, worker: Worker, tasks: list) -> list:
         """Classic 2-opt: reverse segments while feasible and improving.
@@ -165,22 +334,26 @@ class InsertionSolver(PlannerBase):
         if len(tasks) < 3:
             return tasks
         current = list(tasks)
-        current_rtt = simulate_route(worker, current, speed=self.speed).route_travel_time
+        current_rtt = self._route_rtt(worker, current)[1]
         for _ in range(self.improvement_rounds):
             improved = False
             for i in range(len(current) - 1):
                 for j in range(i + 1, len(current)):
                     candidate = (current[:i] + current[i:j + 1][::-1]
                                  + current[j + 1:])
-                    timing = simulate_route(worker, candidate, speed=self.speed)
-                    if timing.feasible and \
-                            timing.route_travel_time < current_rtt - 1e-9:
+                    feasible, rtt = self._route_rtt(worker, candidate)
+                    if feasible and rtt < current_rtt - 1e-9:
                         current = candidate
-                        current_rtt = timing.route_travel_time
+                        current_rtt = rtt
                         improved = True
             if not improved:
                 break
         return current
+
+    def _route_rtt(self, worker: Worker, tasks: list) -> tuple[bool, float]:
+        """(window-feasible, rtt) of an order."""
+        timing = simulate_route(worker, tasks, speed=self.speed)
+        return timing.feasible, timing.route_travel_time
 
     # ------------------------------------------------------------------ #
     def _or_opt(self, worker: Worker, tasks: list) -> list:
@@ -188,13 +361,13 @@ class InsertionSolver(PlannerBase):
         if len(tasks) < 2 or self.improvement_rounds <= 0:
             return tasks
         current = list(tasks)
-        current_rtt = simulate_route(worker, current, speed=self.speed).route_travel_time
+        current_rtt = self._route_rtt(worker, current)[1]
         for _ in range(self.improvement_rounds):
             improved = False
             for i in range(len(current)):
                 moved = current[i]
                 rest = current[:i] + current[i + 1:]
-                best = cheapest_insertion_position(worker, rest, moved, self.speed)
+                best = self._cheapest(worker, rest, moved)
                 if best is not None and best[1] < current_rtt - 1e-9:
                     rest.insert(best[0], moved)
                     current = rest

@@ -1,0 +1,471 @@
+"""Vectorized route kernels over packed instance arrays.
+
+The hot loops of the insertion planner re-simulate Python object routes
+stop-by-stop.  This module packs one route into flat numpy arrays
+(:func:`pack_route`) and provides:
+
+* :func:`simulate_route_packed` — cumulative arrival / service-start /
+  finish arrays in one pass over precomputed hop times;
+* :func:`timing_from_pack` — a drop-in, bit-identical
+  :class:`~repro.core.route.RouteTiming`;
+* :func:`cheapest_insertion_packed` — the scalar insertion scan with two
+  slack tricks: an O(1) per-position rejection against a backward
+  latest-arrival array, and a delay-absorption early exit that truncates
+  suffix re-propagation the moment the inserted route's clock rejoins the
+  base schedule;
+* :func:`sweep_insertions` — the batched kernel: all |route|+1 positions x
+  all candidate tasks scored in one lock-step vectorized sweep, with
+  slack-pruned task rows skipped entirely;
+* :func:`nearest_neighbor_order_packed` — matrix-backed NN construction.
+
+Bit-identity contract (the reason the object path can stay available as a
+``use_kernels=False`` reference): every observable float is produced by the
+same IEEE operation sequence the object path executes.  Distances come from
+the ``math.hypot`` matrix of :class:`~repro.core.packed.PackedInstance`;
+the vectorized sweep advances each insertion position as an independent
+lane, so per-lane accumulation order matches the scalar scan exactly;
+``np.argmin`` keeps the first minimum, matching the scan's strict-``<``
+tie-breaking.  The backward slack array is *only* used to prune positions
+that are infeasible by more than :data:`SLACK_MARGIN` — far above the
+~1e-11 float drift a backward recursion can accumulate — so pruning never
+changes a verdict; exact verdicts always come from forward propagation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..core.entities import SensingTask, Worker
+from ..core.packed import PackedInstance
+from ..core.route import RouteStop, RouteTiming
+
+__all__ = ["RoutePack", "pack_route", "simulate_route_packed",
+           "timing_from_pack", "cheapest_insertion_packed",
+           "sweep_insertions", "nearest_neighbor_order_packed",
+           "SLACK_MARGIN"]
+
+_INF = float("inf")
+
+#: Safety margin for slack-based pruning.  The backward latest-arrival
+#: recursion is mathematically exact but accumulates ~1 ulp per stop of
+#: float error (<1e-11 at route scale); pruning only positions that exceed
+#: the slack bound by more than this margin keeps pruning sound, so it can
+#: never flip a feasibility verdict relative to forward propagation.
+SLACK_MARGIN = 1e-6
+
+
+class RoutePack:
+    """Flat-array view of one (worker, task order) pair.
+
+    ``locs[0]`` is the origin, ``locs[1..n]`` the stops, ``locs[n+1]`` the
+    destination.  ``seg[j]`` is the travel time into stop ``j`` (from
+    ``locs[j]``); ``seg[n]`` is the destination leg.  ``prefix[p]`` is the
+    clock after completing ``tasks[:p]``; ``valid`` counts usable prefixes
+    (the scan stops at the first window violation, like the object path).
+    ``slack[p]`` is the latest arrival time at stop ``p`` (``p == n``: at
+    the destination) from which the remaining route can still finish.
+    """
+
+    __slots__ = ("worker", "tasks", "n", "speed", "packed", "loc_rows",
+                 "locs", "tw0", "ls", "svc", "sensing", "seg", "prefix",
+                 "valid", "slack", "departure", "latest_thr", "base_final",
+                 "base_dest_ok")
+
+    def __init__(self, worker: Worker, tasks: Sequence, speed: float,
+                 packed: PackedInstance | None):
+        n = len(tasks)
+        self.worker = worker
+        self.tasks = list(tasks)
+        self.n = n
+        self.speed = speed
+        self.packed = packed
+        self.departure = worker.earliest_departure
+        # Same expression as the scan's final check (latest + 1e-9).
+        self.latest_thr = worker.latest_arrival + 1e-9
+
+        tw0 = np.full(n, -_INF)
+        ls = np.full(n, _INF)
+        svc = np.empty(n)
+        sensing = np.zeros(n, dtype=bool)
+        for k, task in enumerate(tasks):
+            svc[k] = task.service_time
+            if isinstance(task, SensingTask):
+                sensing[k] = True
+                tw0[k] = task.tw_start
+                ls[k] = task.latest_start
+        self.tw0, self.ls, self.svc, self.sensing = tw0, ls, svc, sensing
+
+        locs = [worker.origin] + [t.location for t in tasks] \
+            + [worker.destination]
+        self.locs = locs
+        rows: list[int] | None = None
+        if packed is not None:
+            rows = [packed.loc_id(l) for l in locs]
+            if any(r < 0 for r in rows):
+                rows = None
+        self.loc_rows = rows
+
+        # seg[j] = travel time locs[j] -> locs[j+1]; same hypot + divide
+        # the object path performs per hop.
+        if rows is not None:
+            ds = np.fromiter(
+                (packed.row(rows[j])[rows[j + 1]] for j in range(n + 1)),
+                dtype=np.float64, count=n + 1)
+        else:
+            ds = np.fromiter(
+                (math.hypot(locs[j + 1].x - locs[j].x,
+                            locs[j + 1].y - locs[j].y)
+                 for j in range(n + 1)),
+                dtype=np.float64, count=n + 1)
+        self.seg = ds / speed
+
+        # Forward earliest-completion prefixes (the object scan's prefix
+        # list), truncated at the first violation.
+        prefix = np.empty(n + 1)
+        prefix[0] = self.departure
+        clock = self.departure
+        valid = n + 1
+        seg = self.seg
+        for j in range(n):
+            clock = clock + seg[j]
+            if sensing[j]:
+                if clock < tw0[j]:
+                    clock = tw0[j]
+                elif clock > ls[j]:
+                    valid = j + 1
+                    break
+            clock = clock + svc[j]
+            prefix[j + 1] = clock
+        self.prefix = prefix
+        self.valid = valid
+        if valid == n + 1:
+            self.base_final = float(prefix[n] + seg[n])
+            self.base_dest_ok = self.base_final <= self.latest_thr
+        else:
+            self.base_final = _INF
+            self.base_dest_ok = False
+
+        # Backward latest-arrival slack: slack[j] is the latest arrival at
+        # stop j keeping stops j..n-1 and the destination leg feasible
+        # (waiting for a window to open can only help, which the min/-inf
+        # cases encode).  slack[n] is the destination deadline itself.
+        slack = np.empty(n + 1)
+        slack[n] = self.latest_thr
+        for j in range(n - 1, -1, -1):
+            bound = slack[j + 1] - seg[j + 1] - svc[j]
+            if sensing[j]:
+                if tw0[j] > bound:
+                    slack[j] = -_INF
+                else:
+                    slack[j] = min(ls[j], bound)
+            else:
+                slack[j] = bound
+        self.slack = slack
+
+    # ------------------------------------------------------------------ #
+    def new_task_times(self, task) -> np.ndarray:
+        """Travel times between ``task`` and every route point (n+2,).
+
+        Entry ``r`` serves both directions (hypot is symmetric):
+        position ``r`` -> task for the insertion leg, task -> stop ``r-1``
+        (or the destination) for the resume leg.
+        """
+        packed, rows = self.packed, self.loc_rows
+        loc = task.location
+        if packed is not None and rows is not None:
+            i = packed.loc_id(loc)
+            if i >= 0:
+                return packed.row(i)[rows] / self.speed
+        x, y = loc.x, loc.y
+        ds = np.fromiter(
+            (math.hypot(x - l.x, y - l.y) for l in self.locs),
+            dtype=np.float64, count=self.n + 2)
+        return ds / self.speed
+
+
+def pack_route(worker: Worker, tasks: Sequence, speed: float,
+               packed: PackedInstance | None = None) -> RoutePack:
+    """Pack one route's geometry and timing arrays (O(n))."""
+    return RoutePack(worker, tasks, speed, packed)
+
+
+# ---------------------------------------------------------------------- #
+# Simulation
+# ---------------------------------------------------------------------- #
+def simulate_route_packed(pack: RoutePack):
+    """Arrival / service-start / finish arrays in one pass.
+
+    Mirrors :func:`~repro.core.route.simulate_route` op-for-op (including
+    continuing past a violation so callers can inspect it) and returns
+    ``(arrival, start, finish, final, feasible, violated_at)``.
+    """
+    n = pack.n
+    seg, tw0, ls, svc, sensing = (pack.seg, pack.tw0, pack.ls, pack.svc,
+                                  pack.sensing)
+    arrival = np.empty(n)
+    start = np.empty(n)
+    finish = np.empty(n)
+    clock = pack.departure
+    feasible = True
+    violated_at: int | None = None
+    for j in range(n):
+        clock = clock + seg[j]
+        arrival[j] = clock
+        if sensing[j]:
+            s = max(clock, tw0[j])
+            if s > ls[j] and feasible:
+                feasible = False
+                violated_at = j
+        else:
+            s = clock
+        start[j] = s
+        clock = s + svc[j]
+        finish[j] = clock
+    final = clock + seg[n]
+    if final > pack.latest_thr and feasible:
+        feasible = False
+        violated_at = n
+    return arrival, start, finish, float(final), feasible, violated_at
+
+
+def timing_from_pack(pack: RoutePack) -> RouteTiming:
+    """A bit-identical :class:`RouteTiming` built from the packed arrays."""
+    arrival, start, finish, final, feasible, violated_at = \
+        simulate_route_packed(pack)
+    stops = tuple(
+        RouteStop(task, float(arrival[j]), float(start[j]), float(finish[j]))
+        for j, task in enumerate(pack.tasks))
+    return RouteTiming(stops, pack.departure, final, feasible, violated_at)
+
+
+# ---------------------------------------------------------------------- #
+# Single-task insertion scan (slack rejection + delay absorption)
+# ---------------------------------------------------------------------- #
+def cheapest_insertion_packed(pack: RoutePack,
+                              new_task) -> tuple[int, float] | None:
+    """Best feasible position for ``new_task``; bit-identical to the scan.
+
+    Two exits make positions cheap: a position whose post-insertion clock
+    exceeds the slack bound by more than :data:`SLACK_MARGIN` is rejected
+    in O(1); during suffix re-propagation, the moment the delayed clock
+    equals the base prefix clock the remaining stops replay the base
+    schedule exactly, so the base result is reused and the loop stops.
+    """
+    n = pack.n
+    prefix, seg, tw0, ls, svc, sensing = (pack.prefix, pack.seg, pack.tw0,
+                                          pack.ls, pack.svc, pack.sensing)
+    slack = pack.slack
+    valid = pack.valid
+    departure = pack.departure
+    latest_thr = pack.latest_thr
+    tt_new = pack.new_task_times(new_task)
+
+    new_is_sensing = isinstance(new_task, SensingTask)
+    if new_is_sensing:
+        ntw0 = new_task.tw_start
+        nls = new_task.tw_end - new_task.service_time
+    nsvc = new_task.service_time
+
+    best_pos = -1
+    best_rtt = _INF
+    for p in range(valid):
+        clock = prefix[p] + tt_new[p]
+        if new_is_sensing:
+            if clock < ntw0:
+                clock = ntw0
+            elif clock > nls:
+                continue
+        clock = clock + nsvc
+        head = clock + tt_new[p + 1]
+        if head > slack[p] + SLACK_MARGIN:
+            continue  # provably infeasible: skip the suffix entirely
+        if p == n:
+            final = head
+        else:
+            ok = True
+            absorbed = False
+            arrival = head
+            idx = p
+            while True:
+                if sensing[idx]:
+                    if arrival < tw0[idx]:
+                        arrival = tw0[idx]
+                    elif arrival > ls[idx]:
+                        ok = False
+                        break
+                clock = arrival + svc[idx]
+                if idx + 1 < valid and clock == prefix[idx + 1]:
+                    absorbed = True  # delay fully absorbed by waiting
+                    break
+                idx += 1
+                if idx == n:
+                    break
+                arrival = clock + seg[idx]
+            if not ok:
+                continue
+            if absorbed:
+                if not (valid == n + 1 and pack.base_dest_ok):
+                    continue  # base suffix itself violates
+                final = pack.base_final
+            else:
+                final = clock + seg[n]
+        if final > latest_thr:
+            continue
+        rtt = final - departure
+        if rtt < best_rtt:
+            best_pos = p
+            best_rtt = rtt
+    if best_pos < 0:
+        return None
+    return best_pos, float(best_rtt)
+
+
+# ---------------------------------------------------------------------- #
+# Batched insertion sweep (positions x tasks, lock-step lanes)
+# ---------------------------------------------------------------------- #
+def _new_task_arrays(pack: RoutePack, new_tasks: Sequence):
+    """(tw0, ls, svc) arrays for the batch, via the packed table if known."""
+    packed = pack.packed
+    T = len(new_tasks)
+    if packed is not None:
+        rows = [packed.sensing_row(getattr(t, "task_id", -1))
+                for t in new_tasks]
+        if all(r >= 0 for r in rows):
+            idx = np.asarray(rows, dtype=np.intp)
+            return (packed.tw_start[idx], packed.latest_start[idx],
+                    packed.service[idx])
+    tw0 = np.empty(T)
+    ls = np.empty(T)
+    svc = np.empty(T)
+    for k, t in enumerate(new_tasks):
+        svc[k] = t.service_time
+        if isinstance(t, SensingTask):
+            tw0[k] = t.tw_start
+            ls[k] = t.tw_end - t.service_time
+        else:
+            tw0[k] = -_INF
+            ls[k] = _INF
+    return tw0, ls, svc
+
+
+def sweep_insertions(pack: RoutePack, new_tasks: Sequence
+                     ) -> list[tuple[int, float] | None]:
+    """Score every (position, task) lane in one vectorized sweep.
+
+    Each position is a lane replaying the scalar scan's exact op order on
+    its own accumulator, so per-lane floats match the object path; tasks
+    whose every lane fails the margin-guarded slack bound are dropped
+    before propagation (they are provably infeasible); the surviving
+    columns propagate all lanes and take the first-minimum over positions.
+    """
+    T = len(new_tasks)
+    if T == 0:
+        return []
+    n = pack.n
+    P = pack.valid  # lanes 0..P-1 have usable prefixes
+    speed = pack.speed
+    packed, rows = pack.packed, pack.loc_rows
+
+    # Route-point -> task travel times, shape (n+2, T): row 0 the origin,
+    # rows 1..n the stops, row n+1 the destination.  Row r serves lane
+    # r (position r -> task) and the resume leg into stop r-1.
+    if packed is not None and rows is not None:
+        cols = [packed.loc_id(t.location) for t in new_tasks]
+        if all(c >= 0 for c in cols):
+            cols_arr = np.asarray(cols, dtype=np.intp)
+            tt_rt = np.empty((n + 2, T))
+            for r, i in enumerate(rows):
+                tt_rt[r] = packed.row(i)[cols_arr]
+            tt_rt /= speed
+        else:
+            tt_rt = _hypot_block(pack, new_tasks) / speed
+    else:
+        tt_rt = _hypot_block(pack, new_tasks) / speed
+
+    ntw0, nls, nsvc = _new_task_arrays(pack, new_tasks)
+
+    # Lane 0..P-1: depart the prefix, service the new task.
+    arr0 = pack.prefix[:P, None] + tt_rt[:P]
+    feas0 = arr0 <= nls[None, :]
+    c0 = np.maximum(arr0, ntw0[None, :]) + nsvc[None, :]
+
+    # Arrival at each lane's head stop (stop p; the destination for p==n)
+    # and the O(1) slack rejection with safety margin.
+    head = c0 + tt_rt[1:P + 1]
+    alive = feas0 & (head <= pack.slack[:P, None] + SLACK_MARGIN)
+    surv = np.flatnonzero(alive.any(axis=0))
+    results: list[tuple[int, float] | None] = [None] * T
+    if surv.size == 0:
+        return results
+
+    # Forward propagation for surviving columns, all lanes in lock-step.
+    feas = feas0[:, surv].copy()
+    c = c0[:, surv].copy()
+    head_s = head[:, surv]
+    seg, tw0, ls, svc, sensing = (pack.seg, pack.tw0, pack.ls, pack.svc,
+                                  pack.sensing)
+    for j in range(n):
+        k = min(j + 1, P)
+        a = c[:k] + seg[j]
+        if j < P:
+            a[j] = head_s[j]  # lane j resumes from the new task
+        if sensing[j]:
+            feas[:k] &= a <= ls[j]
+            c[:k] = np.maximum(a, tw0[j]) + svc[j]
+        else:
+            c[:k] = a + svc[j]
+
+    final = c + seg[n]
+    if P == n + 1:
+        final[n] = head_s[n]  # lane n goes new task -> destination
+    feas &= final <= pack.latest_thr
+    rtt = np.where(feas, final - pack.departure, _INF)
+    pos = np.argmin(rtt, axis=0)  # first minimum == strict-< scan order
+    col = np.arange(surv.size)
+    best = rtt[pos, col]
+    for k, t_idx in enumerate(surv):
+        if best[k] < _INF:
+            results[int(t_idx)] = (int(pos[k]), float(best[k]))
+    return results
+
+
+def _hypot_block(pack: RoutePack, new_tasks: Sequence) -> np.ndarray:
+    """math.hypot fallback for the (n+2, T) route-point/task distances."""
+    locs = pack.locs
+    out = np.empty((len(locs), len(new_tasks)))
+    hypot = math.hypot
+    for k, t in enumerate(new_tasks):
+        x, y = t.location.x, t.location.y
+        for r, l in enumerate(locs):
+            out[r, k] = hypot(x - l.x, y - l.y)
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# Nearest-neighbour construction
+# ---------------------------------------------------------------------- #
+def nearest_neighbor_order_packed(worker: Worker, tasks: Sequence,
+                                  packed: PackedInstance) -> list | None:
+    """Matrix-backed NN order; None when a location is not packed.
+
+    ``np.argmin`` over the original task order replicates ``min()``'s
+    first-occurrence tie-breaking on the object path exactly.
+    """
+    rows = [packed.loc_id(t.location) for t in tasks]
+    cur = packed.loc_id(worker.origin)
+    if cur < 0 or any(r < 0 for r in rows):
+        return None
+    cols = np.asarray(rows, dtype=np.intp)
+    dead = np.zeros(len(tasks), dtype=bool)
+    order = []
+    for _ in range(len(tasks)):
+        d = packed.row(cur)[cols]
+        d = np.where(dead, _INF, d)
+        k = int(np.argmin(d))
+        dead[k] = True
+        order.append(tasks[k])
+        cur = rows[k]
+    return order

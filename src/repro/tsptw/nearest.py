@@ -9,23 +9,32 @@ infeasible, which the caller must check via the returned timing.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Sequence
 
 from ..core.entities import SensingTask, Worker
-from ..core.geometry import DEFAULT_SPEED, euclidean
+from ..core.geometry import DEFAULT_SPEED, Location, euclidean
+from ..core.packed import packed_instance
 from ..core.route import WorkingRoute
+from . import kernels
 from .base import PlannerBase, RouteResult, combined_tasks
 
 __all__ = ["NearestNeighborSolver", "nearest_neighbor_order"]
 
 
-def nearest_neighbor_order(worker: Worker, tasks: list) -> list:
-    """Order ``tasks`` greedily by distance starting from the origin."""
+def nearest_neighbor_order(worker: Worker, tasks: list,
+                           dist: Callable[[Location, Location], float] | None
+                           = None) -> list:
+    """Order ``tasks`` greedily by distance starting from the origin.
+
+    ``dist`` optionally replaces per-pair ``euclidean`` with a shared
+    travel-distance provider (same floats, so the order is unchanged).
+    """
+    measure = dist if dist is not None else euclidean
     remaining = list(tasks)
     ordered = []
     position = worker.origin
     while remaining:
-        nearest = min(remaining, key=lambda t: euclidean(position, t.location))
+        nearest = min(remaining, key=lambda t: measure(position, t.location))
         remaining.remove(nearest)
         ordered.append(nearest)
         position = nearest.location
@@ -37,10 +46,20 @@ class NearestNeighborSolver(PlannerBase):
 
     def __init__(self, speed: float = DEFAULT_SPEED):
         self.speed = speed
+        self._packed = None
+
+    def bind_instance(self, instance) -> None:
+        """Reuse the instance's packed travel-distance matrix."""
+        self._packed = packed_instance(instance)
 
     def plan(self, worker: Worker,
              sensing_tasks: Sequence[SensingTask]) -> RouteResult:
         tasks = combined_tasks(worker, sensing_tasks)
-        ordered = nearest_neighbor_order(worker, tasks)
+        ordered = None
+        if self._packed is not None:
+            ordered = kernels.nearest_neighbor_order_packed(
+                worker, tasks, self._packed)
+        if ordered is None:
+            ordered = nearest_neighbor_order(worker, tasks)
         route = WorkingRoute(worker, tuple(ordered), speed=self.speed)
         return RouteResult.from_route(route)

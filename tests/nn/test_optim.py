@@ -126,3 +126,105 @@ class TestClipGradNorm:
         b.grad = np.array([4.0])
         norm = clip_grad_norm([a, b], max_norm=10.0)
         assert norm == pytest.approx(5.0)
+
+
+class TestInPlaceBitIdentity:
+    """The preallocated-buffer updates must replay the expression forms
+    bit-for-bit: every float after N steps is exactly equal, not close."""
+
+    @staticmethod
+    def _grads(rng, shapes):
+        return [rng.standard_normal(shape) for shape in shapes]
+
+    def test_sgd_matches_expression_form(self):
+        rng = np.random.default_rng(3)
+        shapes = [(4, 3), (7,)]
+        params = [nn.Parameter(rng.standard_normal(s)) for s in shapes]
+        ref = [p.data.copy() for p in params]
+        optimizer = nn.SGD(params, lr=0.05)
+        for _ in range(25):
+            grads = self._grads(rng, shapes)
+            for p, g in zip(params, grads):
+                p.grad = g
+            optimizer.step()
+            for k, g in enumerate(grads):
+                ref[k] = ref[k] - g * optimizer.lr
+        for p, r in zip(params, ref):
+            assert (p.data == r).all()
+
+    def test_sgd_momentum_matches_expression_form(self):
+        rng = np.random.default_rng(4)
+        shapes = [(5, 2)]
+        params = [nn.Parameter(rng.standard_normal(s)) for s in shapes]
+        ref = [p.data.copy() for p in params]
+        vel = [np.zeros(s) for s in shapes]
+        optimizer = nn.SGD(params, lr=0.05, momentum=0.9)
+        for _ in range(25):
+            grads = self._grads(rng, shapes)
+            for p, g in zip(params, grads):
+                p.grad = g
+            optimizer.step()
+            for k, g in enumerate(grads):
+                vel[k] = vel[k] * optimizer.momentum + g
+                ref[k] = ref[k] - vel[k] * optimizer.lr
+        for p, r in zip(params, ref):
+            assert (p.data == r).all()
+
+    def test_adam_matches_expression_form(self):
+        rng = np.random.default_rng(5)
+        shapes = [(6, 4), (3,)]
+        params = [nn.Parameter(rng.standard_normal(s)) for s in shapes]
+        ref = [p.data.copy() for p in params]
+        m = [np.zeros(s) for s in shapes]
+        v = [np.zeros(s) for s in shapes]
+        optimizer = nn.Adam(params, lr=1e-3)
+        beta1, beta2, eps = optimizer.beta1, optimizer.beta2, optimizer.eps
+        for step in range(1, 31):
+            grads = self._grads(rng, shapes)
+            for p, g in zip(params, grads):
+                p.grad = g
+            optimizer.step()
+            bias1 = 1.0 - beta1 ** step
+            bias2 = 1.0 - beta2 ** step
+            for k, g in enumerate(grads):
+                m[k] = beta1 * m[k] + (1.0 - beta1) * g
+                v[k] = beta2 * v[k] + ((1.0 - beta2) * g) * g
+                ref[k] = ref[k] - (m[k] / bias1 * optimizer.lr) / (
+                    np.sqrt(v[k] / bias2) + eps)
+        for p, r in zip(params, ref):
+            assert (p.data == r).all()
+
+    def test_step_reuses_buffers(self):
+        params = [nn.Parameter(np.ones((8, 8)))]
+        adam = nn.Adam(params, lr=1e-3)
+        sgd = nn.SGD([nn.Parameter(np.ones(4))], lr=0.1)
+        num, den, buf = adam._num[0], adam._den[0], sgd._buf[0]
+        for _ in range(3):
+            params[0].grad = np.full((8, 8), 0.5)
+            adam.step()
+            sgd.parameters[0].grad = np.full(4, 0.25)
+            sgd.step()
+        assert adam._num[0] is num
+        assert adam._den[0] is den
+        assert sgd._buf[0] is buf
+
+    def test_adam_state_dict_roundtrip_after_inplace_steps(self):
+        rng = np.random.default_rng(6)
+        params = [nn.Parameter(rng.standard_normal((3, 3)))]
+        optimizer = nn.Adam(params, lr=1e-3)
+        for _ in range(5):
+            params[0].grad = rng.standard_normal((3, 3))
+            optimizer.step()
+        state = optimizer.state_dict()
+        # Saved moments are copies: later in-place steps must not mutate them.
+        snapshot = [m.copy() for m in state["m"]]
+        params[0].grad = rng.standard_normal((3, 3))
+        optimizer.step()
+        assert all((a == b).all() for a, b in zip(state["m"], snapshot))
+        # A twin restored from the snapshot resumes at the saved step count.
+        twin = nn.Adam([nn.Parameter(params[0].data.copy())], lr=1e-3)
+        twin.load_state_dict(state)
+        assert twin._step_count == 5
+        twin.parameters[0].grad = rng.standard_normal((3, 3))
+        twin.step()
+        assert twin._step_count == 6

@@ -196,3 +196,65 @@ class TestBatchedPlannerPath:
         for worker in small_instance.workers:
             for entry in gpn_table.worker_candidates(worker.worker_id).values():
                 assert entry.delta_incentive < small_instance.budget
+
+
+class TestIncrementalIndex:
+    """The incrementally-maintained worker/task indexes must always agree
+    with a brute-force rebuild from the underlying table."""
+
+    @staticmethod
+    def _check(table):
+        ref_workers = [w for w, row in table._table.items() if row]
+        ref_tasks = set()
+        for row in table._table.values():
+            ref_tasks.update(row)
+        assert table.workers_with_candidates() == ref_workers
+        assert table.candidate_task_ids() == ref_tasks
+        assert table.num_candidate_tasks() == len(ref_tasks)
+        assert table.empty == (not ref_tasks)
+
+    def test_initialize_consistent(self, table):
+        assert not table.empty
+        self._check(table)
+
+    def test_remove_task_transitions_to_empty(self, table, small_instance):
+        for task in small_instance.sensing_tasks:
+            table.remove_task(task.task_id)
+            self._check(table)
+        assert table.empty
+        assert table.workers_with_candidates() == []
+        assert table.num_candidate_tasks() == 0
+
+    def test_prune_transitions(self, table):
+        table.prune_over_budget(0.0)
+        self._check(table)
+
+    def test_recompute_worker_reindexes(self, table, small_instance):
+        worker = small_instance.workers[0]
+        candidates = table.worker_candidates(worker.worker_id)
+        task_id = next(iter(candidates))
+        entry = candidates[task_id]
+        assigned = small_instance.sensing_task(task_id)
+        remaining = [s for s in small_instance.sensing_tasks
+                     if s.task_id != task_id]
+        table.remove_task(task_id)
+        self._check(table)
+        table.recompute_worker(worker, [assigned], remaining,
+                               entry.delta_incentive,
+                               small_instance.budget - entry.delta_incentive,
+                               current_route_tasks=entry.route.tasks)
+        self._check(table)
+
+    def test_workers_order_matches_table_order(self, table):
+        # Tie-breaking in _best_candidate_pair observes table order, so the
+        # cached list must preserve it, not set order.
+        order = [w for w in table._table if table.worker_candidates(w)]
+        assert table.workers_with_candidates() == order
+
+    def test_copy_isolates_index(self, table):
+        clone = table.copy()
+        task_id = next(iter(table.candidate_task_ids()))
+        table.remove_task(task_id)
+        assert task_id in clone.candidate_task_ids()
+        self._check(clone)
+        self._check(table)

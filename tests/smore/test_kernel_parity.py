@@ -1,0 +1,68 @@
+"""End-to-end kernel parity for the full SMORE solve.
+
+``InsertionSolver(use_kernels=True)`` must produce *bit-identical*
+solutions to the object path — same routes, same incentive floats, same
+objective, and the same integer perf counters — under greedy and seeded
+sampling selection, serially and through the workers=4 fork pool.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.instances import InstanceOptions, generate_instances
+from repro.smore import GreedySelectionRule, SMORESolver
+from repro.tsptw import InsertionSolver
+
+_COUNTER_FIELDS = ("planner_calls", "init_planner_calls", "backend_calls",
+                   "cache_hits", "cache_misses", "rollouts")
+
+
+def _route_ids(solution):
+    return {wid: [t.task_id for t in route.tasks]
+            for wid, route in solution.routes.items()}
+
+
+def _assert_bit_identical(kernel_sol, object_sol):
+    assert _route_ids(kernel_sol) == _route_ids(object_sol)
+    # Dict equality on raw floats: incentives must match to the last bit.
+    assert kernel_sol.incentives == object_sol.incentives
+    assert kernel_sol.objective == object_sol.objective
+    for field in _COUNTER_FIELDS:
+        assert getattr(kernel_sol.perf, field) == \
+            getattr(object_sol.perf, field), field
+
+
+def _solve(instance, policy, use_kernels, **kwargs):
+    planner = InsertionSolver(speed=instance.speed, use_kernels=use_kernels)
+    return SMORESolver(planner, policy).solve(instance, **kwargs)
+
+
+def test_greedy_parity_small(small_instance):
+    kernel_sol = _solve(small_instance, GreedySelectionRule(), True,
+                        greedy=True)
+    object_sol = _solve(small_instance, GreedySelectionRule(), False,
+                        greedy=True)
+    assert kernel_sol.num_completed > 0
+    _assert_bit_identical(kernel_sol, object_sol)
+
+
+def test_greedy_parity_generated_instance():
+    instance = generate_instances(
+        "delivery", 1, seed=5,
+        options=InstanceOptions(task_density=0.06))[0]
+    kernel_sol = _solve(instance, GreedySelectionRule(), True, greedy=True)
+    object_sol = _solve(instance, GreedySelectionRule(), False, greedy=True)
+    assert kernel_sol.num_completed > 0
+    _assert_bit_identical(kernel_sol, object_sol)
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_sampled_parity_serial_and_pool(small_instance, policy, workers):
+    solutions = []
+    for use_kernels in (True, False):
+        solutions.append(_solve(
+            small_instance, policy, use_kernels, greedy=False,
+            rng=np.random.default_rng(11), num_samples=4, workers=workers))
+    kernel_sol, object_sol = solutions
+    assert kernel_sol.perf.rollouts == 4
+    _assert_bit_identical(kernel_sol, object_sol)
