@@ -1,12 +1,20 @@
 # SMORE reproduction — common workflows.
 
-.PHONY: install test bench bench-perf bench-route profile results full clean
+.PHONY: install test test-backends bench bench-perf bench-route \
+	bench-train profile results full clean
 
 install:
 	pip install -e .
 
 test:
 	PYTHONPATH=src pytest tests/
+
+# Tier-1 under each repro.nn backend: the suite must pass with the
+# fused graph executor as the process default, not just the reference
+# object-graph autograd.
+test-backends:
+	PYTHONPATH=src REPRO_NN_BACKEND=reference pytest tests/
+	PYTHONPATH=src REPRO_NN_BACKEND=fused pytest tests/
 
 bench:
 	PYTHONPATH=src pytest benchmarks/ --benchmark-only
@@ -24,6 +32,13 @@ bench-route:
 	PYTHONPATH=src pytest benchmarks/test_route_kernel_regression.py \
 		--benchmark-only
 
+# Training-throughput regression: fused backend + cross-instance
+# batched decoding vs the reference serial path at paper scale
+# (speedup floor + reward parity; writes results/BENCH_PR6.json).
+bench-train:
+	PYTHONPATH=src pytest benchmarks/test_train_throughput_regression.py \
+		--benchmark-only
+
 # Op-level autograd profiles of a smoke solve + training run: per-op
 # JSONL summaries and collapsed stacks (flamegraph.pl format) under
 # profiles/.
@@ -36,6 +51,9 @@ profile:
 		--collapsed profiles/solve_object.folded
 	PYTHONPATH=src python -m repro.obs.profile train \
 		--out profiles/train.jsonl --collapsed profiles/train.folded
+	PYTHONPATH=src REPRO_NN_BACKEND=fused python -m repro.obs.profile train \
+		--out profiles/train_fused.jsonl \
+		--collapsed profiles/train_fused.folded
 
 # Regenerate every table/figure artifact under results/.
 results: bench

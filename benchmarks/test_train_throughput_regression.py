@@ -1,0 +1,126 @@
+"""Training-throughput regression bench for PR 6 (fused backend +
+cross-instance batched decoding).
+
+Pins the win of the two PR-6 perf layers over the reference path at
+paper scale (``delivery`` instances at the paper's task density, the
+paper's d_model=128 / 8-head / 3-layer TASNet, 32 REINFORCE rollouts
+per instance):
+
+- ``reference_serial`` — the reference autograd backend with the
+  per-rollout (serial) decode loop: the seed-equivalent baseline;
+- ``reference_cross`` — the reference backend with cross-instance
+  batched decoding: isolates the batching contribution;
+- ``fused_cross`` — the fused graph executor plus cross-instance
+  batching: the shipped configuration.
+
+A full REINFORCE iteration (sampled rollouts + greedy baselines +
+backward + update) is timed per configuration after one warm-up
+iteration; the headline ratio ``reference_serial / fused_cross`` must
+stay at least ``MIN_TRAIN_SPEEDUP``.  The serial baseline gets a single
+timed round (it costs tens of seconds); the cheap configurations keep
+the fastest of ``BENCH_ROUNDS`` rounds.
+
+The three configurations must also agree bitwise on the first
+iteration's mean reward: same seeds, same action streams — decode mode
+and backend change the wall clock, never the rollouts (the
+serial-vs-batched and cross-backend parity suites pin the same
+invariant at test scale; this repeats it at paper scale).
+
+Timings land in ``results/BENCH_PR6.json`` (a CI artifact), so a
+regression shows up as a diff; the assertion pins the speedup ratio
+(absolute wall time is hardware-dependent).
+"""
+
+import time
+
+import numpy as np
+
+from repro import nn
+from repro.datasets import InstanceOptions, generate_instances
+from repro.smore import (TASNet, TASNetConfig, TASNetPolicy, TASNetTrainer,
+                         TrainingConfig)
+from repro.tsptw import InsertionSolver
+
+from .conftest import write_bench
+
+BATCH_SIZE = 4
+ROLLOUTS = 32
+BENCH_ROUNDS = 2
+MIN_TRAIN_SPEEDUP = 5.0
+
+NET = TASNetConfig(d_model=128, num_heads=8, num_layers=3, conv_channels=8)
+
+
+def _instances():
+    options = InstanceOptions(task_density=0.15)
+    return generate_instances("delivery", BATCH_SIZE, seed=100,
+                              options=options)
+
+
+def _run_config(instances, backend, cross, serial, rounds):
+    """Warm up, then time ``rounds`` REINFORCE iterations; keep the min."""
+    grid = instances[0].coverage.grid
+    net = TASNet(NET, grid_nx=grid.nx, grid_ny=grid.ny,
+                 rng=np.random.default_rng(0))
+    policy = TASNetPolicy(net)
+    if serial:
+        policy.act_batch = None  # force the per-rollout decode loop
+    config = TrainingConfig(batch_size=BATCH_SIZE,
+                            rollouts_per_instance=ROLLOUTS,
+                            cross_instance_batch=cross, seed=3)
+    trainer = TASNetTrainer(policy, InsertionSolver(), config)
+    best = float("inf")
+    with nn.use_backend(backend):
+        first_reward = trainer.train_iteration(instances)
+        for _ in range(rounds):
+            start = time.perf_counter()
+            trainer.train_iteration(instances)
+            best = min(best, time.perf_counter() - start)
+    return {"seconds": best, "rounds": rounds, "backend": backend,
+            "cross_instance_batch": cross, "serial_decode": serial,
+            "first_reward": first_reward}
+
+
+def test_train_throughput_regression(benchmark, results_dir):
+    def run():
+        instances = _instances()
+        configs = {
+            "reference_serial": _run_config(instances, "reference",
+                                            cross=False, serial=True,
+                                            rounds=1),
+            "reference_cross": _run_config(instances, "reference",
+                                           cross=True, serial=False,
+                                           rounds=BENCH_ROUNDS),
+            "fused_cross": _run_config(instances, "fused", cross=True,
+                                       serial=False, rounds=BENCH_ROUNDS),
+        }
+        serial_s = configs["reference_serial"]["seconds"]
+        ref_cross_s = configs["reference_cross"]["seconds"]
+        fused_s = configs["fused_cross"]["seconds"]
+        return {
+            "scale": {"mode": "delivery", "batch_size": BATCH_SIZE,
+                      "rollouts_per_instance": ROLLOUTS,
+                      "workers": instances[0].num_workers,
+                      "sensing_tasks": instances[0].num_sensing_tasks,
+                      "d_model": NET.d_model, "num_heads": NET.num_heads,
+                      "num_layers": NET.num_layers},
+            "configs": configs,
+            "speedup": {
+                "fused_cross_vs_reference_serial": serial_s / fused_s,
+                "batching_vs_reference_serial": serial_s / ref_cross_s,
+                "fused_vs_reference_cross": ref_cross_s / fused_s,
+            },
+        }
+
+    record = benchmark.pedantic(run, iterations=1, rounds=1)
+    text = write_bench(results_dir, 6, record)
+    print("\n" + text)
+
+    rewards = {name: c["first_reward"]
+               for name, c in record["configs"].items()}
+    # Decode mode and backend never change the action streams: all three
+    # configurations replay the same rollouts from the same seeds.
+    assert len(set(rewards.values())) == 1, rewards
+    # The shipped configuration trains at a multiple of the seed path.
+    assert record["speedup"]["fused_cross_vs_reference_serial"] >= \
+        MIN_TRAIN_SPEEDUP

@@ -16,7 +16,7 @@ from .errors import (
 from .geometry import DEFAULT_SPEED, Grid, Location, Region, euclidean, travel_time
 from .incentive import IncentiveModel
 from .instance import USMDWInstance, make_sensing_grid_tasks
-from .packed import PackedInstance, packed_instance
+from .packed import PackedInstance, RaggedRows, packed_instance
 from .perf import PerfCounters
 from .route import RouteStop, RouteTiming, WorkingRoute, simulate_route
 from .solution import Solution
@@ -28,7 +28,7 @@ __all__ = [
     "WorkingRoute", "RouteStop", "RouteTiming", "simulate_route",
     "CoverageModel", "CoverageState", "spatial_pyramid",
     "IncentiveModel", "PerfCounters",
-    "PackedInstance", "packed_instance",
+    "PackedInstance", "RaggedRows", "packed_instance",
     "USMDWInstance", "make_sensing_grid_tasks",
     "ReproError", "InvalidInstanceError", "InfeasibleRouteError",
     "BudgetExceededError",

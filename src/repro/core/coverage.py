@@ -53,11 +53,27 @@ def spatial_pyramid(grid: Grid) -> list[Grid]:
     return levels
 
 
+# Histogram counts stay below the instance's task total (a few hundred),
+# so n*log2(n) and log2(n) come from precomputed tables on the hot paths —
+# candidate scoring evaluates entropy_after_add for every (rollout,
+# candidate) pair each step.  Entries are built with the exact expressions
+# they replace, so table hits are bit-identical to direct evaluation.
+_LOG_TABLE = 4096
+_CLOG2 = [0.0] + [n * math.log2(n) for n in range(1, _LOG_TABLE)]
+_LOG2 = [0.0, 0.0] + [math.log2(n) for n in range(2, _LOG_TABLE)]
+# Array views of the same tables for the vectorized gain path; elementwise
+# float64 arithmetic on these matches the scalar expressions bit for bit.
+_CLOG2_ARR = np.asarray(_CLOG2)
+_LOG2_ARR = np.asarray(_LOG2)
+
+
 def _entropy_from_stats(count_total: int, sum_clog: float) -> float:
     """Shannon entropy (bits) from N and sum of c*log2(c) over bins."""
     if count_total <= 1:
         return 0.0
-    return math.log2(count_total) - sum_clog / count_total
+    log_n = _LOG2[count_total] if count_total < _LOG_TABLE \
+        else math.log2(count_total)
+    return log_n - sum_clog / count_total
 
 
 @dataclass(frozen=True)
@@ -164,32 +180,41 @@ class CoverageModel:
 
 
 class _Histogram:
-    """A counting histogram with O(1) entropy maintenance."""
+    """A counting histogram over a fixed key range with O(1) entropy.
+
+    Counts live in a dense integer array (bin spaces here — grid cells,
+    time slots — are small and known up front), which lets the candidate
+    scorers evaluate whole batches of hypothetical adds with one fancy
+    index instead of per-key dictionary probes.
+    """
 
     __slots__ = ("counts", "sum_clog", "total")
 
-    def __init__(self):
-        self.counts: dict[int, int] = {}
+    def __init__(self, size: int):
+        self.counts = np.zeros(size, dtype=np.int64)
         self.sum_clog = 0.0
         self.total = 0
 
     def add(self, key: int) -> None:
-        old = self.counts.get(key, 0)
+        old = int(self.counts[key])
         new = old + 1
         self.counts[key] = new
-        self.sum_clog += new * math.log2(new) - (old * math.log2(old) if old else 0.0)
+        if new < _LOG_TABLE:
+            self.sum_clog += _CLOG2[new] - _CLOG2[old]
+        else:
+            self.sum_clog += new * math.log2(new) - old * math.log2(old)
         self.total += 1
 
     def remove(self, key: int) -> None:
-        old = self.counts.get(key, 0)
+        old = int(self.counts[key])
         if old <= 0:
             raise KeyError(f"bin {key} is empty")
         new = old - 1
-        if new:
-            self.counts[key] = new
+        self.counts[key] = new
+        if old < _LOG_TABLE:
+            self.sum_clog -= _CLOG2[old] - _CLOG2[new]
         else:
-            del self.counts[key]
-        self.sum_clog -= old * math.log2(old) - (new * math.log2(new) if new else 0.0)
+            self.sum_clog -= old * math.log2(old) - new * math.log2(new)
         self.total -= 1
 
     def entropy(self) -> float:
@@ -199,15 +224,36 @@ class _Histogram:
         """Entropy the histogram would have after ``add(key)`` — without
         mutating, and bitwise identical to the add/entropy/remove
         round-trip (same update expression, no float residue)."""
-        old = self.counts.get(key, 0)
+        old = int(self.counts[key])
         new = old + 1
-        sum_clog = self.sum_clog + new * math.log2(new) \
-            - (old * math.log2(old) if old else 0.0)
+        if new < _LOG_TABLE:
+            sum_clog = self.sum_clog + _CLOG2[new] - _CLOG2[old]
+        else:
+            sum_clog = self.sum_clog + new * math.log2(new) \
+                - old * math.log2(old)
         return _entropy_from_stats(self.total + 1, sum_clog)
 
+    def entropy_after_add_many(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`entropy_after_add` over a batch of keys.
+
+        Elementwise table lookups and float64 arithmetic replay the
+        scalar expressions exactly, so ``out[i]`` is bit-identical to
+        ``entropy_after_add(keys[i])``.
+        """
+        old = self.counts[keys]
+        new = old + 1
+        if int(new.max(initial=0)) >= _LOG_TABLE:
+            return np.array([self.entropy_after_add(int(k)) for k in keys])
+        sum_clog = self.sum_clog + _CLOG2_ARR[new] - _CLOG2_ARR[old]
+        total = self.total + 1
+        if total <= 1:
+            return np.zeros(len(keys))
+        log_n = _LOG2[total] if total < _LOG_TABLE else math.log2(total)
+        return log_n - sum_clog / total
+
     def copy(self) -> "_Histogram":
-        twin = _Histogram()
-        twin.counts = dict(self.counts)
+        twin = _Histogram(len(self.counts))
+        twin.counts = self.counts.copy()
         twin.sum_clog = self.sum_clog
         twin.total = self.total
         return twin
@@ -224,8 +270,8 @@ class CoverageState:
     def __init__(self, model: CoverageModel):
         self.model = model
         self._levels = spatial_pyramid(model.grid)
-        self._spatial = [_Histogram() for _ in self._levels]
-        self._temporal = _Histogram()
+        self._spatial = [_Histogram(grid.num_cells) for grid in self._levels]
+        self._temporal = _Histogram(model.num_slots)
         self._total = 0
         self._weights = self._level_weights()
         self._phi_cache: float | None = None
@@ -324,9 +370,40 @@ class CoverageState:
         terms.append(self._temporal.entropy_after_add(slot))
         entropy_after = sum(w * t for w, t in zip(self._weights, terms))
         alpha = self.model.alpha
-        phi_after = alpha * entropy_after \
-            + (1.0 - alpha) * math.log2(self._total + 1)
+        n = self._total + 1
+        log_n = _LOG2[n] if n < _LOG_TABLE else math.log2(n)
+        phi_after = alpha * entropy_after + (1.0 - alpha) * log_n
         return phi_after - self.phi()
+
+    def gain_many(self, tasks) -> np.ndarray:
+        """Marginal gains of many candidate tasks at once (no mutation).
+
+        One fancy-indexed :meth:`_Histogram.entropy_after_add_many` per
+        level replaces the per-task scalar probes of :meth:`gain` — the
+        decode loops score every feasible candidate of a worker against
+        one fixed state each step.  The weighted accumulation runs in the
+        same level order as the scalar path, so ``out[i]`` is
+        bit-identical to ``gain(tasks[i])``.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return np.empty(0)
+        bins = [self._bins(task) for task in tasks]
+        keys = np.array([b[0] for b in bins], dtype=np.intp)  # (T, levels)
+        slots = np.array([b[1] for b in bins], dtype=np.intp)
+        entropy_after = None
+        weights = self._weights
+        for li, hist in enumerate(self._spatial):
+            term = weights[li] * hist.entropy_after_add_many(keys[:, li])
+            entropy_after = term if entropy_after is None \
+                else entropy_after + term
+        term = weights[-1] * self._temporal.entropy_after_add_many(slots)
+        entropy_after = term if entropy_after is None \
+            else entropy_after + term
+        alpha = self.model.alpha
+        n = self._total + 1
+        log_n = _LOG2[n] if n < _LOG_TABLE else math.log2(n)
+        return alpha * entropy_after + (1.0 - alpha) * log_n - self.phi()
 
     def copy(self) -> "CoverageState":
         clone = CoverageState(self.model)

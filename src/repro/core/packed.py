@@ -32,7 +32,47 @@ import numpy as np
 from .entities import SensingTask, Worker
 from .geometry import Location
 
-__all__ = ["PackedInstance", "packed_instance"]
+__all__ = ["PackedInstance", "RaggedRows", "packed_instance"]
+
+
+class RaggedRows:
+    """Offsets over B variable-length rows packed into one flat axis.
+
+    The cross-instance decode path concatenates per-instance embedding
+    matrices along axis 0 and addresses them as ``offsets[i] + local``;
+    :meth:`padded` materialises the ``(B, max_len)`` global-index matrix
+    and padding mask that turn the ragged structure into one rectangular
+    gather.
+    """
+
+    __slots__ = ("lengths", "offsets", "total", "max_len")
+
+    def __init__(self, lengths: Sequence[int]):
+        self.lengths = np.asarray(lengths, dtype=np.intp)
+        if self.lengths.ndim != 1:
+            raise ValueError("lengths must be one-dimensional")
+        if self.lengths.size and int(self.lengths.min()) < 0:
+            raise ValueError("lengths must be non-negative")
+        self.offsets = np.zeros(self.lengths.size + 1, dtype=np.intp)
+        np.cumsum(self.lengths, out=self.offsets[1:])
+        self.total = int(self.offsets[-1])
+        self.max_len = int(self.lengths.max()) if self.lengths.size else 0
+
+    def __len__(self) -> int:
+        return int(self.lengths.size)
+
+    def padded(self, fill: int = 0) -> tuple[np.ndarray, np.ndarray]:
+        """``(B, max_len)`` global indices plus a True-on-padding mask.
+
+        Row ``i`` holds ``offsets[i] + j`` for ``j < lengths[i]`` and
+        ``fill`` elsewhere.  Callers mask every downstream use of the
+        filled tail, so any valid flat row index works as ``fill``.
+        """
+        cols = np.arange(self.max_len, dtype=np.intp)
+        pad = cols[None, :] >= self.lengths[:, None]
+        idx = self.offsets[:-1, None] + cols[None, :]
+        idx[pad] = fill
+        return idx, pad
 
 
 class PackedInstance:

@@ -14,6 +14,7 @@ import math
 import numpy as np
 
 from . import ops
+from .backend import get_backend
 from .layers import LayerNorm, Linear, Module
 from .tensor import Tensor, as_tensor
 
@@ -32,19 +33,7 @@ def scaled_dot_product_attention(q: Tensor, k: Tensor, v: Tensor,
     ``mask`` is a boolean array broadcastable to the score shape with True
     marking *disallowed* positions.
     """
-    d_k = q.shape[-1]
-    scores = ops.matmul(q, ops.transpose(k, _swap_last_two(k.ndim)))
-    scores = ops.mul(scores, 1.0 / math.sqrt(d_k))
-    if mask is not None:
-        scores = ops.masked_fill(scores, mask, _NEG_INF)
-    weights = ops.softmax(scores, axis=-1)
-    return ops.matmul(weights, v)
-
-
-def _swap_last_two(ndim: int) -> tuple[int, ...]:
-    axes = list(range(ndim))
-    axes[-1], axes[-2] = axes[-2], axes[-1]
-    return tuple(axes)
+    return get_backend().attention(q, k, v, mask=mask)
 
 
 class MultiHeadAttention(Module):
@@ -154,8 +143,9 @@ class TransformerEncoderLayer(Module):
         x = as_tensor(x)
         attended = self.attention(x, mask=mask)
         x = self.norm1(ops.add(x, attended))
-        hidden = ops.relu(self.ff1(x))
-        x = self.norm2(ops.add(x, self.ff2(hidden)))
+        ff = get_backend().ffn(x, self.ff1.weight, self.ff1.bias,
+                               self.ff2.weight, self.ff2.bias)
+        x = self.norm2(ops.add(x, ff))
         return x
 
 
@@ -216,11 +206,51 @@ class PointerAttention(Module):
             scores = ops.reshape(ops.matmul(k, q_col), (batch, -1))
         else:
             scores = ops.matmul(k, q)          # (n,)
-        scores = ops.mul(scores, 1.0 / math.sqrt(self.d_key))
-        logits = ops.clip_tanh(scores, self.clip)
-        if mask is not None:
-            logits = ops.masked_fill(logits, mask, _NEG_INF)
-        return logits
+        return get_backend().pointer_tail(
+            scores, 1.0 / math.sqrt(self.d_key), self.clip, mask=mask)
+
+    def precompute_keys(self, keys_static) -> Tensor:
+        """Project static key features once, for reuse across decode steps.
+
+        ``w_k`` splits by input row: rows ``[:d_static]`` act on features
+        that stay fixed for a whole episode (e.g. candidate embeddings),
+        rows ``[d_static:]`` on per-step features handled by the ``extra``
+        argument of :meth:`forward_precomputed`.  Callers project the
+        static block once per episode and gather rows of the result per
+        step — turning the per-step key projection, the dominant decode
+        GEMM, into an index lookup.  Gradients still flow into ``w_k``
+        through every gathered use.
+        """
+        keys_static = as_tensor(keys_static)
+        w_static = self.w_k.weight[:keys_static.shape[-1]]
+        return ops.matmul(keys_static, w_static)
+
+    def forward_precomputed(self, query, keys, extra=None,
+                            mask: np.ndarray | None = None) -> Tensor:
+        """Pointer logits from pre-projected keys (:meth:`precompute_keys`).
+
+        ``keys``: gathered rows of the precomputed static projection,
+        ``(n, d_key)`` serial or ``(B, n, d_key)`` batched.  ``extra``:
+        per-step key features ``(n, e)`` / ``(B, n, e)`` projected through
+        the trailing ``e`` input rows of ``w_k`` and added — the split
+        ``W [s; x] = W_s s + W_x x`` evaluated as two products.
+        """
+        query = as_tensor(query)
+        k = as_tensor(keys)
+        if extra is not None:
+            extra = as_tensor(extra)
+            w_extra = self.w_k.weight[
+                self.w_k.in_features - extra.shape[-1]:]
+            k = ops.add(k, ops.matmul(extra, w_extra))
+        q = self.w_q(query)
+        if k.ndim == 3:
+            batch = k.shape[0]
+            q_col = ops.reshape(q, (batch, self.d_key, 1))
+            scores = ops.reshape(ops.matmul(k, q_col), (batch, -1))
+        else:
+            scores = ops.matmul(k, q)          # (n,)
+        return get_backend().pointer_tail(
+            scores, 1.0 / math.sqrt(self.d_key), self.clip, mask=mask)
 
     def forward_flops(self, n: int, d_query: int, d_key_in: int,
                       batch: int = 1, matmul_only: bool = False) -> int:

@@ -1,0 +1,231 @@
+"""Backend seam for ``repro.nn``: pluggable kernel execution strategies.
+
+PR 4's profiler showed the object-graph autograd spending most of its
+time in Python dispatch — one closure per primitive op — around a small
+set of model-level kernels (affine maps, layer norm, the feed-forward
+block, the attention core, the pointer-logit tail).  This module puts a
+seam behind those kernels so the execution strategy is swappable without
+touching model code:
+
+* :class:`Backend` (the **reference** backend) composes every kernel
+  from the primitive ops in :mod:`repro.nn.ops` — byte-for-byte the
+  graphs the library built before the seam existed.  It is the parity
+  oracle: every other backend is tested against it.
+* :class:`repro.nn.fused.FusedBackend` (**fused**) lowers each kernel to
+  a single autograd node: one numpy forward pass that replays the exact
+  arithmetic of the reference composition (greedy decoding is therefore
+  bit-identical) and one handwritten backward, with scratch buffers
+  reused across iterations.  Registered by :mod:`repro.nn.fused` at
+  import time.
+* :class:`repro.nn.fused.TorchBackend` (**torch**) — same fused kernels
+  with forward GEMMs routed through ``torch`` when it is importable;
+  registered only in environments that ship torch.
+
+Selection
+---------
+The active backend resolves lazily on first use from the
+``REPRO_NN_BACKEND`` environment variable (default ``reference``), and
+can be switched programmatically::
+
+    from repro.nn import backend
+    backend.set_backend("fused")
+    with backend.use_backend("reference"):
+        ...  # temporary override
+
+Layers (:mod:`repro.nn.layers`, :mod:`repro.nn.attention`) fetch the
+backend per forward call, so a switch takes effect immediately —
+including mid-test via the ``use_backend`` context manager.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+import numpy as np
+
+from . import ops
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "Backend", "ReferenceBackend", "register_backend", "available_backends",
+    "get_backend", "set_backend", "use_backend", "backend_name", "ENV_VAR",
+]
+
+#: Environment variable consulted (once, lazily) for the default backend.
+ENV_VAR = "REPRO_NN_BACKEND"
+
+#: Logit value for masked positions — matches ``ops.NEG_INF``.
+NEG_INF = ops.NEG_INF
+
+
+class Backend:
+    """Kernel-level execution strategy; the base class IS the reference.
+
+    Every method composes primitive ops from :mod:`repro.nn.ops` in the
+    exact sequence the layers used before the seam existed, so the
+    reference backend's graphs, profiler op streams, and numerics are
+    unchanged.  Subclasses override methods with accelerated
+    implementations; anything not overridden falls back to the oracle.
+
+    All kernels take/return :class:`Tensor` and are fully
+    differentiable under both strategies.
+    """
+
+    name = "reference"
+
+    # -- affine ---------------------------------------------------------- #
+    def linear(self, x: Tensor, weight: Tensor,
+               bias: Tensor | None = None) -> Tensor:
+        """``x @ weight (+ bias)`` over the last axis."""
+        out = ops.matmul(x, weight)
+        if bias is not None:
+            out = ops.add(out, bias)
+        return out
+
+    # -- normalisation --------------------------------------------------- #
+    def layernorm(self, x: Tensor, gamma: Tensor, beta: Tensor,
+                  eps: float) -> Tensor:
+        """Layer normalisation over the last axis."""
+        mu = ops.mean(x, axis=-1, keepdims=True)
+        centered = ops.sub(x, mu)
+        var = ops.mean(ops.mul(centered, centered), axis=-1, keepdims=True)
+        std = ops.sqrt(ops.add(var, eps))
+        normed = ops.div(centered, std)
+        return ops.add(ops.mul(normed, gamma), beta)
+
+    # -- feed-forward ----------------------------------------------------- #
+    def ffn(self, x: Tensor, w1: Tensor, b1: Tensor,
+            w2: Tensor, b2: Tensor) -> Tensor:
+        """Node-wise feed-forward ``relu(x W1 + b1) W2 + b2``."""
+        hidden = ops.relu(ops.add(ops.matmul(x, w1), b1))
+        return ops.add(ops.matmul(hidden, w2), b2)
+
+    # -- attention -------------------------------------------------------- #
+    def attention(self, q: Tensor, k: Tensor, v: Tensor,
+                  mask: np.ndarray | None = None) -> Tensor:
+        """``softmax(Q K^T / sqrt(d)) V`` with optional boolean mask
+        (True = disallowed) broadcastable to the score shape."""
+        d_k = q.shape[-1]
+        axes = list(range(k.ndim))
+        axes[-1], axes[-2] = axes[-2], axes[-1]
+        scores = ops.matmul(q, ops.transpose(k, tuple(axes)))
+        scores = ops.mul(scores, 1.0 / math.sqrt(d_k))
+        if mask is not None:
+            scores = ops.masked_fill(scores, mask, NEG_INF)
+        weights = ops.softmax(scores, axis=-1)
+        return ops.matmul(weights, v)
+
+    # -- pointer logits --------------------------------------------------- #
+    def pointer_tail(self, scores: Tensor, scale: float, clip: float,
+                     mask: np.ndarray | None = None) -> Tensor:
+        """Scale, tanh-clip, and mask raw pointer scores (Eq. 5-6)."""
+        logits = ops.clip_tanh(ops.mul(scores, scale), clip)
+        if mask is not None:
+            logits = ops.masked_fill(logits, mask, NEG_INF)
+        return logits
+
+    # -- masked reduction -------------------------------------------------- #
+    def masked_mean(self, x: Tensor, mask: np.ndarray, axis: int) -> Tensor:
+        """Mean over ``axis`` counting only entries where mask is False."""
+        return ops.masked_mean(x, mask, axis)
+
+    # -- elementwise chains ------------------------------------------------ #
+    def chain(self, x: Tensor, stages) -> Tensor:
+        """Apply a sequence of elementwise stages to ``x``.
+
+        ``stages`` is a tuple of ``(op,)`` / ``(op, constant)`` entries
+        drawn from ``add``, ``mul``, ``tanh``, ``sigmoid``, ``relu``,
+        ``clip_tanh``.  The reference applies one primitive op per
+        stage; the fused backend folds the whole chain into a single
+        numpy pass and one graph node.
+        """
+        out = as_tensor(x)
+        for stage in stages:
+            op = stage[0]
+            if op == "add":
+                out = ops.add(out, float(stage[1]))
+            elif op == "mul":
+                out = ops.mul(out, float(stage[1]))
+            elif op == "tanh":
+                out = ops.tanh(out)
+            elif op == "sigmoid":
+                out = ops.sigmoid(out)
+            elif op == "relu":
+                out = ops.relu(out)
+            elif op == "clip_tanh":
+                out = ops.clip_tanh(out, float(stage[1]))
+            else:
+                raise ValueError(f"unknown chain stage {op!r}")
+        return out
+
+
+#: Alias making the oracle's role explicit at call sites.
+ReferenceBackend = Backend
+
+
+# --------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------- #
+_BACKENDS: dict[str, Backend] = {}
+_CURRENT: Backend | None = None
+
+
+def register_backend(name: str, backend: Backend) -> None:
+    """Register ``backend`` under ``name`` (later wins on collision)."""
+    backend.name = name
+    _BACKENDS[name] = backend
+
+
+def available_backends() -> list[str]:
+    """Names of all registered backends, sorted."""
+    return sorted(_BACKENDS)
+
+
+def get_backend() -> Backend:
+    """The active backend; resolves ``REPRO_NN_BACKEND`` on first call."""
+    global _CURRENT
+    if _CURRENT is None:
+        name = os.environ.get(ENV_VAR, "reference")
+        if name not in _BACKENDS:
+            raise ValueError(
+                f"{ENV_VAR}={name!r} is not a registered backend "
+                f"(available: {available_backends()})")
+        _CURRENT = _BACKENDS[name]
+    return _CURRENT
+
+
+def set_backend(name: str) -> Backend:
+    """Make ``name`` the active backend; returns it."""
+    global _CURRENT
+    if name not in _BACKENDS:
+        raise ValueError(
+            f"unknown backend {name!r} (available: {available_backends()})")
+    _CURRENT = _BACKENDS[name]
+    return _CURRENT
+
+
+def backend_name() -> str:
+    """Name of the active backend."""
+    return get_backend().name
+
+
+class use_backend:
+    """Context manager that temporarily activates a backend by name."""
+
+    def __init__(self, name: str):
+        self._name = name
+        self._previous: Backend | None = None
+
+    def __enter__(self) -> Backend:
+        global _CURRENT
+        self._previous = get_backend()
+        return set_backend(self._name)
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        global _CURRENT
+        _CURRENT = self._previous
+        return False
+
+
+register_backend("reference", Backend())

@@ -1,0 +1,430 @@
+"""Fused graph executor: one autograd node per model-level kernel.
+
+The reference backend builds an object graph with one Python closure per
+primitive op — 20+ nodes for a Transformer encoder layer.  The profiler
+(PR 4) showed that at paper scale the resulting closure dispatch and
+intermediate-tensor churn, not the GEMMs themselves, bound training
+throughput.  This module collapses each kernel of the
+:class:`~repro.nn.backend.Backend` seam into a *single* graph node:
+
+* the **forward** replays the exact numpy arithmetic of the reference
+  composition, in the same order — so forward values (and therefore
+  greedy decoding) are bit-identical to the reference backend;
+* the **backward** is a handwritten flat function (no closure chain),
+  sharing :func:`repro.nn.ops.matmul_backward` with the reference op so
+  matrix-product gradients use identical formulas;
+* elementwise chains (scale / tanh / sigmoid / relu / clip) fold into
+  one pass over the data instead of one op per link
+  (:func:`fused_chain`);
+* backward temporaries come from a shape-keyed scratch pool
+  (:class:`_ScratchPool`) so steady-state training iterations reuse the
+  same buffers instead of reallocating per step.
+
+Kernels are wrapped with :func:`repro.nn.tensor.instrument_op` under
+``fused.*`` names, so the op profiler attributes their time and the
+FLOP model (:mod:`repro.nn.flops`) prices them like their unfused
+equivalents.
+
+A :class:`TorchBackend` rides the same seam when ``torch`` is
+importable: identical kernels with forward GEMMs routed through torch
+(numerics then match to GEMM-reordering tolerance, not bitwise).  It is
+registered only if ``import torch`` would succeed, so environments
+without torch — like CI here — simply never see it.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import math
+
+import numpy as np
+
+from . import ops
+from .backend import NEG_INF, Backend, register_backend
+from .tensor import Tensor, as_tensor, instrument_op, is_grad_enabled, unbroadcast
+
+__all__ = [
+    "FusedBackend", "TorchBackend", "fused_linear", "fused_layernorm",
+    "fused_ffn", "fused_attention", "fused_pointer_tail",
+    "fused_masked_mean", "fused_chain", "scratch_pool",
+]
+
+
+# --------------------------------------------------------------------- #
+# Scratch buffers
+# --------------------------------------------------------------------- #
+class _ScratchPool:
+    """Shape-keyed pool of float64 scratch arrays for backward passes.
+
+    Training iterates over fixed step shapes, so the same temporaries
+    are needed every backward; the pool hands them back instead of
+    allocating fresh.  Arrays are only ``give``-n back when nothing else
+    can reference them (strictly intra-call temporaries) — returned
+    gradients are never pooled.
+    """
+
+    __slots__ = ("_free", "_max")
+
+    def __init__(self, max_per_shape: int = 4):
+        self._free: dict[tuple[int, ...], list[np.ndarray]] = {}
+        self._max = max_per_shape
+
+    def take(self, shape: tuple[int, ...]) -> np.ndarray:
+        bucket = self._free.get(shape)
+        if bucket:
+            return bucket.pop()
+        return np.empty(shape)
+
+    def give(self, arr: np.ndarray) -> None:
+        bucket = self._free.setdefault(arr.shape, [])
+        if len(bucket) < self._max:
+            bucket.append(arr)
+
+    def clear(self) -> None:
+        self._free.clear()
+
+    def cached_bytes(self) -> int:
+        return sum(a.nbytes for bucket in self._free.values() for a in bucket)
+
+
+_POOL = _ScratchPool()
+
+
+def scratch_pool() -> _ScratchPool:
+    """The process-wide scratch pool (exposed for tests/diagnostics)."""
+    return _POOL
+
+
+def _grad_off(*tensors) -> bool:
+    """True when no node needs a backward closure for these parents."""
+    if not is_grad_enabled():
+        return True
+    return not any(t is not None and t.requires_grad for t in tensors)
+
+
+# --------------------------------------------------------------------- #
+# Kernels
+# --------------------------------------------------------------------- #
+def fused_linear(x, weight, bias=None, mm=np.matmul) -> Tensor:
+    """Affine map ``x @ W (+ b)`` as one graph node."""
+    x, weight = as_tensor(x), as_tensor(weight)
+    bias = None if bias is None else as_tensor(bias)
+    out_data = ops.flat_matmul(x.data, weight.data, mm)
+    if bias is not None:
+        out_data += bias.data
+    if _grad_off(x, weight, bias):
+        return Tensor(out_data)
+
+    if bias is None:
+        def backward(grad):
+            return ops.matmul_backward(grad, x.data, weight.data)
+
+        return Tensor._make(out_data, (x, weight), backward)
+
+    def backward(grad):
+        grad_x, grad_w = ops.matmul_backward(grad, x.data, weight.data)
+        return grad_x, grad_w, unbroadcast(grad, bias.data.shape)
+
+    return Tensor._make(out_data, (x, weight, bias), backward)
+
+
+def fused_layernorm(x, gamma, beta, eps: float) -> Tensor:
+    """Layer normalisation over the last axis as one graph node."""
+    x, gamma, beta = as_tensor(x), as_tensor(gamma), as_tensor(beta)
+    # Forward replays the reference op sequence exactly (bit-identical).
+    mu = x.data.mean(axis=-1, keepdims=True)
+    centered = x.data - mu
+    var = (centered * centered).mean(axis=-1, keepdims=True)
+    std = np.sqrt(var + eps)
+    normed = centered / std
+    out_data = normed * gamma.data + beta.data
+    if _grad_off(x, gamma, beta):
+        return Tensor(out_data)
+
+    d = x.data.shape[-1]
+
+    def backward(grad):
+        grad_beta = unbroadcast(grad, beta.data.shape)
+        grad_gamma = unbroadcast(grad * normed, gamma.data.shape)
+        dnormed = grad * gamma.data
+        # normed = centered / std; var = mean(centered^2); centered = x - mu
+        dstd = -(dnormed * centered / (std * std)).sum(axis=-1, keepdims=True)
+        dvar = dstd * (0.5 / std)
+        dcentered = dnormed / std + centered * (2.0 / d) * dvar
+        dmu = -dcentered.sum(axis=-1, keepdims=True)
+        dx = dcentered + dmu / d
+        return dx, grad_gamma, grad_beta
+
+    return Tensor._make(out_data, (x, gamma, beta), backward)
+
+
+def fused_ffn(x, w1, b1, w2, b2, mm=np.matmul) -> Tensor:
+    """Node-wise feed-forward ``relu(x W1 + b1) W2 + b2``, one node."""
+    x = as_tensor(x)
+    w1, b1, w2, b2 = map(as_tensor, (w1, b1, w2, b2))
+    pre = ops.flat_matmul(x.data, w1.data, mm)
+    pre += b1.data
+    hidden = np.maximum(pre, 0.0)
+    out_data = ops.flat_matmul(hidden, w2.data, mm)
+    out_data += b2.data
+    if _grad_off(x, w1, b1, w2, b2):
+        return Tensor(out_data)
+
+    def backward(grad):
+        grad_b2 = unbroadcast(grad, b2.data.shape)
+        grad_h, grad_w2 = ops.matmul_backward(grad, hidden, w2.data)
+        # relu': fresh from matmul_backward, safe to mask in place.
+        grad_h *= pre > 0.0
+        grad_b1 = unbroadcast(grad_h, b1.data.shape)
+        grad_x, grad_w1 = ops.matmul_backward(grad_h, x.data, w1.data)
+        return grad_x, grad_w1, grad_b1, grad_w2, grad_b2
+
+    return Tensor._make(out_data, (x, w1, b1, w2, b2), backward)
+
+
+def fused_attention(q, k, v, mask=None, mm=np.matmul) -> Tensor:
+    """``softmax(Q K^T / sqrt(d)) V`` as one graph node.
+
+    ``mask`` is boolean, broadcastable to the score shape, True =
+    disallowed; it is copied (callers mutate their masks between steps).
+    """
+    q, k, v = as_tensor(q), as_tensor(k), as_tensor(v)
+    d_k = q.shape[-1]
+    scale = 1.0 / math.sqrt(d_k)
+    kT = np.swapaxes(k.data, -1, -2)
+    scores = mm(q.data, kT)
+    scores *= scale
+    if mask is not None:
+        mask_arr = np.array(mask, dtype=bool, copy=True)
+        scores = np.where(mask_arr, NEG_INF, scores)
+    else:
+        mask_arr = None
+    shifted = scores - scores.max(axis=-1, keepdims=True)
+    weights = np.exp(shifted)
+    weights /= weights.sum(axis=-1, keepdims=True)
+    out_data = mm(weights, v.data)
+    if _grad_off(q, k, v):
+        return Tensor(out_data)
+
+    def backward(grad):
+        grad_weights, grad_v = ops.matmul_backward(grad, weights, v.data)
+        # Softmax VJP in pooled scratch: s * (g - sum(g * s)).
+        buf = _POOL.take(weights.shape)
+        np.multiply(grad_weights, weights, out=buf)
+        dot = buf.sum(axis=-1, keepdims=True)
+        np.subtract(grad_weights, dot, out=buf)
+        buf *= weights
+        if mask_arr is not None:
+            np.copyto(buf, 0.0, where=mask_arr)
+        buf *= scale
+        grad_q, grad_kT = ops.matmul_backward(buf, q.data, kT)
+        _POOL.give(buf)
+        grad_k = np.swapaxes(grad_kT, -1, -2)
+        return grad_q, grad_k, grad_v
+
+    return Tensor._make(out_data, (q, k, v), backward)
+
+
+def fused_pointer_tail(scores, scale: float, clip: float, mask=None) -> Tensor:
+    """Scale + tanh-clip + mask of raw pointer scores, one node."""
+    scores = as_tensor(scores)
+    t = np.tanh(scores.data * scale)
+    logits = clip * t
+    if mask is not None:
+        mask_arr = np.array(mask, dtype=bool, copy=True)
+        out_data = np.where(mask_arr, NEG_INF, logits)
+    else:
+        mask_arr = None
+        out_data = logits
+    if _grad_off(scores):
+        return Tensor(out_data)
+
+    def backward(grad):
+        if mask_arr is not None:
+            g = np.where(mask_arr, 0.0, grad)
+        else:
+            g = grad * 1.0
+        g *= clip * (1.0 - t * t)
+        g *= scale
+        return (g,)
+
+    return Tensor._make(out_data, (scores,), backward)
+
+
+def fused_masked_mean(x, mask, axis: int) -> Tensor:
+    """Mean over ``axis`` counting only unmasked entries, one node."""
+    x = as_tensor(x)
+    mask_arr = np.array(np.broadcast_to(np.asarray(mask, dtype=bool),
+                                        x.shape), copy=True)
+    counts = np.maximum((~mask_arr).sum(axis=axis), 1).astype(np.float64)
+    zeroed = np.where(mask_arr, 0.0, x.data)
+    out_data = zeroed.sum(axis=axis) / counts
+    if _grad_off(x):
+        return Tensor(out_data)
+
+    def backward(grad):
+        g = np.expand_dims(grad / counts, axis)
+        g = np.broadcast_to(g, x.data.shape)
+        return (np.where(mask_arr, 0.0, g),)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+_CHAIN_STAGES = ("add", "mul", "tanh", "sigmoid", "relu", "clip_tanh")
+
+
+def fused_chain(x, stages) -> Tensor:
+    """Fold an elementwise stage chain into one pass and one node.
+
+    ``stages`` is a sequence of ``("add", c)`` / ``("mul", c)`` /
+    ``("tanh",)`` / ``("sigmoid",)`` / ``("relu",)`` /
+    ``("clip_tanh", c)`` entries.  Forward applies the whole chain with
+    in-place numpy where safe; backward walks the saved activations in
+    reverse without any closure dispatch.
+    """
+    x = as_tensor(x)
+    data = x.data
+    own = False          # may we overwrite `data` in place?
+    trace = []           # (op, constant, saved) per stage, for backward
+    for stage in stages:
+        op = stage[0]
+        const = float(stage[1]) if len(stage) > 1 else 0.0
+        if op == "add":
+            if own:
+                np.add(data, const, out=data)
+            else:
+                data = data + const
+                own = True
+            saved = None
+        elif op == "mul":
+            if own:
+                np.multiply(data, const, out=data)
+            else:
+                data = data * const
+                own = True
+            saved = None
+        elif op == "tanh":
+            data = np.tanh(data)
+            saved = data      # saved output must stay intact
+            own = False
+        elif op == "sigmoid":
+            data = 1.0 / (1.0 + np.exp(-data))
+            saved = data
+            own = False
+        elif op == "relu":
+            saved = data > 0.0
+            data = np.maximum(data, 0.0)
+            own = True
+        elif op == "clip_tanh":
+            t = np.tanh(data)
+            data = const * t
+            saved = t
+            own = True
+        else:
+            raise ValueError(
+                f"unknown chain stage {op!r} (expected one of {_CHAIN_STAGES})")
+        trace.append((op, const, saved))
+    if not trace:
+        return x
+    out_data = data
+    if _grad_off(x):
+        return Tensor(out_data)
+
+    def backward(grad):
+        g = grad
+        fresh = False    # may we overwrite `g` in place?
+        for op, const, saved in reversed(trace):
+            if op == "add":
+                continue
+            if op == "mul":
+                factor = const
+            elif op == "tanh":
+                factor = 1.0 - saved * saved
+            elif op == "sigmoid":
+                factor = saved * (1.0 - saved)
+            elif op == "relu":
+                factor = saved
+            else:  # clip_tanh
+                factor = const * (1.0 - saved * saved)
+            if fresh:
+                np.multiply(g, factor, out=g)
+            else:
+                g = g * factor
+                fresh = True
+        return (g if fresh else g * 1.0,)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+# --------------------------------------------------------------------- #
+# Backends
+# --------------------------------------------------------------------- #
+class FusedBackend(Backend):
+    """One-node-per-kernel executor; bit-identical forwards."""
+
+    name = "fused"
+
+    def linear(self, x, weight, bias=None) -> Tensor:
+        return fused_linear(x, weight, bias)
+
+    def layernorm(self, x, gamma, beta, eps) -> Tensor:
+        return fused_layernorm(x, gamma, beta, eps)
+
+    def ffn(self, x, w1, b1, w2, b2) -> Tensor:
+        return fused_ffn(x, w1, b1, w2, b2)
+
+    def attention(self, q, k, v, mask=None) -> Tensor:
+        return fused_attention(q, k, v, mask)
+
+    def pointer_tail(self, scores, scale, clip, mask=None) -> Tensor:
+        return fused_pointer_tail(scores, scale, clip, mask)
+
+    def masked_mean(self, x, mask, axis) -> Tensor:
+        return fused_masked_mean(x, mask, axis)
+
+    def chain(self, x, stages) -> Tensor:
+        return fused_chain(x, stages)
+
+
+def _torch_mm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    import torch
+
+    out = torch.from_numpy(np.ascontiguousarray(a)) @ \
+        torch.from_numpy(np.ascontiguousarray(b))
+    return out.numpy()
+
+
+class TorchBackend(FusedBackend):
+    """Fused kernels with forward GEMMs executed by torch.
+
+    Only registered when ``torch`` is importable.  Backward formulas
+    stay in numpy (identical to :class:`FusedBackend`); forward matmul
+    results match numpy to GEMM-reordering tolerance, so this backend is
+    covered by the tolerance-level parity tests, not the bit-identity
+    ones.
+    """
+
+    name = "torch"
+
+    def linear(self, x, weight, bias=None) -> Tensor:
+        return fused_linear(x, weight, bias, mm=_torch_mm)
+
+    def ffn(self, x, w1, b1, w2, b2) -> Tensor:
+        return fused_ffn(x, w1, b1, w2, b2, mm=_torch_mm)
+
+    def attention(self, q, k, v, mask=None) -> Tensor:
+        return fused_attention(q, k, v, mask, mm=_torch_mm)
+
+
+# Profiler instrumentation: kernels appear as ``fused.*`` frames with
+# FLOP/byte estimates from repro.nn.flops.
+for _name in ("fused_linear", "fused_layernorm", "fused_ffn",
+              "fused_attention", "fused_pointer_tail", "fused_masked_mean",
+              "fused_chain"):
+    globals()[_name] = instrument_op(globals()[_name],
+                                     "fused." + _name[len("fused_"):])
+del _name
+
+register_backend("fused", FusedBackend())
+if importlib.util.find_spec("torch") is not None:  # pragma: no cover
+    register_backend("torch", TorchBackend())

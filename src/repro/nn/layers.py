@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from . import init, ops
+from .backend import get_backend
 from .tensor import Tensor, as_tensor
 
 __all__ = [
@@ -140,11 +141,7 @@ class Linear(Module):
         self.bias = Parameter(np.zeros(out_features)) if bias else None
 
     def forward(self, x) -> Tensor:
-        x = as_tensor(x)
-        out = ops.matmul(x, self.weight)
-        if self.bias is not None:
-            out = ops.add(out, self.bias)
-        return out
+        return get_backend().linear(as_tensor(x), self.weight, self.bias)
 
     def forward_flops(self, rows: int) -> int:
         """Closed-form forward FLOPs over ``rows`` input rows.
@@ -242,13 +239,8 @@ class LayerNorm(Module):
         self.beta = Parameter(np.zeros(dim))
 
     def forward(self, x) -> Tensor:
-        x = as_tensor(x)
-        mu = ops.mean(x, axis=-1, keepdims=True)
-        centered = ops.sub(x, mu)
-        var = ops.mean(ops.mul(centered, centered), axis=-1, keepdims=True)
-        std = ops.sqrt(ops.add(var, self.eps))
-        normed = ops.div(centered, std)
-        return ops.add(ops.mul(normed, self.gamma), self.beta)
+        return get_backend().layernorm(as_tensor(x), self.gamma, self.beta,
+                                       self.eps)
 
 
 class Conv2D(Module):

@@ -17,7 +17,8 @@ __all__ = [
     "add", "sub", "mul", "div", "neg", "power", "matmul", "exp", "log",
     "sqrt", "tanh", "sigmoid", "relu", "sum", "mean", "max", "reshape",
     "transpose", "concat", "stack", "getitem", "softmax", "log_softmax",
-    "clip_tanh", "where", "dropout", "gather_rows", "masked_fill", "abs",
+    "clip_tanh", "where", "dropout", "gather_rows", "scatter_rows",
+    "masked_fill", "abs",
     "broadcast_to", "masked_softmax", "masked_log_softmax", "masked_mean",
     "pad_stack",
 ]
@@ -112,29 +113,66 @@ def abs(a) -> Tensor:  # noqa: A001 - mirrors numpy naming
     return Tensor._make(out_data, (a,), backward)
 
 
+def flat_matmul(a: np.ndarray, b: np.ndarray, mm=np.matmul) -> np.ndarray:
+    """``a @ b`` with a stacked-``a`` x 2D-``b`` product folded flat.
+
+    numpy dispatches ``(B, m, k) @ (k, n)`` as B separate GEMM calls; for
+    the decode-loop shapes (many small leading batches against one shared
+    weight) one ``(B*m, k) @ (k, n)`` call is several times faster.  Each
+    output row is the same row-times-matrix product either way, so the
+    fold does not change results on the BLAS this repo pins via its
+    serial-vs-batched parity tests.
+    """
+    if a.ndim > 2 and b.ndim == 2:
+        lead = a.shape[:-1]
+        return mm(a.reshape(-1, a.shape[-1]), b).reshape(*lead, b.shape[-1])
+    return mm(a, b)
+
+
+def matmul_backward(grad: np.ndarray, a_data: np.ndarray,
+                    b_data: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Gradients of ``a @ b`` w.r.t. both operands (numpy @ semantics).
+
+    Shared by :func:`matmul` and the fused kernels in
+    :mod:`repro.nn.fused`, so every backend differentiates matrix
+    products with the identical formulas.
+    """
+    if a_data.ndim == 1 and b_data.ndim == 1:
+        grad_a = grad * b_data
+        grad_b = grad * a_data
+    elif a_data.ndim == 1:
+        # (k,) @ (..., k, n) -> (..., n)
+        grad_a = (grad[..., None, :] * b_data).sum(axis=-1)
+        grad_a = unbroadcast(grad_a, a_data.shape)
+        grad_b = unbroadcast(a_data[..., :, None] * grad[..., None, :], b_data.shape)
+    elif b_data.ndim == 1:
+        # (..., m, k) @ (k,) -> (..., m)
+        grad_a = unbroadcast(grad[..., :, None] * b_data, a_data.shape)
+        grad_b = (a_data * grad[..., :, None]).reshape(-1, a_data.shape[-1]).sum(axis=0)
+    else:
+        grad_a = unbroadcast(flat_matmul(grad, np.swapaxes(b_data, -1, -2)),
+                             a_data.shape)
+        if b_data.ndim == 2 and a_data.ndim > 2:
+            # Batched rows against one shared matrix: fold the batch axes
+            # into the contraction and run a single flat GEMM instead of
+            # materialising a (batch, k, n) stack that unbroadcast would
+            # immediately reduce away — the hot layout for batched decode
+            # (every Linear applies one weight to (B, rows, k) inputs).
+            a_flat = a_data.reshape(-1, a_data.shape[-1])
+            grad_b = a_flat.T @ grad.reshape(-1, grad.shape[-1])
+        else:
+            grad_b = unbroadcast(np.swapaxes(a_data, -1, -2) @ grad,
+                                 b_data.shape)
+    return grad_a, grad_b
+
+
 def matmul(a, b) -> Tensor:
     """Matrix product supporting batched operands (numpy @ semantics)."""
     a, b = as_tensor(a), as_tensor(b)
-    out_data = a.data @ b.data
+    out_data = flat_matmul(a.data, b.data)
 
     def backward(grad):
-        a_data, b_data = a.data, b.data
-        if a_data.ndim == 1 and b_data.ndim == 1:
-            grad_a = grad * b_data
-            grad_b = grad * a_data
-        elif a_data.ndim == 1:
-            # (k,) @ (..., k, n) -> (..., n)
-            grad_a = (grad[..., None, :] * b_data).sum(axis=-1)
-            grad_a = unbroadcast(grad_a, a_data.shape)
-            grad_b = unbroadcast(a_data[..., :, None] * grad[..., None, :], b_data.shape)
-        elif b_data.ndim == 1:
-            # (..., m, k) @ (k,) -> (..., m)
-            grad_a = unbroadcast(grad[..., :, None] * b_data, a_data.shape)
-            grad_b = (a_data * grad[..., :, None]).reshape(-1, a_data.shape[-1]).sum(axis=0)
-        else:
-            grad_a = unbroadcast(grad @ np.swapaxes(b_data, -1, -2), a_data.shape)
-            grad_b = unbroadcast(np.swapaxes(a_data, -1, -2) @ grad, b_data.shape)
-        return grad_a, grad_b
+        return matmul_backward(grad, a.data, b.data)
 
     return Tensor._make(out_data, (a, b), backward)
 
@@ -351,6 +389,30 @@ def gather_rows(a, indices) -> Tensor:
     return Tensor._make(out_data, (a,), backward)
 
 
+def scatter_rows(base, indices, rows) -> Tensor:
+    """Functional row update: ``out = base; out[indices] = rows``.
+
+    ``indices`` must be unique (last-write-wins semantics are not
+    differentiable); rows of ``base`` not listed pass through unchanged.
+    Backward routes the incoming gradient to ``rows`` at the scattered
+    positions and to ``base`` everywhere else — each output row has
+    exactly one producer, so no gradient is double-counted.  Used to
+    maintain per-rollout embedding banks across decoding steps without
+    rebuilding the whole tensor each step.
+    """
+    base, rows = as_tensor(base), as_tensor(rows)
+    idx = np.asarray(indices, dtype=np.intp)
+    out_data = base.data.copy()
+    out_data[idx] = rows.data
+
+    def backward(grad):
+        grad_base = grad.copy()
+        grad_base[idx] = 0.0
+        return grad_base, grad[idx]
+
+    return Tensor._make(out_data, (base, rows), backward)
+
+
 # --------------------------------------------------------------------- #
 # Softmax family and masking
 # --------------------------------------------------------------------- #
@@ -522,11 +584,19 @@ def pad_stack(arrays, pad_value: float = 0.0) -> tuple[np.ndarray, np.ndarray]:
     Plain-numpy utility (no autograd): use it for feature/signal arrays;
     pad differentiable embeddings via index matrices + :func:`gather_rows`.
     """
-    arrays = [np.asarray(arr, dtype=np.float64) for arr in arrays]
+    # Skip the per-array ``asarray`` copy when callers already hold
+    # contiguous float64 ndarrays (the decode hot loop always does).
+    float64 = np.dtype(np.float64)
+    arrays = [arr if type(arr) is np.ndarray and arr.dtype == float64
+              else np.asarray(arr, dtype=np.float64) for arr in arrays]
     # ``max`` is shadowed by the reduction op above.
     n_max = builtins.max((arr.shape[0] for arr in arrays), default=0)
     trailing = arrays[0].shape[1:] if arrays else ()
-    batch = np.full((len(arrays), n_max) + trailing, float(pad_value))
+    out_shape = (len(arrays), n_max) + trailing
+    if pad_value == 0.0:
+        batch = np.zeros(out_shape)
+    else:
+        batch = np.full(out_shape, float(pad_value))
     mask = np.ones((len(arrays), n_max), dtype=bool)
     for i, arr in enumerate(arrays):
         n = arr.shape[0]

@@ -28,6 +28,8 @@ __all__ = ["Tensor", "as_tensor", "unbroadcast", "no_grad", "is_grad_enabled",
 
 _GRAD_ENABLED = True
 
+_FLOAT64 = np.dtype(np.float64)
+
 
 # --------------------------------------------------------------------- #
 # Profiler hook
@@ -208,7 +210,13 @@ class Tensor:
     def __init__(self, data, requires_grad: bool = False, name: str | None = None):
         if isinstance(data, Tensor):
             data = data.data
-        arr = np.asarray(data, dtype=np.float64)
+        # Fast path: the decode hot loop feeds float64 ndarrays back in;
+        # ``asarray`` on those is already a no-copy identity, but skipping
+        # it avoids the dtype-resolution machinery per tensor.
+        if type(data) is np.ndarray and data.dtype == _FLOAT64:
+            arr = data
+        else:
+            arr = np.asarray(data, dtype=np.float64)
         self.data = arr
         self.grad: np.ndarray | None = None
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED

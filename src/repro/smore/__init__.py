@@ -16,7 +16,7 @@ Typical use::
     solution = solver.solve(instance)
 """
 
-from .batch import BatchedEpisodeRunner, EpisodeResult
+from .batch import BatchedEpisodeRunner, EpisodeResult, MultiInstanceRunner
 from .candidates import CandidateEntry, CandidateTable
 from .critic import CriticNetwork, critic_features
 from .env import SelectionEnv
@@ -42,7 +42,7 @@ from .tasnet import (
 from .train import TASNetTrainer, TrainingConfig, imitation_pretrain
 
 __all__ = [
-    "BatchedEpisodeRunner", "EpisodeResult",
+    "BatchedEpisodeRunner", "EpisodeResult", "MultiInstanceRunner",
     "CandidateEntry", "CandidateTable",
     "SelectionEnv",
     "AssignmentState", "SelectionState", "WorkerAssignment",

@@ -26,7 +26,7 @@ from ..obs.profile import scope as profile_scope
 from .env import SelectionEnv
 from .state import SelectionState
 
-__all__ = ["BatchedEpisodeRunner", "EpisodeResult"]
+__all__ = ["BatchedEpisodeRunner", "EpisodeResult", "MultiInstanceRunner"]
 
 
 @dataclass
@@ -98,3 +98,75 @@ class BatchedEpisodeRunner:
                     results[k].records.append(action)
             active = [k for k in active if not states[k].done]
         return results
+
+
+class MultiInstanceRunner:
+    """Run rollouts over B heterogeneous instances in one lock-step batch.
+
+    ``envs`` holds one :class:`SelectionEnv` per instance and each env
+    gets its own rollout schedule (a list of ``(greedy, rng)`` specs, the
+    same normalisation as :meth:`BatchedEpisodeRunner.run`).  Policies
+    exposing :meth:`begin_episodes` and ``act_batch(...,
+    instance_idxs=...)`` (TASNet) decode every active rollout of every
+    instance through a single two-stage forward per step; other policies
+    fall back to one :class:`BatchedEpisodeRunner` per env.  Either way
+    each rollout consumes its own generator in the serial worker-then-task
+    order, so results match per-instance decoding rollout-for-rollout.
+    """
+
+    def __init__(self, envs, policy):
+        self.envs = list(envs)
+        self.policy = policy
+
+    def run(self, specs_per_env,
+            record_actions: bool = False) -> list[list[EpisodeResult]]:
+        """Roll each env's specs; returns one result list per env."""
+        specs_per_env = [list(specs) for specs in specs_per_env]
+        if len(specs_per_env) != len(self.envs):
+            raise ValueError(
+                f"got {len(specs_per_env)} spec lists for {len(self.envs)} envs")
+        if not any(specs_per_env):
+            return [[] for _ in specs_per_env]
+        if getattr(self.policy, "begin_episodes", None) is None:
+            return [BatchedEpisodeRunner(env, self.policy).run(
+                        specs, record_actions)
+                    for env, specs in zip(self.envs, specs_per_env)]
+
+        env_of, greedy_flags, rngs = [], [], []
+        for e, specs in enumerate(specs_per_env):
+            for use_greedy, rng in specs:
+                env_of.append(e)
+                greedy_flags.append(bool(use_greedy))
+                if rng is not None and not isinstance(rng, np.random.Generator):
+                    rng = np.random.default_rng(rng)
+                rngs.append(rng)
+
+        with profile_scope("decode"):
+            return self._run(len(specs_per_env), env_of, greedy_flags, rngs,
+                             record_actions)
+
+    def _run(self, num_envs, env_of, greedy_flags, rngs,
+             record_actions: bool) -> list[list[EpisodeResult]]:
+        states = [self.envs[e].reset() for e in env_of]
+        self.policy.begin_episodes([env.instance for env in self.envs])
+        results = [EpisodeResult(state=s, total_reward=0.0) for s in states]
+
+        active = [k for k, s in enumerate(states) if not s.done]
+        while active:
+            actions = self.policy.act_batch(
+                [states[k] for k in active],
+                greedy=[greedy_flags[k] for k in active],
+                rngs=[rngs[k] for k in active],
+                instance_idxs=[env_of[k] for k in active])
+            for k, action in zip(active, actions):
+                _, reward, _ = self.envs[env_of[k]].step_state(
+                    states[k], action.worker_id, action.task_id)
+                results[k].total_reward += reward
+                if record_actions:
+                    results[k].records.append(action)
+            active = [k for k in active if not states[k].done]
+
+        grouped: list[list[EpisodeResult]] = [[] for _ in range(num_envs)]
+        for e, result in zip(env_of, results):
+            grouped[e].append(result)
+        return grouped

@@ -22,7 +22,6 @@ row on every step.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from ..core.entities import SensingTask, Worker
@@ -33,13 +32,29 @@ from ..tsptw.base import RoutePlanner
 __all__ = ["CandidateEntry", "CandidateTable"]
 
 
-@dataclass(frozen=True)
 class CandidateEntry:
-    """Value stored in C: the route after assignment and its marginal cost."""
+    """Value stored in C: the route after assignment and its marginal cost.
 
-    route: WorkingRoute
-    route_travel_time: float
-    delta_incentive: float
+    ``route`` may be given as a zero-argument factory instead of a built
+    :class:`WorkingRoute`: a candidate sweep scores dozens of insertions
+    per step but only the *chosen* entry's route is ever walked, so the
+    factory defers (and usually skips entirely) route construction.  The
+    first ``route`` access materialises and caches it.
+    """
+
+    __slots__ = ("_route", "route_travel_time", "delta_incentive")
+
+    def __init__(self, route, route_travel_time: float,
+                 delta_incentive: float):
+        self._route = route
+        self.route_travel_time = route_travel_time
+        self.delta_incentive = delta_incentive
+
+    @property
+    def route(self) -> WorkingRoute:
+        if callable(self._route):
+            self._route = self._route()
+        return self._route
 
 
 class CandidateTable:
@@ -122,7 +137,9 @@ class CandidateTable:
             # Strict >: the paper's constraint is <=, so an assignment that
             # exactly exhausts the remaining budget stays feasible.
             return None
-        return CandidateEntry(result.route, rtt, delta)
+        factory = getattr(result, "make_route", None)
+        return CandidateEntry(factory if factory is not None
+                              else result.route, rtt, delta)
 
     def _try_assignment(self, worker: Worker,
                         tasks_after: Sequence[SensingTask],

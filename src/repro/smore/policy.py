@@ -18,6 +18,7 @@ import numpy as np
 
 from .. import nn
 from ..core.instance import USMDWInstance
+from ..core.packed import RaggedRows
 from .state import SelectionState
 from .tasnet import TASNet, TASNetConfig
 
@@ -65,6 +66,31 @@ class ActionRecord:
     log_prob: nn.Tensor
 
 
+@dataclass
+class _MultiEpisodeStatics:
+    """Static encodings for B heterogeneous instances, flat-concatenated.
+
+    Each instance is encoded exactly as :meth:`TASNetPolicy.begin_episode`
+    would (a per-instance loop, so encoder outputs are bit-identical to
+    the single-instance path); the per-instance matrices are concatenated
+    along axis 0 and addressed as ``offsets[i] + local index`` through the
+    ``workers`` / ``tasks`` ragged views.  Gradients flow back through the
+    concat into every instance's encoder graph.
+    """
+
+    instances: list
+    worker_ids: list[list[int]]
+    task_index: list[dict[int, int]]
+    worker_emb: nn.Tensor        # (sum n_w, d)
+    task_emb: nn.Tensor          # (sum n_s, d)
+    cand_keys: nn.Tensor         # (sum n_s, d) static pointer keys
+    task_mean: nn.Tensor         # (B, d)
+    workers: RaggedRows
+    tasks: RaggedRows
+    worker_pad_idx: np.ndarray   # (B, W_max) flat rows into worker_emb
+    worker_pad_mask: np.ndarray  # (B, W_max) True on padded slots
+
+
 def _choose(log_probs, greedy: bool,
             rng: np.random.Generator | None) -> int:
     """Argmax / sample an index from log-probs (Tensor or ndarray)."""
@@ -83,6 +109,21 @@ def _choose(log_probs, greedy: bool,
     return int(rng.choice(len(probs), p=probs))
 
 
+def _extract_log_probs(worker_logp: nn.Tensor, worker_idxs,
+                       task_logp: nn.Tensor, task_idxs) -> list[nn.Tensor]:
+    """Per-rollout action log-probs from the two stage matrices.
+
+    One fancy-indexed gather per stage plus one vector add replaces the
+    per-rollout ``worker_logp[k, w] + task_logp[k, t]`` chains — K scalar
+    graph nodes instead of 3K per step.  Pure gathers and an elementwise
+    add, so every scalar is bit-identical to the per-rollout expression.
+    """
+    rows = np.arange(len(worker_idxs))
+    step_logp = worker_logp[rows, np.asarray(worker_idxs, dtype=np.intp)] \
+        + task_logp[rows, np.asarray(task_idxs, dtype=np.intp)]
+    return [step_logp[k] for k in range(len(worker_idxs))]
+
+
 class TASNetPolicy:
     """Featurisation + two-stage decoding over the selection MDP.
 
@@ -98,25 +139,82 @@ class TASNetPolicy:
         self._instance: USMDWInstance | None = None
         self._worker_emb: nn.Tensor | None = None
         self._task_emb: nn.Tensor | None = None
+        self._cand_keys: nn.Tensor | None = None
         self._task_mean: nn.Tensor | None = None
         self._worker_ids: list[int] = []
         self._task_index: dict[int, int] = {}
+        self._multi: _MultiEpisodeStatics | None = None
+        # Incremental per-(rollout, worker) mean-assigned embedding bank
+        # for the batched decode paths; see _assigned_bank_rows.
+        self._bank: nn.Tensor | None = None
+        self._bank_counts: np.ndarray | None = None
+        self._bank_slots: dict[int, tuple[object, int]] = {}
 
     # ------------------------------------------------------------------ #
     def begin_episode(self, instance: USMDWInstance) -> None:
         """Encode the static parts of the state (workers, sensing tasks)."""
         self._instance = instance
+        self._multi = None
+        self._reset_bank()
         grids = np.stack([worker_travel_grid(instance, w) for w in instance.workers])
         self._worker_emb = self.net.worker_encoder(grids)
         self._task_emb = self.net.task_encoder(sensing_task_features(instance))
+        self._cand_keys = self.net.task_selection.precompute_keys(self._task_emb)
         self._task_mean = nn.ops.mean(self._task_emb, axis=0)
         self._worker_ids = [w.worker_id for w in instance.workers]
         self._task_index = {s.task_id: i for i, s in enumerate(instance.sensing_tasks)}
+
+    def begin_episodes(self, instances) -> None:
+        """Encode statics for B instances at once (cross-instance decode).
+
+        Rollouts of *different* instances can then share one batched
+        two-stage forward per step — :meth:`act_batch` with
+        ``instance_idxs``.  Each instance is encoded through the same
+        per-instance encoder calls as :meth:`begin_episode`, so its
+        embeddings are bit-identical to the single-instance path; only
+        the decoding batches change.
+        """
+        instances = list(instances)
+        if not instances:
+            raise ValueError("begin_episodes needs at least one instance")
+        self._instance = None
+        self._reset_bank()
+        worker_embs, task_embs, cand_keys, task_means = [], [], [], []
+        worker_ids, task_index = [], []
+        for instance in instances:
+            grids = np.stack(
+                [worker_travel_grid(instance, w) for w in instance.workers])
+            worker_embs.append(self.net.worker_encoder(grids))
+            task_emb = self.net.task_encoder(sensing_task_features(instance))
+            task_embs.append(task_emb)
+            # Per-instance precompute (before the concat) keeps each
+            # instance's static keys bit-identical to begin_episode's.
+            cand_keys.append(self.net.task_selection.precompute_keys(task_emb))
+            task_means.append(nn.ops.mean(task_emb, axis=0))
+            worker_ids.append([w.worker_id for w in instance.workers])
+            task_index.append(
+                {s.task_id: i for i, s in enumerate(instance.sensing_tasks)})
+        workers = RaggedRows([len(ids) for ids in worker_ids])
+        tasks = RaggedRows([len(index) for index in task_index])
+        pad_idx, pad_mask = workers.padded()
+        self._multi = _MultiEpisodeStatics(
+            instances=instances, worker_ids=worker_ids, task_index=task_index,
+            worker_emb=nn.ops.concat(worker_embs, axis=0),
+            task_emb=nn.ops.concat(task_embs, axis=0),
+            cand_keys=nn.ops.concat(cand_keys, axis=0),
+            task_mean=nn.ops.stack(task_means),
+            workers=workers, tasks=tasks,
+            worker_pad_idx=pad_idx, worker_pad_mask=pad_mask)
 
     def _require_episode(self) -> USMDWInstance:
         if self._instance is None:
             raise RuntimeError("call begin_episode(instance) first")
         return self._instance
+
+    def _require_episodes(self) -> _MultiEpisodeStatics:
+        if self._multi is None:
+            raise RuntimeError("call begin_episodes(instances) first")
+        return self._multi
 
     # ------------------------------------------------------------------ #
     def _assigned_embedding_mean(self, assigned) -> nn.Tensor:
@@ -156,7 +254,7 @@ class TASNetPolicy:
         delta_phi = np.array([
             state.coverage.gain(instance.sensing_task(t)) for t in task_ids])
         cand_indices = np.array([self._task_index[t] for t in task_ids])
-        candidate_emb = nn.ops.gather_rows(self._task_emb, cand_indices)
+        candidate_keys = nn.ops.gather_rows(self._cand_keys, cand_indices)
         assigned = state.assignments[worker_id].assigned
         assigned_emb = None
         if assigned:
@@ -164,7 +262,7 @@ class TASNetPolicy:
             assigned_emb = nn.ops.gather_rows(self._task_emb, idx)
         task_logp = self.net.task_selection(
             self._worker_emb[worker_idx], assigned_emb, budget_norm, h_g,
-            self._task_mean, candidate_emb, delta_phi, delta_in)
+            self._task_mean, candidate_keys, delta_phi, delta_in)
         return task_logp, task_ids
 
     def act(self, state: SelectionState, greedy: bool = True,
@@ -202,6 +300,74 @@ class TASNetPolicy:
     # ------------------------------------------------------------------ #
     # Batched decoding: K rollouts of one instance per forward pass.
     # ------------------------------------------------------------------ #
+    def _reset_bank(self) -> None:
+        self._bank = None
+        self._bank_counts = None
+        self._bank_slots = {}
+
+    def _assigned_bank_rows(self, states, rows: list[list[int]], w: int,
+                            task_emb: nn.Tensor) -> nn.Tensor:
+        """Mean-assigned embeddings for K states x ``w`` worker slots.
+
+        ``rows`` lists, state-major, the flat task-embedding row indices
+        assigned to each (state, worker slot) pair.  Rather than gather
+        and pool all K*w rows every step, a persistent bank tensor keeps
+        one pooled row per pair and only the pairs whose assigned count
+        changed since the previous call (one worker per rollout per step)
+        are recomputed and scattered in.  Recomputed rows run the exact
+        gather + masked-mean the full rebuild would, so the forward pass
+        stays bit-identical; gradients flow into every step's use of a
+        row through the :func:`~repro.nn.ops.scatter_rows` chain.
+
+        Slots are keyed by state object identity (a strong reference is
+        kept until the next ``begin_episode``, so ids cannot be reused
+        mid-episode) — assigned sets only grow during an episode, so a
+        count match implies unchanged contents.
+        """
+        d = self.net.config.d_model
+        slots = np.empty(len(states), dtype=np.intp)
+        for k, state in enumerate(states):
+            entry = self._bank_slots.get(id(state))
+            if entry is None:
+                entry = (state, len(self._bank_slots))
+                self._bank_slots[id(state)] = entry
+            slots[k] = entry[1]
+        capacity = len(self._bank_slots) * w
+        if self._bank is None:
+            self._bank = nn.Tensor(np.zeros((capacity, d)))
+            self._bank_counts = np.zeros(capacity, dtype=np.intp)
+        elif self._bank.shape[0] < capacity:
+            grow = capacity - self._bank.shape[0]
+            self._bank = nn.ops.concat(
+                [self._bank, nn.Tensor(np.zeros((grow, d)))], axis=0)
+            self._bank_counts = np.concatenate(
+                [self._bank_counts, np.zeros(grow, dtype=np.intp)])
+        counts = self._bank_counts
+        changed_rows: list[int] = []
+        changed_lists: list[list[int]] = []
+        for k in range(len(states)):
+            base_row = slots[k] * w
+            for j in range(w):
+                row = rows[k * w + j]
+                r = base_row + j
+                if counts[r] != len(row):
+                    counts[r] = len(row)
+                    changed_rows.append(r)
+                    changed_lists.append(row)
+        if changed_rows:
+            a_max = max(len(row) for row in changed_lists)
+            idx = np.zeros((len(changed_rows), a_max), dtype=np.intp)
+            mask = np.ones((len(changed_rows), a_max), dtype=bool)
+            for i, row in enumerate(changed_lists):
+                idx[i, :len(row)] = row
+                mask[i, :len(row)] = False
+            gathered = nn.ops.gather_rows(task_emb, idx)
+            new_rows = nn.ops.masked_mean(gathered, mask[:, :, None], axis=1)
+            self._bank = nn.ops.scatter_rows(
+                self._bank, changed_rows, new_rows)
+        flat = slots[:, None] * w + np.arange(w, dtype=np.intp)[None, :]
+        return nn.ops.gather_rows(self._bank, flat)
+
     def _worker_state_embeddings_batch(self, states) -> nn.Tensor:
         """Worker-state embeddings for K rollouts: (K, n_w, 2d)."""
         num_states, n_w = len(states), len(self._worker_ids)
@@ -211,19 +377,8 @@ class TASNetPolicy:
             for worker_id in self._worker_ids:
                 rows.append([self._task_index[t.task_id]
                              for t in state.assignments[worker_id].assigned])
-        a_max = max(len(row) for row in rows)
-        if a_max == 0:
-            mean_assigned = nn.Tensor(np.zeros((num_states, n_w, d)))
-        else:
-            idx = np.zeros((num_states * n_w, a_max), dtype=np.intp)
-            mask = np.ones((num_states * n_w, a_max), dtype=bool)
-            for i, row in enumerate(rows):
-                idx[i, :len(row)] = row
-                mask[i, :len(row)] = False
-            gathered = nn.ops.gather_rows(
-                self._task_emb, idx.reshape(num_states, n_w, a_max))
-            mean_assigned = nn.ops.masked_mean(
-                gathered, mask.reshape(num_states, n_w, a_max, 1), axis=2)
+        mean_assigned = self._assigned_bank_rows(
+            states, rows, n_w, self._task_emb)
         worker_emb = nn.ops.broadcast_to(self._worker_emb,
                                          (num_states, n_w, d))
         return nn.ops.concat([mean_assigned, worker_emb], axis=2)
@@ -242,27 +397,48 @@ class TASNetPolicy:
             worker_states, budget_norms, mask)
 
     def _task_stage_batch(self, states, worker_ids, worker_idxs,
-                          budget_norms: np.ndarray, h_g: nn.Tensor
+                          budget_norms: np.ndarray, h_g: nn.Tensor,
+                          multi: _MultiEpisodeStatics | None = None,
+                          inst_idx: np.ndarray | None = None
                           ) -> tuple[nn.Tensor, list[list[int]]]:
-        """Batched stage 2: ((K, m_max) padded log-probs, task-id orders)."""
-        instance = self._require_episode()
+        """Batched stage 2: ((K, m_max) padded log-probs, task-id orders).
+
+        With ``multi`` / ``inst_idx`` the rollouts belong to different
+        instances and every task index is offset into the flat
+        cross-instance embedding matrices; without them the path is the
+        homogeneous one-instance batch, unchanged.
+        """
+        if multi is None:
+            instance = self._require_episode()
+            task_emb = self._task_emb
+            cand_keys = self._cand_keys
+        else:
+            task_emb = multi.task_emb
+            cand_keys = multi.cand_keys
         num_states = len(states)
         task_id_lists: list[list[int]] = []
         delta_in_rows, delta_phi_rows = [], []
         cand_rows: list[list[int]] = []
         assigned_rows: list[list[int]] = []
-        for state, worker_id in zip(states, worker_ids):
+        for k, (state, worker_id) in enumerate(zip(states, worker_ids)):
+            if multi is None:
+                task_index = self._task_index
+                base = 0
+            else:
+                i = inst_idx[k]
+                instance = multi.instances[i]
+                task_index = multi.task_index[i]
+                base = int(multi.tasks.offsets[i])
             candidates = state.candidates.worker_candidates(worker_id)
             task_ids = sorted(candidates)
             task_id_lists.append(task_ids)
             delta_in_rows.append(np.array(
                 [candidates[t].delta_incentive for t in task_ids]))
-            delta_phi_rows.append(np.array(
-                [state.coverage.gain(instance.sensing_task(t))
-                 for t in task_ids]))
-            cand_rows.append([self._task_index[t] for t in task_ids])
+            delta_phi_rows.append(state.coverage.gain_many(
+                [instance.sensing_task(t) for t in task_ids]))
+            cand_rows.append([base + task_index[t] for t in task_ids])
             assigned_rows.append(
-                [self._task_index[t.task_id]
+                [base + task_index[t.task_id]
                  for t in state.assignments[worker_id].assigned])
 
         delta_phi, cand_mask = nn.ops.pad_stack(delta_phi_rows)
@@ -271,7 +447,7 @@ class TASNetPolicy:
         cand_idx = np.zeros((num_states, m_max), dtype=np.intp)
         for k, row in enumerate(cand_rows):
             cand_idx[k, :len(row)] = row
-        candidate_emb = nn.ops.gather_rows(self._task_emb, cand_idx)
+        candidate_keys = nn.ops.gather_rows(cand_keys, cand_idx)
 
         a_max = max(len(row) for row in assigned_rows)
         assigned_emb, assigned_mask = None, None
@@ -281,18 +457,112 @@ class TASNetPolicy:
             for k, row in enumerate(assigned_rows):
                 a_idx[k, :len(row)] = row
                 assigned_mask[k, :len(row)] = False
-            assigned_emb = nn.ops.gather_rows(self._task_emb, a_idx)
+            assigned_emb = nn.ops.gather_rows(task_emb, a_idx)
 
-        worker_emb = nn.ops.gather_rows(self._worker_emb,
-                                        np.asarray(worker_idxs, dtype=np.intp))
-        task_mean = nn.ops.broadcast_to(
-            self._task_mean, (num_states, self._task_mean.shape[0]))
+        if multi is None:
+            worker_emb = nn.ops.gather_rows(
+                self._worker_emb, np.asarray(worker_idxs, dtype=np.intp))
+            task_mean = nn.ops.broadcast_to(
+                self._task_mean, (num_states, self._task_mean.shape[0]))
+        else:
+            flat_rows = (multi.workers.offsets[inst_idx]
+                         + np.asarray(worker_idxs, dtype=np.intp))
+            worker_emb = nn.ops.gather_rows(multi.worker_emb, flat_rows)
+            task_mean = nn.ops.gather_rows(multi.task_mean, inst_idx)
         task_logp = self.net.task_selection.forward_batch(
             worker_emb, assigned_emb, assigned_mask, budget_norms, h_g,
-            task_mean, candidate_emb, cand_mask, delta_phi, delta_in)
+            task_mean, candidate_keys, cand_mask, delta_phi, delta_in)
         return task_logp, task_id_lists
 
-    def act_batch(self, states, greedy=True, rngs=None) -> list[ActionRecord]:
+    # ------------------------------------------------------------------ #
+    # Cross-instance decoding: B instances x K rollouts per forward pass.
+    # ------------------------------------------------------------------ #
+    def _worker_state_embeddings_multi(self, states, inst_idx,
+                                       multi: _MultiEpisodeStatics
+                                       ) -> tuple[nn.Tensor, np.ndarray]:
+        """Padded worker-state embeddings across instances: (K, W_max, 2d).
+
+        Returns the embeddings plus the (K, W_max) padding mask.  Padded
+        slots gather flat row 0 as a placeholder; the worker-selection
+        forward masks them out of every pooling, glimpse, and pointer
+        term, so they contribute nothing forward and receive exactly zero
+        gradient through the gather's scatter-add backward.
+        """
+        pad_idx = multi.worker_pad_idx[inst_idx]        # (K, W_max)
+        pad_mask = multi.worker_pad_mask[inst_idx]      # (K, W_max)
+        w_max = pad_idx.shape[1]
+        rows: list[list[int]] = []
+        for state, i in zip(states, inst_idx):
+            task_index = multi.task_index[i]
+            base = int(multi.tasks.offsets[i])
+            for worker_id in multi.worker_ids[i]:
+                rows.append([base + task_index[t.task_id]
+                             for t in state.assignments[worker_id].assigned])
+            rows.extend([[]] * (w_max - len(multi.worker_ids[i])))
+        mean_assigned = self._assigned_bank_rows(
+            states, rows, w_max, multi.task_emb)
+        worker_emb = nn.ops.gather_rows(multi.worker_emb, pad_idx)
+        return nn.ops.concat([mean_assigned, worker_emb], axis=2), pad_mask
+
+    def _worker_stage_multi(self, states, inst_idx, budget_norms: np.ndarray,
+                            multi: _MultiEpisodeStatics
+                            ) -> tuple[nn.Tensor, nn.Tensor]:
+        """Cross-instance stage 1: ((K, W_max) log-probs, (K, 2d) h_g)."""
+        worker_states, pad_mask = self._worker_state_embeddings_multi(
+            states, inst_idx, multi)
+        mask = pad_mask.copy()
+        for k, (state, i) in enumerate(zip(states, inst_idx)):
+            feasible = set(state.feasible_worker_ids())
+            ids = multi.worker_ids[i]
+            mask[k, :len(ids)] = [w not in feasible for w in ids]
+            if mask[k].all():
+                raise RuntimeError("no worker has feasible candidates")
+        return self.net.worker_selection.forward_batch(
+            worker_states, budget_norms, mask, pad_mask=pad_mask)
+
+    def _act_batch_multi(self, states, greedy, rngs,
+                         instance_idxs) -> list[ActionRecord]:
+        multi = self._require_episodes()
+        num_states = len(states)
+        inst_idx = np.asarray(instance_idxs, dtype=np.intp)
+        if inst_idx.shape != (num_states,):
+            raise ValueError("instance_idxs must give one index per state")
+        greedy_flags = [greedy] * num_states if isinstance(greedy, bool) \
+            else list(greedy)
+        rng_list = [None] * num_states if rngs is None else list(rngs)
+        budget_norms = np.array(
+            [s.budget_rest / max(multi.instances[i].budget, 1e-9)
+             for s, i in zip(states, inst_idx)])
+
+        worker_logp, h_g = self._worker_stage_multi(
+            states, inst_idx, budget_norms, multi)
+        # Slice each row to its instance's real worker count: the padded
+        # tail holds exact zero probability either way, and the slice
+        # keeps _choose's draw identical to the single-instance batch.
+        worker_idxs = [
+            _choose(worker_logp.data[k, :multi.workers.lengths[i]],
+                    greedy_flags[k], rng_list[k])
+            for k, i in enumerate(inst_idx)]
+        worker_ids = [multi.worker_ids[i][w]
+                      for i, w in zip(inst_idx, worker_idxs)]
+
+        task_logp, task_id_lists = self._task_stage_batch(
+            states, worker_ids, worker_idxs, budget_norms, h_g,
+            multi=multi, inst_idx=inst_idx)
+
+        task_idxs = [
+            _choose(task_logp.data[k, :len(task_id_lists[k])],
+                    greedy_flags[k], rng_list[k])
+            for k in range(num_states)]
+        log_probs = _extract_log_probs(
+            worker_logp, worker_idxs, task_logp, task_idxs)
+        return [
+            ActionRecord(worker_ids[k], task_id_lists[k][task_idxs[k]],
+                         log_probs[k])
+            for k in range(num_states)]
+
+    def act_batch(self, states, greedy=True, rngs=None,
+                  instance_idxs=None) -> list[ActionRecord]:
         """Decode one action for each of K concurrent rollouts.
 
         ``states`` are live :class:`SelectionState` objects over the
@@ -301,10 +571,17 @@ class TASNetPolicy:
         each sampled rollout's own generator, consumed in the same
         worker-then-task order as the serial :meth:`act`, so a rollout's
         random stream is independent of its batch companions.
+
+        ``instance_idxs`` switches to the cross-instance path: after
+        :meth:`begin_episodes`, each state k belongs to
+        ``instances[instance_idxs[k]]`` and the whole heterogeneous batch
+        shares one two-stage forward, padded to the widest instance.
         """
         states = list(states)
         if not states:
             return []
+        if instance_idxs is not None:
+            return self._act_batch_multi(states, greedy, rngs, instance_idxs)
         instance = self._require_episode()
         num_states = len(states)
         greedy_flags = [greedy] * num_states if isinstance(greedy, bool) \
@@ -322,15 +599,16 @@ class TASNetPolicy:
         task_logp, task_id_lists = self._task_stage_batch(
             states, worker_ids, worker_idxs, budget_norms, h_g)
 
-        records = []
-        for k in range(num_states):
-            task_ids = task_id_lists[k]
-            task_idx = _choose(task_logp.data[k, :len(task_ids)],
-                               greedy_flags[k], rng_list[k])
-            log_prob = worker_logp[k, worker_idxs[k]] + task_logp[k, task_idx]
-            records.append(
-                ActionRecord(worker_ids[k], task_ids[task_idx], log_prob))
-        return records
+        task_idxs = [
+            _choose(task_logp.data[k, :len(task_id_lists[k])],
+                    greedy_flags[k], rng_list[k])
+            for k in range(num_states)]
+        log_probs = _extract_log_probs(
+            worker_logp, worker_idxs, task_logp, task_idxs)
+        return [
+            ActionRecord(worker_ids[k], task_id_lists[k][task_idxs[k]],
+                         log_probs[k])
+            for k in range(num_states)]
 
     # ------------------------------------------------------------------ #
     def parameters(self):

@@ -26,7 +26,7 @@ from ..core.solution import Solution
 from ..obs.profile import scope as profile_scope
 from ..parallel import derive_seeds, parallel_map
 from ..tsptw.base import RoutePlanner
-from .batch import BatchedEpisodeRunner
+from .batch import BatchedEpisodeRunner, MultiInstanceRunner
 from .env import SelectionEnv
 from .policy import FlatSelectionPolicy, TASNetPolicy
 from .state import SelectionState
@@ -312,3 +312,83 @@ class SMORESolver:
             wall_time=elapsed,
             perf=perf,
         )
+
+    def solve_many(self, instances, greedy: bool = True, rngs=None,
+                   num_samples: int = 1,
+                   reuse_candidates: bool = True) -> list[Solution]:
+        """Solve B instances in one cross-instance batched decode.
+
+        Each instance's rollout schedule comes from the same
+        :meth:`_rollout_plan` (consuming its entry of ``rngs`` exactly as
+        :meth:`solve` would), then all ``B x num_samples`` rollouts
+        advance in lock-step through
+        :class:`~repro.smore.batch.MultiInstanceRunner` — one batched
+        two-stage forward per decoding step across the whole fleet.  The
+        returned solutions therefore match B independent
+        ``solve(instances[i], rng=rngs[i], ...)`` calls
+        action-for-action.
+
+        Accounting: per-solution ``wall_time`` is the batch wall time
+        amortised over the instances (the marginal time of one instance
+        inside a shared batch is undefined), and a shared memoising
+        planner's cache delta for the whole run is merged into the first
+        solution's perf — summing perf over the returned list stays
+        comparable with the sum over independent solves.
+        """
+        instances = list(instances)
+        if not instances:
+            return []
+        rng_list = [None] * len(instances) if rngs is None else list(rngs)
+        if len(rng_list) != len(instances):
+            raise ValueError(
+                f"got {len(rng_list)} rngs for {len(instances)} instances")
+        start = time.perf_counter()
+        many_span = obs.span("solve_many", method=self.name,
+                             instances=len(instances),
+                             num_samples=num_samples)
+        with many_span, profile_scope("solve"):
+            envs = [SelectionEnv(instance, self.planner,
+                                 reuse_candidates=reuse_candidates)
+                    for instance in instances]
+            plans = [self._rollout_plan(greedy, rng, num_samples)
+                     for rng in rng_list]
+            total_rollouts = sum(len(plan) for plan in plans)
+            stats_fn = getattr(self.planner, "stats", None)
+            cache_before = stats_fn() if stats_fn is not None else None
+            runner = MultiInstanceRunner(envs, self.policy)
+            with obs.span("select", rollouts=total_rollouts):
+                with nn.no_grad():
+                    grouped = runner.run(plans)
+            cache_delta = (stats_fn().diff(cache_before)
+                           if cache_before is not None else None)
+            elapsed = time.perf_counter() - start
+            shared_time = elapsed / len(instances)
+
+            solutions = []
+            for env, episodes in zip(envs, grouped):
+                best_state = None
+                best_phi = -float("inf")
+                for episode in episodes:
+                    phi = episode.state.phi()
+                    if phi > best_phi:
+                        best_phi = phi
+                        best_state = episode.state
+                perf = env.perf
+                if cache_delta is not None:
+                    perf.merge(cache_delta)
+                    cache_delta = None       # batch-wide delta, counted once
+                obs.count("solve.count")
+                obs.record_perf(perf, prefix="solve.")
+                obs.gauge("solve.best_phi", best_phi)
+                solutions.append(Solution(
+                    instance=env.instance,
+                    routes=best_state.assignments.routes(),
+                    incentives=best_state.assignments.incentives(),
+                    solver_name=self.name,
+                    wall_time=shared_time,
+                    perf=perf,
+                ))
+            obs.event("solve_many.done", method=self.name,
+                      instances=len(instances), rollouts=total_rollouts,
+                      wall_time=round(elapsed, 6))
+        return solutions

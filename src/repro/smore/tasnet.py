@@ -140,7 +140,9 @@ class WorkerSelection(nn.Module):
 
     def forward_batch(self, worker_state_emb: nn.Tensor,
                       budget_norm: np.ndarray,
-                      mask: np.ndarray) -> tuple[nn.Tensor, nn.Tensor]:
+                      mask: np.ndarray,
+                      pad_mask: np.ndarray | None = None
+                      ) -> tuple[nn.Tensor, nn.Tensor]:
         """Stage-1 forward for K rollouts at once.
 
         ``worker_state_emb``: (K, n_w, 2d); ``budget_norm``: (K,);
@@ -149,9 +151,20 @@ class WorkerSelection(nn.Module):
         group embeddings).  Every reduction runs along axes whose length
         matches the serial :meth:`forward`, so per-rollout slices
         reproduce the one-episode path.
+
+        ``pad_mask`` marks padded worker slots when rollouts of different
+        instances (unequal worker counts) share one batch: the group
+        pooling then attends and averages over real workers only, and the
+        caller folds the same padding into ``mask`` so padded slots carry
+        zero probability.  With ``pad_mask=None`` the path is unchanged.
         """
         batch = worker_state_emb.shape[0]
-        h_g = nn.ops.mean(self.group_mha(worker_state_emb), axis=1)
+        if pad_mask is None:
+            h_g = nn.ops.mean(self.group_mha(worker_state_emb), axis=1)
+        else:
+            attended = self.group_mha(worker_state_emb,
+                                      key_padding_mask=pad_mask)
+            h_g = nn.ops.masked_mean(attended, pad_mask[:, :, None], axis=1)
         budget_emb = self.budget_fc(nn.Tensor(
             np.asarray(budget_norm, dtype=np.float64).reshape(batch, 1)))
         h_c = nn.ops.concat([h_g, budget_emb], axis=1)
@@ -188,14 +201,21 @@ class TaskSelection(nn.Module):
         self.pointer = nn.PointerAttention(6 * d, key_in, d_key=d,
                                            clip=config.clip, rng=rng)
 
+    def precompute_keys(self, task_emb: nn.Tensor) -> nn.Tensor:
+        """Static pointer-key projections of task embeddings, once per
+        episode — per-step decoding gathers rows instead of re-projecting
+        (see :meth:`~repro.nn.PointerAttention.precompute_keys`)."""
+        return self.pointer.precompute_keys(task_emb)
+
     def forward(self, worker_emb: nn.Tensor, assigned_emb: nn.Tensor | None,
                 budget_norm: float, h_g: nn.Tensor, task_mean: nn.Tensor,
-                candidate_emb: nn.Tensor, delta_phi: np.ndarray,
+                candidate_keys: nn.Tensor, delta_phi: np.ndarray,
                 delta_in: np.ndarray) -> nn.Tensor:
         """Return log-probs over the selected worker's candidate tasks.
 
-        ``candidate_emb``: (m, d) embeddings of feasible tasks for the
-        worker; ``delta_phi`` / ``delta_in``: the heuristic signals (m,).
+        ``candidate_keys``: (m, d) pre-projected pointer keys of the
+        worker's feasible tasks — rows of :meth:`precompute_keys` output;
+        ``delta_phi`` / ``delta_in``: the heuristic signals (m,).
         """
         d = worker_emb.shape[0]
         if assigned_emb is not None and assigned_emb.shape[0] > 0:
@@ -206,13 +226,14 @@ class TaskSelection(nn.Module):
         budget_emb = self.budget_fc(nn.Tensor(np.array([budget_norm])))
         h_w = nn.ops.concat([a_j, worker_emb, budget_emb, h_g, task_mean])
 
-        # Heuristic signals join the pointer keys (data fusion)...
+        # Heuristic signals join the pointer keys (data fusion): the
+        # trailing rows of w_k project them onto the precomputed part.
         if self.use_heuristic_fusion:
             signals = nn.Tensor(np.stack([delta_phi, delta_in], axis=1))
-            keys = nn.ops.concat([candidate_emb, signals], axis=1)
+            logits = self.pointer.forward_precomputed(h_w, candidate_keys,
+                                                      extra=signals)
         else:
-            keys = candidate_emb
-        logits = self.pointer(h_w, keys)
+            logits = self.pointer.forward_precomputed(h_w, candidate_keys)
 
         # ...and modulate the logits through the soft mask (Equation 11).
         if self.use_soft_mask:
@@ -224,7 +245,7 @@ class TaskSelection(nn.Module):
                       assigned_emb: nn.Tensor | None,
                       assigned_mask: np.ndarray | None,
                       budget_norm: np.ndarray, h_g: nn.Tensor,
-                      task_mean: nn.Tensor, candidate_emb: nn.Tensor,
+                      task_mean: nn.Tensor, candidate_keys: nn.Tensor,
                       candidate_mask: np.ndarray, delta_phi: np.ndarray,
                       delta_in: np.ndarray) -> nn.Tensor:
         """Stage-2 forward for K rollouts (each with its chosen worker).
@@ -232,7 +253,8 @@ class TaskSelection(nn.Module):
         Shapes: ``worker_emb`` (K, d); ``assigned_emb`` (K, a_max, d) with
         boolean padding mask ``assigned_mask`` (K, a_max), or None when no
         rollout has assignments yet; ``budget_norm`` (K,); ``h_g`` (K, 2d);
-        ``task_mean`` (K, d); ``candidate_emb`` (K, m_max, d) padded per
+        ``task_mean`` (K, d); ``candidate_keys`` (K, m_max, d) gathered
+        rows of :meth:`precompute_keys` output, padded per
         ``candidate_mask`` (K, m_max); ``delta_phi`` / ``delta_in``
         (K, m_max) zero-padded.  Returns (K, m_max) log-probs with
         ``NEG_INF`` on padding.
@@ -257,10 +279,10 @@ class TaskSelection(nn.Module):
 
         if self.use_heuristic_fusion:
             signals = nn.Tensor(np.stack([delta_phi, delta_in], axis=2))
-            keys = nn.ops.concat([candidate_emb, signals], axis=2)
+            logits = self.pointer.forward_precomputed(
+                h_w, candidate_keys, extra=signals)                  # (K, m)
         else:
-            keys = candidate_emb
-        logits = self.pointer(h_w, keys)                             # (K, m)
+            logits = self.pointer.forward_precomputed(h_w, candidate_keys)
 
         if self.use_soft_mask:
             mask_values = np.ones_like(delta_phi)

@@ -21,7 +21,7 @@ from ..obs import TrainingHistory
 from ..obs.profile import scope as profile_scope
 from ..parallel import parallel_map
 from ..tsptw.base import RoutePlanner
-from .batch import BatchedEpisodeRunner
+from .batch import BatchedEpisodeRunner, MultiInstanceRunner
 from .critic import CriticNetwork, critic_features
 from .env import SelectionEnv
 from .solver import run_episode
@@ -115,6 +115,13 @@ class TrainingConfig:
     #: batched TASNet forward, static encodings shared, all log-probs in
     #: one graph for the single policy backward.
     rollouts_per_instance: int = 1
+    #: Decode the whole iteration batch as ONE cross-instance lock-step
+    #: run (MultiInstanceRunner): batch_size instances x
+    #: rollouts_per_instance episodes share every batched TASNet forward.
+    #: Rollout seeds are drawn per instance in the same order as the
+    #: per-instance batched path, so flipping this changes only the
+    #: batching, not the sampled action streams.
+    cross_instance_batch: bool = False
     #: Process-pool size for greedy validation rollouts (repro.parallel).
     #: Training rollouts stay in-process — their autograd graphs cannot
     #: cross a process boundary.
@@ -210,6 +217,38 @@ class TASNetTrainer:
         return self._rollout_batch(instance,
                                    self.config.rollouts_per_instance)
 
+    def _rollout_cross_batch(self, batch_instances, num_rollouts: int):
+        """One lock-step run over the whole iteration batch.
+
+        B instances x K rollouts advance together; each decoding step is
+        a single two-stage forward over every active episode.  Each
+        instance's K seeds are drawn from the trainer rng in the order
+        the per-instance path (:meth:`_rollout_batch` inside the batch
+        loop) would draw them, so the sampled trajectories are identical
+        — only the batching changes.  Returns
+        ``(phi, log-prob sum, features, steps, instance)`` tuples.
+        """
+        envs = [self._env(instance) for instance in batch_instances]
+        specs_per_env, features = [], []
+        for instance, env in zip(batch_instances, envs):
+            features.append(critic_features(instance, env.reset()))
+            seeds = [int(s) for s in
+                     self.rng.integers(0, 2**63 - 1, size=num_rollouts)]
+            specs_per_env.append([(False, seed) for seed in seeds])
+        runner = MultiInstanceRunner(envs, self.policy)
+        grouped = runner.run(specs_per_env, record_actions=True)
+        samples = []
+        for instance, feats, episodes in zip(batch_instances, features,
+                                             grouped):
+            for episode in episodes:
+                log_prob_sum = None
+                for record in episode.records:
+                    log_prob_sum = (record.log_prob if log_prob_sum is None
+                                    else log_prob_sum + record.log_prob)
+                samples.append((episode.state.phi(), log_prob_sum, feats,
+                                len(episode.records), instance))
+        return samples
+
     def _greedy_rollout_value(self, instance: USMDWInstance) -> float:
         """Self-critic baseline: coverage of the current policy decoded
         greedily on the same instance (Kool et al.'s rollout baseline)."""
@@ -243,16 +282,22 @@ class TASNetTrainer:
                                 instances=len(batch_idx),
                                 rollouts_per_instance=cfg.rollouts_per_instance)
         with rollout_span, profile_scope("train.rollouts"):
-            for idx in batch_idx:
-                instance = instances[int(idx)]
-                for phi, log_prob_sum, features, steps in \
-                        self._collect_samples(instance):
-                    rewards.append(phi)
-                    if log_prob_sum is None:
-                        continue  # instance admitted no assignments at all
-                    total_log_prob += float(log_prob_sum.item())
-                    total_steps += steps
-                    samples.append((phi, log_prob_sum, features, instance))
+            batch_instances = [instances[int(idx)] for idx in batch_idx]
+            if cfg.cross_instance_batch:
+                collected = self._rollout_cross_batch(
+                    batch_instances, cfg.rollouts_per_instance)
+            else:
+                collected = [
+                    sample + (instance,)
+                    for instance in batch_instances
+                    for sample in self._collect_samples(instance)]
+            for phi, log_prob_sum, features, steps, instance in collected:
+                rewards.append(phi)
+                if log_prob_sum is None:
+                    continue  # instance admitted no assignments at all
+                total_log_prob += float(log_prob_sum.item())
+                total_steps += steps
+                samples.append((phi, log_prob_sum, features, instance))
 
         policy_loss = None
         critic_loss = None

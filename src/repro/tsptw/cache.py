@@ -3,8 +3,13 @@
 SMORE's candidate-update loop re-plans the same (worker, task-set) pairs —
 notably the base routes used by the incentive model and the current
 assigned-set route after each rejection.  :class:`CachedPlanner` memoises on
-``(worker_id, frozenset of sensing task ids)``, which is sound because
-entities are immutable within an instance.
+``(worker identity, frozenset of sensing task ids)``, which is sound because
+entities are immutable within an instance.  Keys use ``id(worker)`` rather
+than ``worker.worker_id`` — worker ids restart from zero in every instance,
+and one cache may serve several instances at once (multi-instance decoding
+interleaves planner calls across a batch of environments sharing one
+planner).  Each entry stores the worker alongside its result so the id
+stays pinned for exactly the entry's lifetime.
 
 The wrapper is feature-transparent: ``plan_with_insertion`` and
 ``plan_many`` are bound onto the instance *only when the wrapped backend
@@ -48,9 +53,13 @@ class CachedPlanner:
         if max_size is not None and max_size < 1:
             raise ValueError("max_size must be a positive integer or None")
         self.max_size = max_size
-        self._cache: OrderedDict[tuple[int, frozenset[int]], RouteResult] = \
+        # Values are (worker, result): keeping the worker referenced pins
+        # its id, so identity keys can never collide with a later worker
+        # that happens to reuse a freed id.
+        self._cache: OrderedDict[tuple[int, frozenset[int]],
+                                 tuple[Worker, RouteResult]] = OrderedDict()
+        self._insert_cache: OrderedDict[tuple, tuple[Worker, RouteResult]] = \
             OrderedDict()
-        self._insert_cache: OrderedDict[tuple, RouteResult] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.backend_calls = 0
@@ -91,16 +100,16 @@ class CachedPlanner:
         orders for one task set come from the same deterministic planner,
         so within a solve the set determines the order anyway.)
         """
-        key = (worker.worker_id,
+        key = (id(worker),
                tuple(sorted(t.task_id for t in base_tasks)),
                new_task.task_id)
         cached = self._lookup(self._insert_cache, key)
         if cached is not None:
-            return cached
+            return cached[1]
         self.misses += 1
         self.backend_calls += 1
         result = self.planner.plan_with_insertion(worker, base_tasks, new_task)
-        self._store(self._insert_cache, key, result)
+        self._store(self._insert_cache, key, (worker, result))
         return result
 
     def _plan_insertions_many(self, worker: Worker, base_tasks,
@@ -110,9 +119,10 @@ class CachedPlanner:
         populate one table; only the missing tasks reach the backend, in
         one batched call."""
         base_key = tuple(sorted(t.task_id for t in base_tasks))
-        keys = [(worker.worker_id, base_key, t.task_id) for t in new_tasks]
+        keys = [(id(worker), base_key, t.task_id) for t in new_tasks]
+        hits = [self._lookup(self._insert_cache, key) for key in keys]
         results: list[RouteResult | None] = [
-            self._lookup(self._insert_cache, key) for key in keys]
+            hit[1] if hit is not None else None for hit in hits]
         missing = [i for i, r in enumerate(results) if r is None]
         if missing:
             self.misses += len(missing)
@@ -120,7 +130,7 @@ class CachedPlanner:
             fresh = self.planner.plan_insertions_many(
                 worker, base_tasks, [new_tasks[i] for i in missing])
             for i, result in zip(missing, fresh):
-                self._store(self._insert_cache, keys[i], result)
+                self._store(self._insert_cache, keys[i], (worker, result))
                 results[i] = result
         return results  # type: ignore[return-value]
 
@@ -128,10 +138,11 @@ class CachedPlanner:
                    task_sets: Sequence[Sequence[SensingTask]]
                    ) -> list[RouteResult]:
         """Memoised batch planning: only cache misses reach the backend."""
-        keys = [(worker.worker_id, frozenset(s.task_id for s in tasks))
+        keys = [(id(worker), frozenset(s.task_id for s in tasks))
                 for tasks in task_sets]
+        hits = [self._lookup(self._cache, key) for key in keys]
         results: list[RouteResult | None] = [
-            self._lookup(self._cache, key) for key in keys]
+            hit[1] if hit is not None else None for hit in hits]
         missing = [i for i, r in enumerate(results) if r is None]
         if missing:
             self.misses += len(missing)
@@ -139,20 +150,20 @@ class CachedPlanner:
             fresh = self.planner.plan_many(
                 worker, [task_sets[i] for i in missing])
             for i, result in zip(missing, fresh):
-                self._store(self._cache, keys[i], result)
+                self._store(self._cache, keys[i], (worker, result))
                 results[i] = result
         return results  # type: ignore[return-value]
 
     def plan(self, worker: Worker,
              sensing_tasks: Sequence[SensingTask]) -> RouteResult:
-        key = (worker.worker_id, frozenset(s.task_id for s in sensing_tasks))
+        key = (id(worker), frozenset(s.task_id for s in sensing_tasks))
         cached = self._lookup(self._cache, key)
         if cached is not None:
-            return cached
+            return cached[1]
         self.misses += 1
         self.backend_calls += 1
         result = self.planner.plan(worker, sensing_tasks)
-        self._store(self._cache, key, result)
+        self._store(self._cache, key, (worker, result))
         return result
 
     def base_route(self, worker: Worker) -> RouteResult:

@@ -33,9 +33,10 @@ cached plans and the fork pool are unaffected by the switch.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from typing import Callable, Sequence
 
-from ..core.entities import SensingTask, Worker
+from ..core.entities import SensingTask, TravelTask, Worker
 from ..core.geometry import DEFAULT_SPEED, Location
 from ..core.packed import packed_instance
 from ..core.route import WorkingRoute, simulate_route
@@ -49,6 +50,13 @@ __all__ = ["InsertionSolver", "cheapest_insertion_position"]
 #: scalar scans to the vectorized sweep (numpy per-op overhead dominates
 #: below this).
 _SWEEP_MIN_TASKS = 4
+
+#: How many distinct bound instances a solver retains (LRU).  Multi-
+#: instance decoding binds every instance in a batch up front and then
+#: interleaves planner calls across them; eviction only drops a worker's
+#: fast path (packed arrays, base-route memo) — never substitutes another
+#: instance's arrays — so an undersized cap costs speed, not correctness.
+_MAX_BOUND_INSTANCES = 64
 
 DistFn = Callable[[Location, Location], float]
 
@@ -74,6 +82,55 @@ class _KernelResult:
     def timing(self):
         if self._timing is None:
             self._timing = self.route.simulate()
+        return self._timing
+
+    @property
+    def route_travel_time(self) -> float:
+        return self._rtt
+
+
+class _LazyInsertionResult:
+    """Sweep hit whose :class:`WorkingRoute` is built only on demand.
+
+    A candidate sweep scores every available task against a worker's
+    route, but downstream only ever walks the route of the one entry the
+    policy picks — so the tuple splice and route construction for the
+    other ~hundred hits per step are pure waste.  This result carries the
+    (base order, position, task) triple instead and exposes
+    :meth:`make_route` for consumers (the candidate table) that can defer
+    construction themselves; ``route`` / ``timing`` materialise eagerly
+    for anyone else, with values identical to the eager path.
+    """
+
+    __slots__ = ("worker", "base", "pos", "task", "speed", "feasible",
+                 "_rtt", "_route", "_timing")
+
+    def __init__(self, worker: Worker, base: tuple, pos: int, task,
+                 speed: float, rtt: float, feasible: bool):
+        self.worker = worker
+        self.base = base
+        self.pos = pos
+        self.task = task
+        self.speed = speed
+        self.feasible = feasible
+        self._rtt = rtt
+        self._route = None
+        self._timing = None
+
+    def make_route(self) -> WorkingRoute:
+        if self._route is None:
+            tasks = self.base[:self.pos] + (self.task,) + self.base[self.pos:]
+            self._route = WorkingRoute(self.worker, tasks, speed=self.speed)
+        return self._route
+
+    @property
+    def route(self) -> WorkingRoute:
+        return self.make_route()
+
+    @property
+    def timing(self):
+        if self._timing is None:
+            self._timing = self.make_route().simulate()
         return self._timing
 
     @property
@@ -192,6 +249,13 @@ class InsertionSolver(PlannerBase):
         self.use_two_opt = use_two_opt
         self.use_kernels = use_kernels
         self._packed = None
+        # id(packed) -> packed, LRU-ordered; bounds how many instances'
+        # bindings a long-lived solver retains.
+        self._bound: OrderedDict[int, object] = OrderedDict()
+        # id(worker) -> (worker, packed).  Holding the worker keeps its id
+        # stable for the entry's lifetime; worker ids alone are NOT unique
+        # across instances, so every per-worker table is identity-keyed.
+        self._worker_pack: dict[int, tuple[Worker, object]] = {}
         self._base_cache: dict[int, RouteResult] = {}
 
     # ------------------------------------------------------------------ #
@@ -204,17 +268,42 @@ class InsertionSolver(PlannerBase):
         children.  Binding also enables the per-worker base-route memo:
         ``plan(worker, [])`` is a pure function of the (immutable) bound
         instance, and candidate sweeps re-request it every initialisation.
+
+        A solver may be bound to several instances at once (multi-instance
+        decoding interleaves planner calls across a batch of environments
+        sharing one solver); each call resolves its packed arrays through
+        the *worker's* instance, so bindings never bleed across instances.
         """
-        self._packed = packed_instance(instance)
-        self._base_cache = {}
+        packed = packed_instance(instance)
+        key = id(packed)
+        if key in self._bound:
+            self._bound.move_to_end(key)
+        else:
+            self._bound[key] = packed
+            for w in instance.workers:
+                self._worker_pack[id(w)] = (w, packed)
+            while len(self._bound) > _MAX_BOUND_INSTANCES:
+                _, evicted = self._bound.popitem(last=False)
+                stale = [wid for wid, (_, p) in self._worker_pack.items()
+                         if p is evicted]
+                for wid in stale:
+                    del self._worker_pack[wid]
+                    self._base_cache.pop(wid, None)
+        self._packed = packed
+
+    def _packed_for(self, worker: Worker):
+        """The bound packed arrays of the worker's own instance, or None."""
+        entry = self._worker_pack.get(id(worker))
+        return entry[1] if entry is not None else None
 
     def base_route(self, worker: Worker) -> RouteResult:
-        if self._packed is None:
+        wid = id(worker)
+        if wid not in self._worker_pack:
             return self.plan(worker, [])
-        result = self._base_cache.get(worker.worker_id)
+        result = self._base_cache.get(wid)
         if result is None:
             result = self.plan(worker, [])
-            self._base_cache[worker.worker_id] = result
+            self._base_cache[wid] = result
         return result
 
     def _cheapest(self, worker: Worker, tasks: list,
@@ -306,23 +395,22 @@ class InsertionSolver(PlannerBase):
                     for task in new_tasks]
         base = list(base_tasks)
         with profile_scope("kernel.insertion_sweep"):
-            pack = kernels.pack_route(worker, base, self.speed, self._packed)
+            pack = kernels.pack_route(worker, base, self.speed,
+                                      self._packed_for(worker))
             hits = kernels.sweep_insertions(pack, new_tasks)
         # Sensing-task insertion leaves travel membership unchanged, so the
         # coverage verdict is a property of the base order alone.
         base_tup = tuple(base)
-        covers = WorkingRoute(worker, base_tup,
-                              speed=self.speed).covers_all_travel_tasks()
+        present = {t.task_id for t in base_tup
+                   if isinstance(t, TravelTask)}
+        covers = all(d.task_id in present for d in worker.travel_tasks)
         results = []
         for task, hit in zip(new_tasks, hits):
             if hit is None:
                 results.append(RouteResult.infeasible())
                 continue
-            p = hit[0]
-            tasks = base_tup[:p] + (task,) + base_tup[p:]
-            results.append(self._route_result(worker, tasks,
-                                              known=(True, hit[1]),
-                                              covers=covers))
+            results.append(_LazyInsertionResult(
+                worker, base_tup, hit[0], task, self.speed, hit[1], covers))
         return results
 
     def _two_opt(self, worker: Worker, tasks: list) -> list:

@@ -369,23 +369,34 @@ def sweep_insertions(pack: RoutePack, new_tasks: Sequence
     speed = pack.speed
     packed, rows = pack.packed, pack.loc_rows
 
+    # One integer-keyed row lookup per task feeds both the travel-time
+    # block and the window arrays (packed sensing rows also know their
+    # location column, skipping per-task Location hashing).
+    task_rows = None
+    if packed is not None:
+        trow = [packed.sensing_row(getattr(t, "task_id", -1))
+                for t in new_tasks]
+        if all(r >= 0 for r in trow):
+            task_rows = np.asarray(trow, dtype=np.intp)
+
     # Route-point -> task travel times, shape (n+2, T): row 0 the origin,
     # rows 1..n the stops, row n+1 the destination.  Row r serves lane
     # r (position r -> task) and the resume leg into stop r-1.
-    if packed is not None and rows is not None:
-        cols = [packed.loc_id(t.location) for t in new_tasks]
-        if all(c >= 0 for c in cols):
-            cols_arr = np.asarray(cols, dtype=np.intp)
-            tt_rt = np.empty((n + 2, T))
-            for r, i in enumerate(rows):
-                tt_rt[r] = packed.row(i)[cols_arr]
-            tt_rt /= speed
-        else:
-            tt_rt = _hypot_block(pack, new_tasks) / speed
+    if task_rows is not None and rows is not None:
+        cols_arr = packed.sensing_loc[task_rows]
+        tt_rt = np.empty((n + 2, T))
+        for r, i in enumerate(rows):
+            tt_rt[r] = packed.row(i)[cols_arr]
+        tt_rt /= speed
     else:
         tt_rt = _hypot_block(pack, new_tasks) / speed
 
-    ntw0, nls, nsvc = _new_task_arrays(pack, new_tasks)
+    if task_rows is not None:
+        ntw0 = packed.tw_start[task_rows]
+        nls = packed.latest_start[task_rows]
+        nsvc = packed.service[task_rows]
+    else:
+        ntw0, nls, nsvc = _new_task_arrays(pack, new_tasks)
 
     # Lane 0..P-1: depart the prefix, service the new task.
     arr0 = pack.prefix[:P, None] + tt_rt[:P]

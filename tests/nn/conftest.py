@@ -1,0 +1,20 @@
+"""Shared fixtures for the nn test package.
+
+``nn_backend`` parametrizes a test over every numpy execution backend
+(reference object-graph autograd and the fused graph executor), so the
+layer/attention/batched-op suites pin both strategies.  The torch
+backend, registered only when torch is importable, is exercised by
+``test_backend.py`` separately at tolerance level — its GEMMs reorder
+reductions, so it cannot join bit-identity assertions.
+"""
+
+import pytest
+
+from repro import nn
+
+
+@pytest.fixture(params=["reference", "fused"])
+def nn_backend(request):
+    """Activate one registered backend for the duration of the test."""
+    with nn.use_backend(request.param):
+        yield request.param

@@ -17,6 +17,11 @@ from repro.nn import MultiHeadAttention, PointerAttention, Tensor, ops
 
 from .gradcheck import check_gradient
 
+#: Every test runs under both numpy backends (reference object
+#: graph and fused executor); forwards are bit-identical by
+#: contract, so shared assertions need no tolerance changes.
+pytestmark = pytest.mark.usefixtures("nn_backend")
+
 
 def _mask_3x5():
     """A (3, 5) padding mask: rows with 0, 2 and all 5 masked entries."""

@@ -8,6 +8,11 @@ from repro.nn import ops
 
 from .gradcheck import numeric_gradient
 
+#: Every test runs under both numpy backends (reference object
+#: graph and fused executor); forwards are bit-identical by
+#: contract, so shared assertions need no tolerance changes.
+pytestmark = pytest.mark.usefixtures("nn_backend")
+
 
 @pytest.fixture
 def rng():

@@ -1,0 +1,248 @@
+"""Cross-instance lock-step decoding: parity with independent solves.
+
+``MultiInstanceRunner`` / ``SMORESolver.solve_many`` /
+``TrainingConfig.cross_instance_batch`` decode B heterogeneous instances
+through shared batched forwards.  The contract under test: batching is
+*only* an execution strategy — every rollout consumes its own generator
+in the serial worker-then-task order, and every planner call resolves
+through the worker's own instance — so results match B independent
+per-instance runs action-for-action, including across ragged worker/task
+counts and a shared (memoising or kernel-bound) planner.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.instances import InstanceOptions, generate_instances
+from repro.smore import (
+    BatchedEpisodeRunner,
+    GreedySelectionRule,
+    MultiInstanceRunner,
+    SMORESolver,
+    SelectionEnv,
+    TASNet,
+    TASNetConfig,
+    TASNetPolicy,
+    TASNetTrainer,
+    TrainingConfig,
+)
+from repro.tsptw import CachedPlanner, InsertionSolver
+
+CONFIG = TASNetConfig(d_model=16, num_heads=2, num_layers=1, conv_channels=4)
+
+
+@pytest.fixture(scope="module")
+def instances():
+    """Three delivery instances with ragged worker/task counts."""
+    opts = InstanceOptions(task_density=0.04, budget=120.0)
+    insts = generate_instances("delivery", 3, seed=7, options=opts)
+    sizes = {(len(i.workers), len(i.sensing_tasks)) for i in insts}
+    assert len(sizes) > 1, "fixture should exercise ragged batches"
+    return insts
+
+
+def _make_net(instances):
+    grid = instances[0].coverage.grid
+    return TASNet(CONFIG, grid_nx=grid.nx, grid_ny=grid.ny,
+                  rng=np.random.default_rng(0))
+
+
+def _routes(solution):
+    return sorted((wid, tuple(t.task_id for t in route.tasks))
+                  for wid, route in solution.routes.items())
+
+
+# --------------------------------------------------------------------- #
+# solve_many parity
+# --------------------------------------------------------------------- #
+class TestSolveManyParity:
+    def test_greedy_matches_independent_solves(self, instances):
+        net = _make_net(instances)
+        solo = SMORESolver(InsertionSolver(), TASNetPolicy(net))
+        expected = [solo.solve(inst) for inst in instances]
+        many = SMORESolver(InsertionSolver(), TASNetPolicy(net))
+        got = many.solve_many(instances)
+        assert len(got) == len(instances)
+        for a, b in zip(expected, got):
+            assert _routes(a) == _routes(b)
+            assert a.objective == b.objective
+
+    def test_sampled_matches_independent_solves(self, instances):
+        net = _make_net(instances)
+        solo = SMORESolver(InsertionSolver(), TASNetPolicy(net))
+        expected = [solo.solve(inst, greedy=False,
+                               rng=np.random.default_rng(1234 + i),
+                               num_samples=4)
+                    for i, inst in enumerate(instances)]
+        many = SMORESolver(InsertionSolver(), TASNetPolicy(net))
+        got = many.solve_many(
+            instances, greedy=False,
+            rngs=[np.random.default_rng(1234 + i)
+                  for i in range(len(instances))],
+            num_samples=4)
+        for a, b in zip(expected, got):
+            assert _routes(a) == _routes(b)
+            assert a.objective == b.objective
+
+    def test_empty_instance_list(self, instances):
+        net = _make_net(instances)
+        solver = SMORESolver(InsertionSolver(), TASNetPolicy(net))
+        assert solver.solve_many([]) == []
+
+    def test_rng_count_mismatch_raises(self, instances):
+        net = _make_net(instances)
+        solver = SMORESolver(InsertionSolver(), TASNetPolicy(net))
+        with pytest.raises(ValueError, match="rngs"):
+            solver.solve_many(instances, greedy=False,
+                              rngs=[np.random.default_rng(0)])
+
+    def test_shared_cached_planner_stays_correct(self, instances):
+        """A memoising planner shared across the batch must key per
+        instance — worker and task ids collide across instances."""
+        net = _make_net(instances)
+        solo = SMORESolver(InsertionSolver(), TASNetPolicy(net))
+        expected = [solo.solve(inst) for inst in instances]
+        many = SMORESolver(CachedPlanner(InsertionSolver()),
+                           TASNetPolicy(net))
+        got = many.solve_many(instances)
+        for a, b in zip(expected, got):
+            assert _routes(a) == _routes(b)
+
+
+# --------------------------------------------------------------------- #
+# Runner mechanics
+# --------------------------------------------------------------------- #
+class TestMultiInstanceRunner:
+    def test_groups_results_per_env(self, instances):
+        net = _make_net(instances)
+        policy = TASNetPolicy(net)
+        planner = InsertionSolver()
+        envs = [SelectionEnv(inst, planner) for inst in instances]
+        specs = [[(True, None)], [], [(True, None), (False, 5)]]
+        grouped = MultiInstanceRunner(envs, policy).run(specs)
+        assert [len(g) for g in grouped] == [1, 0, 2]
+
+    def test_spec_count_mismatch_raises(self, instances):
+        net = _make_net(instances)
+        envs = [SelectionEnv(inst, InsertionSolver()) for inst in instances]
+        runner = MultiInstanceRunner(envs, TASNetPolicy(net))
+        with pytest.raises(ValueError, match="spec lists"):
+            runner.run([[(True, None)]])
+
+    def test_matches_per_instance_batched_runner(self, instances):
+        """B instances x K seeded rollouts == K rollouts per instance run
+        separately, rollout-for-rollout (the RNG threading contract)."""
+        net = _make_net(instances)
+        specs = [[(False, 100 + 10 * e + k) for k in range(3)]
+                 for e in range(len(instances))]
+
+        policy = TASNetPolicy(net)
+        expected = []
+        for inst, env_specs in zip(instances, specs):
+            env = SelectionEnv(inst, InsertionSolver())
+            expected.append(BatchedEpisodeRunner(env, policy).run(
+                env_specs, record_actions=True))
+
+        policy = TASNetPolicy(net)
+        planner = InsertionSolver()
+        envs = [SelectionEnv(inst, planner) for inst in instances]
+        grouped = MultiInstanceRunner(envs, policy).run(
+            specs, record_actions=True)
+
+        for env_expected, env_got in zip(expected, grouped):
+            for a, b in zip(env_expected, env_got):
+                assert [(r.worker_id, r.task_id) for r in a.records] == \
+                    [(r.worker_id, r.task_id) for r in b.records]
+                assert a.total_reward == b.total_reward
+
+    def test_fallback_for_policy_without_begin_episodes(self, instances):
+        """Policies lacking the multi protocol run per-env, same results."""
+        planner = InsertionSolver()
+        envs = [SelectionEnv(inst, planner) for inst in instances]
+        grouped = MultiInstanceRunner(envs, GreedySelectionRule()).run(
+            [[(True, None)] for _ in instances], record_actions=True)
+        for inst, results in zip(instances, grouped):
+            env = SelectionEnv(inst, InsertionSolver())
+            solo = BatchedEpisodeRunner(env, GreedySelectionRule()).run(
+                [(True, None)], record_actions=True)
+            assert [(r.worker_id, r.task_id) for r in solo[0].records] == \
+                [(r.worker_id, r.task_id) for r in results[0].records]
+
+
+# --------------------------------------------------------------------- #
+# Shared-planner regression (the bug multi-instance decoding exposed)
+# --------------------------------------------------------------------- #
+class TestSharedPlannerBindings:
+    def test_base_routes_survive_interleaved_bindings(self, instances):
+        """Binding B instances on one solver must not cross their
+        packed arrays or base-route memos (worker ids collide)."""
+        shared = InsertionSolver()
+        for inst in instances:
+            shared.bind_instance(inst)
+        interleaved = {}
+        for inst in instances:
+            for worker in inst.workers:
+                result = shared.base_route(worker)
+                interleaved[id(worker)] = (
+                    result.feasible, result.route_travel_time)
+        for inst in instances:
+            fresh = InsertionSolver()
+            fresh.bind_instance(inst)
+            for worker in inst.workers:
+                result = fresh.base_route(worker)
+                assert interleaved[id(worker)] == (
+                    result.feasible, result.route_travel_time)
+
+    def test_insertion_sweeps_use_the_workers_own_instance(self, instances):
+        shared = InsertionSolver()
+        for inst in instances:
+            shared.bind_instance(inst)
+        # Interleave batched sweeps across instances; compare against a
+        # fresh solver bound to only the worker's instance.
+        for inst in instances:
+            fresh = InsertionSolver()
+            fresh.bind_instance(inst)
+            for worker in inst.workers:
+                tasks = inst.sensing_tasks[:6]
+                got = shared.plan_insertions_many(worker, [], tasks)
+                want = fresh.plan_insertions_many(worker, [], tasks)
+                for g, w in zip(got, want):
+                    assert g.feasible == w.feasible
+                    if g.feasible:
+                        assert g.route_travel_time == w.route_travel_time
+
+    def test_cached_planner_does_not_collide_across_instances(self, instances):
+        cached = CachedPlanner(InsertionSolver())
+        first, second = instances[0], instances[1]
+        w0, w1 = first.workers[0], second.workers[0]
+        assert w0.worker_id == w1.worker_id  # ids DO collide
+        r0 = cached.plan(w0, [])
+        r1 = cached.plan(w1, [])
+        assert r0.route.worker is w0
+        assert r1.route.worker is w1
+
+
+# --------------------------------------------------------------------- #
+# Trainer cross-instance batching
+# --------------------------------------------------------------------- #
+class TestTrainerCrossInstanceBatch:
+    def _trainer(self, instances, cross):
+        net = _make_net(instances)
+        cfg = TrainingConfig(batch_size=2, rollouts_per_instance=3,
+                             cross_instance_batch=cross, seed=5)
+        return TASNetTrainer(TASNetPolicy(net), InsertionSolver(), cfg)
+
+    def test_metrics_and_params_match_serial_path(self, instances):
+        serial = self._trainer(instances, cross=False)
+        cross = self._trainer(instances, cross=True)
+        for _ in range(2):
+            m_serial = serial.train_iteration(instances)
+            m_cross = cross.train_iteration(instances)
+            # Same seeds, same action streams: identical mean rewards.
+            assert m_serial == m_cross
+        for p_serial, p_cross in zip(serial.policy.parameters(),
+                                     cross.policy.parameters()):
+            # Parameters agree to BLAS-reassociation tolerance (batched
+            # GEMMs of different shapes may round differently).
+            np.testing.assert_allclose(p_cross.data, p_serial.data,
+                                       rtol=1e-12, atol=1e-12)

@@ -115,7 +115,7 @@ class TestTaskSelection:
         delta_phi = rng.random(n_candidates)
         delta_in = rng.random(n_candidates) + 0.5
         return module(worker_emb, assigned_emb, 0.7, h_g, task_mean,
-                      cand, delta_phi, delta_in)
+                      module.precompute_keys(cand), delta_phi, delta_in)
 
     def test_log_probs_normalised(self, config, rng):
         logp = self._run(config, rng)
@@ -146,7 +146,8 @@ class TestTaskSelection:
         logp = module(nn.Tensor(rng.normal(size=d)), None, 0.5,
                       nn.Tensor(rng.normal(size=2 * d)),
                       nn.Tensor(rng.normal(size=d)),
-                      nn.Tensor(rng.normal(size=(4, d))),
+                      module.precompute_keys(
+                          nn.Tensor(rng.normal(size=(4, d)))),
                       rng.random(4), rng.random(4) + 0.5)
         assert np.exp(logp.data).sum() == pytest.approx(1.0)
 
