@@ -1,7 +1,7 @@
 # SMORE reproduction — common workflows.
 
 .PHONY: install test test-backends bench bench-perf bench-route \
-	bench-train profile results full clean
+	bench-train bench-serve serve-smoke profile results full clean
 
 install:
 	pip install -e .
@@ -38,6 +38,23 @@ bench-route:
 bench-train:
 	PYTHONPATH=src pytest benchmarks/test_train_throughput_regression.py \
 		--benchmark-only
+
+# Serving-throughput regression: micro-batched SolverService on a warm
+# engine vs sequential per-request solves at paper scale (speedup floor
+# + bit-parity on every greedy answer; writes results/BENCH_PR7.json
+# and the serving trace results/serve_bench_trace.jsonl).
+bench-serve:
+	PYTHONPATH=src pytest benchmarks/test_serving_regression.py \
+		--benchmark-only
+
+# Serving smoke: 32 concurrent in-process requests through the asyncio
+# service with per-request greedy parity checked against direct solves;
+# serving metrics (latency percentiles, batch sizes, req/s) land in
+# results/serve_smoke_metrics.jsonl.
+serve-smoke:
+	PYTHONPATH=src python -m repro.serve --requests 32 --instances 6 \
+		--density 0.04 --check-parity \
+		--metrics results/serve_smoke_metrics.jsonl
 
 # Op-level autograd profiles of a smoke solve + training run: per-op
 # JSONL summaries and collapsed stacks (flamegraph.pl format) under

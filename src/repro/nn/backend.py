@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import math
 import os
+import threading
 
 import numpy as np
 
@@ -169,6 +170,11 @@ ReferenceBackend = Backend
 # --------------------------------------------------------------------- #
 _BACKENDS: dict[str, Backend] = {}
 _CURRENT: Backend | None = None
+#: Guards the one-time lazy ``REPRO_NN_BACKEND`` resolution.  Two threads
+#: issuing their first forward concurrently (e.g. the serving dispatcher
+#: racing a benchmark's warm-up) must both observe the same single
+#: resolution instead of racing the read-check-write in ``get_backend``.
+_RESOLVE_LOCK = threading.Lock()
 
 
 def register_backend(name: str, backend: Backend) -> None:
@@ -183,16 +189,25 @@ def available_backends() -> list[str]:
 
 
 def get_backend() -> Backend:
-    """The active backend; resolves ``REPRO_NN_BACKEND`` on first call."""
+    """The active backend; resolves ``REPRO_NN_BACKEND`` on first call.
+
+    The first resolution is guarded by a lock (double-checked), so
+    concurrent first calls from multiple threads all return the one
+    backend the environment names — never two racing resolutions.
+    """
     global _CURRENT
-    if _CURRENT is None:
-        name = os.environ.get(ENV_VAR, "reference")
-        if name not in _BACKENDS:
-            raise ValueError(
-                f"{ENV_VAR}={name!r} is not a registered backend "
-                f"(available: {available_backends()})")
-        _CURRENT = _BACKENDS[name]
-    return _CURRENT
+    backend = _CURRENT
+    if backend is None:
+        with _RESOLVE_LOCK:
+            backend = _CURRENT
+            if backend is None:
+                name = os.environ.get(ENV_VAR, "reference")
+                if name not in _BACKENDS:
+                    raise ValueError(
+                        f"{ENV_VAR}={name!r} is not a registered backend "
+                        f"(available: {available_backends()})")
+                backend = _CURRENT = _BACKENDS[name]
+    return backend
 
 
 def set_backend(name: str) -> Backend:

@@ -592,6 +592,12 @@ def pad_stack(arrays, pad_value: float = 0.0) -> tuple[np.ndarray, np.ndarray]:
     # ``max`` is shadowed by the reduction op above.
     n_max = builtins.max((arr.shape[0] for arr in arrays), default=0)
     trailing = arrays[0].shape[1:] if arrays else ()
+    for i, arr in enumerate(arrays):
+        if arr.shape[1:] != trailing:
+            raise ValueError(
+                "pad_stack arrays must share trailing dimensions: array 0 "
+                f"has shape {arrays[0].shape}, array {i} has {arr.shape} "
+                "(only the leading axis may vary)")
     out_shape = (len(arrays), n_max) + trailing
     if pad_value == 0.0:
         batch = np.zeros(out_shape)

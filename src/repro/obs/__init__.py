@@ -33,9 +33,11 @@ names and the trace-file schema.
 from . import profile
 from .history import TrainingHistory
 from .metrics import (
+    DEFAULT_HISTOGRAM_CAPACITY,
     PERF_COUNTER_NAMES,
     PERF_GAUGE_NAMES,
     PERF_TIMING_NAMES,
+    Histogram,
     MetricsRegistry,
 )
 from .profile import OpProfiler, OpStat, profiling, render_profile
@@ -54,6 +56,7 @@ from .trace import (
     event,
     gauge,
     get_tracer,
+    observe,
     record_perf,
     set_tracer,
     span,
@@ -61,12 +64,13 @@ from .trace import (
 )
 
 __all__ = [
-    "MetricsRegistry", "TrainingHistory",
+    "MetricsRegistry", "Histogram", "DEFAULT_HISTOGRAM_CAPACITY",
+    "TrainingHistory",
     "OpProfiler", "OpStat", "profiling", "render_profile", "profile",
     "PERF_COUNTER_NAMES", "PERF_TIMING_NAMES", "PERF_GAUGE_NAMES",
     "Tracer", "NullTracer", "NULL_TRACER",
     "JsonlSink", "ListSink", "NullSink",
     "tracing", "get_tracer", "set_tracer", "current_metrics",
-    "span", "count", "gauge", "add_time", "event", "record_perf",
+    "span", "count", "gauge", "add_time", "observe", "event", "record_perf",
     "capture_child", "absorb",
 ]

@@ -1,9 +1,10 @@
 """Counter/gauge/timing registry behind the tracing layer.
 
 A :class:`MetricsRegistry` is the numeric half of ``repro.obs``: named
-**counters** (monotone sums), **gauges** (merged by maximum) and
-**timings** (wall-clock sums plus span call counts).  The split encodes
-the determinism contract the solver relies on:
+**counters** (monotone sums), **gauges** (merged by maximum), **timings**
+(wall-clock sums plus span call counts) and **histograms**
+(bounded-reservoir value distributions with quantile queries).  The split
+encodes the determinism contract the solver relies on:
 
 * ``counters`` must be *schedule-invariant* — a traced run records the
   same counter values whether rollouts execute serially, batched, or
@@ -12,6 +13,14 @@ the determinism contract the solver relies on:
   also schedule-invariant for quantities like "largest cache observed".
 * ``timings`` hold wall-clock measurements and per-schedule span counts;
   they are explicitly *excluded* from the bit-identity contract.
+* ``histograms`` record observation streams (latencies, batch sizes) in
+  a bounded *truncating* reservoir — the first ``capacity`` values are
+  kept verbatim plus exact count/total/min/max.  Append-only storage is
+  what makes :meth:`diff` as simple as a counter subtraction (ship the
+  values observed since the baseline) and :meth:`merge_snapshot`
+  deterministic when children are absorbed in item order; quantiles are
+  exact until the reservoir fills and first-``capacity``-sample
+  estimates after.
 
 The registry subsumes :class:`~repro.core.perf.PerfCounters`: every solve's
 final counters can be absorbed via :meth:`record_perf`, and a registry
@@ -24,10 +33,132 @@ parent process with each result.
 
 from __future__ import annotations
 
+import math
+
 from ..core.perf import PerfCounters
 
-__all__ = ["MetricsRegistry", "PERF_COUNTER_NAMES", "PERF_TIMING_NAMES",
-           "PERF_GAUGE_NAMES"]
+__all__ = ["Histogram", "MetricsRegistry", "DEFAULT_HISTOGRAM_CAPACITY",
+           "PERF_COUNTER_NAMES", "PERF_TIMING_NAMES", "PERF_GAUGE_NAMES"]
+
+#: Reservoir size for histograms created through :meth:`MetricsRegistry.observe`.
+DEFAULT_HISTOGRAM_CAPACITY = 4096
+
+
+class Histogram:
+    """Bounded-reservoir value distribution with quantile queries.
+
+    Keeps exact ``count`` / ``total`` / ``min`` / ``max`` forever and the
+    first ``capacity`` observed values verbatim.  Quantiles interpolate
+    over the stored values, so they are exact while ``count <=
+    capacity`` and first-sample estimates after — the serving smoke and
+    bench workloads stay well inside the default reservoir.  Storage is
+    append-only, which gives the same delta/merge algebra as counters:
+    a delta is "the values appended since the baseline" and merging a
+    delta is appending (truncated at capacity), so fork-pool children
+    absorbed in item order reproduce the serial registry exactly.
+    """
+
+    __slots__ = ("capacity", "count", "total", "min", "max", "values")
+
+    def __init__(self, capacity: int = DEFAULT_HISTOGRAM_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"histogram capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.values: list[float] = []
+
+    # ------------------------------------------------------------------ #
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self.values) < self.capacity:
+            self.values.append(value)
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolated quantile over the stored reservoir.
+
+        Raises ``ValueError`` on an empty histogram or ``q`` outside
+        ``[0, 1]``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.values:
+            raise ValueError("quantile of an empty histogram")
+        ordered = sorted(self.values)
+        pos = q * (len(ordered) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = pos - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        """count/mean/min/max plus the p50/p95/p99 the serving layer reports."""
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count, "mean": self.mean,
+            "min": self.min, "max": self.max,
+            "p50": self.quantile(0.50), "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    # ------------------------------------------------------------------ #
+    def state(self) -> dict:
+        """Picklable full state (the snapshot currency)."""
+        return {"capacity": self.capacity, "count": self.count,
+                "total": self.total, "min": self.min, "max": self.max,
+                "values": list(self.values)}
+
+    def delta_since(self, baseline: dict | None) -> dict | None:
+        """Observations accumulated since ``baseline`` (a prior state).
+
+        ``None`` baseline means the histogram is new — the whole state is
+        the delta.  Returns ``None`` when nothing was observed since.
+        """
+        if baseline is None:
+            return self.state() if self.count else None
+        new_count = self.count - baseline["count"]
+        if not new_count:
+            return None
+        return {"capacity": self.capacity, "count": new_count,
+                "total": self.total - baseline["total"],
+                "min": self.min, "max": self.max,
+                "values": list(self.values[len(baseline["values"]):])}
+
+    def merge_state(self, payload: dict) -> None:
+        """Append a state/delta: counts and totals sum, min/max widen,
+        values extend until this reservoir's capacity."""
+        self.count += payload["count"]
+        self.total += payload["total"]
+        if payload["min"] < self.min:
+            self.min = payload["min"]
+        if payload["max"] > self.max:
+            self.max = payload["max"]
+        room = self.capacity - len(self.values)
+        if room > 0:
+            self.values.extend(payload["values"][:room])
+
+    @classmethod
+    def from_state(cls, payload: dict) -> "Histogram":
+        hist = cls(payload.get("capacity", DEFAULT_HISTOGRAM_CAPACITY))
+        hist.merge_state(payload)
+        return hist
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Histogram(count={self.count}, mean={self.mean:.4g}, "
+                f"stored={len(self.values)}/{self.capacity})")
 
 #: PerfCounters fields that are schedule-invariant -> ``counters``.
 PERF_COUNTER_NAMES = ("planner_calls", "init_planner_calls", "backend_calls",
@@ -40,14 +171,16 @@ PERF_GAUGE_NAMES = ("cache_size",)
 
 
 class MetricsRegistry:
-    """Named counters, gauges and timings with deterministic merging."""
+    """Named counters, gauges, timings and histograms with deterministic
+    merging."""
 
-    __slots__ = ("counters", "gauges", "timings")
+    __slots__ = ("counters", "gauges", "timings", "histograms")
 
     def __init__(self):
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
         self.timings: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
 
     # ------------------------------------------------------------------ #
     def inc(self, name: str, value: float = 1) -> None:
@@ -63,6 +196,24 @@ class MetricsRegistry:
     def add_time(self, name: str, seconds: float) -> None:
         """Accumulate wall-clock ``seconds`` under timing ``name``."""
         self.timings[name] = self.timings.get(name, 0.0) + seconds
+
+    def observe(self, name: str, value: float,
+                capacity: int = DEFAULT_HISTOGRAM_CAPACITY) -> None:
+        """Record ``value`` into histogram ``name`` (created on first use)."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram(capacity)
+        hist.observe(value)
+
+    def quantile(self, name: str, q: float) -> float:
+        """Quantile ``q`` of histogram ``name``; KeyError when absent."""
+        return self.histograms[name].quantile(q)
+
+    def histogram_summary(self, name: str) -> dict:
+        """count/mean/min/max/p50/p95/p99 of histogram ``name`` (or
+        ``{"count": 0}`` when it was never observed)."""
+        hist = self.histograms.get(name)
+        return hist.summary() if hist is not None else {"count": 0}
 
     # ------------------------------------------------------------------ #
     def record_perf(self, perf: PerfCounters, prefix: str = "perf.") -> None:
@@ -94,9 +245,13 @@ class MetricsRegistry:
     # ------------------------------------------------------------------ #
     def snapshot(self) -> dict:
         """Picklable copy of the full registry state."""
-        return {"counters": dict(self.counters),
-                "gauges": dict(self.gauges),
-                "timings": dict(self.timings)}
+        state = {"counters": dict(self.counters),
+                 "gauges": dict(self.gauges),
+                 "timings": dict(self.timings)}
+        if self.histograms:
+            state["histograms"] = {name: hist.state()
+                                   for name, hist in self.histograms.items()}
+        return state
 
     def diff(self, baseline: dict) -> dict:
         """The delta accumulated since ``baseline`` (a prior snapshot).
@@ -115,17 +270,33 @@ class MetricsRegistry:
             delta = value - baseline["timings"].get(name, 0.0)
             if delta:
                 timings[name] = delta
-        return {"counters": counters, "gauges": dict(self.gauges),
-                "timings": timings}
+        delta = {"counters": counters, "gauges": dict(self.gauges),
+                 "timings": timings}
+        baseline_hists = baseline.get("histograms", {})
+        histograms = {}
+        for name, hist in self.histograms.items():
+            hist_delta = hist.delta_since(baseline_hists.get(name))
+            if hist_delta is not None:
+                histograms[name] = hist_delta
+        if histograms:
+            delta["histograms"] = histograms
+        return delta
 
     def merge_snapshot(self, payload: dict) -> None:
-        """Merge a snapshot/delta: counters and timings sum, gauges max."""
+        """Merge a snapshot/delta: counters and timings sum, gauges max,
+        histogram deltas append."""
         for name, value in payload.get("counters", {}).items():
             self.inc(name, value)
         for name, value in payload.get("gauges", {}).items():
             self.gauge(name, value)
         for name, value in payload.get("timings", {}).items():
             self.add_time(name, value)
+        for name, state in payload.get("histograms", {}).items():
+            hist = self.histograms.get(name)
+            if hist is None:
+                self.histograms[name] = Histogram.from_state(state)
+            else:
+                hist.merge_state(state)
 
     def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
         self.merge_snapshot(other.snapshot())
@@ -135,6 +306,7 @@ class MetricsRegistry:
         self.counters.clear()
         self.gauges.clear()
         self.timings.clear()
+        self.histograms.clear()
 
     # ------------------------------------------------------------------ #
     def to_dict(self) -> dict:
@@ -175,4 +347,5 @@ class MetricsRegistry:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"MetricsRegistry(counters={len(self.counters)}, "
-                f"gauges={len(self.gauges)}, timings={len(self.timings)})")
+                f"gauges={len(self.gauges)}, timings={len(self.timings)}, "
+                f"histograms={len(self.histograms)})")

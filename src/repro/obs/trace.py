@@ -38,7 +38,7 @@ from .metrics import MetricsRegistry
 
 __all__ = ["Tracer", "NullTracer", "NULL_TRACER", "JsonlSink", "ListSink",
            "NullSink", "tracing", "get_tracer", "set_tracer", "span",
-           "count", "gauge", "add_time", "event", "record_perf",
+           "count", "gauge", "add_time", "observe", "event", "record_perf",
            "current_metrics", "capture_child", "absorb"]
 
 
@@ -169,6 +169,9 @@ class Tracer:
     def add_time(self, name: str, seconds: float) -> None:
         self.metrics.add_time(name, seconds)
 
+    def observe(self, name: str, value: float) -> None:
+        self.metrics.observe(name, value)
+
     def record_perf(self, perf, prefix: str = "perf.") -> None:
         self.metrics.record_perf(perf, prefix=prefix)
 
@@ -201,6 +204,9 @@ class NullTracer(Tracer):
         pass
 
     def add_time(self, name: str, seconds: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
         pass
 
     def record_perf(self, perf, prefix: str = "perf.") -> None:
@@ -279,6 +285,10 @@ def gauge(name: str, value: float) -> None:
 
 def add_time(name: str, seconds: float) -> None:
     _TRACER.add_time(name, seconds)
+
+
+def observe(name: str, value: float) -> None:
+    _TRACER.observe(name, value)
 
 
 def record_perf(perf, prefix: str = "perf.") -> None:

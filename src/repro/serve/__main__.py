@@ -1,0 +1,159 @@
+"""Command-line smoke runner for the online solver service.
+
+Usage::
+
+    python -m repro.serve [--requests 32] [--instances 8]
+                          [--mode delivery] [--density 0.05]
+                          [--batch-size 8] [--max-wait-us 2000]
+                          [--timeout SECONDS] [--samples 1]
+                          [--metrics serve_metrics.jsonl]
+                          [--check-parity]
+
+Generates a pool of instances, fires ``--requests`` concurrent solve
+requests round-robin over them through a :class:`SolverService`, and
+prints the serving summary (batch-size distribution, latency
+percentiles, sustained throughput).  ``--check-parity`` additionally
+re-solves every greedy request directly through ``SMORESolver.solve``
+and exits non-zero unless each service answer is bit-identical —
+the CI ``serve-smoke`` gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from ..datasets import generate_instances
+from ..datasets.instances import InstanceOptions
+from ..smore import SMORESolver, TASNet, TASNetConfig, TASNetPolicy
+from ..tsptw import CachedPlanner, InsertionSolver
+from .client import SolveRequest, drive_requests
+from .engine import WarmEngine
+from .service import ServeConfig
+
+
+def _build_engine(args) -> tuple[WarmEngine, list]:
+    options = InstanceOptions(task_density=args.density, budget=args.budget)
+    instances = generate_instances(args.mode, args.instances,
+                                   seed=args.seed, options=options)
+    grid = instances[0].coverage.grid
+    config = TASNetConfig(d_model=args.d_model, num_heads=args.heads,
+                          num_layers=args.layers, conv_channels=4)
+    net = TASNet(config, grid_nx=grid.nx, grid_ny=grid.ny,
+                 rng=np.random.default_rng(args.seed))
+    solver = SMORESolver(CachedPlanner(InsertionSolver()), TASNetPolicy(net))
+    return WarmEngine(solver), instances
+
+
+def _routes(solution):
+    return sorted((wid, tuple(t.task_id for t in route.tasks))
+                  for wid, route in solution.routes.items())
+
+
+def _render_stats(stats: dict) -> str:
+    lat, batch = stats["latency_ms"], stats["batch_size"]
+    lines = [
+        "serving summary",
+        "=" * 45,
+        f"requests            {stats['requests']}",
+        f"responses           {stats['responses']}",
+        f"shed (deadline)     {stats['shed_deadline']}",
+        f"rejected (overload) {stats['rejected_overload']}",
+        f"queue depth peak    {stats['queue_depth_peak']}",
+        f"sustained req/s     {stats['sustained_req_per_s']:.2f}",
+    ]
+    if batch.get("count"):
+        lines.append(f"batch size          n={batch['count']} "
+                     f"mean={batch['mean']:.2f} max={batch['max']:g}")
+    if lat.get("count"):
+        lines.append(f"latency ms          p50={lat['p50']:.1f} "
+                     f"p95={lat['p95']:.1f} p99={lat['p99']:.1f}")
+    engine = stats["engine"]
+    lines.append(f"engine              backend={engine['backend']} "
+                 f"warm={engine['warm_instances']} "
+                 f"hits={engine['env_hits']} misses={engine['env_misses']}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.serve")
+    parser.add_argument("--requests", type=int, default=32,
+                        help="concurrent requests to fire (default 32)")
+    parser.add_argument("--instances", type=int, default=8,
+                        help="distinct instances to round-robin over")
+    parser.add_argument("--mode", default="delivery",
+                        help="dataset mode (default delivery)")
+    parser.add_argument("--density", type=float, default=0.05,
+                        help="task density for generated instances")
+    parser.add_argument("--budget", type=float, default=120.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--d-model", type=int, default=32)
+    parser.add_argument("--heads", type=int, default=2)
+    parser.add_argument("--layers", type=int, default=1)
+    parser.add_argument("--samples", type=int, default=1,
+                        help="rollouts per request (sample-and-select-best)")
+    parser.add_argument("--batch-size", type=int, default=8,
+                        help="micro-batcher max batch size")
+    parser.add_argument("--max-wait-us", type=float, default=2_000.0,
+                        help="micro-batcher coalescing window")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-request deadline in seconds")
+    parser.add_argument("--metrics", default=None, metavar="PATH",
+                        help="write serving metrics JSONL to PATH")
+    parser.add_argument("--check-parity", action="store_true",
+                        help="assert every greedy response is bit-identical "
+                             "to a direct SMORESolver.solve")
+    args = parser.parse_args(argv)
+
+    engine, instances = _build_engine(args)
+    greedy = args.samples <= 1
+    requests = [
+        SolveRequest(instance=instances[i % len(instances)], greedy=greedy,
+                     seed=None if greedy else 10_000 + i,
+                     num_samples=args.samples, timeout=args.timeout)
+        for i in range(args.requests)]
+
+    print(f"repro.serve: {args.requests} concurrent requests over "
+          f"{len(instances)} {args.mode} instances "
+          f"(batch<={args.batch_size}, wait<={args.max_wait_us:g}us)")
+    result = drive_requests(
+        engine, requests,
+        config=ServeConfig(max_batch_size=args.batch_size,
+                           max_wait_us=args.max_wait_us,
+                           max_queue_depth=max(args.requests, 1)),
+        metrics_path=args.metrics)
+
+    print(_render_stats(result.stats))
+    if args.metrics:
+        print(f"metrics written to {args.metrics}")
+    if result.errors:
+        print(f"{len(result.errors)} request(s) failed "
+              f"({type(result.errors[0]).__name__}: {result.errors[0]})")
+
+    if args.check_parity:
+        if not greedy:
+            print("parity check requires greedy requests (--samples 1)")
+            return 2
+        if result.errors:
+            print("parity check failed: not every request was answered")
+            return 1
+        direct = {id(inst): engine.solver.solve(inst) for inst in instances}
+        mismatches = 0
+        for request, outcome in zip(requests, result.outcomes):
+            want = direct[id(request.instance)]
+            if (_routes(want) != _routes(outcome)
+                    or want.incentives != outcome.incentives
+                    or want.objective != outcome.objective):
+                mismatches += 1
+        verdict = "OK" if mismatches == 0 else "MISMATCH"
+        print(f"parity: {len(requests) - mismatches}/{len(requests)} greedy "
+              f"responses bit-identical to direct solve [{verdict}]")
+        if mismatches:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

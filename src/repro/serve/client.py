@@ -1,0 +1,91 @@
+"""In-process client helpers for driving a :class:`SolverService`.
+
+Tests, benchmarks and the ``python -m repro.serve`` smoke runner all
+need the same shape of workload: fire N concurrent requests at a
+service, collect every response (or error) in request order, and read
+the serving stats afterwards.  :func:`drive_requests` packages that as
+one synchronous call — it owns the event loop, the service lifecycle,
+and the fan-out — so a benchmark body stays a single line.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from .engine import WarmEngine
+from .service import ServeConfig, SolverService
+
+__all__ = ["SolveRequest", "drive_requests", "run_workload"]
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One client-side solve request (the arguments of ``service.solve``)."""
+
+    instance: object
+    greedy: bool = True
+    seed: int | None = None
+    num_samples: int = 1
+    timeout: float | None = None
+
+    def submit(self, service: SolverService):
+        """The coroutine awaiting this request's solution."""
+        return service.solve(self.instance, greedy=self.greedy,
+                             seed=self.seed, num_samples=self.num_samples,
+                             timeout=self.timeout)
+
+
+@dataclass
+class WorkloadResult:
+    """Everything a benchmark wants back from one service run."""
+
+    outcomes: list = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def solutions(self) -> list:
+        """Successful solutions only (errors filtered out)."""
+        return [o for o in self.outcomes if not isinstance(o, Exception)]
+
+    @property
+    def errors(self) -> list:
+        return [o for o in self.outcomes if isinstance(o, Exception)]
+
+
+async def run_workload(service: SolverService,
+                       requests: list[SolveRequest]) -> list:
+    """Fire ``requests`` concurrently against a *running* service.
+
+    Returns one outcome per request, in request order: a
+    :class:`~repro.core.solution.Solution` or the exception that request
+    failed with (deadline, overload, engine error).  All requests are
+    submitted in one scheduling burst, so the micro-batcher sees them as
+    concurrent arrivals.
+    """
+    return await asyncio.gather(
+        *(request.submit(service) for request in requests),
+        return_exceptions=True)
+
+
+def drive_requests(engine: WarmEngine, requests: list[SolveRequest],
+                   config: ServeConfig | None = None,
+                   metrics_path=None) -> WorkloadResult:
+    """Run a whole service lifecycle around one concurrent workload.
+
+    Starts a :class:`SolverService` on a fresh event loop, fires every
+    request concurrently, drains and stops the service, and returns the
+    outcomes plus the final :meth:`SolverService.stats` summary.  When
+    ``metrics_path`` is given, the serving metrics JSONL is written
+    there before the service stops reporting.
+    """
+
+    async def _run():
+        async with SolverService(engine, config) as service:
+            outcomes = await run_workload(service, requests)
+            stats = service.stats()
+            if metrics_path is not None:
+                service.write_metrics_jsonl(metrics_path)
+        return WorkloadResult(outcomes=outcomes, stats=stats)
+
+    return asyncio.run(_run())

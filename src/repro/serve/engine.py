@@ -1,0 +1,141 @@
+"""The warm engine: solver state kept resident across requests.
+
+A cold ``SMORESolver.solve`` call pays three start-up costs on every
+request: the nn backend is re-resolved, the planner starts with an empty
+memo, and the instance's candidate table is rebuilt from scratch (the
+O(W x S) init sweep).  :class:`WarmEngine` keeps all three hot:
+
+* the **policy weights** and the **planner** live on the wrapped solver
+  for the engine's whole lifetime — a memoising planner's cache keeps
+  paying off across requests;
+* the **backend** is resolved once at construction and re-activated
+  around every batch, so the service keeps decoding through the backend
+  it warmed up with even if the process-global default is flipped;
+* a bounded LRU of :class:`~repro.smore.env.SelectionEnv` objects keyed
+  by instance identity keeps **candidate-table snapshots** resident —
+  a repeat request for a known instance restores its table by copy
+  instead of re-running the init sweep.
+
+The engine is *not* thread-safe; the service drives it from a single
+dispatcher thread (see :mod:`repro.serve.service`).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..nn import backend as nn_backend
+from ..smore.env import SelectionEnv
+from ..smore.policy import EpisodeStaticsCache
+from ..smore.solver import SMORESolver, SolveBatch
+
+__all__ = ["WarmEngine"]
+
+DEFAULT_MAX_WARM_INSTANCES = 64
+
+
+class WarmEngine:
+    """Resident solver state shared by every request the service handles.
+
+    Parameters
+    ----------
+    solver:
+        The :class:`~repro.smore.solver.SMORESolver` whose policy weights
+        and planner stay resident.
+    max_warm_instances:
+        Capacity of the per-instance env LRU.  Each entry holds one
+        :class:`SelectionEnv` (and thereby one candidate-table snapshot);
+        the least recently used entry is evicted past capacity.
+    reuse_candidates:
+        Passed through to fresh envs; ``True`` (default) enables the
+        snapshot-restore fast path on repeat resets.
+    """
+
+    def __init__(self, solver: SMORESolver,
+                 max_warm_instances: int = DEFAULT_MAX_WARM_INSTANCES,
+                 reuse_candidates: bool = True):
+        if max_warm_instances < 1:
+            raise ValueError(
+                f"max_warm_instances must be >= 1, got {max_warm_instances}")
+        self.solver = solver
+        self.max_warm_instances = max_warm_instances
+        self.reuse_candidates = reuse_candidates
+        # Resolve eagerly: the first request should not pay (or race on)
+        # lazy backend resolution, and the engine keeps serving through
+        # this backend even if the global default is flipped later.
+        self.backend = nn_backend.get_backend()
+        # Keep the static encoder pass resident too: serving weights are
+        # frozen, so per-instance TASNet statics (travel-grid conv, task
+        # encoder, pointer keys) stay valid across requests.  Policies
+        # without the seam (selection rules, ablations) just skip it.
+        self.statics_cache = None
+        if hasattr(solver.policy, "statics_cache"):
+            self.statics_cache = EpisodeStaticsCache(max_warm_instances)
+            solver.policy.statics_cache = self.statics_cache
+        # id(instance) -> (instance, env).  The stored instance reference
+        # keeps the id stable for the lifetime of the entry.
+        self._envs: OrderedDict[int, tuple] = OrderedDict()
+        self.env_hits = 0
+        self.env_misses = 0
+        self.env_evictions = 0
+
+    # ------------------------------------------------------------------ #
+    def env_for(self, instance) -> SelectionEnv:
+        """The resident env for ``instance``, creating one on first use.
+
+        Keyed by object identity: the serving fast path is repeat solves
+        of the *same* instance object (re-pricing, incremental planning
+        loops).  Equal-but-distinct instances get distinct envs.
+        """
+        key = id(instance)
+        entry = self._envs.get(key)
+        if entry is not None:
+            self._envs.move_to_end(key)
+            self.env_hits += 1
+            return entry[1]
+        self.env_misses += 1
+        env = SelectionEnv(instance, self.solver.planner,
+                           reuse_candidates=self.reuse_candidates)
+        self._envs[key] = (instance, env)
+        if len(self._envs) > self.max_warm_instances:
+            self._envs.popitem(last=False)
+            self.env_evictions += 1
+        return env
+
+    @property
+    def warm_instances(self) -> int:
+        """Number of instances with a resident env."""
+        return len(self._envs)
+
+    # ------------------------------------------------------------------ #
+    def open_batch(self, max_size: int | None = None,
+                   clock=None) -> SolveBatch:
+        """Open a :class:`SolveBatch` backed by the engine's warm envs."""
+        kwargs = {} if clock is None else {"clock": clock}
+        return self.solver.open_batch(max_size=max_size,
+                                      env_factory=self.env_for, **kwargs)
+
+    def execute(self, batch: SolveBatch):
+        """Run ``batch`` under the engine's resident backend."""
+        with nn_backend.use_backend(self.backend.name):
+            return batch.execute()
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Engine-side residency counters."""
+        stats = {
+            "backend": self.backend.name,
+            "warm_instances": self.warm_instances,
+            "env_hits": self.env_hits,
+            "env_misses": self.env_misses,
+            "env_evictions": self.env_evictions,
+        }
+        if self.statics_cache is not None:
+            stats["statics_hits"] = self.statics_cache.hits
+            stats["statics_misses"] = self.statics_cache.misses
+        return stats
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"WarmEngine(solver={self.solver.name!r}, "
+                f"backend={self.backend.name!r}, "
+                f"warm={self.warm_instances}/{self.max_warm_instances})")

@@ -1,0 +1,400 @@
+"""The online solver service: asyncio front-end + cross-request batching.
+
+Three moving parts on one event loop:
+
+* **front-end** — :meth:`SolverService.solve` is the request surface:
+  admission control (a bounded queue; :class:`ServiceOverloaded` past
+  ``max_queue_depth``), an optional per-request ``timeout`` that becomes
+  a monotonic-clock deadline, and a future the caller awaits.
+* **micro-batcher** — the dispatch loop pops the first waiting request,
+  then coalesces companions until the batch holds ``max_batch_size``
+  requests or ``max_wait_us`` elapses — whichever first.  While a batch
+  is decoding, new arrivals pile up in the queue, so under load the next
+  batch forms instantly from the backlog (natural batching).
+* **dispatcher** — each coalesced batch becomes one
+  :class:`~repro.smore.solver.SolveBatch` executed on the
+  :class:`~repro.serve.engine.WarmEngine` in a single worker thread
+  (``run_in_executor``), so the event loop keeps admitting while the
+  engine decodes and all engine state stays single-threaded.  Requests
+  whose deadline expired while queued are shed — their future fails with
+  :class:`DeadlineExceeded` and they never enter the decode batch.
+
+Batching never changes an answer: a greedy request's solution is
+bit-identical to ``SMORESolver.solve`` on the same instance no matter
+which companions shared its batch (pinned by ``tests/serve``).  Because
+greedy decoding is deterministic, the dispatcher additionally collapses
+*identical* concurrent greedy requests (same instance object) onto one
+decode slot (``ServeConfig.dedupe_greedy``) — every duplicate receives
+the lone decode's solution, so hot instances cost one decode per batch
+however many clients ask.
+
+Serving telemetry lands in the service's own
+:class:`~repro.obs.metrics.MetricsRegistry` (queue depth, batch-size and
+latency histograms, shed/rejected counters) and is mirrored through the
+module-level :mod:`repro.obs` API so an active tracer captures it too;
+:meth:`SolverService.stats` summarises p50/p95/p99 latency and sustained
+throughput.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import obs
+from ..core.errors import ReproError
+from ..obs.metrics import MetricsRegistry
+from ..smore.batch import DeadlineExpired
+from .engine import WarmEngine
+
+__all__ = ["ServeConfig", "SolverService", "ServiceError", "ServiceClosed",
+           "ServiceOverloaded", "DeadlineExceeded"]
+
+
+class ServiceError(ReproError):
+    """Base class for solver-service request failures."""
+
+
+class ServiceClosed(ServiceError):
+    """The service is not running (never started, or already stopped)."""
+
+
+class ServiceOverloaded(ServiceError):
+    """The request queue is full; the request was rejected unqueued."""
+
+
+class DeadlineExceeded(ServiceError):
+    """The request's deadline passed before the engine could decode it."""
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Micro-batching policy knobs.
+
+    ``max_batch_size`` caps how many requests one engine batch may hold;
+    ``max_wait_us`` bounds how long the batcher holds the *first* request
+    of a forming batch waiting for companions (0 disables coalescing
+    waits: each batch is whatever the backlog already holds); and
+    ``max_queue_depth`` bounds the admission queue — requests beyond it
+    fail fast with :class:`ServiceOverloaded` instead of queuing into a
+    deadline they cannot meet.
+    """
+
+    max_batch_size: int = 8
+    max_wait_us: float = 2_000.0
+    max_queue_depth: int = 256
+    #: Coalesce *identical* concurrent greedy requests (same instance
+    #: object, single-rollout greedy decode) onto one decode slot.
+    #: Greedy decoding is deterministic, so every duplicate receives the
+    #: bit-identical solution the lone decode produced — the serving
+    #: analogue of in-flight request collapsing.  Sampled requests never
+    #: dedupe (each owns its seed).
+    dedupe_greedy: bool = True
+
+    def __post_init__(self):
+        if self.max_batch_size < 1:
+            raise ValueError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}")
+        if self.max_wait_us < 0:
+            raise ValueError(
+                f"max_wait_us must be >= 0, got {self.max_wait_us}")
+        if self.max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}")
+
+
+@dataclass
+class _PendingRequest:
+    """One enqueued request awaiting dispatch."""
+
+    instance: object
+    greedy: bool
+    seed: int | None
+    num_samples: int
+    deadline: float | None
+    enqueued_at: float
+    future: asyncio.Future
+
+
+class SolverService:
+    """Asyncio solve service over one :class:`WarmEngine`.
+
+    Use as an async context manager, or call :meth:`start` / :meth:`stop`
+    explicitly::
+
+        engine = WarmEngine(solver)
+        async with SolverService(engine) as service:
+            solution = await service.solve(instance)
+
+    :meth:`solve` may be awaited from any number of concurrent tasks on
+    the service's event loop; the engine itself runs on one dedicated
+    worker thread, one batch at a time.
+    """
+
+    def __init__(self, engine: WarmEngine, config: ServeConfig | None = None):
+        self.engine = engine
+        self.config = config or ServeConfig()
+        self.metrics = MetricsRegistry()
+        self._queue: asyncio.Queue | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._dispatch_task: asyncio.Task | None = None
+        self._running = False
+        self._inflight = 0
+        self._started_at: float | None = None
+        self._first_request_at: float | None = None
+        self._last_response_at: float | None = None
+
+    # -- lifecycle ------------------------------------------------------ #
+    async def start(self) -> "SolverService":
+        """Bind to the running loop and start the dispatch task."""
+        if self._running:
+            raise RuntimeError("service already started")
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-engine")
+        self._dispatch_task = self._loop.create_task(
+            self._dispatch_loop(), name="repro-serve-dispatch")
+        self._running = True
+        self._started_at = time.monotonic()
+        obs.event("serve.start", backend=self.engine.backend.name,
+                  max_batch_size=self.config.max_batch_size,
+                  max_wait_us=self.config.max_wait_us)
+        return self
+
+    async def stop(self) -> None:
+        """Stop accepting requests, drain what is queued, then shut down.
+
+        Every request admitted before ``stop`` was called still gets its
+        answer (or its deadline error); only new :meth:`solve` calls fail
+        with :class:`ServiceClosed`.
+        """
+        if not self._running:
+            return
+        self._running = False
+        while self._inflight > 0:
+            await asyncio.sleep(0.001)
+        self._dispatch_task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await self._dispatch_task
+        self._executor.shutdown(wait=True)
+        obs.event("serve.stop",
+                  responses=int(self.metrics.counters.get(
+                      "serve.responses", 0)))
+
+    async def __aenter__(self) -> "SolverService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize() if self._queue is not None else 0
+
+    # -- front-end ------------------------------------------------------ #
+    async def solve(self, instance, greedy: bool = True,
+                    seed: int | None = None, num_samples: int = 1,
+                    timeout: float | None = None):
+        """Submit one solve request; await its solution.
+
+        ``greedy=True`` requests the deterministic argmax decode (the
+        answer is bit-identical to ``SMORESolver.solve(instance)``);
+        ``greedy=False`` samples, with ``seed`` making the draw
+        reproducible (the decode matches
+        ``solve(instance, greedy=False, rng=default_rng(seed),
+        num_samples=...)``).  ``timeout`` (seconds) sets a deadline:
+        requests still undecoded when it passes fail with
+        :class:`DeadlineExceeded`; requests that cannot even be queued
+        fail immediately with :class:`ServiceOverloaded`.
+        """
+        if not self._running:
+            raise ServiceClosed("service is not running; use 'async with' "
+                                "or call start() first")
+        if self._queue.qsize() >= self.config.max_queue_depth:
+            self._count("serve.rejected_overload")
+            raise ServiceOverloaded(
+                f"queue depth {self._queue.qsize()} at configured maximum "
+                f"{self.config.max_queue_depth}")
+        now = time.monotonic()
+        if self._first_request_at is None:
+            self._first_request_at = now
+        pending = _PendingRequest(
+            instance=instance, greedy=bool(greedy), seed=seed,
+            num_samples=num_samples,
+            deadline=None if timeout is None else now + timeout,
+            enqueued_at=now, future=self._loop.create_future())
+        self._inflight += 1
+        self._queue.put_nowait(pending)
+        self._count("serve.requests")
+        self._gauge("serve.queue_depth", float(self._queue.qsize()))
+        return await pending.future
+
+    # -- micro-batcher + dispatcher ------------------------------------- #
+    async def _dispatch_loop(self) -> None:
+        while True:
+            batch = [await self._queue.get()]
+            batch = await self._coalesce(batch)
+            await self._dispatch(batch)
+
+    async def _coalesce(self, batch: list) -> list:
+        """Grow ``batch`` until full or ``max_wait_us`` elapses."""
+        wait_deadline = time.monotonic() + self.config.max_wait_us / 1e6
+        while len(batch) < self.config.max_batch_size:
+            try:
+                batch.append(self._queue.get_nowait())
+                continue
+            except asyncio.QueueEmpty:
+                pass
+            remaining = wait_deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                batch.append(await asyncio.wait_for(
+                    self._queue.get(), remaining))
+            except asyncio.TimeoutError:
+                break
+        return batch
+
+    def _fail(self, pending: _PendingRequest, exc: Exception) -> None:
+        if not pending.future.done():
+            pending.future.set_exception(exc)
+        self._inflight -= 1
+
+    async def _dispatch(self, batch: list) -> None:
+        solve_batch = self.engine.open_batch(max_size=len(batch))
+        live = []
+        decoded = 0
+        primaries: dict[int, int] = {}   # id(instance) -> shared ticket
+        for pending in batch:
+            if pending.future.done():        # caller gave up while queued
+                self._inflight -= 1
+                continue
+            dedupe_key = (id(pending.instance)
+                          if (self.config.dedupe_greedy and pending.greedy
+                              and pending.num_samples == 1) else None)
+            if dedupe_key is not None and dedupe_key in primaries:
+                # Identical deterministic decode already admitted this
+                # batch: piggyback on its ticket instead of burning a
+                # decode slot.  The duplicate still honours its own
+                # deadline, mirroring admit()'s shed-at-admission check.
+                if pending.deadline is not None \
+                        and time.monotonic() >= pending.deadline:
+                    self._count("serve.shed_deadline")
+                    self._fail(pending, DeadlineExceeded(
+                        "deadline passed while queued"))
+                    continue
+                self._count("serve.dedup_hits")
+                live.append((pending, primaries[dedupe_key]))
+                continue
+            rng = (np.random.default_rng(pending.seed)
+                   if pending.seed is not None else None)
+            try:
+                ticket = solve_batch.admit(
+                    pending.instance, greedy=pending.greedy, rng=rng,
+                    num_samples=pending.num_samples,
+                    deadline=pending.deadline)
+            except DeadlineExpired:
+                self._count("serve.shed_deadline")
+                self._fail(pending, DeadlineExceeded(
+                    "deadline passed while queued"))
+                continue
+            if dedupe_key is not None:
+                primaries[dedupe_key] = ticket
+            decoded += 1
+            live.append((pending, ticket))
+        if not live:
+            return
+
+        # Histogram of *decoded* batch width — dedup duplicates share a
+        # slot, so this is the size the engine actually saw.
+        self._observe("serve.batch_size", float(decoded))
+        try:
+            results = await self._loop.run_in_executor(
+                self._executor, self.engine.execute, solve_batch)
+        except Exception as exc:  # engine failure fails the whole batch
+            self._count("serve.errors")
+            for pending, _ in live:
+                self._fail(pending, exc)
+            return
+
+        now = time.monotonic()
+        for pending, ticket in live:
+            solution = results[ticket]
+            if pending.future.done():
+                self._inflight -= 1
+                continue
+            if solution is None:             # shed at execute time
+                self._count("serve.shed_deadline")
+                self._fail(pending, DeadlineExceeded(
+                    "deadline passed before the batch executed"))
+                continue
+            self._observe("serve.latency_ms",
+                          (now - pending.enqueued_at) * 1e3)
+            self._count("serve.responses")
+            self._last_response_at = now
+            pending.future.set_result(solution)
+            self._inflight -= 1
+
+    # -- telemetry ------------------------------------------------------ #
+    def _count(self, name: str, value: float = 1) -> None:
+        self.metrics.inc(name, value)
+        obs.count(name, value)
+
+    def _gauge(self, name: str, value: float) -> None:
+        self.metrics.gauge(name, value)
+        obs.gauge(name, value)
+
+    def _observe(self, name: str, value: float) -> None:
+        self.metrics.observe(name, value)
+        obs.observe(name, value)
+
+    def stats(self) -> dict:
+        """Serving summary: counters, percentiles, sustained throughput.
+
+        ``sustained_req_per_s`` is responses over the first-request to
+        last-response window — the rate the service actually held, not a
+        burst figure.
+        """
+        counters = self.metrics.counters
+        responses = int(counters.get("serve.responses", 0))
+        window = None
+        if self._first_request_at is not None \
+                and self._last_response_at is not None:
+            window = self._last_response_at - self._first_request_at
+        sustained = (responses / window if window and window > 0 else 0.0)
+        return {
+            "requests": int(counters.get("serve.requests", 0)),
+            "responses": responses,
+            "shed_deadline": int(counters.get("serve.shed_deadline", 0)),
+            "dedup_hits": int(counters.get("serve.dedup_hits", 0)),
+            "rejected_overload": int(
+                counters.get("serve.rejected_overload", 0)),
+            "errors": int(counters.get("serve.errors", 0)),
+            "queue_depth_peak": int(
+                self.metrics.gauges.get("serve.queue_depth", 0)),
+            "latency_ms": self.metrics.histogram_summary("serve.latency_ms"),
+            "batch_size": self.metrics.histogram_summary("serve.batch_size"),
+            "sustained_req_per_s": sustained,
+            "engine": self.engine.stats(),
+        }
+
+    def write_metrics_jsonl(self, path) -> None:
+        """Write the serving summary + full registry snapshot as JSONL."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"type": "serving_stats", **self.stats()},
+                                sort_keys=True) + "\n")
+            fh.write(json.dumps(
+                {"type": "metrics", **self.metrics.snapshot()},
+                sort_keys=True) + "\n")

@@ -16,20 +16,34 @@ Typical use::
     solution = solver.solve(instance)
 """
 
-from .batch import BatchedEpisodeRunner, EpisodeResult, MultiInstanceRunner
+from .batch import (
+    BatchAdmissionError,
+    BatchedEpisodeRunner,
+    BatchFull,
+    DeadlineExpired,
+    EpisodeResult,
+    MultiInstanceRunner,
+)
 from .candidates import CandidateEntry, CandidateTable
 from .critic import CriticNetwork, critic_features
 from .env import SelectionEnv
 from .heuristics import coverage_incentive_ratio, soft_mask
 from .policy import (
     ActionRecord,
+    EpisodeStaticsCache,
     FlatSelectionNet,
     FlatSelectionPolicy,
     TASNetPolicy,
     sensing_task_features,
     worker_travel_grid,
 )
-from .solver import GreedySelectionRule, RatioSelectionRule, SMORESolver, run_episode
+from .solver import (
+    GreedySelectionRule,
+    RatioSelectionRule,
+    SMORESolver,
+    SolveBatch,
+    run_episode,
+)
 from .state import AssignmentState, SelectionState, WorkerAssignment
 from .tasnet import (
     SensingTaskEncoder,
@@ -43,6 +57,7 @@ from .train import TASNetTrainer, TrainingConfig, imitation_pretrain
 
 __all__ = [
     "BatchedEpisodeRunner", "EpisodeResult", "MultiInstanceRunner",
+    "BatchAdmissionError", "BatchFull", "DeadlineExpired",
     "CandidateEntry", "CandidateTable",
     "SelectionEnv",
     "AssignmentState", "SelectionState", "WorkerAssignment",
@@ -50,8 +65,10 @@ __all__ = [
     "TASNet", "TASNetConfig", "WorkerEncoder", "SensingTaskEncoder",
     "WorkerSelection", "TaskSelection",
     "TASNetPolicy", "FlatSelectionNet", "FlatSelectionPolicy", "ActionRecord",
+    "EpisodeStaticsCache",
     "worker_travel_grid", "sensing_task_features",
     "CriticNetwork", "critic_features",
-    "SMORESolver", "GreedySelectionRule", "RatioSelectionRule", "run_episode",
+    "SMORESolver", "SolveBatch", "GreedySelectionRule", "RatioSelectionRule",
+    "run_episode",
     "TASNetTrainer", "TrainingConfig", "imitation_pretrain",
 ]

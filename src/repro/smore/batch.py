@@ -22,11 +22,25 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.errors import ReproError
 from ..obs.profile import scope as profile_scope
 from .env import SelectionEnv
 from .state import SelectionState
 
-__all__ = ["BatchedEpisodeRunner", "EpisodeResult", "MultiInstanceRunner"]
+__all__ = ["BatchedEpisodeRunner", "EpisodeResult", "MultiInstanceRunner",
+           "BatchAdmissionError", "BatchFull", "DeadlineExpired"]
+
+
+class BatchAdmissionError(ReproError):
+    """A request could not be admitted into a decode batch."""
+
+
+class BatchFull(BatchAdmissionError):
+    """The batch already holds its maximum number of requests."""
+
+
+class DeadlineExpired(BatchAdmissionError):
+    """The request's deadline passed before it could be admitted."""
 
 
 @dataclass
@@ -117,6 +131,28 @@ class MultiInstanceRunner:
     def __init__(self, envs, policy):
         self.envs = list(envs)
         self.policy = policy
+        self._admitted: list[list] = []
+
+    # -- incremental submission ----------------------------------------- #
+    def admit(self, env, specs) -> int:
+        """Admit one env + its rollout specs into the next run; returns
+        its slot index.
+
+        The incremental counterpart of pre-assembling ``envs`` /
+        ``specs_per_env``: a serving front-end admits requests one at a
+        time as they arrive, then fires :meth:`run_admitted` once the
+        batch closes.  ``run_admitted(...)`` is then exactly
+        ``run([specs...])`` over the admitted slots, in admission order.
+        """
+        self.envs.append(env)
+        self._admitted.append(list(specs))
+        return len(self.envs) - 1
+
+    def run_admitted(self, record_actions: bool = False
+                     ) -> list[list[EpisodeResult]]:
+        """Run the specs admitted via :meth:`admit` (one list per slot)."""
+        specs_per_env, self._admitted = self._admitted, []
+        return self.run(specs_per_env, record_actions)
 
     def run(self, specs_per_env,
             record_actions: bool = False) -> list[list[EpisodeResult]]:

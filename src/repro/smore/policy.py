@@ -12,6 +12,7 @@ pairs at once.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -22,8 +23,9 @@ from ..core.packed import RaggedRows
 from .state import SelectionState
 from .tasnet import TASNet, TASNetConfig
 
-__all__ = ["ActionRecord", "TASNetPolicy", "FlatSelectionNet",
-           "FlatSelectionPolicy", "worker_travel_grid", "sensing_task_features"]
+__all__ = ["ActionRecord", "EpisodeStaticsCache", "TASNetPolicy",
+           "FlatSelectionNet", "FlatSelectionPolicy", "worker_travel_grid",
+           "sensing_task_features"]
 
 
 def worker_travel_grid(instance: USMDWInstance, worker) -> np.ndarray:
@@ -64,6 +66,73 @@ class ActionRecord:
     worker_id: int
     task_id: int
     log_prob: nn.Tensor
+
+
+@dataclass
+class _InstanceStatics:
+    """One instance's static encodings (everything fixed for an episode).
+
+    Depends only on the instance and the network parameters, so a warm
+    serving engine can keep it resident across requests
+    (:class:`EpisodeStaticsCache`).
+    """
+
+    worker_emb: nn.Tensor        # (n_w, d)
+    task_emb: nn.Tensor          # (n_s, d)
+    cand_keys: nn.Tensor         # (n_s, d) static pointer keys
+    task_mean: nn.Tensor         # (d,)
+    worker_ids: list[int]
+    task_index: dict[int, int]
+
+
+class EpisodeStaticsCache:
+    """Bounded LRU of per-instance static encodings, keyed by identity.
+
+    The static encoder pass (worker travel-grid conv + sensing-task
+    encoder + pointer-key projection) depends only on the instance and
+    the network weights, so a serving engine with *frozen* weights can
+    reuse it across every request for the same instance object.  Entries
+    pin the instance reference, keeping identity keys valid while
+    cached.
+
+    The cache is only sound while the network's parameters do not
+    change: any weight update must :meth:`clear` it (training paths
+    never install one).  Cached tensors are typically produced under
+    ``nn.no_grad()`` — reusing them in a gradient context would detach
+    the encoders from the graph, another reason this is a serving-only
+    fast path.
+    """
+
+    def __init__(self, max_instances: int = 64):
+        if max_instances < 1:
+            raise ValueError(
+                f"max_instances must be >= 1, got {max_instances}")
+        self.max_instances = max_instances
+        self._entries: "OrderedDict[int, tuple]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, instance) -> _InstanceStatics | None:
+        entry = self._entries.get(id(instance))
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(id(instance))
+        self.hits += 1
+        return entry[1]
+
+    def put(self, instance, statics: _InstanceStatics) -> None:
+        self._entries[id(instance)] = (instance, statics)
+        if len(self._entries) > self.max_instances:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 @dataclass
@@ -136,6 +205,10 @@ class TASNetPolicy:
 
     def __init__(self, net: TASNet):
         self.net = net
+        #: Optional :class:`EpisodeStaticsCache` installed by a serving
+        #: engine with frozen weights; None (default) re-encodes per
+        #: episode, which training requires.
+        self.statics_cache: EpisodeStaticsCache | None = None
         self._instance: USMDWInstance | None = None
         self._worker_emb: nn.Tensor | None = None
         self._task_emb: nn.Tensor | None = None
@@ -151,18 +224,46 @@ class TASNetPolicy:
         self._bank_slots: dict[int, tuple[object, int]] = {}
 
     # ------------------------------------------------------------------ #
+    def _instance_statics(self, instance: USMDWInstance) -> _InstanceStatics:
+        """Encode (or recall) everything that stays fixed for an episode.
+
+        With a :attr:`statics_cache` installed, repeat episodes on the
+        same instance object skip the static encoder pass entirely — the
+        cached tensors are the very objects the cold pass produced, so
+        downstream decoding is bit-identical.
+        """
+        cache = self.statics_cache
+        if cache is not None:
+            cached = cache.get(instance)
+            if cached is not None:
+                return cached
+        grids = np.stack(
+            [worker_travel_grid(instance, w) for w in instance.workers])
+        task_emb = self.net.task_encoder(sensing_task_features(instance))
+        statics = _InstanceStatics(
+            worker_emb=self.net.worker_encoder(grids),
+            task_emb=task_emb,
+            cand_keys=self.net.task_selection.precompute_keys(task_emb),
+            task_mean=nn.ops.mean(task_emb, axis=0),
+            worker_ids=[w.worker_id for w in instance.workers],
+            task_index={s.task_id: i
+                        for i, s in enumerate(instance.sensing_tasks)})
+        if cache is not None:
+            cache.put(instance, statics)
+        return statics
+
     def begin_episode(self, instance: USMDWInstance) -> None:
         """Encode the static parts of the state (workers, sensing tasks)."""
         self._instance = instance
         self._multi = None
         self._reset_bank()
-        grids = np.stack([worker_travel_grid(instance, w) for w in instance.workers])
-        self._worker_emb = self.net.worker_encoder(grids)
-        self._task_emb = self.net.task_encoder(sensing_task_features(instance))
-        self._cand_keys = self.net.task_selection.precompute_keys(self._task_emb)
-        self._task_mean = nn.ops.mean(self._task_emb, axis=0)
-        self._worker_ids = [w.worker_id for w in instance.workers]
-        self._task_index = {s.task_id: i for i, s in enumerate(instance.sensing_tasks)}
+        statics = self._instance_statics(instance)
+        self._worker_emb = statics.worker_emb
+        self._task_emb = statics.task_emb
+        self._cand_keys = statics.cand_keys
+        self._task_mean = statics.task_mean
+        self._worker_ids = statics.worker_ids
+        self._task_index = statics.task_index
 
     def begin_episodes(self, instances) -> None:
         """Encode statics for B instances at once (cross-instance decode).
@@ -182,18 +283,16 @@ class TASNetPolicy:
         worker_embs, task_embs, cand_keys, task_means = [], [], [], []
         worker_ids, task_index = [], []
         for instance in instances:
-            grids = np.stack(
-                [worker_travel_grid(instance, w) for w in instance.workers])
-            worker_embs.append(self.net.worker_encoder(grids))
-            task_emb = self.net.task_encoder(sensing_task_features(instance))
-            task_embs.append(task_emb)
-            # Per-instance precompute (before the concat) keeps each
-            # instance's static keys bit-identical to begin_episode's.
-            cand_keys.append(self.net.task_selection.precompute_keys(task_emb))
-            task_means.append(nn.ops.mean(task_emb, axis=0))
-            worker_ids.append([w.worker_id for w in instance.workers])
-            task_index.append(
-                {s.task_id: i for i, s in enumerate(instance.sensing_tasks)})
+            # Per-instance encoding (before the concat) keeps each
+            # instance's statics bit-identical to begin_episode's — and
+            # lets a serving engine's statics cache recall them whole.
+            statics = self._instance_statics(instance)
+            worker_embs.append(statics.worker_emb)
+            task_embs.append(statics.task_emb)
+            cand_keys.append(statics.cand_keys)
+            task_means.append(statics.task_mean)
+            worker_ids.append(statics.worker_ids)
+            task_index.append(statics.task_index)
         workers = RaggedRows([len(ids) for ids in worker_ids])
         tasks = RaggedRows([len(index) for index in task_index])
         pad_idx, pad_mask = workers.padded()

@@ -16,6 +16,7 @@ making parallel and serial decoding bit-identical.
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -26,13 +27,14 @@ from ..core.solution import Solution
 from ..obs.profile import scope as profile_scope
 from ..parallel import derive_seeds, parallel_map
 from ..tsptw.base import RoutePlanner
-from .batch import BatchedEpisodeRunner, MultiInstanceRunner
+from .batch import BatchedEpisodeRunner, BatchFull, DeadlineExpired, \
+    MultiInstanceRunner
 from .env import SelectionEnv
 from .policy import FlatSelectionPolicy, TASNetPolicy
 from .state import SelectionState
 
-__all__ = ["SMORESolver", "GreedySelectionRule", "RatioSelectionRule",
-           "run_episode"]
+__all__ = ["SMORESolver", "SolveBatch", "GreedySelectionRule",
+           "RatioSelectionRule", "run_episode"]
 
 
 def run_episode(env: SelectionEnv, policy, greedy: bool = True,
@@ -313,6 +315,21 @@ class SMORESolver:
             perf=perf,
         )
 
+    def open_batch(self, max_size: int | None = None,
+                   reuse_candidates: bool = True, env_factory=None,
+                   clock=time.monotonic) -> "SolveBatch":
+        """Open an incrementally assembled cross-instance decode batch.
+
+        The serving front-end admits requests one at a time
+        (:meth:`SolveBatch.admit`, with admission control and deadline
+        shedding) and fires :meth:`SolveBatch.execute` when the batch
+        closes; :meth:`solve_many` is this surface with the whole request
+        list admitted up front.
+        """
+        return SolveBatch(self, max_size=max_size,
+                          reuse_candidates=reuse_candidates,
+                          env_factory=env_factory, clock=clock)
+
     def solve_many(self, instances, greedy: bool = True, rngs=None,
                    num_samples: int = 1,
                    reuse_candidates: bool = True) -> list[Solution]:
@@ -328,6 +345,11 @@ class SMORESolver:
         ``solve(instances[i], rng=rngs[i], ...)`` calls
         action-for-action.
 
+        An empty instance list is an error: a batch with nothing to
+        decode almost always signals a caller bug (an exhausted request
+        queue, a filtered-away workload), so it raises ``ValueError``
+        instead of silently returning ``[]``.
+
         Accounting: per-solution ``wall_time`` is the batch wall time
         amortised over the instances (the marginal time of one instance
         inside a shared batch is undefined), and a shared memoising
@@ -337,35 +359,171 @@ class SMORESolver:
         """
         instances = list(instances)
         if not instances:
-            return []
+            raise ValueError(
+                "solve_many needs at least one instance; an empty batch is "
+                "almost always a caller bug (use solve() for one instance)")
         rng_list = [None] * len(instances) if rngs is None else list(rngs)
         if len(rng_list) != len(instances):
             raise ValueError(
                 f"got {len(rng_list)} rngs for {len(instances)} instances")
+        batch = self.open_batch(reuse_candidates=reuse_candidates)
+        for instance, rng in zip(instances, rng_list):
+            batch.admit(instance, greedy=greedy, rng=rng,
+                        num_samples=num_samples)
+        return batch.execute()
+
+
+@dataclass
+class _BatchRequest:
+    """One admitted solve request inside a :class:`SolveBatch`."""
+
+    instance: USMDWInstance
+    greedy: bool
+    rng: object
+    num_samples: int
+    deadline: float | None
+
+
+class SolveBatch:
+    """Incrementally assembled cross-instance decode batch.
+
+    The admission surface under the online solver service: requests are
+    admitted one at a time — each with its own instance, decode mode,
+    rng, and optional deadline — and :meth:`execute` decodes every
+    admitted rollout in one lock-step
+    :class:`~repro.smore.batch.MultiInstanceRunner` pass.
+
+    Admission control: ``max_size`` bounds the batch
+    (:class:`~repro.smore.batch.BatchFull` past it) and a request whose
+    ``deadline`` (a ``clock()`` timestamp, :func:`time.monotonic` by
+    default) already passed is rejected with
+    :class:`~repro.smore.batch.DeadlineExpired`.  Requests whose deadline
+    expires *between* admission and execution are shed at execute time:
+    their slot in the returned list is ``None`` and they never enter the
+    decode batch.
+
+    ``env_factory(instance)`` lets a warm engine supply resident
+    :class:`~repro.smore.env.SelectionEnv` objects (candidate-table
+    snapshots survive across batches); by default each request gets a
+    fresh env over the solver's planner.  When the factory returns the
+    same env object for duplicate instances inside one batch, decode
+    correctness is unaffected (every rollout owns its state) and the
+    env's perf counters are attributed to the first request on that env.
+
+    Batching is an execution strategy, not a semantics change: a greedy
+    request's solution is bit-identical to ``solver.solve(instance)``
+    regardless of which other requests share the batch.
+    """
+
+    def __init__(self, solver: SMORESolver, max_size: int | None = None,
+                 reuse_candidates: bool = True, env_factory=None,
+                 clock=time.monotonic):
+        if max_size is not None and max_size < 1:
+            raise ValueError(f"max_size must be >= 1, got {max_size}")
+        self._solver = solver
+        self._max_size = max_size
+        self._reuse_candidates = reuse_candidates
+        self._env_factory = env_factory
+        self._clock = clock
+        self._requests: list[_BatchRequest] = []
+        self._executed = False
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    @property
+    def is_full(self) -> bool:
+        return self._max_size is not None \
+            and len(self._requests) >= self._max_size
+
+    # ------------------------------------------------------------------ #
+    def admit(self, instance: USMDWInstance, greedy: bool = True,
+              rng=None, num_samples: int = 1,
+              deadline: float | None = None) -> int:
+        """Admit one request into the batch; returns its ticket index.
+
+        Tickets index the list :meth:`execute` returns.  Raises
+        :class:`BatchFull` when the batch is at ``max_size`` and
+        :class:`DeadlineExpired` when ``deadline`` already passed.
+        """
+        if self._executed:
+            raise RuntimeError("batch already executed; open a new one")
+        if self.is_full:
+            raise BatchFull(
+                f"batch already holds {self._max_size} requests")
+        if deadline is not None and self._clock() >= deadline:
+            raise DeadlineExpired(
+                f"deadline passed {self._clock() - deadline:.6f}s before "
+                "admission")
+        self._requests.append(_BatchRequest(
+            instance=instance, greedy=bool(greedy), rng=rng,
+            num_samples=num_samples, deadline=deadline))
+        return len(self._requests) - 1
+
+    # ------------------------------------------------------------------ #
+    def _make_env(self, instance: USMDWInstance) -> SelectionEnv:
+        if self._env_factory is not None:
+            return self._env_factory(instance)
+        return SelectionEnv(instance, self._solver.planner,
+                            reuse_candidates=self._reuse_candidates)
+
+    def execute(self) -> list[Solution | None]:
+        """Decode every live admitted request in one lock-step batch.
+
+        Returns one entry per ticket, in admission order: a
+        :class:`~repro.core.solution.Solution`, or ``None`` for requests
+        whose deadline expired while queued (shed without decoding).
+        Raises ``ValueError`` on an empty batch.
+        """
+        if self._executed:
+            raise RuntimeError("batch already executed; open a new one")
+        self._executed = True
+        solver = self._solver
+        requests = self._requests
+        if not requests:
+            raise ValueError(
+                "cannot execute an empty batch; admit at least one request")
+        now = self._clock()
+        live = [i for i, req in enumerate(requests)
+                if req.deadline is None or now < req.deadline]
+        results: list[Solution | None] = [None] * len(requests)
+        if len(live) < len(requests):
+            obs.count("solve_many.shed", len(requests) - len(live))
+        if not live:
+            return results
+
         start = time.perf_counter()
-        many_span = obs.span("solve_many", method=self.name,
-                             instances=len(instances),
-                             num_samples=num_samples)
+        plans = [solver._rollout_plan(requests[i].greedy, requests[i].rng,
+                                      requests[i].num_samples)
+                 for i in live]
+        total_rollouts = sum(len(plan) for plan in plans)
+        many_span = obs.span("solve_many", method=solver.name,
+                             instances=len(live), rollouts=total_rollouts)
         with many_span, profile_scope("solve"):
-            envs = [SelectionEnv(instance, self.planner,
-                                 reuse_candidates=reuse_candidates)
-                    for instance in instances]
-            plans = [self._rollout_plan(greedy, rng, num_samples)
-                     for rng in rng_list]
-            total_rollouts = sum(len(plan) for plan in plans)
-            stats_fn = getattr(self.planner, "stats", None)
+            envs, env_seen = [], set()
+            for i in live:
+                env = self._make_env(requests[i].instance)
+                envs.append(env)
+                if id(env) not in env_seen:
+                    env_seen.add(id(env))
+                    # Scope the env's counters to this batch: warm envs
+                    # supplied by a factory carry earlier batches' perf.
+                    env.perf = PerfCounters()
+            stats_fn = getattr(solver.planner, "stats", None)
             cache_before = stats_fn() if stats_fn is not None else None
-            runner = MultiInstanceRunner(envs, self.policy)
+            runner = MultiInstanceRunner([], solver.policy)
+            for env, plan in zip(envs, plans):
+                runner.admit(env, plan)
             with obs.span("select", rollouts=total_rollouts):
                 with nn.no_grad():
-                    grouped = runner.run(plans)
+                    grouped = runner.run_admitted()
             cache_delta = (stats_fn().diff(cache_before)
                            if cache_before is not None else None)
             elapsed = time.perf_counter() - start
-            shared_time = elapsed / len(instances)
+            shared_time = elapsed / len(live)
 
-            solutions = []
-            for env, episodes in zip(envs, grouped):
+            perf_seen: set[int] = set()
+            for i, env, episodes in zip(live, envs, grouped):
                 best_state = None
                 best_phi = -float("inf")
                 for episode in episodes:
@@ -373,22 +531,26 @@ class SMORESolver:
                     if phi > best_phi:
                         best_phi = phi
                         best_state = episode.state
-                perf = env.perf
+                if id(env) not in perf_seen:
+                    perf_seen.add(id(env))
+                    perf = env.perf
+                else:
+                    perf = PerfCounters()   # duplicate env: counted once
                 if cache_delta is not None:
                     perf.merge(cache_delta)
                     cache_delta = None       # batch-wide delta, counted once
                 obs.count("solve.count")
                 obs.record_perf(perf, prefix="solve.")
                 obs.gauge("solve.best_phi", best_phi)
-                solutions.append(Solution(
-                    instance=env.instance,
+                results[i] = Solution(
+                    instance=requests[i].instance,
                     routes=best_state.assignments.routes(),
                     incentives=best_state.assignments.incentives(),
-                    solver_name=self.name,
+                    solver_name=solver.name,
                     wall_time=shared_time,
                     perf=perf,
-                ))
-            obs.event("solve_many.done", method=self.name,
-                      instances=len(instances), rollouts=total_rollouts,
+                )
+            obs.event("solve_many.done", method=solver.name,
+                      instances=len(live), rollouts=total_rollouts,
                       wall_time=round(elapsed, 6))
-        return solutions
+        return results

@@ -64,6 +64,46 @@ class TestRegistry:
         monkeypatch.setattr(backend_mod, "_CURRENT", None)
         assert nn.get_backend().name == "fused"
 
+    def test_concurrent_first_resolution_is_single(self, monkeypatch):
+        """Two first calls racing from different threads must resolve
+        the environment exactly once (regression: the unguarded
+        read-check-write let both threads run the resolution)."""
+        import threading
+
+        class CountingBackends(dict):
+            def __init__(self, base):
+                super().__init__(base)
+                self.lookups = 0
+
+            def __getitem__(self, name):
+                self.lookups += 1
+                return super().__getitem__(name)
+
+        counting = CountingBackends(backend_mod._BACKENDS)
+        monkeypatch.setattr(backend_mod, "_BACKENDS", counting)
+        monkeypatch.setattr(backend_mod, "_CURRENT", None)
+        monkeypatch.setenv(backend_mod.ENV_VAR, "fused")
+
+        num_threads = 8
+        barrier = threading.Barrier(num_threads)
+        resolved = [None] * num_threads
+
+        def resolve(i):
+            barrier.wait()
+            resolved[i] = backend_mod.get_backend()
+
+        threads = [threading.Thread(target=resolve, args=(i,))
+                   for i in range(num_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert all(b is resolved[0] for b in resolved)
+        assert resolved[0].name == "fused"
+        # The registry was consulted exactly once: one resolution total.
+        assert counting.lookups == 1
+
 
 # --------------------------------------------------------------------- #
 # Kernel catalogue: (name, builder) pairs used by parity and FD checks.

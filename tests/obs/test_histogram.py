@@ -1,0 +1,162 @@
+"""Bounded-reservoir histograms: quantiles, delta/merge algebra.
+
+The serving layer's latency and batch-size distributions ride on
+``MetricsRegistry.observe``; these tests pin the metric itself — exact
+quantiles inside the reservoir, counter-like ``snapshot``/``diff``/
+``merge_snapshot`` algebra, and propagation through ``capture_child`` /
+``absorb`` like every other registry family.
+"""
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+class TestHistogram:
+    def test_exact_stats_inside_reservoir(self):
+        hist = Histogram()
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0]:
+            hist.observe(v)
+        assert hist.count == 5
+        assert hist.total == 15.0
+        assert hist.min == 1.0 and hist.max == 5.0
+        assert hist.mean == 3.0
+        assert hist.quantile(0.0) == 1.0
+        assert hist.quantile(0.5) == 3.0
+        assert hist.quantile(1.0) == 5.0
+
+    def test_quantile_interpolates(self):
+        hist = Histogram()
+        hist.observe(0.0)
+        hist.observe(10.0)
+        assert hist.quantile(0.25) == pytest.approx(2.5)
+
+    def test_empty_quantile_raises(self):
+        with pytest.raises(ValueError, match="empty histogram"):
+            Histogram().quantile(0.5)
+
+    def test_out_of_range_quantile_raises(self):
+        hist = Histogram()
+        hist.observe(1.0)
+        with pytest.raises(ValueError, match="quantile"):
+            hist.quantile(1.5)
+
+    def test_bad_capacity_raises(self):
+        with pytest.raises(ValueError, match="capacity"):
+            Histogram(0)
+
+    def test_reservoir_bounds_memory_but_keeps_exact_extremes(self):
+        hist = Histogram(capacity=10)
+        for v in range(100):
+            hist.observe(float(v))
+        assert len(hist.values) == 10
+        assert hist.count == 100
+        assert hist.total == sum(range(100))
+        # min/max/count/total stay exact beyond the reservoir.
+        assert hist.min == 0.0 and hist.max == 99.0
+        # Quantiles degrade to first-capacity-sample estimates.
+        assert hist.quantile(0.5) <= 9.0
+
+    def test_summary_shape(self):
+        hist = Histogram()
+        for v in range(1, 101):
+            hist.observe(float(v))
+        summary = hist.summary()
+        assert summary["count"] == 100
+        assert summary["p50"] == pytest.approx(50.5)
+        assert summary["p95"] == pytest.approx(95.05)
+        assert summary["p99"] == pytest.approx(99.01)
+        assert Histogram().summary() == {"count": 0}
+
+
+class TestRegistryHistograms:
+    def test_observe_and_summary(self):
+        reg = MetricsRegistry()
+        for v in [2.0, 4.0, 6.0]:
+            reg.observe("latency", v)
+        assert reg.quantile("latency", 0.5) == 4.0
+        assert reg.histogram_summary("latency")["count"] == 3
+        assert reg.histogram_summary("never-observed") == {"count": 0}
+
+    def test_snapshot_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.observe("h", 1.0)
+        reg.observe("h", 9.0)
+        other = MetricsRegistry()
+        other.merge_snapshot(reg.snapshot())
+        assert other.histogram_summary("h") == reg.histogram_summary("h")
+
+    def test_diff_ships_only_new_observations(self):
+        reg = MetricsRegistry()
+        reg.observe("h", 1.0)
+        baseline = reg.snapshot()
+        reg.observe("h", 2.0)
+        reg.observe("h", 3.0)
+        delta = reg.diff(baseline)
+        assert delta["histograms"]["h"]["count"] == 2
+        assert delta["histograms"]["h"]["values"] == [2.0, 3.0]
+        # Baseline + delta reproduces the current registry (the counter
+        # contract, extended to histograms).
+        rebuilt = MetricsRegistry()
+        rebuilt.merge_snapshot(baseline)
+        rebuilt.merge_snapshot(delta)
+        assert rebuilt.histogram_summary("h") == reg.histogram_summary("h")
+
+    def test_diff_without_new_observations_is_empty(self):
+        reg = MetricsRegistry()
+        reg.observe("h", 1.0)
+        delta = reg.diff(reg.snapshot())
+        assert "histograms" not in delta
+
+    def test_merge_in_item_order_is_deterministic(self):
+        parts = []
+        for values in ([1.0, 2.0], [3.0], [4.0, 5.0]):
+            reg = MetricsRegistry()
+            for v in values:
+                reg.observe("h", v)
+            parts.append(reg.snapshot())
+        merged = MetricsRegistry()
+        for part in parts:
+            merged.merge_snapshot(part)
+        hist = merged.histograms["h"]
+        assert hist.count == 5
+        assert hist.values == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_clear_drops_histograms(self):
+        reg = MetricsRegistry()
+        reg.observe("h", 1.0)
+        reg.clear()
+        assert reg.histograms == {}
+
+
+class TestTracerPlumbing:
+    def test_observe_records_into_current_tracer(self):
+        with obs.tracing() as tracer:
+            obs.observe("serve.latency_ms", 12.0)
+            obs.observe("serve.latency_ms", 18.0)
+            assert tracer.metrics.quantile("serve.latency_ms", 0.5) == 15.0
+
+    def test_observe_is_noop_when_disabled(self):
+        obs.observe("nobody-home", 1.0)  # must not raise
+        assert "nobody-home" not in obs.current_metrics().histograms
+
+    def test_capture_child_absorb_roundtrip(self):
+        """A fork-pool child's histogram delta rides the same snapshot
+        channel as counters and merges in item order."""
+        with obs.tracing() as tracer:
+            obs.observe("h", 1.0)
+            with obs.capture_child() as cap:
+                obs.observe("h", 2.0)
+                obs.observe("h", 3.0)
+            # Simulate the fork: the parent-side registry never saw the
+            # child's observations (in a real fork they die with the
+            # child); drop them before absorbing the shipped delta.
+            hist = tracer.metrics.histograms["h"]
+            hist.count -= 2
+            hist.total -= 5.0
+            del hist.values[1:]
+            hist.max = 1.0
+            obs.absorb(cap.snapshot)
+            assert tracer.metrics.histograms["h"].count == 3
+            assert tracer.metrics.histograms["h"].values == [1.0, 2.0, 3.0]

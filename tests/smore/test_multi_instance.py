@@ -84,10 +84,47 @@ class TestSolveManyParity:
             assert _routes(a) == _routes(b)
             assert a.objective == b.objective
 
-    def test_empty_instance_list(self, instances):
+    def test_empty_instance_list_raises(self, instances):
+        """An empty batch is a caller bug, not a no-op (the behaviour was
+        previously unspecified; it is now an explicit error)."""
         net = _make_net(instances)
         solver = SMORESolver(InsertionSolver(), TASNetPolicy(net))
-        assert solver.solve_many([]) == []
+        with pytest.raises(ValueError, match="at least one instance"):
+            solver.solve_many([])
+
+    def test_single_instance_degenerate_batch(self, instances):
+        """B=1 collapses to the one-instance path, bit-identically."""
+        net = _make_net(instances)
+        direct = SMORESolver(InsertionSolver(), TASNetPolicy(net)) \
+            .solve(instances[0])
+        (batched,) = SMORESolver(InsertionSolver(), TASNetPolicy(net)) \
+            .solve_many(instances[:1])
+        assert _routes(direct) == _routes(batched)
+        assert direct.incentives == batched.incentives
+        assert direct.objective == batched.objective
+
+    def test_extreme_shape_mix(self, instances):
+        """Instances built from different generator options (different
+        worker counts, densities, budgets) share one decode batch."""
+        opts = [InstanceOptions(task_density=0.02, budget=100.0,
+                                num_workers=2),
+                InstanceOptions(task_density=0.08, budget=150.0),
+                InstanceOptions(task_density=0.04, budget=120.0,
+                                num_workers=5)]
+        mixed = [generate_instances("delivery", 1, seed=40 + i,
+                                    options=opt)[0]
+                 for i, opt in enumerate(opts)]
+        shapes = {(len(i.workers), len(i.sensing_tasks)) for i in mixed}
+        assert len(shapes) == len(mixed)
+
+        net = _make_net(mixed)
+        solo = SMORESolver(InsertionSolver(), TASNetPolicy(net))
+        expected = [solo.solve(inst) for inst in mixed]
+        got = SMORESolver(InsertionSolver(), TASNetPolicy(net)) \
+            .solve_many(mixed)
+        for a, b in zip(expected, got):
+            assert _routes(a) == _routes(b)
+            assert a.objective == b.objective
 
     def test_rng_count_mismatch_raises(self, instances):
         net = _make_net(instances)

@@ -1,0 +1,209 @@
+"""Incremental batch submission: SolveBatch admission + execution.
+
+``SMORESolver.open_batch`` is the serving layer's admission surface:
+requests are admitted one at a time, each with its own decode mode and
+deadline, and execution decodes the whole heterogeneous batch in
+lock-step.  The contract under test: tickets align with results,
+admission control (size cap, expired deadlines) rejects without
+touching admitted work, queued-deadline expiry sheds to ``None`` slots,
+and batching never changes any request's answer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.instances import InstanceOptions, generate_instances
+from repro.smore import (
+    BatchFull,
+    DeadlineExpired,
+    SMORESolver,
+    TASNet,
+    TASNetConfig,
+    TASNetPolicy,
+)
+from repro.smore.solver import SolveBatch
+from repro.tsptw import InsertionSolver
+
+CONFIG = TASNetConfig(d_model=16, num_heads=2, num_layers=1, conv_channels=4)
+
+
+@pytest.fixture(scope="module")
+def instances():
+    """Heterogeneous S/W mix: different densities and worker counts."""
+    base = InstanceOptions(task_density=0.04, budget=120.0)
+    sparse = InstanceOptions(task_density=0.02, budget=120.0, num_workers=3)
+    dense = InstanceOptions(task_density=0.06, budget=150.0)
+    insts = (generate_instances("delivery", 1, seed=7, options=base)
+             + generate_instances("delivery", 1, seed=11, options=sparse)
+             + generate_instances("delivery", 1, seed=13, options=dense))
+    sizes = {(len(i.workers), len(i.sensing_tasks)) for i in insts}
+    assert len(sizes) == len(insts), "fixture must be shape-heterogeneous"
+    return insts
+
+
+def _solver(instances):
+    grid = instances[0].coverage.grid
+    net = TASNet(CONFIG, grid_nx=grid.nx, grid_ny=grid.ny,
+                 rng=np.random.default_rng(0))
+    return SMORESolver(InsertionSolver(), TASNetPolicy(net))
+
+
+def _routes(solution):
+    return sorted((wid, tuple(t.task_id for t in route.tasks))
+                  for wid, route in solution.routes.items())
+
+
+class _FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestAdmission:
+    def test_tickets_are_sequential(self, instances):
+        batch = _solver(instances).open_batch()
+        tickets = [batch.admit(inst) for inst in instances]
+        assert tickets == [0, 1, 2]
+        assert len(batch) == 3
+
+    def test_batch_full_rejects(self, instances):
+        batch = _solver(instances).open_batch(max_size=2)
+        batch.admit(instances[0])
+        batch.admit(instances[1])
+        assert batch.is_full
+        with pytest.raises(BatchFull):
+            batch.admit(instances[2])
+        # The admitted requests are untouched by the rejection.
+        assert len(batch) == 2
+
+    def test_expired_deadline_rejects_at_admit(self, instances):
+        clock = _FakeClock(now=10.0)
+        batch = _solver(instances).open_batch(clock=clock)
+        with pytest.raises(DeadlineExpired):
+            batch.admit(instances[0], deadline=9.0)
+        assert len(batch) == 0
+
+    def test_bad_max_size_raises(self, instances):
+        with pytest.raises(ValueError, match="max_size"):
+            _solver(instances).open_batch(max_size=0)
+
+    def test_admit_after_execute_raises(self, instances):
+        batch = _solver(instances).open_batch()
+        batch.admit(instances[0])
+        batch.execute()
+        with pytest.raises(RuntimeError, match="already executed"):
+            batch.admit(instances[1])
+        with pytest.raises(RuntimeError, match="already executed"):
+            batch.execute()
+
+    def test_execute_empty_batch_raises(self, instances):
+        with pytest.raises(ValueError, match="empty batch"):
+            _solver(instances).open_batch().execute()
+
+
+class TestExecution:
+    def test_matches_solve_many_and_solo(self, instances):
+        solo = _solver(instances)
+        expected = [solo.solve(inst) for inst in instances]
+
+        batched = _solver(instances)
+        batch = batched.open_batch()
+        for inst in instances:
+            batch.admit(inst)
+        got = batch.execute()
+        for a, b in zip(expected, got):
+            assert _routes(a) == _routes(b)
+            assert a.incentives == b.incentives
+            assert a.objective == b.objective
+
+    def test_single_request_degenerate_batch(self, instances):
+        """B=1: the batch path collapses to one instance and must still
+        be bit-identical to the direct solve."""
+        direct = _solver(instances).solve(instances[0])
+        batch = _solver(instances).open_batch()
+        batch.admit(instances[0])
+        (solution,) = batch.execute()
+        assert _routes(direct) == _routes(solution)
+        assert direct.incentives == solution.incentives
+
+    def test_mixed_modes_per_request(self, instances):
+        """Greedy and sampled requests share one batch; each one's answer
+        matches its independent solve."""
+        solo = _solver(instances)
+        want_greedy = solo.solve(instances[0])
+        want_sampled = solo.solve(instances[1], greedy=False,
+                                  rng=np.random.default_rng(99),
+                                  num_samples=3)
+
+        batched = _solver(instances)
+        batch = batched.open_batch()
+        batch.admit(instances[0], greedy=True)
+        batch.admit(instances[1], greedy=False,
+                    rng=np.random.default_rng(99), num_samples=3)
+        got_greedy, got_sampled = batch.execute()
+        assert _routes(want_greedy) == _routes(got_greedy)
+        assert _routes(want_sampled) == _routes(got_sampled)
+
+    def test_queued_deadline_expiry_sheds_to_none(self, instances):
+        clock = _FakeClock(now=0.0)
+        solver = _solver(instances)
+        expected = solver.solve(instances[1])
+
+        batch = solver.open_batch(clock=clock)
+        batch.admit(instances[0], deadline=5.0)
+        batch.admit(instances[1])
+        clock.now = 6.0      # first request expires while queued
+        shed, live = batch.execute()
+        assert shed is None
+        assert _routes(live) == _routes(expected)
+
+    def test_all_requests_shed_returns_all_none(self, instances):
+        clock = _FakeClock(now=0.0)
+        batch = _solver(instances).open_batch(clock=clock)
+        batch.admit(instances[0], deadline=1.0)
+        clock.now = 2.0
+        assert batch.execute() == [None]
+
+    def test_env_factory_supplies_warm_envs(self, instances):
+        """A factory-held env's candidate snapshot is reused across
+        batches: the second batch replans nothing at init."""
+        from repro.smore import SelectionEnv
+
+        solver = _solver(instances)
+        envs = {}
+
+        def factory(instance):
+            key = id(instance)
+            if key not in envs:
+                envs[key] = SelectionEnv(instance, solver.planner)
+            return envs[key]
+
+        first = solver.open_batch(env_factory=factory)
+        first.admit(instances[0])
+        (a,) = first.execute()
+        assert a.perf.init_planner_calls > 0
+
+        second = solver.open_batch(env_factory=factory)
+        second.admit(instances[0])
+        (b,) = second.execute()
+        assert b.perf.init_planner_calls == 0        # snapshot reuse
+        assert _routes(a) == _routes(b)
+
+    def test_duplicate_instance_in_one_batch(self, instances):
+        """The same warm env admitted twice in one batch: both answers
+        match the direct solve; perf is attributed once."""
+        from repro.smore import SelectionEnv
+
+        solver = _solver(instances)
+        direct = solver.solve(instances[0])
+        env = SelectionEnv(instances[0], solver.planner)
+
+        batch = solver.open_batch(env_factory=lambda inst: env)
+        batch.admit(instances[0])
+        batch.admit(instances[0])
+        first, second = batch.execute()
+        assert _routes(first) == _routes(direct)
+        assert _routes(second) == _routes(direct)
+        assert second.perf.rollouts == 0             # counted on the first
