@@ -1,7 +1,8 @@
 # SMORE reproduction — common workflows.
 
 .PHONY: install test test-backends bench bench-perf bench-route \
-	bench-train bench-serve serve-smoke profile results full clean
+	bench-train bench-serve bench-dynamic serve-smoke profile results \
+	full clean
 
 install:
 	pip install -e .
@@ -45,6 +46,14 @@ bench-train:
 # and the serving trace results/serve_bench_trace.jsonl).
 bench-serve:
 	PYTHONPATH=src pytest benchmarks/test_serving_regression.py \
+		--benchmark-only
+
+# Dynamic-repair regression: incremental candidate-table repair vs a
+# per-epoch rebuild over a streamed arrival schedule at paper scale
+# (per-event speedup floor + bit-identical episode; writes
+# results/BENCH_PR8.json).
+bench-dynamic:
+	PYTHONPATH=src pytest benchmarks/test_dynamic_regression.py \
 		--benchmark-only
 
 # Serving smoke: 32 concurrent in-process requests through the asyncio

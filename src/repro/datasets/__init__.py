@@ -6,6 +6,12 @@ for the substitution rationale.
 """
 
 from .delivery import DELIVERY_SPEC, delivery_generator
+from .dynamic import (
+    ArrivalSchedule,
+    TaskArrival,
+    burst_arrivals,
+    poisson_arrivals,
+)
 from .distributions import (
     DistributionSummary,
     summarize_dataset,
@@ -39,6 +45,7 @@ __all__ = [
     "LADE_SPEC", "LADE_STATIONS", "lade_generator",
     "InstanceOptions", "generate_instance", "generate_instances",
     "generator_for", "train_val_test_split", "DATASET_NAMES",
+    "TaskArrival", "ArrivalSchedule", "poisson_arrivals", "burst_arrivals",
     "DistributionSummary", "travel_task_histogram", "worker_count_histogram",
     "summarize_dataset",
     "Trajectory", "TrajectoryPoint", "StayPoint", "synthesize_trip",

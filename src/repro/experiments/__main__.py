@@ -71,7 +71,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("experiment",
                         choices=["table1", "table2", "table3",
                                  "figure4", "figure5", "figure6", "train",
-                                 "all"])
+                                 "dynamic", "all"])
     parser.add_argument("--full", action="store_true",
                         help="use the larger (slower) run profile")
     parser.add_argument("--latex", default=None, metavar="PATH",
@@ -86,6 +86,13 @@ def main(argv: list[str] | None = None) -> int:
                              "(1 = serial; results are identical)")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="also dump table results as JSON to PATH")
+    parser.add_argument("--schedule", default="poisson",
+                        choices=["poisson", "burst"],
+                        help="dynamic: the arrival process to stream")
+    parser.add_argument("--rebuild-table", action="store_true",
+                        help="dynamic: rebuild the candidate table per "
+                             "event epoch instead of incremental repair "
+                             "(identical results, slower)")
     parser.add_argument("--svg", default=None, metavar="PATH",
                         help="figure6: also write the SMORE plan as SVG")
     parser.add_argument("--trace", default=None, metavar="PATH",
@@ -171,6 +178,13 @@ def _dispatch(args) -> int:
         print(render_figure5(figure5_ablation(runner, datasets=datasets)))
     elif args.experiment == "figure6":
         print(_figure6(runner, args.dataset, svg_path=args.svg))
+    elif args.experiment == "dynamic":
+        from .dynamic import dynamic_curves, render_dynamic
+
+        results = dynamic_curves(runner, datasets=datasets,
+                                 schedule=args.schedule,
+                                 repair=not args.rebuild_table)
+        print(render_dynamic(results, schedule=args.schedule))
     elif args.experiment == "train":
         policy = get_trained_policy(args.dataset, spec=runner.profile.pretrain,
                                     cache_dir=runner.cache_dir)

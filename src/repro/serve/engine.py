@@ -98,8 +98,19 @@ class WarmEngine:
                            reuse_candidates=self.reuse_candidates)
         self._envs[key] = (instance, env)
         if len(self._envs) > self.max_warm_instances:
-            self._envs.popitem(last=False)
+            evicted_key, _ = self._envs.popitem(last=False)
             self.env_evictions += 1
+            if self.statics_cache is not None:
+                # Coupled eviction: both LRUs key by id(instance), and the
+                # entries pin the instance reference.  Dropping the env
+                # entry alone would leave the statics entry as the only
+                # pin — or, once the statics LRU churned it independently,
+                # free the id for reuse while this side still tracked it.
+                # Evicting the statics entry in the same breath keeps one
+                # invariant: statics are cached only for instances whose
+                # env is resident, so an id can never be recycled while
+                # either cache still maps it.
+                self.statics_cache.evict(evicted_key)
         return env
 
     @property

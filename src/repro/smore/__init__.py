@@ -26,6 +26,12 @@ from .batch import (
 )
 from .candidates import CandidateEntry, CandidateTable
 from .critic import CriticNetwork, critic_features
+from .dynamic import (
+    DynamicResult,
+    DynamicSelectionEnv,
+    DynamicSelectionState,
+    run_dynamic_episode,
+)
 from .env import SelectionEnv
 from .heuristics import coverage_incentive_ratio, soft_mask
 from .policy import (
@@ -60,6 +66,8 @@ __all__ = [
     "BatchAdmissionError", "BatchFull", "DeadlineExpired",
     "CandidateEntry", "CandidateTable",
     "SelectionEnv",
+    "DynamicSelectionEnv", "DynamicSelectionState", "DynamicResult",
+    "run_dynamic_episode",
     "AssignmentState", "SelectionState", "WorkerAssignment",
     "coverage_incentive_ratio", "soft_mask",
     "TASNet", "TASNetConfig", "WorkerEncoder", "SensingTaskEncoder",

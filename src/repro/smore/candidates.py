@@ -40,15 +40,23 @@ class CandidateEntry:
     per step but only the *chosen* entry's route is ever walked, so the
     factory defers (and usually skips entirely) route construction.  The
     first ``route`` access materialises and caches it.
+
+    ``position`` records where the insertion scan placed the task in the
+    worker's route at computation time (None when the planner did not
+    report one).  Dynamic re-planning uses it to decide, when a worker's
+    committed mid-route position advances, which entries must be re-swept:
+    an entry whose position is already past the new anchor provably equals
+    the anchored rescan and is kept as-is.
     """
 
-    __slots__ = ("_route", "route_travel_time", "delta_incentive")
+    __slots__ = ("_route", "route_travel_time", "delta_incentive", "position")
 
     def __init__(self, route, route_travel_time: float,
-                 delta_incentive: float):
+                 delta_incentive: float, position: int | None = None):
         self._route = route
         self.route_travel_time = route_travel_time
         self.delta_incentive = delta_incentive
+        self.position = position
 
     @property
     def route(self) -> WorkingRoute:
@@ -139,7 +147,8 @@ class CandidateTable:
             return None
         factory = getattr(result, "make_route", None)
         return CandidateEntry(factory if factory is not None
-                              else result.route, rtt, delta)
+                              else result.route, rtt, delta,
+                              position=getattr(result, "pos", None))
 
     def _try_assignment(self, worker: Worker,
                         tasks_after: Sequence[SensingTask],
@@ -233,19 +242,25 @@ class CandidateTable:
                          available: Iterable[SensingTask],
                          current_incentive: float,
                          budget_rest: float,
-                         current_route_tasks: Sequence | None = None) -> None:
+                         current_route_tasks: Sequence | None = None,
+                         min_position: int = 0) -> None:
         """Lines 17-23: refresh the selected worker's candidate row.
 
         ``current_route_tasks`` — the worker's committed route order — lets
         incremental planners check each candidate by single insertion
         (batched into one call when the planner supports it).
+        ``min_position`` anchors every insertion at the worker's committed
+        mid-route position (dynamic re-planning); it requires an
+        insertion-capable planner, since a full re-plan cannot honour a
+        committed prefix.
         """
         row: dict[int, CandidateEntry] = {}
         insert_many = getattr(self.planner, "plan_insertions_many", None)
         plan_many = getattr(self.planner, "plan_many", None)
         if insert_many is not None and current_route_tasks is not None:
             available = list(available)
-            results = insert_many(worker, current_route_tasks, available)
+            results = insert_many(worker, current_route_tasks, available,
+                                  min_position=min_position)
             self.planner_calls += len(available)
             for task, result in zip(available, results):
                 entry = self._entry_from_result(worker, result,
@@ -254,6 +269,10 @@ class CandidateTable:
                     row[task.task_id] = entry
             self._commit_row(worker.worker_id, row)
             return
+        if min_position > 0:
+            raise TypeError(
+                "anchored recompute (min_position > 0) requires a planner "
+                "with plan_insertions_many and the worker's current route")
         if plan_many is not None and getattr(
                 self.planner, "plan_with_insertion", None) is None:
             available = list(available)
@@ -274,6 +293,181 @@ class CandidateTable:
             if entry is not None:
                 row[task.task_id] = entry
         self._commit_row(worker.worker_id, row)
+
+    # ------------------------------------------------------------------ #
+    # Incremental repair (streaming arrivals / expiries / re-anchoring)
+    # ------------------------------------------------------------------ #
+    def _insertion_results(self, worker: Worker, route_tasks: Sequence,
+                           tasks: Sequence[SensingTask],
+                           min_position: int) -> list:
+        """Anchored insertion results for ``tasks`` into one route order.
+
+        One batched call when the planner sweeps
+        (``plan_insertions_many``), a per-task loop when it only offers
+        ``plan_with_insertion``; accounting matches the initialize /
+        recompute sweeps (one logical plan per task).  Repair is an
+        insertion-native operation, so planners without an insertion path
+        are rejected outright.
+        """
+        insert_many = getattr(self.planner, "plan_insertions_many", None)
+        if insert_many is not None:
+            self.planner_calls += len(tasks)
+            return insert_many(worker, route_tasks, tasks,
+                               min_position=min_position)
+        insert_fn = getattr(self.planner, "plan_with_insertion", None)
+        if insert_fn is None:
+            raise TypeError(
+                "incremental candidate repair requires an insertion-capable "
+                "planner (plan_insertions_many or plan_with_insertion)")
+        results = []
+        for task in tasks:
+            self.planner_calls += 1
+            results.append(insert_fn(worker, route_tasks, task,
+                                     min_position=min_position))
+        return results
+
+    def _add_entry(self, worker_id: int, task_id: int,
+                   entry: CandidateEntry) -> None:
+        """Insert (or update) one entry, maintaining both indices."""
+        row = self._table[worker_id]
+        was_empty = not row
+        row[task_id] = entry
+        self._task_workers.setdefault(task_id, set()).add(worker_id)
+        if was_empty:
+            self._nonempty.add(worker_id)
+            self._workers_cache = None
+
+    def add_tasks(self, new_tasks: Sequence[SensingTask],
+                  worker_states: Iterable[tuple],
+                  budget_rest: float) -> None:
+        """Repair after arrivals: sweep the new tasks against each worker.
+
+        ``worker_states`` yields ``(worker, route_tasks, incentive,
+        min_position)`` for every worker that can still accept tasks — its
+        committed route order, the incentive currently owed, and the
+        anchor of its committed mid-route position.  Each worker gets one
+        batched anchored sweep over the arrival batch; feasible entries
+        are *appended* to its row, which keeps row iteration order equal
+        to a fresh rebuild over the arrival-ordered task pool.
+        """
+        new_tasks = list(new_tasks)
+        if not new_tasks:
+            return
+        for worker, route_tasks, incentive, min_position in worker_states:
+            if worker.worker_id not in self._table:
+                self._table[worker.worker_id] = {}
+            results = self._insertion_results(worker, route_tasks, new_tasks,
+                                              min_position)
+            for task, result in zip(new_tasks, results):
+                entry = self._entry_from_result(worker, result, incentive,
+                                                budget_rest)
+                if entry is not None:
+                    self._add_entry(worker.worker_id, task.task_id, entry)
+
+    def add_task(self, task: SensingTask, worker_states: Iterable[tuple],
+                 budget_rest: float) -> None:
+        """Single-arrival convenience wrapper over :meth:`add_tasks`."""
+        self.add_tasks([task], worker_states, budget_rest)
+
+    def expire_task(self, task_id: int) -> bool:
+        """Repair after an expiry: drop the task from every row.
+
+        Identical to :meth:`remove_task` (an expired task and a selected
+        task leave the table the same way); returns whether any worker
+        still held it, which rejection accounting reports.
+        """
+        present = task_id in self._task_workers
+        self.remove_task(task_id)
+        return present
+
+    def reanchor_worker(self, worker: Worker, route_tasks: Sequence,
+                        tasks_by_id: dict[int, SensingTask],
+                        current_incentive: float, budget_rest: float,
+                        min_position: int) -> int:
+        """Repair after time passes: advance a worker's committed anchor.
+
+        Only entries the new anchor invalidates — recorded insertion
+        position before ``min_position``, or no recorded position — are
+        re-swept (one batched anchored call); the rest are provably
+        identical to an anchored rescan and keep their values.  An entry
+        that loses every anchored position is dropped; a task absent from
+        the row cannot re-enter (the feasible position set only shrinks as
+        the anchor advances).  Returns the number of entries re-swept.
+        """
+        row = self._table.get(worker.worker_id)
+        if not row:
+            return 0
+        stale_ids = [task_id for task_id, entry in row.items()
+                     if entry.position is None
+                     or entry.position < min_position]
+        if not stale_ids:
+            return 0
+        stale = [tasks_by_id[task_id] for task_id in stale_ids]
+        results = self._insertion_results(worker, route_tasks, stale,
+                                          min_position)
+        for task, result in zip(stale, results):
+            entry = self._entry_from_result(worker, result,
+                                            current_incentive, budget_rest)
+            if entry is None:
+                self._drop_entry(worker.worker_id, task.task_id)
+            else:
+                row[task.task_id] = entry  # in-place: row order preserved
+        return len(stale_ids)
+
+    def add_worker(self, worker: Worker, tasks: Sequence[SensingTask],
+                   budget_rest: float, min_position: int = 0) -> bool:
+        """Repair after a late worker arrival: build its row from scratch.
+
+        Plans the worker's base route (recording its base travel time with
+        the incentive model), then sweeps every current task against it.
+        The row is appended, so ``workers_with_candidates()`` order stays
+        the arrival order.  Returns False — with an empty committed row —
+        when the worker cannot even complete their own trip.
+        """
+        base = self.planner.base_route(worker)
+        self.incentives.set_base_rtt(worker, base.route_travel_time)
+        self._commit_row(worker.worker_id, {})
+        if not base.feasible:
+            return False
+        base_tasks = base.route.tasks if base.route is not None else ()
+        results = self._insertion_results(worker, base_tasks, list(tasks),
+                                          min_position)
+        for task, result in zip(tasks, results):
+            entry = self._entry_from_result(worker, result, 0.0, budget_rest)
+            if entry is not None:
+                self._add_entry(worker.worker_id, task.task_id, entry)
+        return True
+
+    def rebuild(self, worker_states: Iterable[tuple],
+                tasks: Sequence[SensingTask], budget_rest: float) -> None:
+        """Fresh anchored build over the current task pool.
+
+        The from-scratch reference the incremental repair path is tested
+        against (and the dynamic env's ``repair=False`` mode): every
+        worker's row is recomputed with one anchored sweep over the whole
+        pool.  ``worker_states`` yields ``(worker, route_tasks, incentive,
+        min_position)``; a ``route_tasks`` of None marks a stranded worker
+        (infeasible own trip), whose row stays empty.
+        """
+        worker_states = list(worker_states)
+        tasks = list(tasks)
+        self._table = {worker.worker_id: {}
+                       for worker, _, _, _ in worker_states}
+        self._task_workers = {}
+        self._nonempty = set()
+        self._workers_cache = None
+        for worker, route_tasks, incentive, min_position in worker_states:
+            if route_tasks is None:
+                continue
+            row: dict[int, CandidateEntry] = {}
+            results = self._insertion_results(worker, route_tasks, tasks,
+                                              min_position)
+            for task, result in zip(tasks, results):
+                entry = self._entry_from_result(worker, result, incentive,
+                                                budget_rest)
+                if entry is not None:
+                    row[task.task_id] = entry
+            self._commit_row(worker.worker_id, row)
 
     def prune_over_budget(self, budget_rest: float) -> None:
         """Drop entries whose marginal cost no longer fits the budget.

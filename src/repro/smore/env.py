@@ -81,8 +81,13 @@ class SelectionEnv:
                              self.instance.budget)
         self.perf.planner_calls += table.planner_calls
         self.perf.init_planner_calls += table.planner_calls
-        self._snapshot = table
-        return table.copy() if self.reuse_candidates else table
+        if self.reuse_candidates:
+            # Snapshot only when later resets will restore it: holding the
+            # live table while handing the same object to the state would
+            # let episode mutations corrupt the "pristine" copy.
+            self._snapshot = table
+            return table.copy()
+        return table
 
     def reset(self) -> SelectionState:
         """Step 1 of SMORE: candidate assignment initialisation."""
@@ -93,6 +98,7 @@ class SelectionEnv:
             workers=self.instance.workers,
             budget_rest=self.instance.budget,
             coverage=self.instance.coverage.new_state(),
+            unselected={s.task_id: s for s in self.instance.sensing_tasks},
         )
         self.perf.init_time += time.perf_counter() - start
         self.perf.rollouts += 1
@@ -143,20 +149,34 @@ class SelectionEnv:
         # Spending budget may strand other workers' candidates.
         state.candidates.prune_over_budget(state.budget_rest)
 
-        # Lines 17-23: refresh the selected worker's row.
-        selected_ids = {t.task_id for t in state.selected}
-        available = [s for s in self.instance.sensing_tasks
-                     if s.task_id not in selected_ids]
+        # Lines 17-23: refresh the selected worker's row.  The pool of
+        # still-available tasks is maintained incrementally on the state
+        # (one dict pop per step) rather than rebuilt from the full task
+        # list; its iteration order is the pool order by construction.
+        state.unselected.pop(task_id, None)
+        available = list(state.unselected.values())
         slot = state.assignments[worker_id]
         current_tasks = slot.route.tasks if slot.route is not None else None
         state.candidates.recompute_worker(
             worker, slot.assigned, available, slot.incentive, state.budget_rest,
-            current_route_tasks=current_tasks)
+            current_route_tasks=current_tasks,
+            min_position=self._worker_min_position(state, worker_id))
 
         reward = state.coverage.phi() - phi_before
         self.perf.planner_calls += state.candidates.planner_calls - calls_before
         self.perf.selection_time += time.perf_counter() - start
         return state, reward, state.done
+
+    # ------------------------------------------------------------------ #
+    def _worker_min_position(self, state: SelectionState,
+                             worker_id: int) -> int:
+        """Committed-route anchor for a worker's insertions.
+
+        The static environment plans from departure, so every position is
+        open; the dynamic environment overrides this with the worker's
+        committed mid-route lock.
+        """
+        return 0
 
     # ------------------------------------------------------------------ #
     def _require_state(self) -> SelectionState:

@@ -128,6 +128,26 @@ class EpisodeStaticsCache:
             self._entries.popitem(last=False)
             self.evictions += 1
 
+    def evict(self, instance_or_id) -> bool:
+        """Drop one instance's entry; accepts the instance or its ``id()``.
+
+        The id form lets a sibling cache evict in lock-step *after* its
+        own entry (and possibly the last strong reference) is gone —
+        exactly when re-deriving ``id(instance)`` is no longer possible.
+        Returns whether an entry was present.
+        """
+        key = (instance_or_id if isinstance(instance_or_id, int)
+               else id(instance_or_id))
+        if self._entries.pop(key, None) is not None:
+            self.evictions += 1
+            return True
+        return False
+
+    def __contains__(self, instance_or_id) -> bool:
+        key = (instance_or_id if isinstance(instance_or_id, int)
+               else id(instance_or_id))
+        return key in self._entries
+
     def clear(self) -> None:
         self._entries.clear()
 

@@ -315,6 +315,93 @@ class SMORESolver:
             perf=perf,
         )
 
+    def solve_dynamic(self, instance: USMDWInstance, schedule,
+                      greedy: bool = True,
+                      rng: np.random.Generator | None = None,
+                      num_samples: int = 1, workers: int = 1,
+                      repair: bool = True,
+                      worker_arrivals: dict[int, float] | None = None,
+                      reuse_candidates: bool = True):
+        """Solve one instance under a streaming arrival schedule.
+
+        Same sampling surface as :meth:`solve` — one greedy rollout plus
+        ``num_samples - 1`` stochastic replays of the full dynamic
+        episode, best coverage wins — but each rollout runs the
+        epoch-by-epoch loop of
+        :func:`~repro.smore.dynamic.run_dynamic_episode`: select until
+        the candidate table drains, advance to the next arrival/expiry
+        epoch (incremental table repair by default, per-epoch rebuild
+        with ``repair=False``), repeat until nothing more can arrive.
+        ``workers > 1`` fans sampled rollouts over a process pool with
+        the same derived-seed schedule as :meth:`solve`, so parallel and
+        serial decoding return identical results.  Returns a
+        :class:`~repro.smore.dynamic.DynamicResult` with explicit
+        rejection accounting alongside the usual routes/incentives.
+        """
+        from .dynamic import DynamicResult, DynamicSelectionEnv, \
+            run_dynamic_episode
+
+        start = time.perf_counter()
+        with obs.span("solve_dynamic", method=self.name,
+                      num_samples=num_samples, workers=workers,
+                      repair=repair), profile_scope("solve"):
+            env = DynamicSelectionEnv(
+                instance, self.planner, schedule, repair=repair,
+                worker_arrivals=worker_arrivals,
+                reuse_candidates=reuse_candidates)
+            rollouts = self._rollout_plan(greedy, rng, num_samples)
+            stats_fn = getattr(self.planner, "stats", None)
+
+            def roll(spec):
+                use_greedy, seed = spec
+                roll_rng = None
+                if not use_greedy:
+                    roll_rng = (seed if isinstance(seed, np.random.Generator)
+                                else np.random.default_rng(seed))
+                env.perf = PerfCounters()
+                cache_before = stats_fn() if stats_fn is not None else None
+                with obs.span("select", rollouts=1):
+                    with nn.no_grad():
+                        state, _ = run_dynamic_episode(
+                            env, self.policy, greedy=use_greedy, rng=roll_rng)
+                if cache_before is not None:
+                    env.perf.merge(stats_fn().diff(cache_before))
+                return (state.phi(), state.assignments.routes(),
+                        state.assignments.incentives(),
+                        tuple(t.task_id for t in state.selected),
+                        tuple(state.rejected), state.arrived, state.events,
+                        env.perf)
+
+            perf = PerfCounters()
+            if workers > 1 and len(rollouts) > 1:
+                # Warm the epoch-zero snapshot before forking, as solve()
+                # does, so children inherit the initial table.
+                cache_before = stats_fn() if stats_fn is not None else None
+                env.reset()
+                env.perf.rollouts = 0
+                perf.merge(env.perf)
+                if cache_before is not None:
+                    perf.merge(stats_fn().diff(cache_before))
+                results = parallel_map(roll, rollouts, workers=workers)
+            else:
+                results = [roll(spec) for spec in rollouts]
+            for result in results:
+                perf.merge(result[-1])
+
+            best = max(results, key=lambda r: r[0])
+            elapsed = time.perf_counter() - start
+            obs.count("solve_dynamic.count")
+            obs.record_perf(perf, prefix="solve.")
+            obs.gauge("solve.best_phi", best[0])
+            obs.event("solve_dynamic.done", method=self.name, phi=best[0],
+                      rejected=len(best[4]), events=best[6],
+                      rollouts=len(rollouts), wall_time=round(elapsed, 6))
+        return DynamicResult(
+            instance=instance, phi=best[0], routes=best[1],
+            incentives=best[2], selected_ids=best[3], rejected_ids=best[4],
+            arrived=best[5], events=best[6], solver_name=self.name,
+            wall_time=elapsed, perf=perf)
+
     def open_batch(self, max_size: int | None = None,
                    reuse_candidates: bool = True, env_factory=None,
                    clock=time.monotonic) -> "SolveBatch":

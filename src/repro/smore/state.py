@@ -85,6 +85,12 @@ class SelectionState:
     coverage: CoverageState
     selected: list[SensingTask] = field(default_factory=list)
     step_count: int = 0
+    # The availability pool, maintained incrementally: tasks in instance
+    # order (arrivals appended at the end), minus everything selected or
+    # expired.  Dict insertion order *is* the pool order, so iterating
+    # ``unselected.values()`` reproduces exactly the list the env used to
+    # rebuild from scratch every step.
+    unselected: dict[int, SensingTask] = field(default_factory=dict)
 
     @property
     def done(self) -> bool:

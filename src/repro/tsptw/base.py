@@ -47,6 +47,11 @@ class RouteResult:
     route: WorkingRoute | None
     timing: RouteTiming | None
     feasible: bool
+    #: For single-insertion plans: where the scan placed the new task
+    #: (None for full plans or backends that do not report it).  Dynamic
+    #: candidate repair uses it to decide which entries an advancing
+    #: committed position invalidates.
+    pos: int | None = None
 
     @property
     def route_travel_time(self) -> float:

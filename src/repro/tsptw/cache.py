@@ -91,35 +91,40 @@ class CachedPlanner:
 
     # ------------------------------------------------------------------ #
     def _plan_with_insertion(self, worker: Worker, base_tasks,
-                             new_task) -> RouteResult:
+                             new_task, min_position: int = 0) -> RouteResult:
         """Memoised single-task insertion (delegates to the backend).
 
         The key normalises the base tasks to a *sorted* id tuple so that
         permutations of the same base set share one entry, mirroring the
         order-insensitive ``frozenset`` key :meth:`plan` uses.  (Base
         orders for one task set come from the same deterministic planner,
-        so within a solve the set determines the order anyway.)
+        so within a solve the set determines the order anyway.)  The
+        anchored ``min_position`` is part of the key: the same insertion
+        scanned from a different committed position is a different plan.
         """
         key = (id(worker),
                tuple(sorted(t.task_id for t in base_tasks)),
-               new_task.task_id)
+               new_task.task_id, min_position)
         cached = self._lookup(self._insert_cache, key)
         if cached is not None:
             return cached[1]
         self.misses += 1
         self.backend_calls += 1
-        result = self.planner.plan_with_insertion(worker, base_tasks, new_task)
+        result = self.planner.plan_with_insertion(
+            worker, base_tasks, new_task, min_position=min_position)
         self._store(self._insert_cache, key, (worker, result))
         return result
 
     def _plan_insertions_many(self, worker: Worker, base_tasks,
-                              new_tasks) -> list[RouteResult]:
+                              new_tasks,
+                              min_position: int = 0) -> list[RouteResult]:
         """Memoised batched insertion: shares keys with
         :meth:`_plan_with_insertion`, so batched sweeps and single queries
         populate one table; only the missing tasks reach the backend, in
         one batched call."""
         base_key = tuple(sorted(t.task_id for t in base_tasks))
-        keys = [(id(worker), base_key, t.task_id) for t in new_tasks]
+        keys = [(id(worker), base_key, t.task_id, min_position)
+                for t in new_tasks]
         hits = [self._lookup(self._insert_cache, key) for key in keys]
         results: list[RouteResult | None] = [
             hit[1] if hit is not None else None for hit in hits]
@@ -128,7 +133,8 @@ class CachedPlanner:
             self.misses += len(missing)
             self.backend_calls += 1  # one batched call serves every miss
             fresh = self.planner.plan_insertions_many(
-                worker, base_tasks, [new_tasks[i] for i in missing])
+                worker, base_tasks, [new_tasks[i] for i in missing],
+                min_position=min_position)
             for i, result in zip(missing, fresh):
                 self._store(self._insert_cache, keys[i], (worker, result))
                 results[i] = result

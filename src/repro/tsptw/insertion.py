@@ -70,11 +70,13 @@ class _KernelResult:
     lazily by simulating the route on first access, with identical values.
     """
 
-    __slots__ = ("route", "feasible", "_rtt", "_timing")
+    __slots__ = ("route", "feasible", "pos", "_rtt", "_timing")
 
-    def __init__(self, route: WorkingRoute, rtt: float, feasible: bool):
+    def __init__(self, route: WorkingRoute, rtt: float, feasible: bool,
+                 pos: int | None = None):
         self.route = route
         self.feasible = feasible
+        self.pos = pos
         self._rtt = rtt
         self._timing = None
 
@@ -153,7 +155,8 @@ def _advance(clock: float, d: float, task, speed: float,
 
 def cheapest_insertion_position(worker: Worker, tasks: list, new_task,
                                 speed: float,
-                                dist: DistFn | None = None
+                                dist: DistFn | None = None,
+                                min_position: int = 0
                                 ) -> tuple[int, float] | None:
     """Best feasible position for ``new_task`` in ``tasks``.
 
@@ -165,6 +168,12 @@ def cheapest_insertion_position(worker: Worker, tasks: list, new_task,
     shared travel-distance provider (e.g.
     :meth:`~repro.core.packed.PackedInstance.distance_between`); distances
     are identical either way, so results do not depend on it.
+
+    ``min_position`` anchors the scan at a mid-route position: positions
+    before it are never considered, which is how dynamic re-planning
+    respects the committed prefix of a worker already en route (the stops
+    the worker has departed toward cannot be reordered or preceded by a
+    new stop).
     """
     departure = worker.earliest_departure
     latest = worker.latest_arrival
@@ -189,7 +198,7 @@ def cheapest_insertion_position(worker: Worker, tasks: list, new_task,
 
     new_loc = new_task.location
     best: tuple[int, float] | None = None
-    for position in range(len(tasks) + 1):
+    for position in range(min_position, len(tasks) + 1):
         clock = prefix[position]
         if clock is None:
             break  # prefix already infeasible; later positions share it
@@ -306,8 +315,8 @@ class InsertionSolver(PlannerBase):
             self._base_cache[wid] = result
         return result
 
-    def _cheapest(self, worker: Worker, tasks: list,
-                  new_task) -> tuple[int, float] | None:
+    def _cheapest(self, worker: Worker, tasks: list, new_task,
+                  min_position: int = 0) -> tuple[int, float] | None:
         # Single-insertion scans run the scalar engine in BOTH modes: one
         # position against one task has no lanes to vectorize, and the
         # pure-Python scan (C-level math.hypot, unboxed floats) measures
@@ -315,11 +324,13 @@ class InsertionSolver(PlannerBase):
         # packed kernels take over exactly where vectorization pays —
         # the batched sweep in :meth:`plan_insertions_many`.
         return cheapest_insertion_position(worker, tasks, new_task,
-                                           self.speed)
+                                           self.speed,
+                                           min_position=min_position)
 
     def _route_result(self, worker: Worker, tasks: Sequence,
                       known: tuple[bool, float] | None = None,
-                      covers: bool | None = None) -> RouteResult:
+                      covers: bool | None = None,
+                      pos: int | None = None) -> RouteResult:
         """Build the planner's result for a final task order.
 
         ``known`` is the (windows-feasible, rtt) pair when the kernel scan
@@ -334,8 +345,12 @@ class InsertionSolver(PlannerBase):
             windows_ok, rtt = known
             if covers is None:
                 covers = route.covers_all_travel_tasks()
-            return _KernelResult(route, rtt, windows_ok and covers)
-        return RouteResult.from_route(route)
+            return _KernelResult(route, rtt, windows_ok and covers, pos=pos)
+        result = RouteResult.from_route(route)
+        if pos is not None:
+            result = RouteResult(result.route, result.timing,
+                                 result.feasible, pos=pos)
+        return result
 
     # ------------------------------------------------------------------ #
     def plan(self, worker: Worker,
@@ -362,42 +377,52 @@ class InsertionSolver(PlannerBase):
         return self._route_result(worker, route_tasks)
 
     def plan_with_insertion(self, worker: Worker, base_tasks: Sequence,
-                            new_task) -> RouteResult:
+                            new_task, min_position: int = 0) -> RouteResult:
         """Insert one task into an existing feasible order (no reordering).
 
         The incremental feasibility check SMORE's candidate updates rely
         on: O(n^2) instead of rebuilding the whole route.  The result is a
         valid upper bound on the optimal route travel time.
+        ``min_position`` anchors the scan mid-route (dynamic re-planning
+        from a worker's committed position); 0 keeps the historical
+        whole-route scan.
         """
-        best = self._cheapest(worker, list(base_tasks), new_task)
+        best = self._cheapest(worker, list(base_tasks), new_task,
+                              min_position=min_position)
         if best is None:
             return RouteResult.infeasible()
         position, rtt = best
         tasks = list(base_tasks)
         tasks.insert(position, new_task)
         if self.use_kernels:
-            return self._route_result(worker, tasks, known=(True, rtt))
-        return self._route_result(worker, tasks)
+            return self._route_result(worker, tasks, known=(True, rtt),
+                                      pos=position)
+        return self._route_result(worker, tasks, pos=position)
 
     def plan_insertions_many(self, worker: Worker, base_tasks: Sequence,
-                             new_tasks: Sequence) -> list[RouteResult]:
+                             new_tasks: Sequence,
+                             min_position: int = 0) -> list[RouteResult]:
         """Check many single-task insertions into one base order.
 
         The batched entry point behind ``CandidateTable``'s init/recompute
         sweeps.  Available in *both* engine modes — with kernels one
         vectorized sweep scores every (position, task) lane at once; the
         object path loops :meth:`plan_with_insertion` — so perf counters
-        and results are identical whichever engine runs.
+        and results are identical whichever engine runs.  ``min_position``
+        restricts every lane to positions at or past a worker's committed
+        mid-route position, identically in both engines.
         """
         new_tasks = list(new_tasks)
         if not self.use_kernels or len(new_tasks) < _SWEEP_MIN_TASKS:
-            return [self.plan_with_insertion(worker, base_tasks, task)
+            return [self.plan_with_insertion(worker, base_tasks, task,
+                                             min_position=min_position)
                     for task in new_tasks]
         base = list(base_tasks)
         with profile_scope("kernel.insertion_sweep"):
             pack = kernels.pack_route(worker, base, self.speed,
                                       self._packed_for(worker))
-            hits = kernels.sweep_insertions(pack, new_tasks)
+            hits = kernels.sweep_insertions(pack, new_tasks,
+                                            min_position=min_position)
         # Sensing-task insertion leaves travel membership unchanged, so the
         # coverage verdict is a property of the base order alone.
         base_tup = tuple(base)

@@ -244,8 +244,9 @@ def timing_from_pack(pack: RoutePack) -> RouteTiming:
 # ---------------------------------------------------------------------- #
 # Single-task insertion scan (slack rejection + delay absorption)
 # ---------------------------------------------------------------------- #
-def cheapest_insertion_packed(pack: RoutePack,
-                              new_task) -> tuple[int, float] | None:
+def cheapest_insertion_packed(pack: RoutePack, new_task,
+                              min_position: int = 0
+                              ) -> tuple[int, float] | None:
     """Best feasible position for ``new_task``; bit-identical to the scan.
 
     Two exits make positions cheap: a position whose post-insertion clock
@@ -271,7 +272,7 @@ def cheapest_insertion_packed(pack: RoutePack,
 
     best_pos = -1
     best_rtt = _INF
-    for p in range(valid):
+    for p in range(min_position, valid):
         clock = prefix[p] + tt_new[p]
         if new_is_sensing:
             if clock < ntw0:
@@ -351,7 +352,8 @@ def _new_task_arrays(pack: RoutePack, new_tasks: Sequence):
     return tw0, ls, svc
 
 
-def sweep_insertions(pack: RoutePack, new_tasks: Sequence
+def sweep_insertions(pack: RoutePack, new_tasks: Sequence,
+                     min_position: int = 0
                      ) -> list[tuple[int, float] | None]:
     """Score every (position, task) lane in one vectorized sweep.
 
@@ -360,6 +362,11 @@ def sweep_insertions(pack: RoutePack, new_tasks: Sequence
     whose every lane fails the margin-guarded slack bound are dropped
     before propagation (they are provably infeasible); the surviving
     columns propagate all lanes and take the first-minimum over positions.
+
+    ``min_position`` kills lanes before a worker's committed mid-route
+    position up front, matching the scalar scan's anchored loop: the
+    surviving lanes' floats are untouched, so first-minimum selection over
+    the remaining positions is bit-identical to the anchored object scan.
     """
     T = len(new_tasks)
     if T == 0:
@@ -401,6 +408,10 @@ def sweep_insertions(pack: RoutePack, new_tasks: Sequence
     # Lane 0..P-1: depart the prefix, service the new task.
     arr0 = pack.prefix[:P, None] + tt_rt[:P]
     feas0 = arr0 <= nls[None, :]
+    if min_position > 0:
+        # Anchored sweep: lanes before the committed position are dead on
+        # arrival (the scalar scan never visits them).
+        feas0[:min(min_position, P)] = False
     c0 = np.maximum(arr0, ntw0[None, :]) + nsvc[None, :]
 
     # Arrival at each lane's head stop (stop p; the destination for p==n)

@@ -1,0 +1,94 @@
+"""Coupled eviction of the env LRU and the episode-statics cache.
+
+Both caches key by ``id(instance)`` and pin the instance reference.  If
+the env LRU dropped its entry alone, the statics cache could hold the
+only pin — or, once it churned the entry independently, the id could be
+recycled by a new instance while the other side still mapped the stale
+key.  The engine therefore evicts the statics entry in the same breath,
+keeping one invariant: statics are cached only for instances whose env
+is resident.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.instances import InstanceOptions, generate_instances
+from repro.serve import WarmEngine
+from repro.smore import SMORESolver, TASNet, TASNetConfig, TASNetPolicy
+from repro.tsptw import InsertionSolver
+
+CONFIG = TASNetConfig(d_model=16, num_heads=2, num_layers=1, conv_channels=4)
+
+
+@pytest.fixture(scope="module")
+def instances():
+    opts = InstanceOptions(task_density=0.03, budget=120.0)
+    return generate_instances("delivery", 4, seed=3, options=opts)
+
+
+def _engine(instances, max_warm_instances):
+    grid = instances[0].coverage.grid
+    net = TASNet(CONFIG, grid_nx=grid.nx, grid_ny=grid.ny,
+                 rng=np.random.default_rng(0))
+    solver = SMORESolver(InsertionSolver(), TASNetPolicy(net))
+    return WarmEngine(solver, max_warm_instances=max_warm_instances)
+
+
+def _solve(engine, instance):
+    batch = engine.open_batch()
+    batch.admit(instance)
+    return engine.execute(batch)
+
+
+def _resident_ids(engine):
+    return set(engine._envs)
+
+
+def _statics_ids(engine):
+    return set(engine.statics_cache._entries)
+
+
+class TestCoupledEviction:
+    def test_env_eviction_drops_statics_entry(self, instances):
+        engine = _engine(instances, max_warm_instances=1)
+        _solve(engine, instances[0])
+        assert instances[0] in engine.statics_cache
+        _solve(engine, instances[1])          # evicts instances[0]'s env
+        assert engine.env_evictions == 1
+        assert instances[0] not in engine.statics_cache
+        assert instances[1] in engine.statics_cache
+
+    def test_statics_resident_only_with_env(self, instances):
+        """The invariant itself: statics keys are always a subset of the
+        resident-env keys, through arbitrary churn."""
+        engine = _engine(instances, max_warm_instances=2)
+        for instance in list(instances) + list(instances[::-1]):
+            _solve(engine, instance)
+            assert _statics_ids(engine) <= _resident_ids(engine)
+
+    def test_id_reuse_cannot_alias_statics(self, instances):
+        """Churn with max_warm_instances=1 while recycling instance
+        objects: a freshly generated instance may reuse a dead object's
+        id; the coupled eviction guarantees the statics cache never holds
+        an entry under a key the env LRU no longer tracks, so the reused
+        id can only ever map the new instance's statics."""
+        engine = _engine(instances, max_warm_instances=1)
+        opts = InstanceOptions(task_density=0.03, budget=120.0)
+        for seed in range(6):
+            # Fresh instance each round; the previous one loses its last
+            # strong reference when `churn` rebinds, making its id
+            # available for reuse by the very next allocation.
+            churn = generate_instances("delivery", 1, seed=10 + seed,
+                                       options=opts)[0]
+            _solve(engine, churn)
+            assert _statics_ids(engine) == _resident_ids(engine) == {id(churn)}
+        assert engine.env_evictions == 5
+        # Each coupled eviction also dropped the statics entry.
+        assert engine.statics_cache.evictions >= 5
+
+    def test_evict_reports_presence(self, instances):
+        engine = _engine(instances, max_warm_instances=2)
+        _solve(engine, instances[0])
+        assert engine.statics_cache.evict(instances[0]) is True
+        assert engine.statics_cache.evict(instances[0]) is False
+        assert engine.statics_cache.evict(id(instances[1])) is False

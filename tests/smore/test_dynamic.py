@@ -1,0 +1,240 @@
+"""Dynamic selection environment: streaming arrivals, expiries, locks.
+
+Covers the episode mechanics (accounting, termination, lock monotonicity,
+dead-on-arrival handling, late workers), the equivalence of repair and
+per-epoch rebuild at the episode level, the static-schedule degeneration
+to the classic solver, and solve_dynamic's serial-vs-pool determinism.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    InstanceOptions,
+    burst_arrivals,
+    generate_instances,
+    poisson_arrivals,
+)
+from repro.datasets.dynamic import ArrivalSchedule, TaskArrival
+from repro.smore import (
+    DynamicSelectionEnv,
+    GreedySelectionRule,
+    SMORESolver,
+    run_dynamic_episode,
+)
+from repro.tsptw import InsertionSolver
+from repro.tsptw.cache import CachedPlanner
+
+
+def _instance(seed=3, density=0.05, workers=4):
+    return generate_instances(
+        "delivery", 1, seed=seed,
+        options=InstanceOptions(task_density=density,
+                                num_workers=workers))[0]
+
+
+def _episode(instance, schedule, repair=True, **env_kwargs):
+    planner = CachedPlanner(InsertionSolver(speed=instance.speed))
+    env = DynamicSelectionEnv(instance, planner, schedule, repair=repair,
+                              **env_kwargs)
+    state, reward = run_dynamic_episode(env, GreedySelectionRule())
+    return env, state, reward
+
+
+# --------------------------------------------------------------------- #
+# Episode accounting and termination
+# --------------------------------------------------------------------- #
+def test_every_arrived_task_selected_or_rejected():
+    instance = _instance()
+    schedule = poisson_arrivals(instance, np.random.default_rng(0),
+                                initial_fraction=0.5)
+    _, state, _ = _episode(instance, schedule)
+    assert state.done
+    assert not state.unselected and not state.pending_arrivals
+    selected = {t.task_id for t in state.selected}
+    rejected = set(state.rejected)
+    assert not selected & rejected
+    assert state.arrived == len(schedule.arrivals)
+    assert len(selected) + len(rejected) == state.arrived
+
+
+def test_positive_coverage_and_events():
+    instance = _instance()
+    schedule = burst_arrivals(instance, np.random.default_rng(1),
+                              initial_fraction=0.3)
+    _, state, reward = _episode(instance, schedule)
+    assert state.events > 0
+    assert reward == pytest.approx(state.phi())
+    assert state.phi() > 0
+
+
+def test_locks_monotonic_and_budget_respected():
+    instance = _instance()
+    schedule = poisson_arrivals(instance, np.random.default_rng(2))
+    planner = CachedPlanner(InsertionSolver(speed=instance.speed))
+    env = DynamicSelectionEnv(instance, planner, schedule)
+    policy = GreedySelectionRule()
+    state = env.reset()
+    policy.begin_episode(instance)
+    seen_locks = {w.worker_id: 0 for w in instance.workers}
+    while True:
+        while not state.candidates.empty:
+            action = policy.act(state)
+            state, _, _ = env.step_state(state, action.worker_id,
+                                         action.task_id)
+            assert state.budget_rest >= 0.0
+        if not env.advance(state):
+            break
+        for worker_id, lock in state.locks.items():
+            assert lock >= seen_locks[worker_id], "locks must only advance"
+            seen_locks[worker_id] = lock
+    assert any(lock > 0 for lock in seen_locks.values())
+
+
+def test_committed_prefix_never_reordered():
+    """Once a worker departs toward a stop, later plans keep that prefix."""
+    instance = _instance(seed=11)
+    schedule = poisson_arrivals(instance, np.random.default_rng(3),
+                                initial_fraction=0.5)
+    planner = CachedPlanner(InsertionSolver(speed=instance.speed))
+    env = DynamicSelectionEnv(instance, planner, schedule)
+    policy = GreedySelectionRule()
+    state = env.reset()
+    policy.begin_episode(instance)
+    committed: dict[int, list] = {}
+    while True:
+        while not state.candidates.empty:
+            action = policy.act(state)
+            state, _, _ = env.step_state(state, action.worker_id,
+                                         action.task_id)
+        if not env.advance(state):
+            break
+        for worker_id, lock in state.locks.items():
+            route = env._committed_route(state, worker_id)
+            if route is None:
+                continue
+            prefix = [t.task_id for t in route.tasks[:lock]]
+            old = committed.get(worker_id, [])
+            assert prefix[:len(old)] == old, \
+                "a committed stop was reordered or dropped"
+            committed[worker_id] = prefix
+
+
+def test_dead_on_arrival_is_rejected():
+    instance = _instance()
+    task = instance.sensing_tasks[0]
+    arrival = max(task.tw_start, 1.0)
+    schedule = ArrivalSchedule(
+        horizon=instance.coverage.time_span,
+        arrivals=(TaskArrival(task.task_id, arrival, arrival),))
+    _, state, _ = _episode(instance, schedule)
+    assert state.rejected == [task.task_id]
+    assert not state.selected
+
+
+def test_zero_pressure_schedule_matches_static_solver():
+    """All tasks at t=0 with full windows: the dynamic episode's selection
+    decisions are exactly the static solver's."""
+    instance = _instance(seed=7)
+    records = tuple(TaskArrival(s.task_id, 0.0, s.tw_end)
+                    for s in instance.sensing_tasks)
+    schedule = ArrivalSchedule(horizon=instance.coverage.time_span,
+                               arrivals=records)
+    _, state, _ = _episode(instance, schedule)
+
+    static = SMORESolver(CachedPlanner(InsertionSolver(
+        speed=instance.speed)), GreedySelectionRule()).solve(instance)
+    assert state.phi() == static.objective
+    routes = {w: [t.task_id for t in r.tasks]
+              for w, r in state.assignments.routes().items()}
+    static_routes = {w: [t.task_id for t in r.tasks]
+                     for w, r in static.routes.items()}
+    assert routes == static_routes
+
+
+# --------------------------------------------------------------------- #
+# Repair vs rebuild, late workers, solver surface
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("make_schedule", [poisson_arrivals, burst_arrivals])
+def test_repair_equals_rebuild_episode(make_schedule):
+    instance = _instance(seed=5)
+    schedule = make_schedule(instance, np.random.default_rng(9),
+                             initial_fraction=0.4)
+    _, repaired, _ = _episode(instance, schedule, repair=True)
+    _, rebuilt, _ = _episode(instance, schedule, repair=False)
+    assert repaired.phi() == rebuilt.phi()
+    assert [t.task_id for t in repaired.selected] == \
+        [t.task_id for t in rebuilt.selected]
+    assert repaired.rejected == rebuilt.rejected
+    assert repaired.events == rebuilt.events
+
+
+def test_late_worker_joins_and_contributes():
+    instance = _instance(seed=13, workers=3)
+    late = instance.workers[-1].worker_id
+    schedule = poisson_arrivals(instance, np.random.default_rng(4),
+                                initial_fraction=0.6)
+    late_at = {late: 30.0}
+    _, with_late, _ = _episode(instance, schedule, worker_arrivals=late_at)
+    # Before its arrival epoch the late worker holds no assignments made
+    # at t=0; afterwards it participates normally.
+    assert late in with_late.locks
+    _, rebuilt, _ = _episode(instance, schedule, repair=False,
+                             worker_arrivals=late_at)
+    assert with_late.phi() == rebuilt.phi()
+    assert with_late.rejected == rebuilt.rejected
+
+
+def test_solve_dynamic_accounting_and_result():
+    instance = _instance(seed=17)
+    schedule = poisson_arrivals(instance, np.random.default_rng(6),
+                                initial_fraction=0.5, ttl=40.0)
+    solver = SMORESolver(CachedPlanner(InsertionSolver(
+        speed=instance.speed)), GreedySelectionRule())
+    result = solver.solve_dynamic(instance, schedule)
+    assert result.arrived == len(schedule.arrivals)
+    assert len(result.selected_ids) + len(result.rejected_ids) \
+        == result.arrived
+    assert 0.0 <= result.rejection_rate <= 1.0
+    assert result.events > 0
+    assert result.perf.planner_calls > 0
+    assert set(result.routes) <= {w.worker_id for w in instance.workers}
+
+
+def test_solve_dynamic_serial_equals_pool():
+    """Sampled dynamic decoding: workers=4 must match workers=1 exactly."""
+    instance = _instance(seed=19, density=0.03)
+    schedule = poisson_arrivals(instance, np.random.default_rng(8),
+                                initial_fraction=0.5)
+
+    def run(workers):
+        solver = SMORESolver(CachedPlanner(InsertionSolver(
+            speed=instance.speed)), GreedySelectionRule())
+        return solver.solve_dynamic(
+            instance, schedule, num_samples=4, workers=workers,
+            rng=np.random.default_rng(123))
+
+    serial = run(1)
+    pooled = run(4)
+    assert serial.phi == pooled.phi
+    assert serial.selected_ids == pooled.selected_ids
+    assert serial.rejected_ids == pooled.rejected_ids
+    assert serial.incentives == pooled.incentives
+
+
+def test_schedule_validation():
+    instance = _instance()
+    with pytest.raises(ValueError):
+        ArrivalSchedule(horizon=100.0, arrivals=(
+            TaskArrival(0, 0.0, 10.0), TaskArrival(0, 5.0, 10.0)))
+    with pytest.raises(ValueError):
+        TaskArrival(0, 10.0, 5.0)
+    bogus = ArrivalSchedule(horizon=100.0,
+                            arrivals=(TaskArrival(10 ** 9, 0.0, 10.0),))
+    with pytest.raises(ValueError):
+        bogus.validate(instance)
+    with pytest.raises(ValueError):
+        DynamicSelectionEnv(instance, InsertionSolver(speed=instance.speed),
+                            poisson_arrivals(instance,
+                                             np.random.default_rng(0)),
+                            worker_arrivals={10 ** 9: 5.0})
