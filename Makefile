@@ -1,8 +1,8 @@
 # SMORE reproduction — common workflows.
 
 .PHONY: install test test-backends bench bench-perf bench-route \
-	bench-train bench-serve bench-dynamic serve-smoke profile results \
-	full clean
+	bench-train bench-serve bench-dynamic bench-ops serve-smoke \
+	serve-replay-smoke dashboard-smoke profile results full clean
 
 install:
 	pip install -e .
@@ -56,6 +56,13 @@ bench-dynamic:
 	PYTHONPATH=src pytest benchmarks/test_dynamic_regression.py \
 		--benchmark-only
 
+# Telemetry regression: 32-request mixed greedy/sampled journal must
+# replay bit-identically; full tracing+SLO+journal overhead stays <2%
+# over the telemetry-off path (writes results/BENCH_PR9.json).
+bench-ops:
+	PYTHONPATH=src pytest benchmarks/test_ops_telemetry_regression.py \
+		--benchmark-only
+
 # Serving smoke: 32 concurrent in-process requests through the asyncio
 # service with per-request greedy parity checked against direct solves;
 # serving metrics (latency percentiles, batch sizes, req/s) land in
@@ -64,6 +71,25 @@ serve-smoke:
 	PYTHONPATH=src python -m repro.serve --requests 32 --instances 6 \
 		--density 0.04 --check-parity \
 		--metrics results/serve_smoke_metrics.jsonl
+
+# Record/replay smoke: a 16-request workload journaled through the live
+# asyncio service, then re-executed from the journal against a freshly
+# rebuilt engine — the replay exits non-zero unless every solution
+# digest is bit-identical.  The SLO report rides along.
+serve-replay-smoke:
+	PYTHONPATH=src python -m repro.serve --requests 16 --instances 4 \
+		--density 0.03 --journal results/serve_replay_journal.jsonl \
+		--slo-report results/serve_slo_report.json
+	PYTHONPATH=src python -m repro.serve replay \
+		results/serve_replay_journal.jsonl
+
+# Dashboard smoke: render one frame off the serving metrics JSONL in
+# CI mode (no terminal clearing); fails if the file or schema is off.
+dashboard-smoke:
+	PYTHONPATH=src python -m repro.serve --requests 8 --instances 2 \
+		--density 0.03 --metrics results/dashboard_smoke_metrics.jsonl
+	PYTHONPATH=src python -m repro.obs.dashboard \
+		results/dashboard_smoke_metrics.jsonl --frames 1 --no-clear
 
 # Op-level autograd profiles of a smoke solve + training run: per-op
 # JSONL summaries and collapsed stacks (flamegraph.pl format) under

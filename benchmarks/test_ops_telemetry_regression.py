@@ -1,0 +1,174 @@
+"""Telemetry regression bench for PR 9 (operational observability).
+
+Two pins at paper scale (``delivery`` at the paper's task density, the
+paper's d_model=128 / 8-head / 3-layer TASNet; 32 requests round-robin
+over an 8-instance pool, every 4th request sampled with a pinned seed):
+
+1. **Replay identity** — the flight-recorder journal written by the
+   live micro-batched service re-executes against a freshly rebuilt
+   engine with every solution digest bit-identical (32/32).  Batching,
+   dedup, residency, and telemetry change the wall clock, never the
+   answers — so a sequential replay of the journal is a faithful
+   re-run of whatever coalescing happened live.
+2. **Overhead budget** — the full telemetry stack (per-request stage
+   traces + rolling-window SLO tracking + journal writes) costs < 2%
+   wall time over the telemetry-disabled service, and the disabled
+   path itself does no attribution work (no stage histograms, no trace
+   ring).  Each mode takes its best-of-``ROUNDS`` wall time so the
+   ratio compares steady-state runs, not scheduler noise.
+
+The record lands in ``results/BENCH_PR9.json`` (a CI artifact); the
+assertions pin replay identity and the overhead ceiling (absolute wall
+time is hardware-dependent).
+"""
+
+import time
+
+import numpy as np
+
+from repro.datasets import InstanceOptions, generate_instances
+from repro.obs.recorder import FlightRecorder, read_journal, replay_journal
+from repro.obs.slo import SloConfig, SloTracker
+from repro.serve import ServeConfig, SolveRequest, WarmEngine, drive_requests
+from repro.smore import SMORESolver, TASNet, TASNetConfig, TASNetPolicy
+from repro.tsptw import CachedPlanner, InsertionSolver
+
+from .conftest import write_bench
+
+REQUESTS = 32
+POOL = 8
+ROUNDS = 3                    # best-of per telemetry mode
+MAX_OVERHEAD_PCT = 2.0
+
+NET = TASNetConfig(d_model=128, num_heads=8, num_layers=3, conv_channels=8)
+
+
+def _instances():
+    options = InstanceOptions(task_density=0.15)
+    return generate_instances("delivery", POOL, seed=100, options=options)
+
+
+def _requests(instances):
+    """Round-robin pool; every 4th request sampled with a pinned seed."""
+    out = []
+    for i in range(REQUESTS):
+        inst = instances[i % POOL]
+        if i % 4 == 3:
+            out.append(SolveRequest(instance=inst, greedy=False,
+                                    seed=900 + i, num_samples=2))
+        else:
+            out.append(SolveRequest(instance=inst))
+    return out
+
+
+def _engine(instances, policy):
+    return WarmEngine(SMORESolver(CachedPlanner(InsertionSolver()), policy))
+
+
+def _config(traces):
+    return ServeConfig(max_batch_size=REQUESTS, max_wait_us=50_000.0,
+                       max_queue_depth=REQUESTS, request_traces=traces)
+
+
+def test_ops_telemetry_regression(benchmark, results_dir, tmp_path):
+    def run():
+        instances = _instances()
+        grid = instances[0].coverage.grid
+        net = TASNet(NET, grid_nx=grid.nx, grid_ny=grid.ny,
+                     rng=np.random.default_rng(0))
+        policy = TASNetPolicy(net)
+        requests = _requests(instances)
+
+        # -- replay identity: journal the live run, re-execute it ------- #
+        journal_path = tmp_path / "bench_journal.jsonl"
+        recorder = FlightRecorder(journal_path,
+                                  workload={"mode": "delivery",
+                                            "requests": REQUESTS})
+        recorder.register_instances(instances)
+        live = drive_requests(_engine(instances, policy), requests,
+                              config=_config(traces=True),
+                              slo=SloTracker(SloConfig()),
+                              recorder=recorder)
+        assert not any(isinstance(o, Exception) for o in live.outcomes)
+        journal = read_journal(journal_path)
+        replay = replay_journal(journal, _engine(instances, policy),
+                                instances)
+
+        # -- overhead: best-of-ROUNDS per telemetry mode ---------------- #
+        def timed(make_kwargs):
+            best = float("inf")
+            for _ in range(ROUNDS):   # fresh engine/recorder per round:
+                engine = _engine(instances, policy)   # stop() closes them
+                kwargs = make_kwargs()
+                start = time.perf_counter()
+                result = drive_requests(engine, requests, **kwargs)
+                best = min(best, time.perf_counter() - start)
+                assert not any(isinstance(o, Exception)
+                               for o in result.outcomes)
+            return best, result
+
+        def full_kwargs():
+            recorder = FlightRecorder(tmp_path / "overhead_journal.jsonl")
+            recorder.register_instances(instances)
+            return {"config": _config(traces=True),
+                    "slo": SloTracker(SloConfig()), "recorder": recorder}
+
+        disabled_s, disabled = timed(
+            lambda: {"config": _config(traces=False)})
+        full_s, full = timed(full_kwargs)
+
+        overhead_pct = (full_s - disabled_s) / disabled_s * 100.0
+        return {
+            "scale": {"mode": "delivery", "requests": REQUESTS,
+                      "instance_pool": POOL,
+                      "sampled_requests": REQUESTS // 4,
+                      "workers": instances[0].num_workers,
+                      "sensing_tasks": instances[0].num_sensing_tasks,
+                      "d_model": NET.d_model, "num_heads": NET.num_heads,
+                      "num_layers": NET.num_layers},
+            "replay": {"journal_complete": journal.complete,
+                       "requests": len(journal.requests),
+                       "replayed": replay.replayed,
+                       "matched": replay.matched,
+                       "mismatches": len(replay.mismatches),
+                       "skipped": replay.skipped},
+            "overhead": {"disabled_s": disabled_s, "full_s": full_s,
+                         "overhead_pct": overhead_pct,
+                         "rounds": ROUNDS,
+                         "budget_pct": MAX_OVERHEAD_PCT},
+            "disabled_path": {
+                "stages_in_stats": "stages" in disabled.stats,
+                "traces_retained": len(disabled.traces)},
+            "full_path": {
+                "traces_retained": len(full.traces),
+                "stage_counts": {
+                    name: full.stats["stages"][name]["count"]
+                    for name in ("admission_wait_ms", "coalesce_wait_ms",
+                                 "execute_ms")},
+                "slo_requests": full.stats["slo"]["requests"]},
+        }
+
+    record = benchmark.pedantic(run, iterations=1, rounds=1)
+    text = write_bench(results_dir, 9, record)
+    print("\n" + text)
+
+    # Every journaled request replays to a bit-identical digest.
+    replay = record["replay"]
+    assert replay["journal_complete"]
+    assert replay["requests"] == REQUESTS
+    assert replay["replayed"] == replay["matched"] == REQUESTS, \
+        f"{replay['mismatches']} replay digests diverged"
+    assert replay["skipped"] == 0
+    # Full telemetry stays under the overhead budget.
+    overhead = record["overhead"]["overhead_pct"]
+    assert overhead < MAX_OVERHEAD_PCT, (
+        f"full telemetry overhead {overhead:.2f}% over the "
+        f"{MAX_OVERHEAD_PCT:.1f}% budget")
+    # The disabled path really is disabled: no attribution machinery ran.
+    assert not record["disabled_path"]["stages_in_stats"]
+    assert record["disabled_path"]["traces_retained"] == 0
+    # And the full path attributed every request.
+    assert record["full_path"]["traces_retained"] == REQUESTS
+    assert record["full_path"]["stage_counts"]["admission_wait_ms"] == \
+        REQUESTS
+    assert record["full_path"]["slo_requests"] == REQUESTS

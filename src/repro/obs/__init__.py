@@ -17,6 +17,15 @@ report into.  Three pieces:
   wall time, estimated FLOPs/bytes, live-tensor peak memory, and
   collapsed-stack (flamegraph) export.  ``python -m repro.obs.profile``
   profiles a smoke workload from the command line.
+* :class:`SloTracker` (:mod:`repro.obs.slo`) — rolling-window SLO
+  accounting: time-bucketed p50/p95/p99, error budgets, and
+  threshold-crossing ``slo.alert`` events into the trace stream.
+* :class:`FlightRecorder` / :func:`replay_journal`
+  (:mod:`repro.obs.recorder`) — deterministic request journaling with
+  bit-identical replay (``python -m repro.serve replay journal.jsonl``).
+* :func:`render_openmetrics` (:mod:`repro.obs.openmetrics`) — the
+  registry as a Prometheus-scrapable text exposition; the companion
+  live terminal dashboard is ``python -m repro.obs.dashboard``.
 
 Typical use::
 
@@ -34,13 +43,25 @@ from . import profile
 from .history import TrainingHistory
 from .metrics import (
     DEFAULT_HISTOGRAM_CAPACITY,
+    METRICS_SCHEMA_VERSION,
     PERF_COUNTER_NAMES,
     PERF_GAUGE_NAMES,
     PERF_TIMING_NAMES,
     Histogram,
     MetricsRegistry,
 )
+from .openmetrics import render_openmetrics, write_openmetrics
 from .profile import OpProfiler, OpStat, profiling, render_profile
+from .recorder import (
+    FlightRecorder,
+    Journal,
+    JournalError,
+    ReplayReport,
+    read_journal,
+    replay_journal,
+    solution_digest,
+)
+from .slo import SloConfig, SloTracker, current_slo_tracker
 from .trace import (
     NULL_TRACER,
     JsonlSink,
@@ -65,7 +86,12 @@ from .trace import (
 
 __all__ = [
     "MetricsRegistry", "Histogram", "DEFAULT_HISTOGRAM_CAPACITY",
+    "METRICS_SCHEMA_VERSION",
     "TrainingHistory",
+    "SloConfig", "SloTracker", "current_slo_tracker",
+    "FlightRecorder", "Journal", "JournalError", "ReplayReport",
+    "read_journal", "replay_journal", "solution_digest",
+    "render_openmetrics", "write_openmetrics",
     "OpProfiler", "OpStat", "profiling", "render_profile", "profile",
     "PERF_COUNTER_NAMES", "PERF_TIMING_NAMES", "PERF_GAUGE_NAMES",
     "Tracer", "NullTracer", "NULL_TRACER",

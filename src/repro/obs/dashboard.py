@@ -1,0 +1,190 @@
+"""Live terminal ops dashboard over the serving metrics JSONL.
+
+``python -m repro.obs.dashboard serve_metrics.jsonl`` tails the JSONL
+file :meth:`~repro.serve.service.SolverService.write_metrics_jsonl`
+appends to and redraws a single-screen summary every ``--interval``
+seconds: request/response totals and sustained req/s, latency
+percentiles (the rolling SLO window when the service carries a tracker,
+the lifetime histogram otherwise), queue depth, shed/overload/error
+rates, micro-batch width, per-stage wait attribution, and the engine's
+cache hit rates.  Active SLO alerts render in their own panel.
+
+The renderer is a pure function over the latest ``serving_stats``
+record (:func:`render_dashboard`), so tests and the CI smoke target can
+exercise it without a TTY: ``--frames 1 --no-clear`` prints one frame
+and exits.  Records whose ``schema_version`` is newer than this reader
+are rejected loudly rather than misread.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from .metrics import METRICS_SCHEMA_VERSION
+
+__all__ = ["render_dashboard", "tail_stats", "main"]
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def tail_stats(path, state: dict | None = None) -> dict | None:
+    """The newest ``serving_stats`` record in ``path`` (None when absent).
+
+    ``state`` (a mutable dict) carries the read offset across calls so
+    repeated tailing is O(new bytes), not O(file).
+    """
+    state = state if state is not None else {}
+    offset = state.get("offset", 0)
+    latest = state.get("latest")
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            fh.seek(offset)
+            for line in fh:
+                if not line.endswith("\n"):
+                    break                    # partial write; retry next tick
+                offset += len(line.encode("utf-8"))
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                version = record.get("schema_version")
+                if version is not None and version > METRICS_SCHEMA_VERSION:
+                    raise SystemExit(
+                        f"{path}: metrics schema {version} is newer than "
+                        f"this dashboard ({METRICS_SCHEMA_VERSION})")
+                if record.get("type") == "serving_stats":
+                    latest = record
+    except FileNotFoundError:
+        pass
+    state["offset"] = offset
+    state["latest"] = latest
+    return latest
+
+
+def _bar(fraction: float, width: int = 20) -> str:
+    fraction = min(max(fraction, 0.0), 1.0)
+    filled = int(round(fraction * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def _rate(part: float, total: float) -> str:
+    return f"{part / total * 100.0:5.1f}%" if total else "    -"
+
+
+def render_dashboard(stats: dict | None, path="", now=None) -> str:
+    """One dashboard frame over the latest ``serving_stats`` record."""
+    width = 62
+    head = f" repro ops dashboard — {path} "
+    lines = [head.center(width, "="), ""]
+    if stats is None:
+        lines.append("  waiting for serving_stats records...")
+        return "\n".join(lines)
+
+    requests = stats.get("requests", 0)
+    responses = stats.get("responses", 0)
+    shed = stats.get("shed_deadline", 0)
+    rejected = stats.get("rejected_overload", 0)
+    errors = stats.get("errors", 0)
+    lines.append(f"  requests {requests:>8}    responses {responses:>8}"
+                 f"    sustained {stats.get('sustained_req_per_s', 0.0):8.2f}"
+                 " req/s")
+    lines.append(f"  shed {_rate(shed, requests)}   overload "
+                 f"{_rate(rejected, requests)}   errors "
+                 f"{_rate(errors, requests)}")
+    depth = stats.get("queue_depth", 0)
+    peak = stats.get("queue_depth_peak", 0)
+    lines.append(f"  queue depth {depth:>5}  (peak {peak})  "
+                 f"[{_bar(depth / peak if peak else 0.0)}]")
+    lines.append("")
+
+    slo = stats.get("slo")
+    if slo:
+        latency = slo.get("latency_ms", {})
+        lines.append(f"  latency (rolling {slo.get('window_s', 0):g}s "
+                     f"window, n={latency.get('count', 0)})")
+        for key in ("p50", "p95", "p99"):
+            if key in latency:
+                lines.append(f"    {key:<4} {latency[key]:10.2f} ms")
+        budget = slo.get("budget_used", 0.0)
+        lines.append(f"  error budget used {budget * 100.0:6.1f}%  "
+                     f"[{_bar(budget)}]")
+        active = slo.get("alerts_active", [])
+        if active:
+            lines.append(f"  ALERTS ACTIVE: {', '.join(active)}  "
+                         f"(fired {slo.get('alerts_fired', 0)} total)")
+    else:
+        latency = stats.get("latency_ms", {})
+        if latency.get("count"):
+            lines.append(f"  latency (lifetime, n={latency['count']})")
+            for key in ("p50", "p95", "p99"):
+                if key in latency:
+                    lines.append(f"    {key:<4} {latency[key]:10.2f} ms")
+    lines.append("")
+
+    batch = stats.get("batch_size", {})
+    if batch.get("count"):
+        lines.append(f"  batch width mean {batch['mean']:.2f} "
+                     f"max {batch['max']:g} (n={batch['count']})")
+    stages = stats.get("stages")
+    if stages:
+        for label, key in (("admission wait", "admission_wait_ms"),
+                           ("coalesce wait", "coalesce_wait_ms"),
+                           ("engine execute", "execute_ms")):
+            summary = stages.get(key, {})
+            if summary.get("count"):
+                lines.append(f"  {label:<15} p50 {summary['p50']:8.2f} ms"
+                             f"   p99 {summary['p99']:8.2f} ms")
+    engine = stats.get("engine", {})
+    if engine:
+        hits, misses = engine.get("env_hits", 0), engine.get("env_misses", 0)
+        lines.append(f"  env cache   {_rate(hits, hits + misses)} hit  "
+                     f"({hits}/{hits + misses}, "
+                     f"warm={engine.get('warm_instances', 0)})")
+        if "statics_hits" in engine:
+            shits = engine["statics_hits"]
+            smiss = engine.get("statics_misses", 0)
+            lines.append(f"  statics     {_rate(shits, shits + smiss)} hit  "
+                         f"({shits}/{shits + smiss})")
+    lines.append("")
+    lines.append("=" * width)
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.obs.dashboard")
+    parser.add_argument("path", help="metrics JSONL to tail")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="seconds between redraws (default 1)")
+    parser.add_argument("--frames", type=int, default=0,
+                        help="stop after N frames (0 = run until ^C)")
+    parser.add_argument("--no-clear", action="store_true",
+                        help="do not clear the screen between frames "
+                             "(plain sequential output; CI mode)")
+    args = parser.parse_args(argv)
+
+    state: dict = {}
+    frames = 0
+    try:
+        while True:
+            stats = tail_stats(args.path, state)
+            frame = render_dashboard(stats, path=args.path)
+            if not args.no_clear:
+                sys.stdout.write(_CLEAR)
+            sys.stdout.write(frame + "\n")
+            sys.stdout.flush()
+            frames += 1
+            if args.frames and frames >= args.frames:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

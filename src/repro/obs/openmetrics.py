@@ -1,0 +1,86 @@
+"""OpenMetrics/Prometheus text exposition for a :class:`MetricsRegistry`.
+
+Maps the registry's four families onto the OpenMetrics text format any
+Prometheus-compatible scraper ingests:
+
+* counters   -> ``<prefix><name>_total``   (``# TYPE ... counter``)
+* gauges     -> ``<prefix><name>``         (``# TYPE ... gauge``)
+* timings    -> ``<prefix><name>_seconds_total`` (counter; wall clock
+  accumulates monotonically, which is exactly a Prometheus counter)
+* histograms -> ``# TYPE ... summary``: ``{quantile="0.5|0.95|0.99"}``
+  sample lines plus ``_count`` / ``_sum``
+
+Metric names are sanitised to the ``[a-zA-Z_:][a-zA-Z0-9_:]*`` grammar
+(every other character becomes ``_``); the rendered text ends with the
+``# EOF`` terminator the OpenMetrics spec requires.  The exporter is a
+pure function over a snapshot — wire it behind any HTTP handler, or dump
+it next to the metrics JSONL (``python -m repro.serve --openmetrics``).
+"""
+
+from __future__ import annotations
+
+import re
+
+from .metrics import MetricsRegistry
+
+__all__ = ["render_openmetrics", "write_openmetrics", "sanitize_metric_name"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_QUANTILES = ((0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99"))
+
+
+def sanitize_metric_name(name: str, prefix: str = "") -> str:
+    """``serve.latency_ms`` -> ``<prefix>serve_latency_ms``."""
+    name = _NAME_RE.sub("_", prefix + name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _format(value: float) -> str:
+    """Float formatting per the exposition format (ints stay bare)."""
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def render_openmetrics(registry: MetricsRegistry,
+                       prefix: str = "repro_") -> str:
+    """The registry as one OpenMetrics exposition payload."""
+    lines: list[str] = []
+
+    for name in sorted(registry.counters):
+        metric = sanitize_metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}_total {_format(registry.counters[name])}")
+
+    for name in sorted(registry.gauges):
+        metric = sanitize_metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format(registry.gauges[name])}")
+
+    for name in sorted(registry.timings):
+        metric = sanitize_metric_name(name, prefix) + "_seconds"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}_total {_format(registry.timings[name])}")
+
+    for name in sorted(registry.histograms):
+        metric = sanitize_metric_name(name, prefix)
+        hist = registry.histograms[name]
+        lines.append(f"# TYPE {metric} summary")
+        if hist.count:
+            for q, label in _QUANTILES:
+                lines.append(f'{metric}{{quantile="{label}"}} '
+                             f"{_format(hist.quantile(q))}")
+        lines.append(f"{metric}_count {_format(hist.count)}")
+        lines.append(f"{metric}_sum {_format(hist.total)}")
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(registry: MetricsRegistry, path,
+                      prefix: str = "repro_") -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_openmetrics(registry, prefix=prefix))

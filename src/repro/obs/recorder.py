@@ -1,0 +1,256 @@
+"""Deterministic flight recorder: journal admitted requests, replay them.
+
+When a served answer looks wrong the first question is "what exactly did
+the service decode?".  The :class:`FlightRecorder` answers it with an
+append-only JSONL **journal** of every admitted request — instance
+reference, decode mode, seed, sample count, arrival order — plus each
+request's outcome and a **solution digest** (a stable hash of routes,
+incentives and objective).  Because every decode mode the service offers
+is deterministic given its inputs (greedy decoding by construction,
+sampled decoding via its per-request seed), the journal is a complete
+reproduction recipe: :func:`replay_journal` re-executes the workload
+request by request and diffs fresh digests against the recorded ones —
+``python -m repro.serve replay journal.jsonl`` is the CLI wrapper.
+
+Journal schema (one JSON object per line, ``sort_keys``):
+
+* ``{"type": "header", "schema_version", "workload", ...}`` — written at
+  open; ``workload`` is the caller-supplied spec that rebuilds the
+  instance pool and solver (the serve CLI records its generator args).
+* ``{"type": "request", "req", "instance", "greedy", "seed",
+  "num_samples", "timeout"}`` — one per admitted request, in arrival
+  order; ``instance`` is the pool index from
+  :meth:`FlightRecorder.register_instances` (−1 for unregistered
+  instances, which replay skips).
+* ``{"type": "outcome", "req", "outcome", "digest", "latency_ms"}`` —
+  terminal state of one request (``digest`` only for ``ok``).
+* ``{"type": "end", "requests", "outcomes"}`` — the footer.  Its
+  presence is the completeness mark: a journal without it was truncated
+  (the recording process died before :meth:`close`).
+
+Every record is flushed as it is written, so even a crash journal is
+valid JSONL up to its last complete line.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["FlightRecorder", "JournalError", "Journal", "ReplayReport",
+           "solution_digest", "read_journal", "replay_journal",
+           "JOURNAL_SCHEMA_VERSION"]
+
+JOURNAL_SCHEMA_VERSION = 1
+
+
+class JournalError(ValueError):
+    """A journal file is malformed, truncated, or unreplayable."""
+
+
+def solution_digest(solution) -> str:
+    """Stable content hash of one solution (routes, incentives, objective).
+
+    Floats are hashed via ``float.hex`` so the digest distinguishes
+    answers that differ in the last ulp — "bit-identical" is the claim
+    replay checks, not "approximately equal".
+    """
+    payload = {
+        "routes": sorted(
+            (worker_id, [task.task_id for task in route.tasks])
+            for worker_id, route in solution.routes.items()),
+        "incentives": sorted(
+            (worker_id, float(value).hex())
+            for worker_id, value in solution.incentives.items()),
+        "objective": float(solution.objective).hex(),
+    }
+    blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+class FlightRecorder:
+    """Append-only JSONL journal of admitted requests and their outcomes."""
+
+    def __init__(self, path, workload: dict | None = None):
+        self.path = path
+        self._file = open(path, "w", encoding="utf-8")
+        self._index: dict[int, int] = {}
+        self.requests = 0
+        self.outcomes = 0
+        self._emit({"type": "header",
+                    "schema_version": JOURNAL_SCHEMA_VERSION,
+                    "created_unix": time.time(),
+                    "workload": workload or {}})
+
+    # ------------------------------------------------------------------ #
+    def _emit(self, record: dict) -> None:
+        if self._file.closed:
+            raise JournalError("flight recorder already closed")
+        self._file.write(json.dumps(record, sort_keys=True) + "\n")
+        self._file.flush()
+
+    def register_instances(self, instances) -> None:
+        """Declare the instance pool; requests journal the pool index."""
+        for i, instance in enumerate(instances):
+            self._index[id(instance)] = i
+
+    def instance_ref(self, instance) -> int:
+        """Pool index of ``instance`` (−1 when unregistered)."""
+        return self._index.get(id(instance), -1)
+
+    # ------------------------------------------------------------------ #
+    def record_request(self, request_id: int, instance, greedy: bool,
+                       seed: int | None, num_samples: int,
+                       timeout: float | None = None) -> None:
+        self.requests += 1
+        self._emit({"type": "request", "req": request_id,
+                    "instance": self.instance_ref(instance),
+                    "greedy": bool(greedy), "seed": seed,
+                    "num_samples": num_samples, "timeout": timeout})
+
+    def record_outcome(self, request_id: int, outcome: str,
+                       digest: str | None = None,
+                       latency_ms: float | None = None) -> None:
+        self.outcomes += 1
+        self._emit({"type": "outcome", "req": request_id,
+                    "outcome": outcome, "digest": digest,
+                    "latency_ms": latency_ms})
+
+    # ------------------------------------------------------------------ #
+    @property
+    def closed(self) -> bool:
+        return self._file.closed
+
+    def close(self) -> None:
+        """Write the footer and close; idempotent."""
+        if self._file.closed:
+            return
+        self._emit({"type": "end", "requests": self.requests,
+                    "outcomes": self.outcomes})
+        self._file.close()
+
+
+# --------------------------------------------------------------------- #
+# Reading + replay
+# --------------------------------------------------------------------- #
+@dataclass
+class Journal:
+    """A parsed journal: header, requests in arrival order, outcomes."""
+
+    header: dict
+    requests: list[dict]
+    outcomes: dict[int, dict]
+    complete: bool
+
+    @property
+    def workload(self) -> dict:
+        return self.header.get("workload", {})
+
+
+def read_journal(path) -> Journal:
+    """Parse a journal file; raises :class:`JournalError` when malformed.
+
+    A missing footer leaves ``complete=False`` (the journal is usable for
+    forensics but the recording run did not shut down cleanly).  A final
+    line that is not valid JSON — a write cut off mid-record — raises:
+    the flush-per-record discipline makes that state unreachable short of
+    filesystem corruption, so it is worth failing loudly over.
+    """
+    header = None
+    requests: list[dict] = []
+    outcomes: dict[int, dict] = {}
+    complete = False
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise JournalError(
+                    f"{path}:{lineno}: truncated or corrupt record "
+                    f"({exc.msg})") from exc
+            kind = record.get("type")
+            if kind == "header":
+                header = record
+            elif kind == "request":
+                requests.append(record)
+            elif kind == "outcome":
+                outcomes[record["req"]] = record
+            elif kind == "end":
+                complete = True
+    if header is None:
+        raise JournalError(f"{path}: no header record")
+    if header.get("schema_version") != JOURNAL_SCHEMA_VERSION:
+        raise JournalError(
+            f"{path}: journal schema {header.get('schema_version')} != "
+            f"supported {JOURNAL_SCHEMA_VERSION}")
+    return Journal(header=header, requests=requests, outcomes=outcomes,
+                   complete=complete)
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of re-executing a journal against fresh solver state."""
+
+    total: int
+    replayed: int = 0
+    matched: int = 0
+    mismatches: list[dict] = field(default_factory=list)
+    skipped: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches and self.replayed == self.matched
+
+    def render(self) -> str:
+        lines = [f"replay: {self.matched}/{self.replayed} digests "
+                 f"bit-identical ({self.skipped} skipped) "
+                 f"[{'OK' if self.ok else 'MISMATCH'}]"]
+        for miss in self.mismatches:
+            lines.append(f"  req {miss['req']}: recorded {miss['want']:.16}… "
+                         f"got {miss['got']:.16}…")
+        return "\n".join(lines)
+
+
+def replay_journal(journal: Journal, engine, instances) -> ReplayReport:
+    """Re-execute every journaled request; diff digests.
+
+    ``engine`` is a fresh :class:`~repro.serve.engine.WarmEngine` built
+    from the journal's workload spec, ``instances`` the rebuilt pool the
+    journal's ``instance`` indices point into.  Requests replay
+    sequentially in arrival order — batching never changes an answer
+    (the serving layer's core invariant), so the sequential replay is
+    digest-identical to whatever coalescing the live run used.  Requests
+    without an ``ok`` outcome (shed, failed, unregistered instance) are
+    skipped: the journal records that they produced no solution.
+    """
+    import numpy as np
+
+    report = ReplayReport(total=len(journal.requests))
+    for request in journal.requests:
+        outcome = journal.outcomes.get(request["req"])
+        idx = request["instance"]
+        if (outcome is None or outcome.get("outcome") != "ok"
+                or outcome.get("digest") is None
+                or not 0 <= idx < len(instances)):
+            report.skipped += 1
+            continue
+        batch = engine.open_batch(max_size=1)
+        seed = request.get("seed")
+        rng = np.random.default_rng(seed) if seed is not None else None
+        ticket = batch.admit(instances[idx], greedy=request["greedy"],
+                             rng=rng, num_samples=request["num_samples"])
+        solution = engine.execute(batch)[ticket]
+        digest = solution_digest(solution)
+        report.replayed += 1
+        if digest == outcome["digest"]:
+            report.matched += 1
+        else:
+            report.mismatches.append({"req": request["req"],
+                                      "want": outcome["digest"],
+                                      "got": digest})
+    return report

@@ -1,0 +1,400 @@
+"""Rolling-window SLO tracking: windowed percentiles, error budgets, alerts.
+
+The :class:`~repro.obs.metrics.Histogram` family answers "what happened
+over the whole run"; an operator asks "what is happening *now*".
+:class:`SloTracker` answers that with **time-bucketed rolling windows**:
+observations land in the bucket of their timestamp, buckets older than
+the window are dropped, and percentiles/error rates are computed over
+whatever the window currently holds.  On top of the windows sit
+**objectives** (:class:`SloConfig`): windowed latency-percentile targets
+and an error budget (the fraction of requests in the window that may
+fail).  Every breach and recovery is emitted into the trace stream as a
+``slo.alert`` / ``slo.clear`` event, so an active
+:func:`~repro.obs.trace.tracing` context captures the exact moment a
+deployment went out of budget — alongside the spans that explain why.
+
+Clocks are explicit: every mutating call accepts ``now`` so the serving
+layer can pass :func:`time.monotonic` timestamps while the dynamic
+scenario passes simulation time (event epochs).  Omitting ``now`` uses
+the tracker's ``clock`` (monotonic by default).
+
+Fork-pool propagation mirrors the op profiler: :func:`install` registers
+a tracker as the process-current one, ``obs.capture_child`` snapshots it
+around each worker item, and the parent merges the **window delta** back
+in item order — so a ``solve_dynamic(workers=4)`` run reports the same
+windowed rejection rate as the serial run (wall-clock bucket contents
+aside, which are never part of the bit-identity contract).
+"""
+
+from __future__ import annotations
+
+import time
+
+from .trace import event as _trace_event
+
+__all__ = ["SloConfig", "SloTracker", "RollingWindow", "RollingCounter",
+           "FAILURE_KINDS", "install", "current_slo_tracker"]
+
+#: Outcome kinds counted against the error budget.  ``shed_deadline`` /
+#: ``overload`` / ``error`` come from the serving layer; ``rejected`` is
+#: the dynamic scenario's task-rejection outcome.
+FAILURE_KINDS = ("shed_deadline", "overload", "error", "rejected")
+
+
+class RollingWindow:
+    """Time-bucketed rolling reservoir of float observations.
+
+    The window ``[now - window_s, now]`` is covered by ``num_buckets``
+    fixed-width buckets keyed by integer epoch ``floor(t / bucket_s)``.
+    Observations append to their epoch's bucket; any read or write at
+    time ``now`` first drops buckets that fell out of the window.
+    Within a bucket storage is append-only, which is what makes the
+    child-side delta (values appended since a baseline) well defined.
+    """
+
+    __slots__ = ("window_s", "num_buckets", "bucket_s", "_buckets")
+
+    def __init__(self, window_s: float = 60.0, num_buckets: int = 12):
+        if window_s <= 0:
+            raise ValueError(f"window_s must be > 0, got {window_s}")
+        if num_buckets < 1:
+            raise ValueError(f"num_buckets must be >= 1, got {num_buckets}")
+        self.window_s = float(window_s)
+        self.num_buckets = num_buckets
+        self.bucket_s = self.window_s / num_buckets
+        self._buckets: dict[int, list[float]] = {}
+
+    # ------------------------------------------------------------------ #
+    def _epoch(self, now: float) -> int:
+        return int(now // self.bucket_s)
+
+    def _prune(self, now: float) -> None:
+        floor = self._epoch(now) - self.num_buckets + 1
+        for epoch in [e for e in self._buckets if e < floor]:
+            del self._buckets[epoch]
+
+    def observe(self, value: float, now: float) -> None:
+        self._prune(now)
+        self._buckets.setdefault(self._epoch(now), []).append(float(value))
+
+    def values(self, now: float) -> list[float]:
+        """Every observation still inside the window, bucket order."""
+        self._prune(now)
+        out: list[float] = []
+        for epoch in sorted(self._buckets):
+            out.extend(self._buckets[epoch])
+        return out
+
+    def count(self, now: float) -> int:
+        self._prune(now)
+        return sum(len(v) for v in self._buckets.values())
+
+    def percentile(self, q: float, now: float) -> float | None:
+        """Linear-interpolated windowed quantile; None on an empty window."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        ordered = sorted(self.values(now))
+        if not ordered:
+            return None
+        pos = q * (len(ordered) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = pos - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    # -- snapshot/delta/merge (fork-pool currency) --------------------- #
+    def state(self) -> dict:
+        return {e: list(v) for e, v in self._buckets.items()}
+
+    def delta_since(self, baseline: dict) -> dict:
+        """Values appended since ``baseline`` (a prior :meth:`state`).
+
+        Buckets are append-only, so the delta of a shared epoch is a tail
+        slice; epochs the baseline never saw ship whole.  Epochs pruned
+        since the baseline are gone from both sides and contribute
+        nothing.
+        """
+        delta = {}
+        for epoch, values in self._buckets.items():
+            seen = len(baseline.get(epoch, ()))
+            if len(values) > seen:
+                delta[epoch] = list(values[seen:])
+        return delta
+
+    def merge_state(self, payload: dict) -> None:
+        for epoch, values in payload.items():
+            self._buckets.setdefault(int(epoch), []).extend(values)
+
+
+class RollingCounter:
+    """Time-bucketed named counters (the outcome half of the window)."""
+
+    __slots__ = ("window_s", "num_buckets", "bucket_s", "_buckets")
+
+    def __init__(self, window_s: float = 60.0, num_buckets: int = 12):
+        self.window_s = float(window_s)
+        self.num_buckets = num_buckets
+        self.bucket_s = self.window_s / num_buckets
+        self._buckets: dict[int, dict[str, int]] = {}
+
+    def _prune(self, now: float) -> None:
+        floor = int(now // self.bucket_s) - self.num_buckets + 1
+        for epoch in [e for e in self._buckets if e < floor]:
+            del self._buckets[epoch]
+
+    def inc(self, name: str, now: float, value: int = 1) -> None:
+        self._prune(now)
+        bucket = self._buckets.setdefault(int(now // self.bucket_s), {})
+        bucket[name] = bucket.get(name, 0) + value
+
+    def totals(self, now: float) -> dict[str, int]:
+        self._prune(now)
+        out: dict[str, int] = {}
+        for bucket in self._buckets.values():
+            for name, value in bucket.items():
+                out[name] = out.get(name, 0) + value
+        return out
+
+    def state(self) -> dict:
+        return {e: dict(v) for e, v in self._buckets.items()}
+
+    def delta_since(self, baseline: dict) -> dict:
+        delta = {}
+        for epoch, bucket in self._buckets.items():
+            base = baseline.get(epoch, {})
+            changed = {name: value - base.get(name, 0)
+                       for name, value in bucket.items()
+                       if value - base.get(name, 0)}
+            if changed:
+                delta[epoch] = changed
+        return delta
+
+    def merge_state(self, payload: dict) -> None:
+        for epoch, bucket in payload.items():
+            mine = self._buckets.setdefault(int(epoch), {})
+            for name, value in bucket.items():
+                mine[name] = mine.get(name, 0) + value
+
+
+class SloConfig:
+    """Objectives evaluated over the rolling window.
+
+    ``latency_p95_ms`` / ``latency_p99_ms`` are windowed percentile
+    targets (``None`` disables one); ``error_budget`` is the failure
+    fraction the window may hold before the availability objective
+    breaches.  ``min_requests`` suppresses alerts on windows too small to
+    be statistically meaningful; ``check_interval_s`` throttles objective
+    evaluation (every record still lands in the window — only the alert
+    scan is rate-limited).
+    """
+
+    __slots__ = ("name", "window_s", "num_buckets", "latency_p95_ms",
+                 "latency_p99_ms", "error_budget", "min_requests",
+                 "check_interval_s")
+
+    def __init__(self, name: str = "serve", window_s: float = 60.0,
+                 num_buckets: int = 12,
+                 latency_p95_ms: float | None = None,
+                 latency_p99_ms: float | None = None,
+                 error_budget: float = 0.01,
+                 min_requests: int = 10,
+                 check_interval_s: float = 1.0):
+        if window_s <= 0:
+            raise ValueError(f"window_s must be > 0, got {window_s}")
+        if not 0.0 <= error_budget <= 1.0:
+            raise ValueError(
+                f"error_budget must be in [0, 1], got {error_budget}")
+        self.name = name
+        self.window_s = float(window_s)
+        self.num_buckets = num_buckets
+        self.latency_p95_ms = latency_p95_ms
+        self.latency_p99_ms = latency_p99_ms
+        self.error_budget = error_budget
+        self.min_requests = min_requests
+        self.check_interval_s = check_interval_s
+
+
+class SloTracker:
+    """Windowed request-outcome accounting with threshold-crossing alerts.
+
+    ``record("ok", latency_ms=...)`` / ``record("shed_deadline")`` feed
+    the window; :meth:`report` reads it back (windowed percentiles,
+    error rate, budget usage, objective verdicts); breaches emit
+    ``slo.alert`` events through :mod:`repro.obs` the moment an objective
+    crosses its threshold, and ``slo.clear`` when it recovers.
+    """
+
+    def __init__(self, config: SloConfig | None = None, clock=time.monotonic):
+        self.config = config or SloConfig()
+        self.clock = clock
+        cfg = self.config
+        self.latency = RollingWindow(cfg.window_s, cfg.num_buckets)
+        self.outcomes = RollingCounter(cfg.window_s, cfg.num_buckets)
+        #: Lifetime totals (never pruned): {"ok": n, "<failure kind>": n}.
+        self.totals: dict[str, int] = {}
+        #: Objective name -> alert payload, for currently breached ones.
+        self.active_alerts: dict[str, dict] = {}
+        #: Count of breach transitions over the tracker's lifetime.
+        self.alerts_fired = 0
+        self._last_check = -float("inf")
+
+    # ------------------------------------------------------------------ #
+    def record(self, outcome: str, latency_ms: float | None = None,
+               now: float | None = None, check: bool = True) -> None:
+        """Record one request outcome (and optionally its latency)."""
+        if outcome != "ok" and outcome not in FAILURE_KINDS:
+            raise ValueError(f"unknown outcome {outcome!r}; expected 'ok' "
+                             f"or one of {FAILURE_KINDS}")
+        if now is None:
+            now = self.clock()
+        self.outcomes.inc(outcome, now)
+        self.totals[outcome] = self.totals.get(outcome, 0) + 1
+        if latency_ms is not None:
+            self.latency.observe(latency_ms, now)
+        if check:
+            self.maybe_check(now)
+
+    def observe_latency(self, latency_ms: float,
+                        now: float | None = None) -> None:
+        """Feed the latency window without an outcome (e.g. the dynamic
+        loop's per-epoch repair latency, whose outcomes are per task)."""
+        self.latency.observe(latency_ms, self.clock() if now is None else now)
+
+    # ------------------------------------------------------------------ #
+    def _objectives(self, now: float) -> dict[str, dict]:
+        cfg = self.config
+        counts = self.outcomes.totals(now)
+        requests = sum(counts.values())
+        failures = sum(counts.get(kind, 0) for kind in FAILURE_KINDS)
+        error_rate = failures / requests if requests else 0.0
+        objectives: dict[str, dict] = {}
+        if cfg.error_budget < 1.0:
+            objectives["error_budget"] = {
+                "target": cfg.error_budget, "value": error_rate,
+                "ok": (error_rate <= cfg.error_budget
+                       or requests < cfg.min_requests)}
+        for attr, q in (("latency_p95_ms", 0.95), ("latency_p99_ms", 0.99)):
+            target = getattr(cfg, attr)
+            if target is None:
+                continue
+            value = self.latency.percentile(q, now)
+            ok = (value is None or value <= target
+                  or self.latency.count(now) < cfg.min_requests)
+            objectives[attr] = {"target": target, "value": value, "ok": ok}
+        return objectives
+
+    def maybe_check(self, now: float) -> None:
+        if now - self._last_check >= self.config.check_interval_s:
+            self.check(now)
+
+    def check(self, now: float | None = None) -> dict[str, dict]:
+        """Evaluate every objective; emit alert/clear transition events."""
+        if now is None:
+            now = self.clock()
+        self._last_check = now
+        objectives = self._objectives(now)
+        for name, verdict in objectives.items():
+            breached = not verdict["ok"]
+            was_breached = name in self.active_alerts
+            if breached and not was_breached:
+                payload = {"slo": self.config.name, "objective": name,
+                           "value": verdict["value"],
+                           "target": verdict["target"], "at": now}
+                self.active_alerts[name] = payload
+                self.alerts_fired += 1
+                _trace_event("slo.alert", **payload)
+            elif not breached and was_breached:
+                del self.active_alerts[name]
+                _trace_event("slo.clear", slo=self.config.name,
+                             objective=name, value=verdict["value"],
+                             target=verdict["target"], at=now)
+        return objectives
+
+    # ------------------------------------------------------------------ #
+    def report(self, now: float | None = None) -> dict:
+        """The windowed SLO summary (also the dashboard's SLO panel)."""
+        if now is None:
+            now = self.clock()
+        counts = self.outcomes.totals(now)
+        requests = sum(counts.values())
+        failures = {kind: counts.get(kind, 0) for kind in FAILURE_KINDS
+                    if counts.get(kind, 0)}
+        failed = sum(failures.values())
+        error_rate = failed / requests if requests else 0.0
+        budget = self.config.error_budget
+        latency = {"count": self.latency.count(now)}
+        for label, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+            value = self.latency.percentile(q, now)
+            if value is not None:
+                latency[label] = value
+        return {
+            "name": self.config.name,
+            "window_s": self.config.window_s,
+            "requests": requests,
+            "ok": counts.get("ok", 0),
+            "failures": failures,
+            "error_rate": error_rate,
+            "error_budget": budget,
+            "budget_used": (error_rate / budget) if budget > 0 else
+                           (0.0 if error_rate == 0 else float("inf")),
+            "latency_ms": latency,
+            "objectives": self._objectives(now),
+            "alerts_active": sorted(self.active_alerts),
+            "alerts_fired": self.alerts_fired,
+            "totals": dict(self.totals),
+        }
+
+    # -- fork-pool currency -------------------------------------------- #
+    def snapshot(self) -> dict:
+        """Picklable full window state (the child-side baseline)."""
+        return {"latency": self.latency.state(),
+                "outcomes": self.outcomes.state(),
+                "totals": dict(self.totals)}
+
+    def diff(self, baseline: dict) -> dict:
+        """Window contents accumulated since ``baseline``."""
+        totals = {}
+        for name, value in self.totals.items():
+            delta = value - baseline["totals"].get(name, 0)
+            if delta:
+                totals[name] = delta
+        return {"latency": self.latency.delta_since(baseline["latency"]),
+                "outcomes": self.outcomes.delta_since(baseline["outcomes"]),
+                "totals": totals}
+
+    def merge(self, delta: dict) -> None:
+        """Parent-side merge of one child item's window delta."""
+        self.latency.merge_state(delta["latency"])
+        self.outcomes.merge_state(delta["outcomes"])
+        for name, value in delta["totals"].items():
+            self.totals[name] = self.totals.get(name, 0) + value
+
+
+# --------------------------------------------------------------------- #
+# Process-current tracker (fork-pool propagation hook)
+# --------------------------------------------------------------------- #
+_CURRENT: SloTracker | None = None
+
+
+def current_slo_tracker() -> SloTracker | None:
+    """The installed tracker, if any (``obs.capture_child`` reads this)."""
+    return _CURRENT
+
+
+class install:
+    """``with slo.install(tracker): ...`` — register the process-current
+    tracker so fork-pool children's window deltas merge back into it."""
+
+    def __init__(self, tracker: SloTracker):
+        self.tracker = tracker
+        self._previous: SloTracker | None = None
+
+    def __enter__(self) -> SloTracker:
+        global _CURRENT
+        self._previous = _CURRENT
+        _CURRENT = self.tracker
+        return self.tracker
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global _CURRENT
+        _CURRENT = self._previous

@@ -34,7 +34,7 @@ from __future__ import annotations
 import json
 import time
 
-from .metrics import MetricsRegistry
+from .metrics import METRICS_SCHEMA_VERSION, MetricsRegistry
 
 __all__ = ["Tracer", "NullTracer", "NULL_TRACER", "JsonlSink", "ListSink",
            "NullSink", "tracing", "get_tracer", "set_tracer", "span",
@@ -69,11 +69,22 @@ class ListSink:
 
 
 class JsonlSink:
-    """Appends one JSON object per record to a file."""
+    """Appends one JSON object per record to a file.
+
+    The first line is a ``{"type": "trace_header"}`` record stamping the
+    schema version and a monotonic-clock origin — downstream consumers
+    reject files written by an incompatible schema instead of silently
+    misreading them, and can express later wall-clock fields relative to
+    a clock that never jumps backwards.
+    """
 
     def __init__(self, path):
         self.path = path
         self._file = open(path, "w")
+        self.emit({"type": "trace_header",
+                   "schema_version": METRICS_SCHEMA_VERSION,
+                   "ts_monotonic": time.monotonic(),
+                   "created_unix": time.time()})
 
     def emit(self, record: dict) -> None:
         self._file.write(json.dumps(record, sort_keys=True) + "\n")
@@ -314,6 +325,13 @@ def _profiler_hook():
     return None
 
 
+def _slo_hook():
+    """The installed SLO tracker, if any (lazy import, same reason)."""
+    from .slo import current_slo_tracker
+
+    return current_slo_tracker()
+
+
 class capture_child:
     """Worker-side telemetry capture around one fork-pool item.
 
@@ -329,13 +347,16 @@ class capture_child:
     """
 
     __slots__ = ("snapshot", "_baseline", "_buffer", "_saved_sink",
-                 "_profiler", "_profile_baseline")
+                 "_profiler", "_profile_baseline", "_slo", "_slo_baseline")
 
     def __enter__(self) -> "capture_child":
         self.snapshot = None
         self._profiler = _profiler_hook()
         if self._profiler is not None:
             self._profile_baseline = self._profiler.snapshot()
+        self._slo = _slo_hook()
+        if self._slo is not None:
+            self._slo_baseline = self._slo.snapshot()
         if not _TRACER.enabled:
             self._buffer = None
             return self
@@ -349,6 +370,8 @@ class capture_child:
         payload = {}
         if self._profiler is not None:
             payload["profile"] = self._profiler.diff(self._profile_baseline)
+        if self._slo is not None:
+            payload["slo"] = self._slo.diff(self._slo_baseline)
         if self._buffer is not None:
             _TRACER.sink = self._saved_sink
             payload["metrics"] = _TRACER.metrics.diff(self._baseline)
@@ -375,6 +398,11 @@ def absorb(snapshot: dict | None) -> None:
         profiler = _profiler_hook()
         if profiler is not None:
             profiler.merge(profile_delta)
+    slo_delta = snapshot.get("slo")
+    if slo_delta is not None:
+        tracker = _slo_hook()
+        if tracker is not None:
+            tracker.merge(slo_delta)
     if not _TRACER.enabled or "metrics" not in snapshot:
         return
     _TRACER.metrics.merge_snapshot(snapshot["metrics"])

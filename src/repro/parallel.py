@@ -33,8 +33,11 @@ Two further guarantees:
   :func:`repro.obs.capture_child`, and its counter/span/event snapshot is
   shipped back with the result and merged in item order
   (:func:`repro.obs.absorb`), so a traced parallel run reports the same
-  counters as the serial run.  With tracing disabled the snapshots are
-  ``None`` and cost nothing.
+  counters as the serial run.  An installed op profiler's delta and an
+  installed SLO tracker's rolling-window delta
+  (:func:`repro.obs.slo.install`) ride the same snapshot, so windowed
+  rejection rates survive the fork boundary too.  With all telemetry
+  disabled the snapshots are ``None`` and cost nothing.
 """
 
 from __future__ import annotations

@@ -26,9 +26,10 @@ for tests and benchmarks.
 """
 
 from .client import SolveRequest, drive_requests, run_workload
-from .engine import WarmEngine
+from .engine import BatchReport, WarmEngine
 from .service import (
     DeadlineExceeded,
+    RequestTrace,
     ServeConfig,
     ServiceClosed,
     ServiceError,
@@ -37,8 +38,8 @@ from .service import (
 )
 
 __all__ = [
-    "WarmEngine",
-    "ServeConfig", "SolverService",
+    "WarmEngine", "BatchReport",
+    "ServeConfig", "SolverService", "RequestTrace",
     "ServiceError", "ServiceClosed", "ServiceOverloaded", "DeadlineExceeded",
     "SolveRequest", "drive_requests", "run_workload",
 ]

@@ -7,7 +7,11 @@ Usage::
                           [--batch-size 8] [--max-wait-us 2000]
                           [--timeout SECONDS] [--samples 1]
                           [--metrics serve_metrics.jsonl]
+                          [--journal journal.jsonl]
+                          [--openmetrics metrics.prom]
+                          [--slo-report slo.json] [--slo-p95-ms 500]
                           [--check-parity]
+    python -m repro.serve replay journal.jsonl
 
 Generates a pool of instances, fires ``--requests`` concurrent solve
 requests round-robin over them through a :class:`SolverService`, and
@@ -16,17 +20,27 @@ percentiles, sustained throughput).  ``--check-parity`` additionally
 re-solves every greedy request directly through ``SMORESolver.solve``
 and exits non-zero unless each service answer is bit-identical —
 the CI ``serve-smoke`` gate.
+
+``--journal`` attaches a :class:`~repro.obs.recorder.FlightRecorder`:
+every admitted request and its solution digest is journaled, and the
+``replay`` subcommand rebuilds the workload from the journal header,
+re-executes every request, and exits non-zero unless each digest is
+bit-identical — the CI ``serve-replay-smoke`` gate.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
 
 from ..datasets import generate_instances
 from ..datasets.instances import InstanceOptions
+from ..obs.openmetrics import write_openmetrics
+from ..obs.recorder import FlightRecorder, read_journal, replay_journal
+from ..obs.slo import SloConfig, SloTracker
 from ..smore import SMORESolver, TASNet, TASNetConfig, TASNetPolicy
 from ..tsptw import CachedPlanner, InsertionSolver
 from .client import SolveRequest, drive_requests
@@ -34,15 +48,25 @@ from .engine import WarmEngine
 from .service import ServeConfig
 
 
-def _build_engine(args) -> tuple[WarmEngine, list]:
-    options = InstanceOptions(task_density=args.density, budget=args.budget)
-    instances = generate_instances(args.mode, args.instances,
-                                   seed=args.seed, options=options)
+def _workload_spec(args) -> dict:
+    """The journal-header workload spec: everything replay needs to
+    rebuild the instance pool and the (seeded, untrained) solver."""
+    return {"mode": args.mode, "instances": args.instances,
+            "density": args.density, "budget": args.budget,
+            "seed": args.seed, "d_model": args.d_model,
+            "heads": args.heads, "layers": args.layers}
+
+
+def _build_engine(spec: dict) -> tuple[WarmEngine, list]:
+    options = InstanceOptions(task_density=spec["density"],
+                              budget=spec["budget"])
+    instances = generate_instances(spec["mode"], spec["instances"],
+                                   seed=spec["seed"], options=options)
     grid = instances[0].coverage.grid
-    config = TASNetConfig(d_model=args.d_model, num_heads=args.heads,
-                          num_layers=args.layers, conv_channels=4)
+    config = TASNetConfig(d_model=spec["d_model"], num_heads=spec["heads"],
+                          num_layers=spec["layers"], conv_channels=4)
     net = TASNet(config, grid_nx=grid.nx, grid_ny=grid.ny,
-                 rng=np.random.default_rng(args.seed))
+                 rng=np.random.default_rng(spec["seed"]))
     solver = SMORESolver(CachedPlanner(InsertionSolver()), TASNetPolicy(net))
     return WarmEngine(solver), instances
 
@@ -74,10 +98,51 @@ def _render_stats(stats: dict) -> str:
     lines.append(f"engine              backend={engine['backend']} "
                  f"warm={engine['warm_instances']} "
                  f"hits={engine['env_hits']} misses={engine['env_misses']}")
+    stages = stats.get("stages")
+    if stages:
+        for label, key in (("admission wait ms", "admission_wait_ms"),
+                           ("coalesce wait ms", "coalesce_wait_ms"),
+                           ("engine execute ms", "execute_ms")):
+            summary = stages.get(key, {})
+            if summary.get("count"):
+                lines.append(f"{label:<19} p50={summary['p50']:.2f} "
+                             f"p99={summary['p99']:.2f}")
+    slo = stats.get("slo")
+    if slo:
+        lines.append(f"slo                 window={slo['window_s']:g}s "
+                     f"error_rate={slo['error_rate']:.4f} "
+                     f"alerts={slo['alerts_fired']}")
     return "\n".join(lines)
 
 
+def _replay_main(argv: list[str]) -> int:
+    """``python -m repro.serve replay journal.jsonl``."""
+    parser = argparse.ArgumentParser(prog="repro.serve replay")
+    parser.add_argument("journal", help="flight-recorder journal JSONL")
+    args = parser.parse_args(argv)
+
+    journal = read_journal(args.journal)
+    if not journal.complete:
+        print(f"warning: {args.journal} has no end record "
+              "(recording run did not shut down cleanly)")
+    spec = journal.workload
+    if not spec:
+        print(f"{args.journal}: header carries no workload spec; "
+              "cannot rebuild the instance pool")
+        return 2
+    engine, instances = _build_engine(spec)
+    print(f"replaying {len(journal.requests)} journaled request(s) over "
+          f"{len(instances)} rebuilt {spec['mode']} instances")
+    report = replay_journal(journal, engine, instances)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "replay":
+        return _replay_main(argv[1:])
     parser = argparse.ArgumentParser(prog="repro.serve")
     parser.add_argument("--requests", type=int, default=32,
                         help="concurrent requests to fire (default 32)")
@@ -102,18 +167,42 @@ def main(argv: list[str] | None = None) -> int:
                         help="per-request deadline in seconds")
     parser.add_argument("--metrics", default=None, metavar="PATH",
                         help="write serving metrics JSONL to PATH")
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="journal admitted requests (flight recorder) "
+                             "to PATH for later replay")
+    parser.add_argument("--openmetrics", default=None, metavar="PATH",
+                        help="write the final registry as OpenMetrics text")
+    parser.add_argument("--slo-report", default=None, metavar="PATH",
+                        help="write the rolling-window SLO report as JSON")
+    parser.add_argument("--slo-window", type=float, default=60.0,
+                        help="SLO rolling window in seconds (default 60)")
+    parser.add_argument("--slo-p95-ms", type=float, default=None,
+                        help="windowed p95 latency objective in ms")
+    parser.add_argument("--slo-budget", type=float, default=0.01,
+                        help="error budget (failure fraction, default 0.01)")
     parser.add_argument("--check-parity", action="store_true",
                         help="assert every greedy response is bit-identical "
                              "to a direct SMORESolver.solve")
     args = parser.parse_args(argv)
 
-    engine, instances = _build_engine(args)
+    engine, instances = _build_engine(_workload_spec(args))
     greedy = args.samples <= 1
     requests = [
         SolveRequest(instance=instances[i % len(instances)], greedy=greedy,
                      seed=None if greedy else 10_000 + i,
                      num_samples=args.samples, timeout=args.timeout)
         for i in range(args.requests)]
+
+    slo = None
+    if args.slo_report is not None or args.slo_p95_ms is not None:
+        slo = SloTracker(SloConfig(window_s=args.slo_window,
+                                   latency_p95_ms=args.slo_p95_ms,
+                                   error_budget=args.slo_budget))
+    recorder = None
+    if args.journal is not None:
+        recorder = FlightRecorder(args.journal,
+                                  workload=_workload_spec(args))
+        recorder.register_instances(instances)
 
     print(f"repro.serve: {args.requests} concurrent requests over "
           f"{len(instances)} {args.mode} instances "
@@ -123,11 +212,21 @@ def main(argv: list[str] | None = None) -> int:
         config=ServeConfig(max_batch_size=args.batch_size,
                            max_wait_us=args.max_wait_us,
                            max_queue_depth=max(args.requests, 1)),
-        metrics_path=args.metrics)
+        metrics_path=args.metrics, slo=slo, recorder=recorder)
 
     print(_render_stats(result.stats))
     if args.metrics:
         print(f"metrics written to {args.metrics}")
+    if args.journal:
+        print(f"journal written to {args.journal} "
+              f"({recorder.requests} requests, {recorder.outcomes} outcomes)")
+    if args.openmetrics:
+        write_openmetrics(result.metrics, args.openmetrics)
+        print(f"openmetrics written to {args.openmetrics}")
+    if args.slo_report:
+        with open(args.slo_report, "w", encoding="utf-8") as fh:
+            json.dump(slo.report(), fh, sort_keys=True, indent=2)
+        print(f"slo report written to {args.slo_report}")
     if result.errors:
         print(f"{len(result.errors)} request(s) failed "
               f"({type(result.errors[0]).__name__}: {result.errors[0]})")

@@ -42,6 +42,11 @@ class WorkloadResult:
 
     outcomes: list = field(default_factory=list)
     stats: dict = field(default_factory=dict)
+    #: The service's own registry (outlives the stopped service) — the
+    #: OpenMetrics exporter and tests read it directly.
+    metrics: object = None
+    #: Completed per-request traces, in completion order.
+    traces: list = field(default_factory=list)
 
     @property
     def solutions(self) -> list:
@@ -70,22 +75,28 @@ async def run_workload(service: SolverService,
 
 def drive_requests(engine: WarmEngine, requests: list[SolveRequest],
                    config: ServeConfig | None = None,
-                   metrics_path=None) -> WorkloadResult:
+                   metrics_path=None, slo=None,
+                   recorder=None) -> WorkloadResult:
     """Run a whole service lifecycle around one concurrent workload.
 
     Starts a :class:`SolverService` on a fresh event loop, fires every
     request concurrently, drains and stops the service, and returns the
     outcomes plus the final :meth:`SolverService.stats` summary.  When
     ``metrics_path`` is given, the serving metrics JSONL is written
-    there before the service stops reporting.
+    there before the service stops reporting.  ``slo`` / ``recorder``
+    pass straight through to the service (SLO tracking, flight-recorder
+    journaling); the recorder is closed by the service's ``stop``.
     """
 
     async def _run():
-        async with SolverService(engine, config) as service:
+        async with SolverService(engine, config, slo=slo,
+                                 recorder=recorder) as service:
             outcomes = await run_workload(service, requests)
             stats = service.stats()
             if metrics_path is not None:
                 service.write_metrics_jsonl(metrics_path)
-        return WorkloadResult(outcomes=outcomes, stats=stats)
+            traces = list(service.recent_traces)
+        return WorkloadResult(outcomes=outcomes, stats=stats,
+                              metrics=service.metrics, traces=traces)
 
     return asyncio.run(_run())

@@ -22,16 +22,34 @@ dispatcher thread (see :mod:`repro.serve.service`).
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
+from dataclasses import dataclass, field
 
 from ..nn import backend as nn_backend
 from ..smore.env import SelectionEnv
 from ..smore.policy import EpisodeStaticsCache
 from ..smore.solver import SMORESolver, SolveBatch
 
-__all__ = ["WarmEngine"]
+__all__ = ["WarmEngine", "BatchReport"]
 
 DEFAULT_MAX_WARM_INSTANCES = 64
+
+
+@dataclass
+class BatchReport:
+    """Engine-side attribution for one executed batch.
+
+    ``env_events`` maps ``id(instance)`` to ``"hit"``/``"miss"`` for
+    every env the batch touched — the per-request half of the engine's
+    aggregate residency counters, which the service copies into each
+    request's :class:`~repro.serve.service.RequestTrace`.
+    """
+
+    execute_s: float = 0.0
+    env_events: dict[int, str] = field(default_factory=dict)
+    statics_hits: int = 0
+    statics_misses: int = 0
 
 
 class WarmEngine:
@@ -78,6 +96,10 @@ class WarmEngine:
         self.env_hits = 0
         self.env_misses = 0
         self.env_evictions = 0
+        # Per-batch env hit/miss attribution, active only inside
+        # execute_traced (None otherwise, so the untraced path pays one
+        # attribute test per env lookup).
+        self._env_events: dict[int, str] | None = None
 
     # ------------------------------------------------------------------ #
     def env_for(self, instance) -> SelectionEnv:
@@ -92,8 +114,12 @@ class WarmEngine:
         if entry is not None:
             self._envs.move_to_end(key)
             self.env_hits += 1
+            if self._env_events is not None:
+                self._env_events.setdefault(key, "hit")
             return entry[1]
         self.env_misses += 1
+        if self._env_events is not None:
+            self._env_events.setdefault(key, "miss")
         env = SelectionEnv(instance, self.solver.planner,
                            reuse_candidates=self.reuse_candidates)
         self._envs[key] = (instance, env)
@@ -130,6 +156,32 @@ class WarmEngine:
         """Run ``batch`` under the engine's resident backend."""
         with nn_backend.use_backend(self.backend.name):
             return batch.execute()
+
+    def execute_traced(self, batch: SolveBatch):
+        """Run ``batch`` and also return a :class:`BatchReport`.
+
+        Delegates to :meth:`execute` (so subclasses that override the
+        execution path keep working) while collecting per-batch
+        attribution: wall time, per-instance env hit/miss, and the
+        statics-cache delta.  Returns ``(results, report)``.
+        """
+        statics_before = (0, 0)
+        if self.statics_cache is not None:
+            statics_before = (self.statics_cache.hits,
+                              self.statics_cache.misses)
+        self._env_events = {}
+        start = time.perf_counter()
+        try:
+            results = self.execute(batch)
+        finally:
+            events, self._env_events = self._env_events, None
+        report = BatchReport(execute_s=time.perf_counter() - start,
+                             env_events=events)
+        if self.statics_cache is not None:
+            report.statics_hits = self.statics_cache.hits - statics_before[0]
+            report.statics_misses = (self.statics_cache.misses
+                                     - statics_before[1])
+        return results, report
 
     # ------------------------------------------------------------------ #
     def stats(self) -> dict:

@@ -42,19 +42,21 @@ import asyncio
 import contextlib
 import json
 import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from .. import obs
 from ..core.errors import ReproError
-from ..obs.metrics import MetricsRegistry
+from ..obs.metrics import METRICS_SCHEMA_VERSION, MetricsRegistry
+from ..obs.recorder import solution_digest
 from ..smore.batch import DeadlineExpired
 from .engine import WarmEngine
 
-__all__ = ["ServeConfig", "SolverService", "ServiceError", "ServiceClosed",
-           "ServiceOverloaded", "DeadlineExceeded"]
+__all__ = ["ServeConfig", "SolverService", "RequestTrace", "ServiceError",
+           "ServiceClosed", "ServiceOverloaded", "DeadlineExceeded"]
 
 
 class ServiceError(ReproError):
@@ -89,6 +91,15 @@ class ServeConfig:
     max_batch_size: int = 8
     max_wait_us: float = 2_000.0
     max_queue_depth: int = 256
+    #: Record a :class:`RequestTrace` per request (stage attribution:
+    #: admission wait, coalesce wait, dedup outcome, batch width,
+    #: encode/decode/planner time, cache hits).  Cheap enough to leave on
+    #: (pinned <2% in ``BENCH_PR9``); ``False`` restores the bare path.
+    request_traces: bool = True
+    #: How many completed traces :attr:`SolverService.recent_traces`
+    #: retains for postmortems (a bounded deque; 0 disables retention
+    #: without disabling tracing).
+    trace_history: int = 256
     #: Coalesce *identical* concurrent greedy requests (same instance
     #: object, single-rollout greedy decode) onto one decode slot.
     #: Greedy decoding is deterministic, so every duplicate receives the
@@ -110,6 +121,49 @@ class ServeConfig:
 
 
 @dataclass
+class RequestTrace:
+    """Per-request stage attribution through the serving pipeline.
+
+    One trace follows one request from admission to response and records
+    where its latency went: ``admission_wait_ms`` is time spent in the
+    admission queue (enqueue to dispatcher pop), ``coalesce_wait_ms`` the
+    time the micro-batcher held it while the batch formed, ``execute_ms``
+    the engine wall time of the batch it rode (shared, not per-request).
+    ``dedup`` is ``"unique"`` (no dedup key), ``"primary"`` (owned the
+    decode slot) or ``"duplicate"`` (piggybacked on a primary's ticket).
+    ``encode_ms``/``decode_ms``/``planner_calls``/``cache_hits``/
+    ``cache_misses`` come from the solution's own perf counters —
+    duplicates report their primary's numbers, since they share its
+    solution.  ``env_cache`` says whether this request's instance found a
+    resident env (``"hit"``/``"miss"``; ``None`` when untraceable).
+    """
+
+    request_id: int
+    greedy: bool = True
+    num_samples: int = 1
+    seed: int | None = None
+    queue_depth_at_admit: int = 0
+    admission_wait_ms: float = 0.0
+    coalesce_wait_ms: float = 0.0
+    dedup: str = "unique"
+    batch_requests: int = 0
+    batch_decoded: int = 0
+    execute_ms: float = 0.0
+    encode_ms: float = 0.0
+    decode_ms: float = 0.0
+    planner_calls: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    env_cache: str | None = None
+    outcome: str = "pending"
+    latency_ms: float = 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready view (the ``serve.request`` trace-event payload)."""
+        return {k: getattr(self, k) for k in self.__dataclass_fields__}
+
+
+@dataclass
 class _PendingRequest:
     """One enqueued request awaiting dispatch."""
 
@@ -120,6 +174,9 @@ class _PendingRequest:
     deadline: float | None
     enqueued_at: float
     future: asyncio.Future
+    request_id: int = 0
+    popped_at: float = 0.0
+    trace: RequestTrace | None = None
 
 
 class SolverService:
@@ -137,16 +194,27 @@ class SolverService:
     worker thread, one batch at a time.
     """
 
-    def __init__(self, engine: WarmEngine, config: ServeConfig | None = None):
+    def __init__(self, engine: WarmEngine, config: ServeConfig | None = None,
+                 slo=None, recorder=None):
         self.engine = engine
         self.config = config or ServeConfig()
         self.metrics = MetricsRegistry()
+        #: Optional :class:`~repro.obs.slo.SloTracker` fed every request
+        #: outcome (ok / shed_deadline / overload / error) + latency.
+        self.slo = slo
+        #: Optional :class:`~repro.obs.recorder.FlightRecorder` journaling
+        #: every admitted request; closed (footer written) by stop().
+        self.recorder = recorder
+        #: Bounded history of completed :class:`RequestTrace` objects.
+        self.recent_traces: deque = deque(
+            maxlen=max(self.config.trace_history, 0))
         self._queue: asyncio.Queue | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._executor: ThreadPoolExecutor | None = None
         self._dispatch_task: asyncio.Task | None = None
         self._running = False
         self._inflight = 0
+        self._next_request_id = 0
         self._started_at: float | None = None
         self._first_request_at: float | None = None
         self._last_response_at: float | None = None
@@ -185,6 +253,8 @@ class SolverService:
         with contextlib.suppress(asyncio.CancelledError):
             await self._dispatch_task
         self._executor.shutdown(wait=True)
+        if self.recorder is not None:
+            self.recorder.close()
         obs.event("serve.stop",
                   responses=int(self.metrics.counters.get(
                       "serve.responses", 0)))
@@ -206,7 +276,8 @@ class SolverService:
     # -- front-end ------------------------------------------------------ #
     async def solve(self, instance, greedy: bool = True,
                     seed: int | None = None, num_samples: int = 1,
-                    timeout: float | None = None):
+                    timeout: float | None = None,
+                    return_trace: bool = False):
         """Submit one solve request; await its solution.
 
         ``greedy=True`` requests the deterministic argmax decode (the
@@ -218,34 +289,58 @@ class SolverService:
         requests still undecoded when it passes fail with
         :class:`DeadlineExceeded`; requests that cannot even be queued
         fail immediately with :class:`ServiceOverloaded`.
+
+        ``return_trace=True`` returns ``(solution, RequestTrace)``
+        instead of the bare solution — the per-request stage attribution
+        (requires ``ServeConfig.request_traces``; the trace is ``None``
+        when tracing is off).
         """
         if not self._running:
             raise ServiceClosed("service is not running; use 'async with' "
                                 "or call start() first")
         if self._queue.qsize() >= self.config.max_queue_depth:
             self._count("serve.rejected_overload")
+            if self.slo is not None:
+                self.slo.record("overload")
             raise ServiceOverloaded(
                 f"queue depth {self._queue.qsize()} at configured maximum "
                 f"{self.config.max_queue_depth}")
         now = time.monotonic()
         if self._first_request_at is None:
             self._first_request_at = now
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        trace = None
+        if self.config.request_traces:
+            trace = RequestTrace(
+                request_id=request_id, greedy=bool(greedy),
+                num_samples=num_samples, seed=seed,
+                queue_depth_at_admit=self._queue.qsize())
         pending = _PendingRequest(
             instance=instance, greedy=bool(greedy), seed=seed,
             num_samples=num_samples,
             deadline=None if timeout is None else now + timeout,
-            enqueued_at=now, future=self._loop.create_future())
+            enqueued_at=now, future=self._loop.create_future(),
+            request_id=request_id, trace=trace)
+        if self.recorder is not None:
+            self.recorder.record_request(
+                request_id, instance, greedy=bool(greedy), seed=seed,
+                num_samples=num_samples, timeout=timeout)
         self._inflight += 1
         self._queue.put_nowait(pending)
         self._count("serve.requests")
         self._gauge("serve.queue_depth", float(self._queue.qsize()))
-        return await pending.future
+        solution = await pending.future
+        if return_trace:
+            return solution, trace
+        return solution
 
     # -- micro-batcher + dispatcher ------------------------------------- #
     async def _dispatch_loop(self) -> None:
         while True:
-            batch = [await self._queue.get()]
-            batch = await self._coalesce(batch)
+            first = await self._queue.get()
+            first.popped_at = time.monotonic()
+            batch = await self._coalesce([first])
             await self._dispatch(batch)
 
     async def _coalesce(self, batch: list) -> list:
@@ -253,7 +348,9 @@ class SolverService:
         wait_deadline = time.monotonic() + self.config.max_wait_us / 1e6
         while len(batch) < self.config.max_batch_size:
             try:
-                batch.append(self._queue.get_nowait())
+                pending = self._queue.get_nowait()
+                pending.popped_at = time.monotonic()
+                batch.append(pending)
                 continue
             except asyncio.QueueEmpty:
                 pass
@@ -261,8 +358,10 @@ class SolverService:
             if remaining <= 0:
                 break
             try:
-                batch.append(await asyncio.wait_for(
-                    self._queue.get(), remaining))
+                pending = await asyncio.wait_for(
+                    self._queue.get(), remaining)
+                pending.popped_at = time.monotonic()
+                batch.append(pending)
             except asyncio.TimeoutError:
                 break
         return batch
@@ -272,13 +371,54 @@ class SolverService:
             pending.future.set_exception(exc)
         self._inflight -= 1
 
+    def _settle(self, pending: _PendingRequest, outcome: str,
+                now: float, latency_ms: float | None = None,
+                digest: str | None = None) -> None:
+        """Telemetry fan-out for one request reaching a terminal state.
+
+        Completes the trace (history + ``serve.request`` trace event),
+        feeds the SLO tracker, and journals the outcome.  ``cancelled``
+        (the caller abandoned its future) is journaled but never charged
+        against the error budget — the service did nothing wrong.
+        """
+        trace = pending.trace
+        if trace is not None:
+            trace.outcome = outcome
+            if latency_ms is not None:
+                trace.latency_ms = latency_ms
+            self.recent_traces.append(trace)
+            if obs.get_tracer().enabled:
+                obs.event("serve.request", **trace.to_dict())
+        if self.slo is not None and outcome != "cancelled":
+            self.slo.record(outcome, latency_ms=latency_ms, now=now)
+        if self.recorder is not None:
+            self.recorder.record_outcome(pending.request_id, outcome,
+                                         digest=digest,
+                                         latency_ms=latency_ms)
+
     async def _dispatch(self, batch: list) -> None:
+        dispatch_start = time.monotonic()
+        tracing = self.config.request_traces
+        if tracing:
+            for pending in batch:
+                trace = pending.trace
+                if trace is None:
+                    continue
+                trace.admission_wait_ms = max(
+                    pending.popped_at - pending.enqueued_at, 0.0) * 1e3
+                trace.coalesce_wait_ms = max(
+                    dispatch_start - pending.popped_at, 0.0) * 1e3
+                self._observe("serve.admission_wait_ms",
+                              trace.admission_wait_ms)
+                self._observe("serve.coalesce_wait_ms",
+                              trace.coalesce_wait_ms)
         solve_batch = self.engine.open_batch(max_size=len(batch))
         live = []
         decoded = 0
         primaries: dict[int, int] = {}   # id(instance) -> shared ticket
         for pending in batch:
             if pending.future.done():        # caller gave up while queued
+                self._settle(pending, "cancelled", dispatch_start)
                 self._inflight -= 1
                 continue
             dedupe_key = (id(pending.instance)
@@ -292,10 +432,13 @@ class SolverService:
                 if pending.deadline is not None \
                         and time.monotonic() >= pending.deadline:
                     self._count("serve.shed_deadline")
+                    self._settle(pending, "shed_deadline", dispatch_start)
                     self._fail(pending, DeadlineExceeded(
                         "deadline passed while queued"))
                     continue
                 self._count("serve.dedup_hits")
+                if pending.trace is not None:
+                    pending.trace.dedup = "duplicate"
                 live.append((pending, primaries[dedupe_key]))
                 continue
             rng = (np.random.default_rng(pending.seed)
@@ -307,11 +450,14 @@ class SolverService:
                     deadline=pending.deadline)
             except DeadlineExpired:
                 self._count("serve.shed_deadline")
+                self._settle(pending, "shed_deadline", dispatch_start)
                 self._fail(pending, DeadlineExceeded(
                     "deadline passed while queued"))
                 continue
             if dedupe_key is not None:
                 primaries[dedupe_key] = ticket
+                if pending.trace is not None:
+                    pending.trace.dedup = "primary"
             decoded += 1
             live.append((pending, ticket))
         if not live:
@@ -321,29 +467,60 @@ class SolverService:
         # slot, so this is the size the engine actually saw.
         self._observe("serve.batch_size", float(decoded))
         try:
-            results = await self._loop.run_in_executor(
-                self._executor, self.engine.execute, solve_batch)
+            if tracing:
+                results, report = await self._loop.run_in_executor(
+                    self._executor, self.engine.execute_traced, solve_batch)
+            else:
+                results = await self._loop.run_in_executor(
+                    self._executor, self.engine.execute, solve_batch)
+                report = None
         except Exception as exc:  # engine failure fails the whole batch
             self._count("serve.errors")
+            now = time.monotonic()
             for pending, _ in live:
+                self._settle(pending, "error", now,
+                             latency_ms=(now - pending.enqueued_at) * 1e3)
                 self._fail(pending, exc)
             return
+        if report is not None:
+            self._observe("serve.execute_ms", report.execute_s * 1e3)
 
         now = time.monotonic()
         for pending, ticket in live:
             solution = results[ticket]
+            trace = pending.trace
+            if trace is not None:
+                trace.batch_requests = len(live)
+                trace.batch_decoded = decoded
+                if report is not None:
+                    trace.execute_ms = report.execute_s * 1e3
+                    trace.env_cache = report.env_events.get(
+                        id(pending.instance))
+                if solution is not None:
+                    perf = solution.perf
+                    trace.encode_ms = perf.init_time * 1e3
+                    trace.decode_ms = perf.selection_time * 1e3
+                    trace.planner_calls = perf.planner_calls
+                    trace.cache_hits = perf.cache_hits
+                    trace.cache_misses = perf.cache_misses
             if pending.future.done():
+                self._settle(pending, "cancelled", now)
                 self._inflight -= 1
                 continue
             if solution is None:             # shed at execute time
                 self._count("serve.shed_deadline")
+                self._settle(pending, "shed_deadline", now)
                 self._fail(pending, DeadlineExceeded(
                     "deadline passed before the batch executed"))
                 continue
-            self._observe("serve.latency_ms",
-                          (now - pending.enqueued_at) * 1e3)
+            latency_ms = (now - pending.enqueued_at) * 1e3
+            self._observe("serve.latency_ms", latency_ms)
             self._count("serve.responses")
             self._last_response_at = now
+            digest = (solution_digest(solution)
+                      if self.recorder is not None else None)
+            self._settle(pending, "ok", now, latency_ms=latency_ms,
+                         digest=digest)
             pending.future.set_result(solution)
             self._inflight -= 1
 
@@ -374,7 +551,7 @@ class SolverService:
                 and self._last_response_at is not None:
             window = self._last_response_at - self._first_request_at
         sustained = (responses / window if window and window > 0 else 0.0)
-        return {
+        stats = {
             "requests": int(counters.get("serve.requests", 0)),
             "responses": responses,
             "shed_deadline": int(counters.get("serve.shed_deadline", 0)),
@@ -382,6 +559,7 @@ class SolverService:
             "rejected_overload": int(
                 counters.get("serve.rejected_overload", 0)),
             "errors": int(counters.get("serve.errors", 0)),
+            "queue_depth": self.queue_depth,
             "queue_depth_peak": int(
                 self.metrics.gauges.get("serve.queue_depth", 0)),
             "latency_ms": self.metrics.histogram_summary("serve.latency_ms"),
@@ -389,12 +567,35 @@ class SolverService:
             "sustained_req_per_s": sustained,
             "engine": self.engine.stats(),
         }
+        if self.config.request_traces:
+            stats["stages"] = {
+                "admission_wait_ms": self.metrics.histogram_summary(
+                    "serve.admission_wait_ms"),
+                "coalesce_wait_ms": self.metrics.histogram_summary(
+                    "serve.coalesce_wait_ms"),
+                "execute_ms": self.metrics.histogram_summary(
+                    "serve.execute_ms"),
+                "traces_retained": len(self.recent_traces),
+            }
+        if self.slo is not None:
+            stats["slo"] = self.slo.report()
+        return stats
 
-    def write_metrics_jsonl(self, path) -> None:
-        """Write the serving summary + full registry snapshot as JSONL."""
-        with open(path, "w", encoding="utf-8") as fh:
-            fh.write(json.dumps({"type": "serving_stats", **self.stats()},
-                                sort_keys=True) + "\n")
+    def write_metrics_jsonl(self, path, append: bool = False) -> None:
+        """Write the serving summary + full registry snapshot as JSONL.
+
+        Every record is stamped with the metrics ``schema_version`` and a
+        monotonic-clock timestamp, so consumers (the live dashboard, diff
+        tooling) can order records and reject incompatible writers.
+        ``append=True`` adds records to an existing file — the mode the
+        dashboard tails.
+        """
+        stamp = {"schema_version": METRICS_SCHEMA_VERSION,
+                 "ts_monotonic": time.monotonic()}
+        with open(path, "a" if append else "w", encoding="utf-8") as fh:
             fh.write(json.dumps(
-                {"type": "metrics", **self.metrics.snapshot()},
+                {"type": "serving_stats", **stamp, **self.stats()},
+                sort_keys=True) + "\n")
+            fh.write(json.dumps(
+                {"type": "metrics", **stamp, **self.metrics.snapshot()},
                 sort_keys=True) + "\n")

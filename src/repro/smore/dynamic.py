@@ -40,6 +40,7 @@ from ..core.perf import PerfCounters
 from ..core.route import WorkingRoute
 from ..datasets.dynamic import ArrivalSchedule, TaskArrival
 from ..obs.profile import scope as profile_scope
+from ..obs.slo import current_slo_tracker
 from ..tsptw.base import RoutePlanner
 from .candidates import CandidateTable
 from .env import SelectionEnv
@@ -386,16 +387,41 @@ class DynamicResult:
 def run_dynamic_episode(env: DynamicSelectionEnv, policy,
                         greedy: bool = True, rng=None):
     """Roll one dynamic episode: select until the table drains, advance
-    to the next event epoch, repeat; returns (state, total_reward)."""
+    to the next event epoch, repeat; returns (state, total_reward).
+
+    When an SLO tracker is installed (:func:`repro.obs.slo.install`),
+    the per-epoch loop feeds it on **simulation time**: every committed
+    selection records ``ok`` and every expiry/dead-on-arrival records
+    ``rejected`` at the epoch it happened, and each epoch's incremental
+    repair cost lands in the latency window (ms) — so the windowed
+    rejection rate and repair percentiles track the arrival process, not
+    wall clock.  Objective checks run at most once per epoch.  With no
+    tracker installed the loop pays one ``None`` test per epoch.
+    """
     state = env.reset()
     policy.begin_episode(env.instance)
     total_reward = 0.0
+    tracker = current_slo_tracker()
+    selected_seen = rejected_seen = 0
+    repair_seen = env.repair_time
     while True:
         while not state.candidates.empty:
             action = policy.act(state, greedy=greedy, rng=rng)
             state, reward, _ = env.step_state(
                 state, action.worker_id, action.task_id)
             total_reward += reward
+        if tracker is not None:
+            for _ in range(len(state.selected) - selected_seen):
+                tracker.record("ok", now=state.now, check=False)
+            selected_seen = len(state.selected)
+            for _ in range(len(state.rejected) - rejected_seen):
+                tracker.record("rejected", now=state.now, check=False)
+            rejected_seen = len(state.rejected)
+            if env.repair_time > repair_seen:
+                tracker.observe_latency(
+                    (env.repair_time - repair_seen) * 1e3, now=state.now)
+                repair_seen = env.repair_time
+            tracker.maybe_check(state.now)
         if not env.advance(state):
             break
     return state, total_reward

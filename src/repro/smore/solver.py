@@ -25,6 +25,7 @@ from ..core.instance import USMDWInstance
 from ..core.perf import PerfCounters
 from ..core.solution import Solution
 from ..obs.profile import scope as profile_scope
+from ..obs.slo import current_slo_tracker
 from ..parallel import derive_seeds, parallel_map
 from ..tsptw.base import RoutePlanner
 from .batch import BatchedEpisodeRunner, BatchFull, DeadlineExpired, \
@@ -396,6 +397,20 @@ class SMORESolver:
             obs.event("solve_dynamic.done", method=self.name, phi=best[0],
                       rejected=len(best[4]), events=best[6],
                       rollouts=len(rollouts), wall_time=round(elapsed, 6))
+            # An installed SLO tracker saw every epoch (run_dynamic_episode
+            # feeds it on simulation time; parallel rollouts merge their
+            # window deltas back through capture_child/absorb).  Close the
+            # run with one final objective check + a report event so the
+            # trace file carries the end-state verdicts.
+            slo_tracker = current_slo_tracker()
+            if slo_tracker is not None:
+                slo_tracker.check()
+                report = slo_tracker.report()
+                obs.event("solve_dynamic.slo", slo=report["name"],
+                          requests=report["requests"],
+                          error_rate=report["error_rate"],
+                          budget_used=report["budget_used"],
+                          alerts_fired=report["alerts_fired"])
         return DynamicResult(
             instance=instance, phi=best[0], routes=best[1],
             incentives=best[2], selected_ids=best[3], rejected_ids=best[4],

@@ -1,0 +1,124 @@
+"""Terminal dashboard: JSONL tailing and frame rendering."""
+
+import json
+
+import pytest
+
+from repro.obs.dashboard import main, render_dashboard, tail_stats
+from repro.obs.metrics import METRICS_SCHEMA_VERSION
+
+
+def _stats(requests=100, with_slo=True):
+    stats = {
+        "type": "serving_stats",
+        "schema_version": METRICS_SCHEMA_VERSION,
+        "ts_monotonic": 12.5,
+        "requests": requests, "responses": requests - 6,
+        "shed_deadline": 4, "rejected_overload": 1, "errors": 1,
+        "queue_depth": 3, "queue_depth_peak": 12,
+        "sustained_req_per_s": 42.5,
+        "latency_ms": {"count": 94, "p50": 10.0, "p95": 30.0, "p99": 50.0,
+                       "mean": 12.0, "min": 1.0, "max": 55.0},
+        "batch_size": {"count": 20, "mean": 4.7, "max": 8.0,
+                       "min": 1.0, "p50": 5.0, "p95": 8.0, "p99": 8.0},
+        "stages": {
+            "admission_wait_ms": {"count": 94, "p50": 1.0, "p99": 5.0},
+            "coalesce_wait_ms": {"count": 94, "p50": 0.5, "p99": 2.0},
+            "execute_ms": {"count": 20, "p50": 8.0, "p99": 20.0},
+            "traces_retained": 94,
+        },
+        "engine": {"backend": "reference", "warm_instances": 8,
+                   "env_hits": 86, "env_misses": 8,
+                   "statics_hits": 86, "statics_misses": 8},
+    }
+    if with_slo:
+        stats["slo"] = {
+            "window_s": 60.0, "requests": 94,
+            "latency_ms": {"count": 94, "p50": 10.0, "p95": 30.0,
+                           "p99": 50.0},
+            "budget_used": 0.6, "alerts_active": ["error_budget"],
+            "alerts_fired": 2, "error_rate": 0.06,
+        }
+    return stats
+
+
+class TestTail:
+    def test_missing_file_returns_none(self, tmp_path):
+        assert tail_stats(tmp_path / "nope.jsonl") is None
+
+    def test_returns_latest_serving_stats(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        with open(path, "w") as fh:
+            fh.write(json.dumps(_stats(requests=10)) + "\n")
+            fh.write(json.dumps({"type": "metrics"}) + "\n")
+            fh.write(json.dumps(_stats(requests=20)) + "\n")
+        latest = tail_stats(path)
+        assert latest["requests"] == 20
+
+    def test_incremental_offset(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        state = {}
+        with open(path, "w") as fh:
+            fh.write(json.dumps(_stats(requests=10)) + "\n")
+        assert tail_stats(path, state)["requests"] == 10
+        offset = state["offset"]
+        with open(path, "a") as fh:
+            fh.write(json.dumps(_stats(requests=30)) + "\n")
+        assert tail_stats(path, state)["requests"] == 30
+        assert state["offset"] > offset
+
+    def test_partial_final_line_retried(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        state = {}
+        with open(path, "w") as fh:
+            fh.write(json.dumps(_stats(requests=10)) + "\n")
+            fh.write('{"type": "serving_stats", "requests": 99')  # no \n
+        assert tail_stats(path, state)["requests"] == 10
+        with open(path, "a") as fh:
+            fh.write(", \"responses\": 99}\n")
+        assert tail_stats(path, state)["requests"] == 99
+
+    def test_newer_schema_rejected(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        record = _stats()
+        record["schema_version"] = METRICS_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(record) + "\n")
+        with pytest.raises(SystemExit, match="newer"):
+            tail_stats(path)
+
+
+class TestRender:
+    def test_waiting_frame(self):
+        frame = render_dashboard(None, path="x.jsonl")
+        assert "waiting" in frame
+
+    def test_full_frame_with_slo(self):
+        frame = render_dashboard(_stats(), path="m.jsonl")
+        assert "42.50 req/s" in frame
+        assert "rolling 60s window" in frame
+        assert "p95" in frame and "30.00 ms" in frame
+        assert "error budget used   60.0%" in frame
+        assert "ALERTS ACTIVE: error_budget" in frame
+        assert "admission wait" in frame
+        assert "engine execute" in frame
+        assert "env cache" in frame and "91.5% hit" in frame
+
+    def test_frame_without_slo_uses_lifetime_histogram(self):
+        frame = render_dashboard(_stats(with_slo=False), path="m.jsonl")
+        assert "lifetime" in frame
+        assert "ALERTS" not in frame
+
+    def test_zero_requests_no_division_crash(self):
+        frame = render_dashboard({"requests": 0, "responses": 0},
+                                 path="m.jsonl")
+        assert "requests" in frame
+
+
+class TestMain:
+    def test_single_frame_cli(self, tmp_path, capsys):
+        path = tmp_path / "m.jsonl"
+        path.write_text(json.dumps(_stats()) + "\n")
+        assert main([str(path), "--frames", "1", "--no-clear"]) == 0
+        out = capsys.readouterr().out
+        assert "repro ops dashboard" in out
+        assert "req/s" in out

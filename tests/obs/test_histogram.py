@@ -160,3 +160,93 @@ class TestTracerPlumbing:
             obs.absorb(cap.snapshot)
             assert tracer.metrics.histograms["h"].count == 3
             assert tracer.metrics.histograms["h"].values == [1.0, 2.0, 3.0]
+
+
+class TestWeightedMergeSketch:
+    """Property tests for the overflow regime: compacted weighted merges
+    keep quantiles bounded-error in ANY merge order.
+
+    The contract (class docstring of :class:`Histogram`): each
+    compaction adds at most ``1/capacity`` of the represented mass in
+    rank error.  On uniform data rank error equals value error, so the
+    assertions below are direct reads of the guarantee.
+    """
+
+    CAPACITY = 128
+    SHARDS = 24
+    PER_SHARD = 40  # 24 * 40 = 960 values >> capacity
+
+    @staticmethod
+    def _make_shards(rng, shards, per_shard):
+        """Uniform[0,1) observations pre-split into shard reservoirs."""
+        data = rng.random(shards * per_shard)
+        out = []
+        for i in range(shards):
+            hist = Histogram(TestWeightedMergeSketch.CAPACITY)
+            for v in data[i * per_shard:(i + 1) * per_shard]:
+                hist.observe(float(v))
+            out.append(hist)
+        return data, out
+
+    def test_quantiles_bounded_over_100_random_merge_orders(self):
+        import numpy as np
+
+        rng = np.random.default_rng(2024)
+        data, _ = self._make_shards(rng, self.SHARDS, self.PER_SHARD)
+        order_rng = np.random.default_rng(7)
+        for _ in range(100):
+            order = order_rng.permutation(self.SHARDS)
+            _, shards = self._make_shards(np.random.default_rng(2024),
+                                          self.SHARDS, self.PER_SHARD)
+            merged = Histogram(self.CAPACITY)
+            for idx in order:
+                merged.merge_state(shards[idx].state())
+            assert merged.count == len(data)
+            assert merged.total == pytest.approx(float(data.sum()))
+            assert merged.min == float(data.min())
+            assert merged.max == float(data.max())
+            # Rank-error budget: one unit per compaction plus one for
+            # the final interpolation, each worth 1/capacity of mass.
+            budget = (merged.compactions + 1) / self.CAPACITY
+            for q in (0.05, 0.25, 0.5, 0.75, 0.95, 0.99):
+                exact = float(np.quantile(data, q))
+                assert abs(merged.quantile(q) - exact) <= budget, (
+                    f"q={q}: |{merged.quantile(q):.4f} - {exact:.4f}| "
+                    f"> {budget:.4f} after {merged.compactions} compactions")
+
+    def test_pairwise_tree_merge_matches_sequential_within_budget(self):
+        import numpy as np
+
+        rng = np.random.default_rng(11)
+        data, shards = self._make_shards(rng, self.SHARDS, self.PER_SHARD)
+        seq = Histogram(self.CAPACITY)
+        for shard in shards:
+            seq.merge_state(shard.state())
+        _, shards2 = self._make_shards(np.random.default_rng(11),
+                                       self.SHARDS, self.PER_SHARD)
+        while len(shards2) > 1:  # binary reduction tree
+            nxt = []
+            for i in range(0, len(shards2) - 1, 2):
+                shards2[i].merge_state(shards2[i + 1].state())
+                nxt.append(shards2[i])
+            if len(shards2) % 2:
+                nxt.append(shards2[-1])
+            shards2 = nxt
+        tree = shards2[0]
+        assert tree.count == seq.count == len(data)
+        budget = (seq.compactions + tree.compactions + 2) / self.CAPACITY
+        for q in (0.5, 0.95, 0.99):
+            assert abs(tree.quantile(q) - seq.quantile(q)) <= budget
+
+    def test_exact_regime_untouched_by_sketch_machinery(self):
+        """Under capacity the merge stays bit-exact append-only: no
+        weights, no compactions, values in item order."""
+        a, b = Histogram(64), Histogram(64)
+        for v in (3.0, 1.0):
+            a.observe(v)
+        for v in (2.0, 4.0):
+            b.observe(v)
+        a.merge_state(b.state())
+        assert a.values == [3.0, 1.0, 2.0, 4.0]
+        assert a.weights is None
+        assert a.compactions == 0

@@ -1,0 +1,68 @@
+"""OpenMetrics exporter: name sanitisation, families, exposition format."""
+
+from repro.obs import MetricsRegistry
+from repro.obs.openmetrics import (
+    render_openmetrics,
+    sanitize_metric_name,
+    write_openmetrics,
+)
+
+
+class TestSanitize:
+    def test_dots_become_underscores(self):
+        assert sanitize_metric_name("serve.latency_ms", "repro_") == \
+            "repro_serve_latency_ms"
+
+    def test_leading_digit_guarded(self):
+        assert sanitize_metric_name("9lives") == "_9lives"
+
+    def test_colons_allowed(self):
+        assert sanitize_metric_name("ns:metric") == "ns:metric"
+
+
+class TestRender:
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.inc("serve.requests", 5)
+        reg.gauge("serve.queue_depth", 3)
+        reg.add_time("solve.wall", 1.25)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            reg.observe("serve.latency_ms", v)
+        return reg
+
+    def test_families_rendered(self):
+        text = render_openmetrics(self._registry())
+        assert "# TYPE repro_serve_requests counter" in text
+        assert "repro_serve_requests_total 5" in text
+        assert "# TYPE repro_serve_queue_depth gauge" in text
+        assert "repro_serve_queue_depth 3" in text
+        assert "# TYPE repro_solve_wall_seconds counter" in text
+        assert "repro_solve_wall_seconds_total 1.25" in text
+        assert "# TYPE repro_serve_latency_ms summary" in text
+        assert 'repro_serve_latency_ms{quantile="0.5"}' in text
+        assert "repro_serve_latency_ms_count 4" in text
+        assert "repro_serve_latency_ms_sum 10" in text
+
+    def test_ends_with_eof_terminator(self):
+        text = render_openmetrics(self._registry())
+        assert text.endswith("# EOF\n")
+
+    def test_empty_registry_is_just_eof(self):
+        assert render_openmetrics(MetricsRegistry()) == "# EOF\n"
+
+    def test_empty_histogram_skips_quantiles(self):
+        from repro.obs.metrics import Histogram
+        reg = MetricsRegistry()
+        reg.histograms["h"] = Histogram(8)
+        text = render_openmetrics(reg)
+        assert "quantile" not in text
+        assert "repro_h_count 0" in text
+
+    def test_write_openmetrics(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        write_openmetrics(self._registry(), path)
+        assert path.read_text().endswith("# EOF\n")
+
+    def test_sorted_stable_output(self):
+        reg = self._registry()
+        assert render_openmetrics(reg) == render_openmetrics(reg)

@@ -1,0 +1,184 @@
+"""Flight recorder: journal schema, digests, read/replay round trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.datasets import InstanceOptions, generate_instances
+from repro.obs.recorder import (
+    JOURNAL_SCHEMA_VERSION,
+    FlightRecorder,
+    JournalError,
+    read_journal,
+    replay_journal,
+    solution_digest,
+)
+from repro.serve import WarmEngine
+from repro.smore import SMORESolver, TASNet, TASNetConfig, TASNetPolicy
+from repro.tsptw import InsertionSolver
+
+CONFIG = TASNetConfig(d_model=16, num_heads=2, num_layers=1, conv_channels=4)
+
+
+@pytest.fixture(scope="module")
+def instances():
+    opts = InstanceOptions(task_density=0.03, budget=120.0)
+    return generate_instances("delivery", 3, seed=7, options=opts)
+
+
+def _engine(instances):
+    grid = instances[0].coverage.grid
+    net = TASNet(CONFIG, grid_nx=grid.nx, grid_ny=grid.ny,
+                 rng=np.random.default_rng(0))
+    return WarmEngine(SMORESolver(InsertionSolver(), TASNetPolicy(net)))
+
+
+class TestSolutionDigest:
+    def test_digest_is_deterministic(self, instances):
+        engine = _engine(instances)
+        a = engine.solver.solve(instances[0])
+        b = engine.solver.solve(instances[0])
+        assert solution_digest(a) == solution_digest(b)
+
+    def test_digest_distinguishes_instances(self, instances):
+        engine = _engine(instances)
+        a = engine.solver.solve(instances[0])
+        b = engine.solver.solve(instances[1])
+        assert solution_digest(a) != solution_digest(b)
+
+
+class TestJournalRoundTrip:
+    def test_write_read(self, tmp_path, instances):
+        path = tmp_path / "j.jsonl"
+        rec = FlightRecorder(path, workload={"mode": "delivery"})
+        rec.register_instances(instances)
+        rec.record_request(0, instances[0], greedy=True, seed=None,
+                           num_samples=1)
+        rec.record_request(1, instances[1], greedy=False, seed=42,
+                           num_samples=3, timeout=2.0)
+        rec.record_outcome(0, "ok", digest="abc", latency_ms=1.5)
+        rec.record_outcome(1, "shed_deadline")
+        rec.close()
+        assert rec.closed
+        rec.close()  # idempotent
+
+        journal = read_journal(path)
+        assert journal.complete
+        assert journal.workload == {"mode": "delivery"}
+        assert [r["req"] for r in journal.requests] == [0, 1]
+        assert journal.requests[0]["instance"] == 0
+        assert journal.requests[1] == {
+            "type": "request", "req": 1, "instance": 1, "greedy": False,
+            "seed": 42, "num_samples": 3, "timeout": 2.0}
+        assert journal.outcomes[0]["digest"] == "abc"
+        assert journal.outcomes[1]["outcome"] == "shed_deadline"
+
+    def test_unregistered_instance_is_minus_one(self, tmp_path, instances):
+        rec = FlightRecorder(tmp_path / "j.jsonl")
+        rec.record_request(0, instances[0], greedy=True, seed=None,
+                           num_samples=1)
+        rec.close()
+        journal = read_journal(tmp_path / "j.jsonl")
+        assert journal.requests[0]["instance"] == -1
+
+    def test_missing_footer_marks_incomplete(self, tmp_path, instances):
+        path = tmp_path / "crash.jsonl"
+        rec = FlightRecorder(path)
+        rec.record_request(0, instances[0], greedy=True, seed=None,
+                           num_samples=1)
+        rec._file.close()                     # simulate a crash: no footer
+        journal = read_journal(path)
+        assert not journal.complete
+        assert len(journal.requests) == 1
+
+    def test_emit_after_close_raises(self, tmp_path, instances):
+        rec = FlightRecorder(tmp_path / "j.jsonl")
+        rec.close()
+        with pytest.raises(JournalError):
+            rec.record_request(0, instances[0], greedy=True, seed=None,
+                               num_samples=1)
+
+    def test_no_header_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "request", "req": 0}\n')
+        with pytest.raises(JournalError, match="no header"):
+            read_journal(path)
+
+    def test_schema_mismatch_raises(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(json.dumps(
+            {"type": "header",
+             "schema_version": JOURNAL_SCHEMA_VERSION + 1}) + "\n")
+        with pytest.raises(JournalError, match="schema"):
+            read_journal(path)
+
+    def test_corrupt_line_raises_with_lineno(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text(json.dumps(
+            {"type": "header",
+             "schema_version": JOURNAL_SCHEMA_VERSION}) + "\n"
+            + '{"type": "request", "req"')
+        with pytest.raises(JournalError, match=":2"):
+            read_journal(path)
+
+
+class TestReplay:
+    def test_replay_matches_recorded_digests(self, tmp_path, instances):
+        engine = _engine(instances)
+        path = tmp_path / "j.jsonl"
+        rec = FlightRecorder(path)
+        rec.register_instances(instances)
+        # Record a mixed greedy/sampled workload executed directly.
+        for i in range(6):
+            inst = instances[i % len(instances)]
+            greedy = i % 2 == 0
+            seed = None if greedy else 100 + i
+            rec.record_request(i, inst, greedy=greedy, seed=seed,
+                               num_samples=1 if greedy else 2)
+            batch = engine.open_batch(max_size=1)
+            rng = np.random.default_rng(seed) if seed is not None else None
+            ticket = batch.admit(inst, greedy=greedy, rng=rng,
+                                 num_samples=1 if greedy else 2)
+            solution = engine.execute(batch)[ticket]
+            rec.record_outcome(i, "ok", digest=solution_digest(solution))
+        rec.close()
+
+        journal = read_journal(path)
+        fresh = _engine(instances)       # replay against fresh state
+        report = replay_journal(journal, fresh, instances)
+        assert report.ok
+        assert report.replayed == report.matched == 6
+        assert report.skipped == 0
+        assert "6/6" in report.render()
+
+    def test_replay_skips_non_ok_and_unregistered(self, tmp_path, instances):
+        engine = _engine(instances)
+        path = tmp_path / "j.jsonl"
+        rec = FlightRecorder(path)
+        rec.register_instances(instances[:1])
+        rec.record_request(0, instances[0], greedy=True, seed=None,
+                           num_samples=1)
+        rec.record_outcome(0, "shed_deadline")          # no solution
+        rec.record_request(1, instances[1], greedy=True, seed=None,
+                           num_samples=1)               # unregistered: -1
+        rec.record_outcome(1, "ok", digest="whatever")
+        rec.close()
+        report = replay_journal(read_journal(path), engine, instances[:1])
+        assert report.skipped == 2
+        assert report.replayed == 0
+        assert report.ok
+
+    def test_replay_flags_mismatch(self, tmp_path, instances):
+        engine = _engine(instances)
+        path = tmp_path / "j.jsonl"
+        rec = FlightRecorder(path)
+        rec.register_instances(instances)
+        rec.record_request(0, instances[0], greedy=True, seed=None,
+                           num_samples=1)
+        rec.record_outcome(0, "ok", digest="0" * 64, latency_ms=1.0)
+        rec.close()
+        report = replay_journal(read_journal(path), engine, instances)
+        assert not report.ok
+        assert report.mismatches[0]["req"] == 0
+        assert "MISMATCH" in report.render()

@@ -101,6 +101,10 @@ class TestTracedParallelSolve:
         _traced_solve(instance, workers=4, trace_path=path)
         records = [json.loads(line) for line in path.read_text().splitlines()]
         assert records, "trace file is empty"
+        # The sink stamps a schema header as the first line.
+        assert records[0]["type"] == "trace_header"
+        assert records[0]["schema_version"] == obs.METRICS_SCHEMA_VERSION
+        records = records[1:]
         types = {r["type"] for r in records}
         assert types <= {"span", "event", "metrics"}
         assert records[-1]["type"] == "metrics"

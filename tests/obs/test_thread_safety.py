@@ -1,0 +1,172 @@
+"""MetricsRegistry concurrency: threads hammer, nothing is lost or torn.
+
+The registry is shared between the asyncio event loop (admission-side
+counters) and the engine executor thread (solve-side perf merges), so
+every primitive write and every composite read must hold the internal
+lock.  These tests hammer the registry from real threads and assert the
+final state is exact — a lost increment or a snapshot taken mid-merge
+fails loudly.
+"""
+
+import asyncio
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.datasets.instances import InstanceOptions, generate_instances
+from repro.obs import MetricsRegistry
+from repro.serve import ServeConfig, SolverService, WarmEngine
+from repro.smore import SMORESolver, TASNet, TASNetConfig, TASNetPolicy
+from repro.tsptw import InsertionSolver
+
+THREADS = 8
+ROUNDS = 400
+
+
+def _hammer(registry, barrier, errors):
+    try:
+        barrier.wait(timeout=10.0)
+        for i in range(ROUNDS):
+            registry.inc("hammer.count")
+            registry.inc("hammer.bulk", 3)
+            registry.gauge("hammer.gauge", i)
+            registry.add_time("hammer.time", 0.001)
+            registry.observe("hammer.hist", float(i % 50))
+    except Exception as exc:  # pragma: no cover - surfaced via `errors`
+        errors.append(exc)
+
+
+class TestThreadedRegistry:
+    def test_no_lost_updates_under_contention(self):
+        registry = MetricsRegistry()
+        barrier = threading.Barrier(THREADS)
+        errors: list[Exception] = []
+        workers = [threading.Thread(target=_hammer,
+                                    args=(registry, barrier, errors))
+                   for _ in range(THREADS)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join(timeout=30.0)
+        assert not errors
+        assert registry.counters["hammer.count"] == THREADS * ROUNDS
+        assert registry.counters["hammer.bulk"] == 3 * THREADS * ROUNDS
+        assert registry.gauges["hammer.gauge"] == ROUNDS - 1
+        assert registry.timings["hammer.time"] == \
+            pytest.approx(0.001 * THREADS * ROUNDS)
+        assert registry.histograms["hammer.hist"].count == THREADS * ROUNDS
+
+    def test_concurrent_merge_snapshot_keeps_totals(self):
+        """Writers and a merger race; counter totals still add up."""
+        registry = MetricsRegistry()
+        child = MetricsRegistry()
+        child.inc("merged.count", 1)
+        child.observe("merged.hist", 1.0)
+        snapshot = child.snapshot()
+        barrier = threading.Barrier(2)
+
+        def merge_loop():
+            barrier.wait(timeout=10.0)
+            for _ in range(ROUNDS):
+                registry.merge_snapshot(snapshot)
+
+        def write_loop():
+            barrier.wait(timeout=10.0)
+            for _ in range(ROUNDS):
+                registry.inc("merged.count")
+                registry.observe("merged.hist", 2.0)
+
+        threads = [threading.Thread(target=merge_loop),
+                   threading.Thread(target=write_loop)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert registry.counters["merged.count"] == 2 * ROUNDS
+        assert registry.histograms["merged.hist"].count == 2 * ROUNDS
+
+    def test_snapshot_readers_race_writers_without_tearing(self):
+        """snapshot()/histogram_summary() during writes never throws and
+        always sees an internally consistent histogram."""
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                registry.inc("race.count")
+                registry.observe("race.hist", float(i % 100))
+                i += 1
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    snap = registry.snapshot()
+                    hist = snap["histograms"].get("race.hist")
+                    if hist is not None:
+                        # A torn read would break count >= len(values).
+                        assert hist["count"] >= len(hist["values"])
+                    summary = registry.histogram_summary("race.hist")
+                    if summary["count"]:
+                        assert summary["min"] <= summary["p50"] <= \
+                            summary["max"]
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer),
+                   threading.Thread(target=reader)]
+        for t in threads:
+            t.start()
+        time.sleep(0.3)
+        stop.set()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert not errors
+
+
+class TestAsyncioServiceConcurrency:
+    def test_stats_polled_from_thread_while_serving(self):
+        """A foreign thread polls stats()/write paths while the asyncio
+        service fields a concurrent burst — no exception, exact counts."""
+        instance = generate_instances(
+            "delivery", 1, seed=20,
+            options=InstanceOptions(task_density=0.02, budget=100.0))[0]
+        grid = instance.coverage.grid
+        net = TASNet(TASNetConfig(d_model=16, num_heads=2, num_layers=1,
+                                  conv_channels=4),
+                     grid_nx=grid.nx, grid_ny=grid.ny,
+                     rng=np.random.default_rng(0))
+        engine = WarmEngine(SMORESolver(InsertionSolver(), TASNetPolicy(net)))
+        service = SolverService(engine, ServeConfig(max_batch_size=4))
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def poll():
+            try:
+                while not stop.is_set():
+                    stats = service.stats()
+                    assert stats["responses"] <= stats["requests"]
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        poller = threading.Thread(target=poll)
+        poller.start()
+
+        async def burst():
+            async with service:
+                results = await asyncio.gather(
+                    *(service.solve(instance) for _ in range(12)))
+            return results
+
+        try:
+            results = asyncio.run(burst())
+        finally:
+            stop.set()
+            poller.join(timeout=30.0)
+        assert not errors
+        assert len(results) == 12
+        assert service.stats()["requests"] == 12
+        assert service.stats()["responses"] == 12

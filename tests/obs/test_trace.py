@@ -73,9 +73,13 @@ class TestJsonlSink:
         sink = JsonlSink(path)
         sink.emit({"b": 1, "a": 2})
         sink.close()
-        line = path.read_text().strip()
+        header_line, line = path.read_text().splitlines()
         assert line == '{"a": 2, "b": 1}'
         assert json.loads(line) == {"a": 2, "b": 1}
+        header = json.loads(header_line)
+        assert header["type"] == "trace_header"
+        assert header["schema_version"] == obs.METRICS_SCHEMA_VERSION
+        assert header["ts_monotonic"] >= 0.0
 
     def test_close_idempotent(self, tmp_path):
         sink = JsonlSink(tmp_path / "t.jsonl")
@@ -109,9 +113,10 @@ class TestTracingContext:
             obs.count("n", 3)
             obs.event("hello", answer=42)
         records = [json.loads(line) for line in path.read_text().splitlines()]
-        assert [r["type"] for r in records] == ["event", "metrics"]
-        assert records[0]["answer"] == 42
-        assert records[1]["counters"] == {"n": 3}
+        assert [r["type"] for r in records] == \
+            ["trace_header", "event", "metrics"]
+        assert records[1]["answer"] == 42
+        assert records[2]["counters"] == {"n": 3}
 
     def test_disabled_by_default(self):
         tracer = obs.get_tracer()
@@ -158,7 +163,7 @@ class TestChildCapture:
                 obs.event("child.only")
         records = [json.loads(line) for line in path.read_text().splitlines()]
         # The child event went to the buffer, not the file sink.
-        assert [r["type"] for r in records] == ["metrics"]
+        assert [r["type"] for r in records] == ["trace_header", "metrics"]
         assert cap.snapshot["events"][0]["name"] == "child.only"
 
     def test_absorb_merges_and_reemits_with_fresh_seq(self):

@@ -1,0 +1,283 @@
+"""Service observability: per-request traces, SLO wiring, recorder
+shutdown semantics.
+
+These pin the PR-9 operational contract on top of the serving layer:
+every admitted request gets exactly one terminal trace with stage
+attribution that adds up, ``stop()`` mid-batch settles pending work
+exactly once (and the journal footer still lands), and a journal
+recorded through the live asyncio path replays bit-identically.
+"""
+
+import asyncio
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.datasets.instances import InstanceOptions, generate_instances
+from repro.obs import METRICS_SCHEMA_VERSION, ListSink
+from repro.obs.recorder import FlightRecorder, read_journal, replay_journal
+from repro.obs.slo import SloConfig, SloTracker
+from repro.serve import (
+    DeadlineExceeded,
+    RequestTrace,
+    ServeConfig,
+    SolverService,
+    WarmEngine,
+)
+from repro.smore import SMORESolver, TASNet, TASNetConfig, TASNetPolicy
+from repro.tsptw import InsertionSolver
+
+CONFIG = TASNetConfig(d_model=16, num_heads=2, num_layers=1, conv_channels=4)
+
+
+@pytest.fixture(scope="module")
+def instances():
+    opts = [InstanceOptions(task_density=0.02, budget=100.0, num_workers=2),
+            InstanceOptions(task_density=0.04, budget=120.0)]
+    return [generate_instances("delivery", 1, seed=40 + i, options=opt)[0]
+            for i, opt in enumerate(opts)]
+
+
+def _solver(instances):
+    grid = instances[0].coverage.grid
+    net = TASNet(CONFIG, grid_nx=grid.nx, grid_ny=grid.ny,
+                 rng=np.random.default_rng(0))
+    return SMORESolver(InsertionSolver(), TASNetPolicy(net))
+
+
+def _engine(instances):
+    return WarmEngine(_solver(instances))
+
+
+class _BlockingEngine(WarmEngine):
+    """Engine whose execute() blocks until released."""
+
+    def __init__(self, solver):
+        super().__init__(solver)
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def execute(self, batch):
+        self.entered.set()
+        assert self.release.wait(timeout=30.0)
+        return super().execute(batch)
+
+
+class TestRequestTraces:
+    def test_trace_attribution_fields(self, instances):
+        async def run():
+            async with SolverService(_engine(instances)) as service:
+                return await service.solve(instances[0], return_trace=True)
+
+        solution, trace = asyncio.run(run())
+        assert solution.routes is not None
+        assert isinstance(trace, RequestTrace)
+        assert trace.outcome == "ok"
+        assert trace.dedup == "primary"   # greedy 1-sample owns a slot
+        assert trace.batch_requests == 1
+        assert trace.admission_wait_ms >= 0.0
+        assert trace.coalesce_wait_ms >= 0.0
+        assert trace.execute_ms > 0.0
+        assert trace.latency_ms >= trace.execute_ms
+        assert trace.encode_ms >= 0.0 and trace.decode_ms >= 0.0
+        assert trace.planner_calls > 0
+        assert trace.env_cache in ("hit", "miss")
+        payload = trace.to_dict()
+        assert payload["request_id"] == trace.request_id
+        assert payload["outcome"] == "ok"
+
+    def test_duplicate_requests_marked_in_traces(self, instances):
+        """Identical coalesced greedy requests: one primary, rest
+        duplicates sharing the decode."""
+        engine = _BlockingEngine(_solver(instances))
+        config = ServeConfig(max_batch_size=4, max_wait_us=50_000.0)
+
+        async def run():
+            loop = asyncio.get_running_loop()
+            async with SolverService(engine, config) as service:
+                warm = asyncio.ensure_future(service.solve(instances[1]))
+                await loop.run_in_executor(
+                    None, engine.entered.wait)    # dispatcher busy
+                engine.entered.clear()
+                futures = [asyncio.ensure_future(
+                               service.solve(instances[0],
+                                             return_trace=True))
+                           for _ in range(3)]
+                await asyncio.sleep(0.05)         # all three queue together
+                engine.release.set()
+                await warm
+                return await asyncio.gather(*futures)
+
+        results = asyncio.run(run())
+        dedups = sorted(trace.dedup for _, trace in results)
+        assert dedups == ["duplicate", "duplicate", "primary"]
+        primary = next(t for _, t in results if t.dedup == "primary")
+        assert primary.batch_requests == 3
+        assert primary.batch_decoded == 1
+
+    def test_traces_ring_buffer_and_stats_stages(self, instances):
+        config = ServeConfig(trace_history=4)
+
+        async def run():
+            async with SolverService(_engine(instances), config) as service:
+                for _ in range(6):
+                    await service.solve(instances[0])
+                return service.stats(), list(service.recent_traces)
+
+        stats, traces = asyncio.run(run())
+        assert len(traces) == 4                  # ring buffer clipped
+        assert all(t.outcome == "ok" for t in traces)
+        stages = stats["stages"]
+        assert stages["traces_retained"] == 4
+        assert stages["admission_wait_ms"]["count"] == 6
+        assert stages["execute_ms"]["count"] >= 1
+        assert "queue_depth" in stats
+
+    def test_traces_disabled(self, instances):
+        config = ServeConfig(request_traces=False)
+
+        async def run():
+            async with SolverService(_engine(instances), config) as service:
+                result = await service.solve(instances[0], return_trace=True)
+                return result, service.stats()
+
+        (solution, trace), stats = asyncio.run(run())
+        assert solution.routes is not None
+        assert trace is None
+        assert "stages" not in stats
+
+    def test_terminal_trace_emitted_to_tracer(self, instances):
+        sink = ListSink()
+        with obs.tracing(sink=sink):
+            async def run():
+                async with SolverService(_engine(instances)) as service:
+                    await service.solve(instances[0])
+            asyncio.run(run())
+        events = [r for r in sink.records
+                  if r.get("name") == "serve.request"]
+        assert len(events) == 1
+        assert events[0]["outcome"] == "ok"
+        assert events[0]["dedup"] == "primary"
+
+
+class TestSloWiring:
+    def test_service_feeds_tracker_and_stats(self, instances):
+        tracker = SloTracker(SloConfig(window_s=1e9, min_requests=10**6))
+
+        async def run():
+            async with SolverService(_engine(instances),
+                                     slo=tracker) as service:
+                for _ in range(3):
+                    await service.solve(instances[0])
+                with pytest.raises(DeadlineExceeded):
+                    await service.solve(instances[1], timeout=1e-9)
+                return service.stats()
+
+        stats = asyncio.run(run())
+        assert tracker.totals["ok"] == 3
+        assert tracker.totals["shed_deadline"] == 1
+        report = stats["slo"]
+        assert report["requests"] == 4
+        assert report["failures"] == {"shed_deadline": 1}
+        assert report["latency_ms"]["count"] == 3
+
+
+class TestRecorderThroughService:
+    def test_live_journal_replays_bit_identically(self, tmp_path, instances):
+        path = tmp_path / "journal.jsonl"
+        recorder = FlightRecorder(path, workload={"mode": "delivery"})
+        recorder.register_instances(instances)
+
+        async def run():
+            async with SolverService(_engine(instances),
+                                     recorder=recorder) as service:
+                for i in range(6):
+                    inst = instances[i % len(instances)]
+                    if i % 3 == 2:
+                        await service.solve(inst, greedy=False,
+                                            seed=500 + i, num_samples=2)
+                    else:
+                        await service.solve(inst)
+
+        asyncio.run(run())
+        journal = read_journal(path)
+        assert journal.complete                  # stop() wrote the footer
+        assert len(journal.requests) == 6
+        assert all(o["outcome"] == "ok" and o["digest"]
+                   for o in journal.outcomes.values())
+        report = replay_journal(journal, _engine(instances), instances)
+        assert report.ok
+        assert report.replayed == report.matched == 6
+
+    def test_stop_mid_batch_settles_once_and_closes_journal(
+            self, tmp_path, instances):
+        """stop() while a batch is on the engine: the in-flight request
+        settles exactly once and the journal still gets its footer."""
+        engine = _BlockingEngine(_solver(instances))
+        path = tmp_path / "journal.jsonl"
+        recorder = FlightRecorder(path)
+        recorder.register_instances(instances)
+        sink = ListSink()
+
+        async def run():
+            with obs.tracing(sink=sink):
+                service = await SolverService(
+                    engine, recorder=recorder).start()
+                loop = asyncio.get_running_loop()
+                future = asyncio.ensure_future(service.solve(instances[0]))
+                await loop.run_in_executor(None, engine.entered.wait)
+                stopper = asyncio.ensure_future(service.stop())
+                await asyncio.sleep(0.01)        # stop() now draining
+                engine.release.set()
+                solution = await future
+                await stopper
+                return solution
+
+        solution = asyncio.run(run())
+        assert solution.routes is not None
+        assert recorder.closed
+        journal = read_journal(path)
+        assert journal.complete                  # footer, not truncated
+        assert [o["outcome"]
+                for o in journal.outcomes.values()] == ["ok"]
+        terminal = [r for r in sink.records
+                    if r.get("name") == "serve.request"]
+        assert len(terminal) == 1                # settled exactly once
+
+    def test_shed_request_journaled_with_outcome(self, tmp_path, instances):
+        path = tmp_path / "journal.jsonl"
+        recorder = FlightRecorder(path)
+        recorder.register_instances(instances)
+
+        async def run():
+            async with SolverService(_engine(instances),
+                                     recorder=recorder) as service:
+                with pytest.raises(DeadlineExceeded):
+                    await service.solve(instances[0], timeout=1e-9)
+
+        asyncio.run(run())
+        journal = read_journal(path)
+        assert journal.outcomes[0]["outcome"] == "shed_deadline"
+        assert journal.outcomes[0]["digest"] is None
+
+
+class TestMetricsJsonlStamping:
+    def test_schema_version_and_monotonic_ts(self, tmp_path, instances):
+        path = tmp_path / "metrics.jsonl"
+
+        async def run():
+            async with SolverService(_engine(instances)) as service:
+                await service.solve(instances[0])
+                service.write_metrics_jsonl(path)
+
+        asyncio.run(run())
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert len(records) == 2
+        for record in records:
+            assert record["schema_version"] == METRICS_SCHEMA_VERSION
+            assert record["ts_monotonic"] > 0.0
+        assert {r["type"] for r in records} == {"metrics", "serving_stats"}
