@@ -1,8 +1,9 @@
 # SMORE reproduction — common workflows.
 
 .PHONY: install test test-backends bench bench-perf bench-route \
-	bench-train bench-serve bench-dynamic bench-ops serve-smoke \
-	serve-replay-smoke dashboard-smoke profile results full clean
+	bench-train bench-serve bench-dynamic bench-ops bench-shard \
+	serve-smoke serve-replay-smoke dashboard-smoke profile results \
+	full clean
 
 install:
 	pip install -e .
@@ -54,6 +55,15 @@ bench-serve:
 # results/BENCH_PR8.json).
 bench-dynamic:
 	PYTHONPATH=src pytest benchmarks/test_dynamic_regression.py \
+		--benchmark-only
+
+# City-scale sharding regression: the partition/solve/merge sweep at
+# small P on a mid-size city instance (P=1 bit-identity, >=3x speedup
+# at P=4 on the persistent pool, <=2% coverage gap; writes
+# results/BENCH_PR10.json + results/shard_scaling.txt).  Set
+# REPRO_BENCH_SHARD_FULL=1 to re-measure the 10k-task curve too.
+bench-shard:
+	PYTHONPATH=src pytest benchmarks/test_shard_regression.py \
 		--benchmark-only
 
 # Telemetry regression: 32-request mixed greedy/sampled journal must

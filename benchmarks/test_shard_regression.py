@@ -1,0 +1,144 @@
+"""City-scale sharding regression (ISSUE 10).
+
+Pins the divide-and-conquer contract on a mid-size city instance where
+the unsharded solve is still feasible:
+
+* P=1 through ``solve_sharded`` is bit-identical to ``SMORESolver.solve``;
+* P=4 on the persistent pool is >=3x faster than P=1;
+* the coverage gap vs the unsharded solve stays <=2%.
+
+The default sweep keeps CI fast (2k tasks / 200 workers).  Set
+``REPRO_BENCH_SHARD_FULL=1`` to also re-measure the 10k-task / 1k-worker
+curve (takes roughly an hour at P=1 on one core); without the flag the
+previously committed city-scale section of ``BENCH_PR10.json`` is
+carried over so the pinned 10k numbers survive re-runs of the small
+sweep.
+"""
+
+import json
+import os
+import time
+
+from repro.datasets.synthetic import make_city_instance
+from repro.parallel import PersistentPool
+from repro.shard import solve_sharded
+from repro.smore.solver import GreedySelectionRule, SMORESolver
+from repro.tsptw.insertion import InsertionSolver
+
+from .conftest import write_artifact, write_bench
+
+MID_SPEC = dict(num_tasks=2_000, num_workers=200, budget=600.0, seed=1)
+CITY_SPEC = dict(num_tasks=10_000, num_workers=1_000, budget=2_000.0, seed=0)
+SHARD_COUNTS = (1, 2, 4)
+
+SPEEDUP_FLOOR = 3.0   # P=4 vs P=1, both through the sharded path
+GAP_CEILING = 0.02    # coverage loss vs the unsharded solve
+
+
+def _solver(instance):
+    return SMORESolver(InsertionSolver(speed=instance.speed),
+                       GreedySelectionRule())
+
+
+def _sweep(spec: dict, pool: PersistentPool) -> list[dict]:
+    instance = make_city_instance(**spec)
+    solver = _solver(instance)
+    rows = []
+    for num_shards in SHARD_COUNTS:
+        start = time.perf_counter()
+        solution = solve_sharded(solver, instance, num_shards, pool=pool)
+        wall = time.perf_counter() - start
+        report = solution.shard_report
+        rows.append({
+            "shards": num_shards,
+            "wall_time": wall,
+            "phi": solution.objective,
+            "completed": solution.num_completed,
+            "spent": solution.total_incentive,
+            "used_pool": report.used_pool,
+            "boundary_tasks": report.boundary_tasks,
+            "repair_added": report.repair_added,
+            "wall_solve": report.wall_solve,
+            "wall_repair": report.wall_repair,
+        })
+    base = rows[0]
+    for row in rows:
+        row["speedup"] = base["wall_time"] / max(row["wall_time"], 1e-9)
+        row["phi_gap"] = (base["phi"] - row["phi"]) / max(base["phi"], 1e-12)
+    return rows
+
+
+def _identity_check() -> bool:
+    instance = make_city_instance(num_tasks=400, num_workers=40,
+                                  budget=150.0, seed=9)
+    solver = _solver(instance)
+    unsharded = solver.solve(instance)
+    sharded = solve_sharded(solver, instance, 1)
+    same_routes = {
+        wid: tuple(t.task_id for t in route.tasks)
+        for wid, route in sharded.routes.items()
+    } == {
+        wid: tuple(t.task_id for t in route.tasks)
+        for wid, route in unsharded.routes.items()
+    }
+    return (same_routes and sharded.incentives == unsharded.incentives
+            and sharded.objective == unsharded.objective)
+
+
+def _carry_city_rows(results_dir) -> list[dict]:
+    committed = results_dir / "BENCH_PR10.json"
+    if committed.exists():
+        return json.loads(committed.read_text()).get("city", {}) \
+            .get("rows", [])
+    return []
+
+
+def test_shard_scaling_speedup_and_gap(benchmark, results_dir):
+    full = os.environ.get("REPRO_BENCH_SHARD_FULL") == "1"
+
+    def run():
+        with PersistentPool(workers=2) as pool:
+            mid_rows = _sweep(MID_SPEC, pool)
+            city_rows = _sweep(CITY_SPEC, pool) if full else []
+        return {
+            "p1_bit_identical": _identity_check(),
+            "mid": {"spec": MID_SPEC, "rows": mid_rows},
+            "city": {
+                "spec": CITY_SPEC,
+                "rows": city_rows or _carry_city_rows(results_dir),
+                "measured_this_run": bool(city_rows),
+            },
+        }
+
+    record = benchmark.pedantic(run, iterations=1, rounds=1)
+
+    lines = ["Shard scaling — wall time and coverage vs shard count",
+             "=" * 64]
+    for label in ("mid", "city"):
+        rows = record[label]["rows"]
+        if not rows:
+            continue
+        spec = record[label]["spec"]
+        lines.append(f"\n[{label}] |S|={spec['num_tasks']} "
+                     f"|W|={spec['num_workers']} B={spec['budget']:g}")
+        for r in rows:
+            lines.append(
+                f"  P={r['shards']}: wall={r['wall_time']:.2f}s "
+                f"speedup={r['speedup']:.2f}x phi={r['phi']:.3f} "
+                f"gap={r['phi_gap']:+.2%} boundary={r['boundary_tasks']} "
+                f"repair+={r['repair_added']}")
+    lines.append(f"\nP=1 sharded output bit-identical: "
+                 f"{record['p1_bit_identical']}")
+    text = "\n".join(lines)
+    write_artifact(results_dir, "shard_scaling.txt", text)
+    write_bench(results_dir, 10, record)
+    print("\n" + text)
+
+    assert record["p1_bit_identical"]
+    mid = {r["shards"]: r for r in record["mid"]["rows"]}
+    assert mid[4]["speedup"] >= SPEEDUP_FLOOR
+    assert mid[2]["phi_gap"] <= GAP_CEILING
+    assert mid[4]["phi_gap"] <= GAP_CEILING
+    city = {r["shards"]: r for r in record["city"]["rows"]}
+    if city:
+        assert city[4]["speedup"] >= SPEEDUP_FLOOR

@@ -19,7 +19,11 @@ Subpackages
 ``repro.experiments``
     Harness regenerating every table and figure of the paper.
 ``repro.parallel``
-    Deterministic process-pool fan-out for rollouts and experiment grids.
+    Deterministic process-pool fan-out for rollouts and experiment grids,
+    plus the long-lived zero-copy ``PersistentPool``.
+``repro.shard``
+    City-scale spatial sharding: partition → per-shard solve → boundary
+    repair and merge, preserving the unsharded invariants.
 ``repro.obs``
     Run telemetry: hierarchical timer spans, a counter/gauge metrics
     registry, and JSONL trace files (propagated across the fork pool).
@@ -28,9 +32,9 @@ Subpackages
 from . import nn  # noqa: F401  (import order: nn has no repro deps)
 from . import core, obs, parallel, tsptw  # noqa: F401
 from . import baselines, datasets, smore  # noqa: F401
-from . import experiments  # noqa: F401
+from . import experiments, shard  # noqa: F401
 
 __version__ = "1.0.0"
 
 __all__ = ["nn", "core", "tsptw", "smore", "baselines", "datasets",
-           "experiments", "parallel", "obs", "__version__"]
+           "experiments", "parallel", "shard", "obs", "__version__"]

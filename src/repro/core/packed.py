@@ -25,6 +25,8 @@ snapshot.
 from __future__ import annotations
 
 import math
+import os
+from collections import OrderedDict
 from typing import Sequence
 
 import numpy as np
@@ -32,7 +34,21 @@ import numpy as np
 from .entities import SensingTask, Worker
 from .geometry import Location
 
-__all__ = ["PackedInstance", "RaggedRows", "packed_instance"]
+__all__ = ["PackedInstance", "RaggedRows", "packed_instance",
+           "DEFAULT_ROW_CACHE_BYTES", "PACKED_ARRAY_NAMES"]
+
+#: Cap on the lazily built travel-matrix row cache, in bytes per packed
+#: instance (overridable via ``REPRO_PACKED_ROW_BYTES``).  At the paper's
+#: scale every row fits far under the cap, so nothing ever evicts; at
+#: city scale (10k tasks -> ~10k locations, ~80 KB/row) an unbounded
+#: cache approaches a gigabyte per instance, so rows recycle LRU instead.
+DEFAULT_ROW_CACHE_BYTES = int(os.environ.get("REPRO_PACKED_ROW_BYTES",
+                                             256 * 1024 * 1024))
+
+#: The base arrays a packed instance can export for zero-copy sharing
+#: (:meth:`PackedInstance.export_arrays`), in a stable order.
+PACKED_ARRAY_NAMES = ("xs", "ys", "sensing_ids", "sensing_loc", "tw_start",
+                      "tw_end", "service", "latest_start")
 
 
 class RaggedRows:
@@ -81,16 +97,20 @@ class PackedInstance:
     Locations are deduplicated (sensing tasks share grid-cell centers, so
     the unique-location count is typically far below worker-count x
     task-count); distances are materialised row-by-row on first use via
-    ``math.hypot`` and cached for the lifetime of the instance.
+    ``math.hypot`` and cached under an LRU row budget
+    (:data:`DEFAULT_ROW_CACHE_BYTES`) — small instances never evict, and
+    eviction can only cost a rebuild, never change a float.
     """
 
     __slots__ = ("xs", "ys", "_locs", "_loc_index", "_rows",
                  "sensing_ids", "sensing_loc", "tw_start", "tw_end",
                  "service", "latest_start", "is_sensing", "_sensing_row",
-                 "worker_locs")
+                 "worker_locs", "_row_budget", "_row_builds",
+                 "_row_evictions")
 
     def __init__(self, workers: Sequence[Worker],
-                 sensing_tasks: Sequence[SensingTask]):
+                 sensing_tasks: Sequence[SensingTask],
+                 row_cache_bytes: int | None = None):
         locs: list[Location] = []
         index: dict[Location, int] = {}
 
@@ -136,7 +156,24 @@ class PackedInstance:
                               count=len(locs))
         self.ys = np.fromiter((l.y for l in locs), dtype=np.float64,
                               count=len(locs))
-        self._rows: dict[int, np.ndarray] = {}
+        self._init_row_cache(row_cache_bytes)
+
+    def _init_row_cache(self, row_cache_bytes: int | None) -> None:
+        """Bound the lazy row cache by an LRU row budget.
+
+        Eviction is free to be aggressive because no consumer retains a
+        row as a live view — every caller copies out what it needs
+        (fancy-indexing or ``fromiter``) — and a rebuilt row is the same
+        ``math.hypot`` sequence over the same coordinates, so results
+        stay bit-identical whatever the budget.
+        """
+        limit = (DEFAULT_ROW_CACHE_BYTES if row_cache_bytes is None
+                 else row_cache_bytes)
+        row_bytes = 8 * max(1, len(self._locs))
+        self._row_budget = max(1, limit // row_bytes)
+        self._rows: OrderedDict[int, np.ndarray] = OrderedDict()
+        self._row_builds = 0
+        self._row_evictions = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -146,6 +183,21 @@ class PackedInstance:
     @property
     def num_cached_rows(self) -> int:
         return len(self._rows)
+
+    @property
+    def row_budget(self) -> int:
+        """Maximum rows the LRU cache retains."""
+        return self._row_budget
+
+    @property
+    def row_builds(self) -> int:
+        """Rows materialised so far (rebuilds after eviction included)."""
+        return self._row_builds
+
+    @property
+    def row_evictions(self) -> int:
+        """Rows dropped by the LRU budget so far."""
+        return self._row_evictions
 
     def nbytes(self) -> int:
         """Approximate memory of the packed arrays + cached matrix rows."""
@@ -170,7 +222,8 @@ class PackedInstance:
         expression and orientation of ``Location.distance_to`` and the
         insertion scan — so every consumer sees seed-identical floats.
         """
-        r = self._rows.get(i)
+        rows = self._rows
+        r = rows.get(i)
         if r is None:
             xi = self.xs[i]
             yi = self.ys[i]
@@ -178,7 +231,13 @@ class PackedInstance:
             r = np.fromiter(
                 (hypot(x - xi, y - yi) for x, y in zip(self.xs, self.ys)),
                 dtype=np.float64, count=len(self._locs))
-            self._rows[i] = r
+            rows[i] = r
+            self._row_builds += 1
+            if len(rows) > self._row_budget:
+                rows.popitem(last=False)
+                self._row_evictions += 1
+        else:
+            rows.move_to_end(i)
         return r
 
     def distance(self, i: int, j: int) -> float:
@@ -196,6 +255,58 @@ class PackedInstance:
             if ib is not None:
                 return float(self.row(ia)[ib])
         return math.hypot(b.x - a.x, b.y - a.y)
+
+    # ------------------------------------------------------------------ #
+    def export_arrays(self) -> dict[str, np.ndarray]:
+        """The base arrays, keyed by :data:`PACKED_ARRAY_NAMES`.
+
+        The zero-copy currency of the sharding pipeline: publishing these
+        through shared memory and rebuilding with :meth:`from_arrays` in
+        another process reproduces this packed view without pickling the
+        payload.  Lazily built matrix rows are deliberately excluded —
+        each process materialises (and LRU-bounds) its own.
+        """
+        return {name: getattr(self, name) for name in PACKED_ARRAY_NAMES}
+
+    @classmethod
+    def from_arrays(cls, workers: Sequence[Worker],
+                    arrays: dict[str, np.ndarray],
+                    row_cache_bytes: int | None = None) -> "PackedInstance":
+        """Rebuild a packed view around pre-existing base arrays.
+
+        ``arrays`` is an :meth:`export_arrays` set, typically shared-
+        memory views in a pool worker.  Location objects are re-interned
+        from the exact coordinate floats, so distances — ``math.hypot``
+        over identical inputs — are bit-identical to the originating
+        process.  ``workers`` may be any subset whose locations appear in
+        the arrays (e.g. one shard's workers against the full instance's
+        export).
+        """
+        self = object.__new__(cls)
+        for name in PACKED_ARRAY_NAMES:
+            setattr(self, name, arrays[name])
+        locs = [Location(float(x), float(y))
+                for x, y in zip(self.xs, self.ys)]
+        index = {loc: i for i, loc in enumerate(locs)}
+        self._locs = locs
+        self._loc_index = index
+        n = len(self.sensing_ids)
+        self.is_sensing = np.ones(n, dtype=bool)
+        self._sensing_row = {int(task_id): k
+                             for k, task_id in enumerate(self.sensing_ids)}
+        self.worker_locs = {}
+        for w in workers:
+            try:
+                origin = index[w.origin]
+                travel = tuple(index[t.location] for t in w.travel_tasks)
+                dest = index[w.destination]
+            except KeyError as exc:
+                raise ValueError(
+                    f"worker {w.worker_id} has a location missing from the "
+                    "exported arrays") from exc
+            self.worker_locs[w.worker_id] = (origin, travel, dest)
+        self._init_row_cache(row_cache_bytes)
+        return self
 
 
 def packed_instance(instance) -> PackedInstance:

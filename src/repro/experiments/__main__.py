@@ -71,7 +71,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("experiment",
                         choices=["table1", "table2", "table3",
                                  "figure4", "figure5", "figure6", "train",
-                                 "dynamic", "all"])
+                                 "dynamic", "shard", "all"])
     parser.add_argument("--full", action="store_true",
                         help="use the larger (slower) run profile")
     parser.add_argument("--latex", default=None, metavar="PATH",
@@ -93,6 +93,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="dynamic: rebuild the candidate table per "
                              "event epoch instead of incremental repair "
                              "(identical results, slower)")
+    parser.add_argument("--shards", default="1,2,4",
+                        help="shard: comma-separated shard counts to sweep")
+    parser.add_argument("--tasks", type=int, default=2000,
+                        help="shard: sensing tasks in the city instance")
+    parser.add_argument("--city-workers", type=int, default=200,
+                        help="shard: workers in the city instance")
+    parser.add_argument("--budget", type=float, default=600.0,
+                        help="shard: incentive budget of the city instance")
+    parser.add_argument("--method", default="grid", choices=["grid", "kd"],
+                        help="shard: spatial partitioning method")
     parser.add_argument("--svg", default=None, metavar="PATH",
                         help="figure6: also write the SMORE plan as SVG")
     parser.add_argument("--trace", default=None, metavar="PATH",
@@ -185,6 +195,23 @@ def _dispatch(args) -> int:
                                  schedule=args.schedule,
                                  repair=not args.rebuild_table)
         print(render_dynamic(results, schedule=args.schedule))
+    elif args.experiment == "shard":
+        from .shard import render_shard_scaling, shard_scaling
+
+        shard_counts = tuple(int(p) for p in args.shards.split(","))
+        results = shard_scaling(num_tasks=args.tasks,
+                                num_workers=args.city_workers,
+                                budget=args.budget, seed=args.seed,
+                                shard_counts=shard_counts,
+                                method=args.method,
+                                pool_workers=args.workers)
+        print(render_shard_scaling(results))
+        if args.json:
+            import json
+
+            with open(args.json, "w") as handle:
+                json.dump(results, handle, indent=2)
+            print(f"\nJSON written to {args.json}")
     elif args.experiment == "train":
         policy = get_trained_policy(args.dataset, spec=runner.profile.pretrain,
                                     cache_dir=runner.cache_dir)

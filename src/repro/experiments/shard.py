@@ -1,0 +1,96 @@
+"""Shard-count scaling sweep on city-scale instances (ISSUE 10).
+
+``python -m repro.experiments shard`` builds one city-scale synthetic
+instance (:func:`repro.datasets.synthetic.make_city_instance`), solves it
+at each requested shard count on one shared
+:class:`~repro.parallel.PersistentPool`, and reports the scaling curve:
+wall time and speedup vs the P=1 solve, plus the coverage delta that
+the spatial decomposition costs.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..datasets.synthetic import make_city_instance
+from ..parallel import PersistentPool
+from ..shard import solve_sharded
+from ..smore.solver import GreedySelectionRule, SMORESolver
+from ..tsptw.insertion import InsertionSolver
+
+__all__ = ["shard_scaling", "render_shard_scaling"]
+
+
+def shard_scaling(num_tasks: int = 2_000, num_workers: int = 200,
+                  budget: float = 600.0, seed: int = 1,
+                  shard_counts: tuple[int, ...] = (1, 2, 4),
+                  method: str = "grid",
+                  pool_workers: int | None = None) -> dict:
+    """Solve one city instance at each shard count; return the curve.
+
+    Every entry records wall time, coverage, spend and the shard
+    report's phase breakdown; ``speedup`` is vs the slowest requested
+    shard count's wall time at P=1 (or the first entry when P=1 is not
+    requested).
+    """
+    instance = make_city_instance(num_tasks=num_tasks,
+                                  num_workers=num_workers,
+                                  seed=seed, budget=budget)
+    solver = SMORESolver(InsertionSolver(speed=instance.speed),
+                         GreedySelectionRule())
+    rows = []
+    with PersistentPool(workers=pool_workers) as pool:
+        for num_shards in shard_counts:
+            start = time.perf_counter()
+            solution = solve_sharded(solver, instance, num_shards,
+                                     method=method, pool=pool)
+            wall = time.perf_counter() - start
+            report = solution.shard_report
+            rows.append({
+                "shards": num_shards,
+                "wall_time": wall,
+                "phi": solution.objective,
+                "completed": solution.num_completed,
+                "spent": solution.total_incentive,
+                "used_pool": report.used_pool,
+                "boundary_tasks": report.boundary_tasks,
+                "repair_added": report.repair_added,
+                "wall_solve": report.wall_solve,
+                "wall_repair": report.wall_repair,
+            })
+    baseline = next((r for r in rows if r["shards"] == 1), rows[0])
+    for row in rows:
+        row["speedup"] = baseline["wall_time"] / max(row["wall_time"], 1e-9)
+        row["phi_delta"] = (baseline["phi"] - row["phi"]) \
+            / max(baseline["phi"], 1e-12)
+    return {
+        "instance": instance.describe(),
+        "num_tasks": num_tasks,
+        "num_workers": num_workers,
+        "budget": budget,
+        "seed": seed,
+        "method": method,
+        "rows": rows,
+    }
+
+
+def render_shard_scaling(results: dict) -> str:
+    lines = [
+        "Shard scaling — partition / solve / merge "
+        f"({results['method']} split)",
+        "=" * 72,
+        results["instance"],
+        "",
+        f"{'P':>3} {'wall(s)':>9} {'speedup':>8} {'phi':>9} "
+        f"{'phi gap':>8} {'done':>6} {'spent':>9} {'bnd':>5} "
+        f"{'repair':>6} {'pool':>5}",
+    ]
+    for row in results["rows"]:
+        lines.append(
+            f"{row['shards']:>3} {row['wall_time']:>9.2f} "
+            f"{row['speedup']:>7.2f}x {row['phi']:>9.3f} "
+            f"{row['phi_delta']:>7.2%} {row['completed']:>6} "
+            f"{row['spent']:>9.1f} {row['boundary_tasks']:>5} "
+            f"{row['repair_added']:>6} "
+            f"{'yes' if row['used_pool'] else 'no':>5}")
+    return "\n".join(lines)

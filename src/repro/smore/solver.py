@@ -189,7 +189,10 @@ class SMORESolver:
               rng: np.random.Generator | None = None,
               num_samples: int = 1, workers: int = 1,
               reuse_candidates: bool = True,
-              batch_rollouts: bool = True) -> Solution:
+              batch_rollouts: bool = True,
+              shards: int | None = None,
+              shard_method: str = "grid",
+              shard_pool=None) -> Solution:
         """Solve one instance.
 
         ``greedy=True`` decodes with argmax actions (the paper's test-time
@@ -201,6 +204,13 @@ class SMORESolver:
         ``num_samples`` (snapshot reuse); ``workers > 1`` fans the sampled
         rollouts out over a process pool with identical results.
 
+        ``shards > 1`` routes the solve through the city-scale
+        divide-and-conquer pipeline (:func:`repro.shard.solve_sharded`):
+        spatial partition, independent per-shard solves (optionally over
+        a ``shard_pool`` :class:`~repro.parallel.PersistentPool`), then
+        boundary repair and merge.  ``shards=1``/``None`` is the plain
+        unsharded path.
+
         ``batch_rollouts=True`` (default) advances all rollouts in
         lock-step through :class:`BatchedEpisodeRunner`, one batched
         policy forward per decoding step; with ``workers > 1`` each pool
@@ -209,6 +219,13 @@ class SMORESolver:
         order, the returned solution is identical either way — set
         ``batch_rollouts=False`` to force the per-episode reference loop.
         """
+        if shards is not None and shards > 1:
+            from ..shard import solve_sharded
+
+            return solve_sharded(self, instance, shards,
+                                 method=shard_method, pool=shard_pool,
+                                 greedy=greedy, rng=rng,
+                                 num_samples=num_samples)
         start = time.perf_counter()
         solve_span = obs.span("solve", method=self.name,
                               num_samples=num_samples, workers=workers)

@@ -1,0 +1,25 @@
+"""Session-wide guards: no PersistentPool workers may outlive the tests."""
+
+import multiprocessing
+
+import pytest
+
+from repro.parallel import PersistentPool
+
+
+@pytest.fixture(autouse=True, scope="session")
+def no_pool_leaks():
+    """Fail the session if any pool worker is still resident at the end.
+
+    Pools must be closed (or garbage-collected through their atexit
+    hook) by the tests that start them; an orphaned worker here means a
+    leaked fork that would accumulate across CI runs.
+    """
+    yield
+    leaked = PersistentPool.active_pools()
+    assert leaked == [], f"PersistentPool leaked open pools: {leaked}"
+    for proc in multiprocessing.active_children():
+        proc.join(timeout=10)
+    stragglers = [proc for proc in multiprocessing.active_children()
+                  if proc.is_alive()]
+    assert stragglers == [], f"orphaned worker processes: {stragglers}"

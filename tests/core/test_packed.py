@@ -143,3 +143,105 @@ class TestPrecomputeBins:
         sentinel = model._bin_cache[task]
         model.precompute_bins([task])
         assert model._bin_cache[task] is sentinel
+
+
+class TestRowCacheBudget:
+    """S2: the lazy travel-matrix row cache is LRU-bounded, bit-identical."""
+
+    def _tasks(self, count=12):
+        return [_sensing(100 + k, 10.0 * k, 5.0 * k, tw=(0.0, 120.0))
+                for k in range(count)]
+
+    def test_budget_derived_from_byte_limit(self):
+        tasks = self._tasks()
+        packed = PackedInstance([_worker()], tasks)
+        row_bytes = 8 * packed.num_locations
+        bounded = PackedInstance([_worker()], tasks,
+                                 row_cache_bytes=3 * row_bytes)
+        assert bounded.row_budget == 3
+        assert packed.row_budget > bounded.row_budget
+
+    def test_eviction_counts_and_cache_stays_bounded(self):
+        tasks = self._tasks()
+        packed = PackedInstance([_worker()], tasks,
+                                 row_cache_bytes=3 * 8 * 16)
+        for i in range(packed.num_locations):
+            packed.row(i)
+        assert packed.num_cached_rows <= packed.row_budget
+        assert packed.row_builds == packed.num_locations
+        assert packed.row_evictions == \
+            packed.num_locations - packed.num_cached_rows
+        assert packed.row_evictions > 0
+
+    def test_hits_do_not_rebuild_or_evict(self):
+        packed = PackedInstance([_worker()], self._tasks(),
+                                 row_cache_bytes=3 * 8 * 16)
+        packed.row(0)
+        builds = packed.row_builds
+        packed.row(0)
+        packed.row(0)
+        assert packed.row_builds == builds
+        assert packed.row_evictions == 0
+
+    def test_lru_keeps_recently_used_rows(self):
+        packed = PackedInstance([_worker()], self._tasks(),
+                                 row_cache_bytes=2 * 8 * 16)
+        packed.row(0)
+        packed.row(1)
+        packed.row(0)          # refresh 0: 1 is now the LRU victim
+        packed.row(2)          # evicts 1, not 0
+        builds = packed.row_builds
+        packed.row(0)
+        assert packed.row_builds == builds      # 0 survived
+        packed.row(1)
+        assert packed.row_builds == builds + 1  # 1 was evicted
+
+    def test_rebuilt_rows_bit_identical(self):
+        tasks = self._tasks()
+        unbounded = PackedInstance([_worker()], tasks)
+        tiny = PackedInstance([_worker()], tasks, row_cache_bytes=1)
+        assert tiny.row_budget == 1
+        for i in range(tiny.num_locations):
+            expected = unbounded.row(i)
+            np.testing.assert_array_equal(tiny.row(i), expected)
+        # Second sweep re-materialises every row after eviction churn.
+        for i in range(tiny.num_locations):
+            np.testing.assert_array_equal(tiny.row(i), unbounded.row(i))
+
+
+class TestExportImport:
+    """Zero-copy currency of the sharding pipeline."""
+
+    def _packed(self):
+        tasks = [_sensing(100 + k, 50.0 * k, 30.0 * k) for k in range(6)]
+        return PackedInstance([_worker(0), _worker(1)], tasks), tasks
+
+    def test_round_trip_is_bit_identical(self):
+        packed, _ = self._packed()
+        rebuilt = PackedInstance.from_arrays(
+            [_worker(0), _worker(1)], packed.export_arrays())
+        assert rebuilt.num_locations == packed.num_locations
+        assert rebuilt.worker_locs == packed.worker_locs
+        for i in range(packed.num_locations):
+            np.testing.assert_array_equal(rebuilt.row(i), packed.row(i))
+
+    def test_worker_subset_allowed(self):
+        packed, _ = self._packed()
+        rebuilt = PackedInstance.from_arrays([_worker(1)],
+                                             packed.export_arrays())
+        assert set(rebuilt.worker_locs) == {1}
+
+    def test_unknown_worker_location_rejected(self):
+        packed, _ = self._packed()
+        stranger = Worker(9, Location(-5.0, -5.0), Location(1200, 0),
+                          0.0, 240.0, ())
+        with pytest.raises(ValueError, match="missing"):
+            PackedInstance.from_arrays([stranger], packed.export_arrays())
+
+    def test_export_shares_storage(self):
+        packed, _ = self._packed()
+        arrays = packed.export_arrays()
+        assert arrays["xs"] is packed.xs
+        assert set(arrays) == set(
+            __import__("repro.core.packed", fromlist=["x"])
+            .PACKED_ARRAY_NAMES)

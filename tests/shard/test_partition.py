@@ -1,0 +1,136 @@
+"""Partitioner property tests (ISSUE 10 satellite).
+
+Properties pinned over both methods, several shard counts and seeds:
+every task and worker lands in exactly one shard, boundary sets are
+symmetric, boundary tasks sit within the margin of the shared segment,
+and ``ShardPlan.validate`` agrees.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.instances import (
+    InstanceOptions,
+    generate_instance,
+    generator_for,
+)
+from repro.shard import (
+    default_margin,
+    partition_instance,
+    sub_instance,
+)
+
+
+@pytest.fixture(scope="module")
+def instances():
+    built = []
+    for seed, dataset in ((3, "delivery"), (11, "tourism")):
+        options = InstanceOptions(num_workers=10)
+        built.append(generate_instance(generator_for(dataset), options,
+                                       np.random.default_rng(seed)))
+    return built
+
+
+METHODS = ("grid", "kd")
+SHARD_COUNTS = (1, 2, 3, 4, 6)
+
+
+class TestMembership:
+    @pytest.mark.parametrize("method", METHODS)
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_every_task_in_exactly_one_shard(self, instances, method,
+                                             num_shards):
+        for instance in instances:
+            plan = partition_instance(instance, num_shards, method=method)
+            assigned = [tid for shard in plan.shards
+                        for tid in shard.task_ids]
+            assert len(assigned) == len(set(assigned))
+            assert set(assigned) == \
+                {t.task_id for t in instance.sensing_tasks}
+
+    @pytest.mark.parametrize("method", METHODS)
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_every_worker_in_exactly_one_shard(self, instances, method,
+                                               num_shards):
+        for instance in instances:
+            plan = partition_instance(instance, num_shards, method=method)
+            assigned = [wid for shard in plan.shards
+                        for wid in shard.worker_ids]
+            assert len(assigned) == len(set(assigned))
+            assert set(assigned) == {w.worker_id for w in instance.workers}
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_single_shard_holds_everything(self, instances, method):
+        for instance in instances:
+            plan = partition_instance(instance, 1, method=method)
+            assert len(plan.shards) == 1
+            assert plan.shards[0].num_tasks == instance.num_sensing_tasks
+            assert plan.shards[0].num_workers == instance.num_workers
+            assert plan.boundary_task_ids() == ()
+
+
+class TestBoundaries:
+    @pytest.mark.parametrize("method", METHODS)
+    @pytest.mark.parametrize("num_shards", (2, 3, 4, 6))
+    def test_boundary_sets_symmetric(self, instances, method, num_shards):
+        for instance in instances:
+            plan = partition_instance(instance, num_shards, method=method)
+            for a in range(len(plan.shards)):
+                for b in range(len(plan.shards)):
+                    assert plan.boundary_between(a, b) == \
+                        plan.boundary_between(b, a)
+
+    @pytest.mark.parametrize("method", METHODS)
+    @pytest.mark.parametrize("num_shards", (2, 4))
+    def test_boundary_tasks_belong_to_the_pair(self, instances, method,
+                                               num_shards):
+        for instance in instances:
+            plan = partition_instance(instance, num_shards, method=method)
+            for (a, b), task_ids in plan.boundary.items():
+                members = set(plan.shards[a].task_ids) | \
+                    set(plan.shards[b].task_ids)
+                assert set(task_ids) <= members
+
+    @pytest.mark.parametrize("method", METHODS)
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_validate_clean(self, instances, method, num_shards):
+        for instance in instances:
+            plan = partition_instance(instance, num_shards, method=method)
+            assert plan.validate() == []
+
+    def test_margin_override(self, instances):
+        instance = instances[0]
+        wide = partition_instance(instance, 2, margin=400.0)
+        narrow = partition_instance(instance, 2, margin=1.0)
+        assert wide.margin == 400.0
+        assert len(wide.boundary_task_ids()) >= \
+            len(narrow.boundary_task_ids())
+
+    def test_default_margin_scales_down_with_shards(self, instances):
+        region = instances[0].coverage.grid.region
+        assert default_margin(region, 4) < default_margin(region, 1)
+
+
+class TestSubInstances:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_sub_instance_slices_cleanly(self, instances, method):
+        instance = instances[0]
+        plan = partition_instance(instance, 4, method=method)
+        for shard in plan.shards:
+            sub = sub_instance(instance, shard, budget=50.0)
+            assert sub.budget == 50.0
+            assert sub.mu == instance.mu
+            assert sub.coverage is instance.coverage
+            assert {t.task_id for t in sub.sensing_tasks} == \
+                set(shard.task_ids)
+            assert {w.worker_id for w in sub.workers} == \
+                set(shard.worker_ids)
+            assert sub.name.startswith(instance.name)
+
+    def test_invalid_shard_count_rejected(self, instances):
+        with pytest.raises(ValueError):
+            partition_instance(instances[0], 0)
+
+    def test_unknown_method_rejected(self, instances):
+        with pytest.raises(ValueError):
+            partition_instance(instances[0], 2, method="voronoi")
